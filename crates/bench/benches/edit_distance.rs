@@ -1,0 +1,69 @@
+//! Criterion: full vs banded edit distance — the ablation for Algorithm 1's
+//! inner loop (DESIGN.md calls this design choice out; the banded version is
+//! what makes grouping affordable at proteome scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_core::distance::{edit_distance, edit_distance_bounded};
+
+fn peptide_pairs(len: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    // Deterministic pseudo-peptides: pairs at small edit distances plus
+    // unrelated pairs, the mix Algorithm 1 actually sees.
+    let alphabet = b"ACDEFGHIKLMNPQRSTVWY";
+    let mut pairs = Vec::new();
+    for i in 0..8usize {
+        let a: Vec<u8> = (0..len).map(|j| alphabet[(i * 7 + j * 3) % 20]).collect();
+        let mut b = a.clone();
+        b[len / 2] = alphabet[(i * 11 + 5) % 20]; // 1 substitution
+        pairs.push((a.clone(), b));
+        let c: Vec<u8> = (0..len).map(|j| alphabet[(i * 13 + j * 5 + 9) % 20]).collect();
+        pairs.push((a, c)); // unrelated
+    }
+    pairs
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance");
+    for len in [10usize, 20, 40] {
+        let pairs = peptide_pairs(len);
+        group.bench_with_input(BenchmarkId::new("full_dp", len), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (x, y) in pairs {
+                    acc += edit_distance(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("banded_k2", len), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (x, y) in pairs {
+                    acc += edit_distance_bounded(black_box(x), black_box(y), 2).unwrap_or(99);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("banded_criterion2", len),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (x, y) in pairs {
+                        let k = (0.86 * x.len().max(y.len()) as f64).floor() as usize;
+                        acc += edit_distance_bounded(black_box(x), black_box(y), k).unwrap_or(99);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_edit_distance
+}
+criterion_main!(benches);

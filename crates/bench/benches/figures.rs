@@ -1,0 +1,58 @@
+//! Criterion: smoke-scale versions of every figure kernel, so `cargo bench`
+//! exercises the full harness end to end. The real figure regenerators (with
+//! the paper-shaped sweeps and CSV output) are the `fig*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lbe_bench::{build_workload, run_policy};
+use lbe_bio::mods::ModSpec;
+use lbe_core::mapping::MappingTable;
+use lbe_core::metrics::lb_speedup_over_chunk;
+use lbe_core::partition::{partition_groups, PartitionPolicy};
+use lbe_index::footprint::MemoryFootprint;
+use lbe_index::{IndexBuilder, SlmConfig};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_smoke");
+    group.sample_size(10);
+
+    let w = build_workload(600, ModSpec::none(), 30, 21);
+
+    group.bench_function("fig5_memory_kernel", |b| {
+        b.iter(|| {
+            let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&w.db);
+            let shared = MemoryFootprint::of_index(&idx);
+            let part = partition_groups(&w.grouping, 4, PartitionPolicy::Cyclic);
+            let mapping = MappingTable::from_partition(&part);
+            black_box(shared.with_mapping_table(mapping.len()).total())
+        })
+    });
+
+    group.bench_function("fig6_imbalance_kernel", |b| {
+        b.iter(|| {
+            let chunk = run_policy(&w, "smoke", PartitionPolicy::Chunk, 4);
+            black_box(chunk.report.imbalance.load_imbalance_pct())
+        })
+    });
+
+    group.bench_function("fig7_scaling_kernel", |b| {
+        b.iter(|| {
+            let run = run_policy(&w, "smoke", PartitionPolicy::Cyclic, 8);
+            black_box(run.report.query_time())
+        })
+    });
+
+    group.bench_function("fig11_lb_speedup_kernel", |b| {
+        b.iter(|| {
+            let chunk = run_policy(&w, "smoke", PartitionPolicy::Chunk, 4);
+            let cyclic = run_policy(&w, "smoke", PartitionPolicy::Cyclic, 4);
+            black_box(lb_speedup_over_chunk(
+                &chunk.report.imbalance,
+                &cyclic.report.imbalance,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

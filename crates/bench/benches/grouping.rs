@@ -1,0 +1,74 @@
+//! Criterion: Algorithm 1 throughput, including the gsize and criterion
+//! ablations called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_bio::dedup::dedup_peptides;
+use lbe_bio::digest::{digest_proteome, DigestParams};
+use lbe_bio::peptide::PeptideDb;
+use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
+
+fn make_db(target_peptides: usize) -> PeptideDb {
+    let proteome = SyntheticProteome::generate(
+        SyntheticProteomeParams::sized_for_peptides(target_peptides),
+        42,
+    );
+    let digested = digest_proteome(&proteome.proteins, &DigestParams::default()).unwrap();
+    dedup_peptides(digested).0
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(10);
+
+    for n in [1_000usize, 4_000] {
+        let db = make_db(n);
+        group.bench_with_input(BenchmarkId::new("criterion1_d2", db.len()), &db, |b, db| {
+            b.iter(|| {
+                group_peptides(
+                    black_box(db),
+                    &GroupingParams {
+                        criterion: GroupingCriterion::Absolute { d: 2 },
+                        gsize: 20,
+                    },
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("criterion2_d086", db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    group_peptides(
+                        black_box(db),
+                        &GroupingParams {
+                            criterion: GroupingCriterion::normalized_default(),
+                            gsize: 20,
+                        },
+                    )
+                })
+            },
+        );
+        for gsize in [5usize, 50] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("gsize_{gsize}"), db.len()),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        group_peptides(
+                            black_box(db),
+                            &GroupingParams {
+                                criterion: GroupingCriterion::Absolute { d: 2 },
+                                gsize,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: SLM index build and shared-peak query throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_bench::build_workload;
+use lbe_bio::mods::ModSpec;
+use lbe_index::{IndexBuilder, Searcher, SlmConfig};
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index");
+    group.sample_size(10);
+
+    for n in [1_000usize, 4_000] {
+        let w = build_workload(n, ModSpec::none(), 50, 7);
+        group.bench_with_input(BenchmarkId::new("build", w.db.len()), &w, |b, w| {
+            b.iter(|| {
+                IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(black_box(&w.db))
+            })
+        });
+
+        let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&w.db);
+        group.bench_with_input(
+            BenchmarkId::new("query_batch50", w.db.len()),
+            &w,
+            |b, w| {
+                let mut searcher = Searcher::new(&index);
+                b.iter(|| {
+                    let (results, stats) = searcher.search_batch(black_box(&w.queries));
+                    black_box((results.len(), stats.candidates))
+                })
+            },
+        );
+    }
+
+    // Mods ablation: paper mods multiply index size.
+    let w = build_workload(1_000, ModSpec::paper_default(), 10, 7);
+    group.bench_function("build_with_paper_mods", |b| {
+        b.iter(|| {
+            IndexBuilder::new(SlmConfig::default(), ModSpec::paper_default())
+                .build(black_box(&w.db))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: index (de)serialization throughput and real multi-threaded
+//! batch-search scaling (the shared-memory level of the hybrid mode).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_bench::build_workload;
+use lbe_bio::mods::ModSpec;
+use lbe_index::parallel::search_batch_parallel;
+use lbe_index::{read_index, write_index, IndexBuilder, SlmConfig};
+
+fn bench_io_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("io_parallel");
+    group.sample_size(10);
+
+    let w = build_workload(2_000, ModSpec::none(), 200, 31);
+    let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&w.db);
+
+    group.bench_function("serialize_index", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            write_index(&mut buf, black_box(&index)).unwrap();
+            black_box(buf.len())
+        })
+    });
+
+    let mut serialized = Vec::new();
+    write_index(&mut serialized, &index).unwrap();
+    group.bench_function("deserialize_index", |b| {
+        b.iter(|| black_box(read_index(&serialized[..]).unwrap().num_ions()))
+    });
+
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("search_batch200", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let (r, stats) =
+                        search_batch_parallel(black_box(&index), black_box(&w.queries), threads);
+                    black_box((r.len(), stats.candidates))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_io_parallel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: partitioning policy cost and the end-to-end distributed run
+//! per policy (the kernel behind Figs. 6 and 11).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_bench::{build_workload, run_policy};
+use lbe_bio::mods::ModSpec;
+use lbe_core::partition::{partition_groups, PartitionPolicy};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    let w = build_workload(4_000, ModSpec::none(), 50, 11);
+    for policy in [
+        PartitionPolicy::Chunk,
+        PartitionPolicy::Cyclic,
+        PartitionPolicy::Random { seed: 3 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("assign", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| partition_groups(black_box(&w.grouping), 16, policy))
+            },
+        );
+    }
+
+    let small = build_workload(800, ModSpec::none(), 30, 11);
+    for policy in [PartitionPolicy::Chunk, PartitionPolicy::Cyclic] {
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end_p4", policy.to_string()),
+            &policy,
+            |b, &policy| b.iter(|| run_policy(black_box(&small), "bench", policy, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

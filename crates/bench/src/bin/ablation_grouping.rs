@@ -1,0 +1,100 @@
+//! Ablation — how much of LBE's balance comes from each design choice.
+//!
+//! Rows (16 ranks, one workload):
+//!
+//! * Algorithm 1 grouping (criterion 2, the paper's evaluation setting) ×
+//!   {chunk, cyclic, random};
+//! * criterion 1 grouping × cyclic;
+//! * **no grouping** (database order) × {chunk, cyclic} — isolates the
+//!   contribution of the similarity sort;
+//! * gsize sweep (5 / 20 / 100) × cyclic;
+//! * the literal per-group Random reading (see
+//!   `PartitionPolicy::RandomWithinGroups`) — demonstrably chunk-like.
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin ablation_grouping
+//! ```
+
+use lbe_bench::{build_workload, write_csv, IndexScale, Table};
+use lbe_core::engine::{run_distributed_search, EngineConfig};
+use lbe_core::grouping::{group_peptides, Grouping, GroupingCriterion, GroupingParams};
+use lbe_core::spectral_grouping::{group_spectra, SpectralGroupingParams};
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = 16;
+    let num_queries = 600;
+    let scale = IndexScale::sweep().pop().expect("sweep nonempty"); // largest
+    let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+    let cost_scale = scale.cost_scale(w.total_spectra());
+    println!(
+        "Grouping/partitioning ablation — {} peptides, {} queries, {ranks} ranks\n",
+        w.db.len(),
+        num_queries
+    );
+
+    let mut table = Table::new(&["grouping", "policy", "LI_%", "query_t(s)"]);
+
+    let mut run = |name: &str, grouping: &Grouping, policy: PartitionPolicy| {
+        let mut cfg = EngineConfig::with_policy(policy);
+        cfg.modspec = w.modspec.clone();
+        cfg.cost = cfg.cost.scaled_for_index(cost_scale);
+        let r = run_distributed_search(&w.db, grouping, &w.queries, &cfg, ranks);
+        table.row(&[
+            name.to_string(),
+            policy.to_string(),
+            format!("{:.1}", r.imbalance.load_imbalance_pct()),
+            format!("{:.3}", r.query_time()),
+        ]);
+    };
+
+    // Paper setting: criterion 2, gsize 20.
+    let crit2 = group_peptides(&w.db, &GroupingParams::default());
+    run("criterion2/gsize20", &crit2, PartitionPolicy::Chunk);
+    run("criterion2/gsize20", &crit2, PartitionPolicy::Cyclic);
+    run("criterion2/gsize20", &crit2, PartitionPolicy::Random { seed: 7 });
+    run(
+        "criterion2/gsize20",
+        &crit2,
+        PartitionPolicy::RandomWithinGroups { seed: 7 },
+    );
+
+    // Criterion 1.
+    let crit1 = group_peptides(
+        &w.db,
+        &GroupingParams {
+            criterion: GroupingCriterion::Absolute { d: 2 },
+            gsize: 20,
+        },
+    );
+    run("criterion1/gsize20", &crit1, PartitionPolicy::Cyclic);
+
+    // No grouping: database (digestion) order, singleton groups.
+    let trivial = Grouping::trivial(w.db.len());
+    run("none(db-order)", &trivial, PartitionPolicy::Chunk);
+    run("none(db-order)", &trivial, PartitionPolicy::Cyclic);
+
+    // Spectra-level grouping (the paper's §III-C future direction).
+    let spectral = group_spectra(&w.db, &SpectralGroupingParams::default());
+    run("spectral/j0.5", &spectral, PartitionPolicy::Cyclic);
+    run("spectral/j0.5", &spectral, PartitionPolicy::Random { seed: 7 });
+
+    // gsize sweep under criterion 2.
+    for gsize in [5usize, 100] {
+        let g = group_peptides(
+            &w.db,
+            &GroupingParams {
+                criterion: GroupingCriterion::normalized_default(),
+                gsize,
+            },
+        );
+        run(&format!("criterion2/gsize{gsize}"), &g, PartitionPolicy::Cyclic);
+    }
+
+    print!("{}", table.render());
+    if let Some(p) = write_csv("ablation_grouping", &table) {
+        println!("\nwrote {}", p.display());
+    }
+    println!("\nreading: the length+lex sort behind Algorithm 1 is what makes chunk bad and cyclic good;");
+    println!("per-group-only shuffling (the literal §III-D.3 text) cannot escape the chunk layout.");
+}

@@ -1,0 +1,55 @@
+//! Figure 10 — execution-time speedup vs ranks (cyclic): Amdahl-bounded
+//! saturation that *improves* with index size (the parallel query phase
+//! grows relative to the serial part).
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin fig10_exec_speedup
+//! ```
+
+use lbe_bench::{build_workload, sweep_ranks, write_csv, IndexScale, Table};
+use lbe_core::metrics::{amdahl_speedup, speedup};
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = [2usize, 4, 8, 12, 16];
+    let num_queries = 300;
+    println!("Fig. 10 — execution speedup vs ranks, cyclic policy (base as Fig. 8)\n");
+
+    let mut headers = vec!["index(label)".to_string()];
+    headers.extend(ranks.iter().map(|r| format!("p={r}")));
+    headers.push("amdahl_bound@16".into());
+    let mut table = Table::new(&headers);
+
+    for (si, scale) in IndexScale::sweep().into_iter().enumerate() {
+        let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+        let cost_scale = scale.cost_scale(w.total_spectra());
+        let runs = sweep_ranks(&w, scale.label, PartitionPolicy::Cyclic, &ranks, cost_scale);
+        let base_ranks = if si == 0 { 2 } else { 4 };
+        let base_time = runs
+            .iter()
+            .find(|r| r.ranks == base_ranks)
+            .expect("base rank in sweep")
+            .report
+            .execution_time();
+        let mut row = vec![scale.label.to_string()];
+        row.extend(runs.iter().map(|r| {
+            format!(
+                "{:.2}",
+                speedup(base_ranks, base_time, r.report.execution_time())
+            )
+        }));
+        // Amdahl reference: reconstruct the hypothetical 1-rank run from the
+        // base measurement (parallel part scales, serial part does not).
+        let serial = runs[0].report.serial_seconds;
+        let parallel_1 = (base_time - serial).max(0.0) * base_ranks as f64;
+        let serial_frac = (serial / (serial + parallel_1)).clamp(0.0, 1.0);
+        row.push(format!("{:.2}", amdahl_speedup(serial_frac, 16)));
+        table.row(&row);
+    }
+
+    print!("{}", table.render());
+    if let Some(p) = write_csv("fig10_exec_speedup", &table) {
+        println!("\nwrote {}", p.display());
+    }
+    println!("\npaper: saturating (Amdahl); scalability improves as index size grows");
+}

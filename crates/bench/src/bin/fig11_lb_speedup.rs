@@ -1,0 +1,58 @@
+//! Figure 11 — CPU-time speedup of the LBE policies over conventional
+//! chunk partitioning, 16 ranks, with increasing index size.
+//!
+//! Paper result: cyclic averages ~8.6×, random ~7.5× (derived from the
+//! wasted-CPU-time analysis of §VI: `Twst = N·ΔTmax`).
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin fig11_lb_speedup
+//! ```
+
+use lbe_bench::{build_workload, run_policy_scaled, write_csv, IndexScale, Table};
+use lbe_core::metrics::lb_speedup_over_chunk;
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = 16;
+    let num_queries = 1000;
+    println!("Fig. 11 — load-balance CPU-time speedup over chunk, {ranks} ranks\n");
+
+    let mut table = Table::new(&[
+        "index(label)",
+        "chunk(x)",
+        "cyclic(x)",
+        "random(x)",
+    ]);
+    let (mut sum_cyc, mut sum_rand, mut n) = (0.0f64, 0.0f64, 0);
+
+    for scale in IndexScale::sweep() {
+        let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+        let cost_scale = scale.cost_scale(w.total_spectra());
+        let chunk = run_policy_scaled(&w, scale.label, PartitionPolicy::Chunk, ranks, cost_scale);
+        let cyclic = run_policy_scaled(&w, scale.label, PartitionPolicy::Cyclic, ranks, cost_scale);
+        let random = run_policy_scaled(&w, scale.label, PartitionPolicy::Random { seed: 7 }, ranks, cost_scale);
+
+        let s_cyc = lb_speedup_over_chunk(&chunk.report.imbalance, &cyclic.report.imbalance);
+        let s_rand = lb_speedup_over_chunk(&chunk.report.imbalance, &random.report.imbalance);
+        sum_cyc += s_cyc;
+        sum_rand += s_rand;
+        n += 1;
+
+        table.row(&[
+            scale.label.to_string(),
+            "1.00".to_string(),
+            format!("{s_cyc:.2}"),
+            format!("{s_rand:.2}"),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\naverage: cyclic {:.1}x, random {:.1}x  (paper: ~8.6x and ~7.5x)",
+        sum_cyc / n as f64,
+        sum_rand / n as f64
+    );
+    if let Some(p) = write_csv("fig11_lb_speedup", &table) {
+        println!("wrote {}", p.display());
+    }
+}

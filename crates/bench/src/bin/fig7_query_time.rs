@@ -1,0 +1,37 @@
+//! Figure 7 — query time vs number of MPI processes (ranks), cyclic
+//! partitioning, for increasing index size.
+//!
+//! Paper result: query time falls near-hyperbolically with ranks (linear
+//! speedup), larger indices cost proportionally more.
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin fig7_query_time
+//! ```
+
+use lbe_bench::{build_workload, sweep_ranks, write_csv, IndexScale, Table};
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = [2usize, 4, 8, 12, 16];
+    let num_queries = 300;
+    println!("Fig. 7 — query time (virtual s) vs ranks, cyclic policy, {num_queries} queries\n");
+
+    let mut headers = vec!["index(label)".to_string()];
+    headers.extend(ranks.iter().map(|r| format!("p={r}")));
+    let mut table = Table::new(&headers);
+
+    for scale in IndexScale::sweep() {
+        let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+        let cost_scale = scale.cost_scale(w.total_spectra());
+        let runs = sweep_ranks(&w, scale.label, PartitionPolicy::Cyclic, &ranks, cost_scale);
+        let mut row = vec![scale.label.to_string()];
+        row.extend(runs.iter().map(|r| format!("{:.3}", r.report.query_time())));
+        table.row(&row);
+    }
+
+    print!("{}", table.render());
+    if let Some(p) = write_csv("fig7_query_time", &table) {
+        println!("\nwrote {}", p.display());
+    }
+    println!("\npaper: near-hyperbolic decrease with p; larger index => proportionally longer");
+}

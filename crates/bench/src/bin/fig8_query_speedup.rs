@@ -1,0 +1,50 @@
+//! Figure 8 — query-time speedup vs ranks (cyclic), near-linear scaling.
+//!
+//! Methodology per the paper: 1-rank runs were impossible (partition size
+//! per process was capped), so the base case is 2 CPUs for the smallest
+//! index and 4 CPUs for the rest, assumed to run at ideal efficiency.
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin fig8_query_speedup
+//! ```
+
+use lbe_bench::{build_workload, sweep_ranks, write_csv, IndexScale, Table};
+use lbe_core::metrics::speedup;
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = [2usize, 4, 8, 12, 16];
+    let num_queries = 300;
+    println!("Fig. 8 — query speedup vs ranks, cyclic policy (base: 2 CPUs for the smallest index, 4 otherwise)\n");
+
+    let mut headers = vec!["index(label)".to_string()];
+    headers.extend(ranks.iter().map(|r| format!("p={r}")));
+    headers.push("ideal@16".into());
+    let mut table = Table::new(&headers);
+
+    for (si, scale) in IndexScale::sweep().into_iter().enumerate() {
+        let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+        let cost_scale = scale.cost_scale(w.total_spectra());
+        let runs = sweep_ranks(&w, scale.label, PartitionPolicy::Cyclic, &ranks, cost_scale);
+        let base_ranks = if si == 0 { 2 } else { 4 };
+        let base_time = runs
+            .iter()
+            .find(|r| r.ranks == base_ranks)
+            .expect("base rank in sweep")
+            .report
+            .query_time();
+        let mut row = vec![scale.label.to_string()];
+        row.extend(
+            runs.iter()
+                .map(|r| format!("{:.2}", speedup(base_ranks, base_time, r.report.query_time()))),
+        );
+        row.push("16.00".into());
+        table.row(&row);
+    }
+
+    print!("{}", table.render());
+    if let Some(p) = write_csv("fig8_query_speedup", &table) {
+        println!("\nwrote {}", p.display());
+    }
+    println!("\npaper: almost linear (close to the ideal diagonal) for all index sizes");
+}

@@ -1,0 +1,48 @@
+//! §V-A headline numbers — candidate PSM volume.
+//!
+//! The paper's full-dataset search yielded 22,517,426,929 cPSMs
+//! (~73,723 per query). This binary reports the scaled equivalent for our
+//! synthetic workload: total cPSMs, cPSMs/query, and the candidate density
+//! relative to index size (which is what transfers across scales).
+//!
+//! ```text
+//! cargo run --release -p lbe-bench --bin headline_cpsms
+//! ```
+
+use lbe_bench::{build_workload, run_policy, write_csv, IndexScale, Table};
+use lbe_core::partition::PartitionPolicy;
+
+fn main() {
+    let ranks = 16;
+    let num_queries = 300;
+    println!("§V-A headline — candidate PSM volume, {ranks} ranks, {num_queries} queries\n");
+
+    let mut table = Table::new(&[
+        "index(label)",
+        "spectra",
+        "total_cPSMs",
+        "cPSMs/query",
+        "cPSMs/query/Mspectra",
+    ]);
+
+    for scale in IndexScale::sweep() {
+        let w = build_workload(scale.peptides, scale.modspec.clone(), num_queries, 42);
+        let run = run_policy(&w, scale.label, PartitionPolicy::Cyclic, ranks);
+        let per_query = run.report.cpsms_per_query();
+        let density = per_query / (run.index_spectra as f64 / 1e6);
+        table.row(&[
+            scale.label.to_string(),
+            run.index_spectra.to_string(),
+            run.report.total_candidates.to_string(),
+            format!("{per_query:.1}"),
+            format!("{density:.0}"),
+        ]);
+    }
+
+    print!("{}", table.render());
+    if let Some(p) = write_csv("headline_cpsms", &table) {
+        println!("\nwrote {}", p.display());
+    }
+    println!("\npaper (full scale): 22,517,426,929 cPSMs total, ~73,723 per query on a 49.45M index");
+    println!("→ paper candidate density ≈ 1,490 cPSMs/query per million indexed spectra");
+}

@@ -1,0 +1,18 @@
+//! # lbe-bench — experiment harness for the LBE paper's figures
+//!
+//! One binary per data figure (Figs. 5–11 plus the §V-A cPSM headline),
+//! each printing the figure's rows to stdout and writing a CSV under
+//! `results/`. Criterion micro-benchmarks live in `benches/`.
+//!
+//! The paper's index sizes (18–49.45 M spectra) assume a 32 GB cluster and
+//! hours of wall clock; the harness defaults to a proportional scale-down
+//! (tens to hundreds of thousands of spectra) noted in every output header.
+//! Set `LBE_SCALE=full` for paper-scale runs on a large machine.
+
+pub mod output;
+pub mod runner;
+pub mod workload;
+
+pub use output::{write_csv, Table};
+pub use runner::{run_policy, run_policy_scaled, sweep_ranks, FigureRun};
+pub use workload::{build_workload, IndexScale, Workload};

@@ -1,0 +1,115 @@
+//! Thin wrappers around the distributed engine for figure sweeps.
+
+use crate::workload::Workload;
+use lbe_core::engine::{run_distributed_search, DistributedSearchReport, EngineConfig};
+use lbe_core::partition::PartitionPolicy;
+
+/// One engine run plus its identifying coordinates.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// Size label of the workload (e.g. `18M(scaled)`).
+    pub label: String,
+    /// Policy used.
+    pub policy: PartitionPolicy,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Indexed spectra (total across ranks).
+    pub index_spectra: usize,
+    /// The full engine report.
+    pub report: DistributedSearchReport,
+}
+
+/// Runs the distributed search on `workload` with `policy` over `ranks`,
+/// with the default (unscaled) cost model.
+pub fn run_policy(
+    workload: &Workload,
+    label: &str,
+    policy: PartitionPolicy,
+    ranks: usize,
+) -> FigureRun {
+    run_policy_scaled(workload, label, policy, ranks, 1.0)
+}
+
+/// Like [`run_policy`] but scales the index-size-linear cost terms by
+/// `cost_scale` — the figure binaries pass `paper_spectra / actual_spectra`
+/// so virtual times (and the imbalance signal) sit at paper scale.
+pub fn run_policy_scaled(
+    workload: &Workload,
+    label: &str,
+    policy: PartitionPolicy,
+    ranks: usize,
+    cost_scale: f64,
+) -> FigureRun {
+    let mut cfg = EngineConfig::with_policy(policy);
+    cfg.modspec = workload.modspec.clone();
+    cfg.cost = cfg.cost.scaled_for_index(cost_scale);
+    // Keep the serial/parallel ratio at paper scale as well: the paper's
+    // query file holds 23,264 spectra, ours holds `queries.len()` — scale
+    // the per-spectrum serial I/O so the Amdahl fraction (Figs. 9/10)
+    // matches the full-size run. No effect on query-phase measurements.
+    let queries_scale = 23_264.0 / workload.queries.len().max(1) as f64;
+    cfg.serial.per_spectrum_io_s *= queries_scale;
+    let report = run_distributed_search(
+        &workload.db,
+        &workload.grouping,
+        &workload.queries,
+        &cfg,
+        ranks,
+    );
+    FigureRun {
+        label: label.to_string(),
+        policy,
+        ranks,
+        index_spectra: report.index_spectra.iter().sum(),
+        report,
+    }
+}
+
+/// Runs the same workload/policy across a rank sweep (Figs. 7–10).
+pub fn sweep_ranks(
+    workload: &Workload,
+    label: &str,
+    policy: PartitionPolicy,
+    ranks: &[usize],
+    cost_scale: f64,
+) -> Vec<FigureRun> {
+    ranks
+        .iter()
+        .map(|&p| run_policy_scaled(workload, label, policy, p, cost_scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::build_workload;
+    use lbe_bio::mods::ModSpec;
+
+    #[test]
+    fn run_policy_produces_report() {
+        let w = build_workload(300, ModSpec::none(), 8, 3);
+        let run = run_policy(&w, "t", PartitionPolicy::Cyclic, 4);
+        assert_eq!(run.ranks, 4);
+        assert_eq!(run.index_spectra, w.db.len());
+        assert!(run.report.query_time() > 0.0);
+    }
+
+    #[test]
+    fn scaled_costs_raise_times_proportionally() {
+        let w = build_workload(300, ModSpec::none(), 8, 3);
+        let base = run_policy_scaled(&w, "t", PartitionPolicy::Cyclic, 2, 1.0);
+        let scaled = run_policy_scaled(&w, "t", PartitionPolicy::Cyclic, 2, 100.0);
+        assert!(scaled.report.query_time() > base.report.query_time());
+    }
+
+    #[test]
+    fn sweep_covers_all_rank_counts() {
+        let w = build_workload(300, ModSpec::none(), 8, 3);
+        let runs = sweep_ranks(&w, "t", PartitionPolicy::Cyclic, &[2, 4], 1.0);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].ranks, 2);
+        assert_eq!(runs[1].ranks, 4);
+        // More ranks → lower (or equal) query makespan.
+        assert!(runs[1].report.query_time() <= runs[0].report.query_time() * 1.05);
+    }
+}

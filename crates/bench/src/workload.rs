@@ -1,0 +1,198 @@
+//! Workload construction shared by every figure binary.
+
+use lbe_bio::dedup::dedup_peptides;
+use lbe_bio::digest::{digest_proteome, DigestParams};
+use lbe_bio::mods::ModSpec;
+use lbe_bio::peptide::PeptideDb;
+use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+use lbe_core::grouping::{group_peptides, Grouping, GroupingParams};
+use lbe_spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe_spectra::spectrum::Spectrum;
+use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+
+/// One point of the paper's index-size sweep.
+///
+/// The paper varies index size "by changing the type and number of amino
+/// acid modification settings" (§V-B); the scaled sweep does the same —
+/// base peptide counts are constant-ish and the modspec multiplies spectra.
+#[derive(Debug, Clone)]
+pub struct IndexScale {
+    /// Label used in figure output (maps to the paper's 18M/30M/41M/49.45M).
+    pub label: &'static str,
+    /// Target unique peptides before modform expansion.
+    pub peptides: usize,
+    /// Modification setting controlling the expansion factor.
+    pub modspec: ModSpec,
+    /// The paper's index size this point corresponds to (spectra).
+    pub paper_spectra: f64,
+}
+
+impl IndexScale {
+    /// The cost-model scale factor that restores paper-scale per-query work
+    /// on an index of `actual_spectra` (see
+    /// `SearchCostModel::scaled_for_index`).
+    pub fn cost_scale(&self, actual_spectra: usize) -> f64 {
+        if actual_spectra == 0 {
+            1.0
+        } else {
+            self.paper_spectra / actual_spectra as f64
+        }
+    }
+}
+
+impl IndexScale {
+    /// The four-point sweep mirroring the paper's 18M → 49.45M series,
+    /// scaled down ~1000× for commodity hardware (override with
+    /// `LBE_SCALE=full`).
+    pub fn sweep() -> Vec<IndexScale> {
+        let full = std::env::var("LBE_SCALE").map(|v| v == "full").unwrap_or(false);
+        let f = if full { 1000 } else { 1 };
+        vec![
+            IndexScale {
+                label: "18M(scaled)",
+                peptides: 9_000 * f,
+                modspec: ModSpec {
+                    max_mods_per_peptide: 2,
+                    max_modforms_per_peptide: 4,
+                    ..ModSpec::paper_default()
+                },
+                paper_spectra: 18e6,
+            },
+            IndexScale {
+                label: "30M(scaled)",
+                peptides: 11_000 * f,
+                modspec: ModSpec {
+                    max_mods_per_peptide: 3,
+                    max_modforms_per_peptide: 6,
+                    ..ModSpec::paper_default()
+                },
+                paper_spectra: 30e6,
+            },
+            IndexScale {
+                label: "41M(scaled)",
+                peptides: 12_500 * f,
+                modspec: ModSpec {
+                    max_mods_per_peptide: 4,
+                    max_modforms_per_peptide: 8,
+                    ..ModSpec::paper_default()
+                },
+                paper_spectra: 41e6,
+            },
+            IndexScale {
+                label: "49.45M(scaled)",
+                peptides: 13_500 * f,
+                modspec: ModSpec {
+                    max_mods_per_peptide: 5,
+                    max_modforms_per_peptide: 9,
+                    ..ModSpec::paper_default()
+                },
+                paper_spectra: 49.45e6,
+            },
+        ]
+    }
+}
+
+/// A fully built workload: clustered peptide database + preprocessed queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Deduplicated peptide database.
+    pub db: PeptideDb,
+    /// Algorithm 1 output.
+    pub grouping: Grouping,
+    /// Preprocessed query spectra (top-100 peaks).
+    pub queries: Vec<Spectrum>,
+    /// Ground-truth peptide id per query.
+    pub truth: Vec<u32>,
+    /// The modspec used (needed by the engine so indexed modforms match).
+    pub modspec: ModSpec,
+}
+
+impl Workload {
+    /// Total theoretical spectra this workload will index (peptides ×
+    /// modforms), without building the index.
+    pub fn total_spectra(&self) -> usize {
+        self.db
+            .peptides()
+            .iter()
+            .map(|p| lbe_bio::mods::count_modforms(p.sequence(), &self.modspec))
+            .sum()
+    }
+}
+
+/// Builds a workload of roughly `target_peptides` unique peptides and
+/// `num_queries` abundance-biased query spectra. Deterministic in `seed`.
+pub fn build_workload(
+    target_peptides: usize,
+    modspec: ModSpec,
+    num_queries: usize,
+    seed: u64,
+) -> Workload {
+    let mut proteome_params = SyntheticProteomeParams::sized_for_peptides(target_peptides);
+    // Real proteomes are family-rich (isoforms, paralogs, splice variants);
+    // strengthen the family structure so each query's candidate set spans a
+    // family of near-identical peptides — the similarity groups whose
+    // placement is exactly what LBE balances.
+    proteome_params.family_fraction = 0.72;
+    proteome_params.mutation_rate = 0.015;
+    let proteome = SyntheticProteome::generate(proteome_params, seed);
+    let digested =
+        digest_proteome(&proteome.proteins, &DigestParams::default()).expect("valid params");
+    let (db, _) = dedup_peptides(digested);
+    let grouping = group_peptides(&db, &GroupingParams::default());
+
+    let dataset = SyntheticDataset::generate(
+        &db,
+        &modspec,
+        &SyntheticDatasetParams {
+            num_spectra: num_queries,
+            // Biological samples are abundance-skewed; this is a driver of
+            // the chunk policy's imbalance (see DESIGN.md).
+            abundance_skew: 0.9,
+            ..Default::default()
+        },
+        seed ^ 0xDEAD_BEEF,
+    );
+    let pre = PreprocessParams::default();
+    let queries: Vec<Spectrum> = dataset
+        .spectra
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
+
+    Workload {
+        db,
+        grouping,
+        queries,
+        truth: dataset.truth,
+        modspec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scales_with_target() {
+        let small = build_workload(500, ModSpec::none(), 10, 1);
+        let large = build_workload(2000, ModSpec::none(), 10, 1);
+        assert!(large.db.len() > small.db.len());
+        assert_eq!(small.queries.len(), 10);
+        small.grouping.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_workload(400, ModSpec::none(), 5, 9);
+        let b = build_workload(400, ModSpec::none(), 5, 9);
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn sweep_is_increasing() {
+        let sweep = IndexScale::sweep();
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.windows(2).all(|w| w[0].peptides <= w[1].peptides));
+    }
+}

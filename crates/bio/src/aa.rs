@@ -1,0 +1,171 @@
+//! Amino-acid chemistry: monoisotopic residue masses and mass helpers.
+//!
+//! Masses follow the standard monoisotopic values used by every search engine
+//! (Unimod / ExPASy). A peptide's *neutral mass* is the sum of its residue
+//! masses plus one water (the termini); the *precursor m/z* at charge `z`
+//! adds `z` protons and divides by `z`.
+
+/// Monoisotopic mass of a water molecule (H2O), in Daltons.
+pub const WATER_MASS: f64 = 18.010_564_684;
+
+/// Monoisotopic mass of a proton (H+), in Daltons.
+pub const PROTON_MASS: f64 = 1.007_276_466_88;
+
+/// The 20 standard amino acids in alphabetical one-letter-code order.
+pub const STANDARD_AMINO_ACIDS: [u8; 20] = [
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
+    b'S', b'T', b'V', b'W', b'Y',
+];
+
+/// Monoisotopic residue masses indexed by `code - b'A'`; `None` for letters
+/// that are not standard residues (B, J, O, U, X, Z).
+#[allow(clippy::eq_op)] // (b'A' - b'A') spelled out for table readability
+const RESIDUE_MASS_TABLE: [Option<f64>; 26] = {
+    let mut t: [Option<f64>; 26] = [None; 26];
+    t[(b'A' - b'A') as usize] = Some(71.037_113_805);
+    t[(b'C' - b'A') as usize] = Some(103.009_184_505);
+    t[(b'D' - b'A') as usize] = Some(115.026_943_065);
+    t[(b'E' - b'A') as usize] = Some(129.042_593_135);
+    t[(b'F' - b'A') as usize] = Some(147.068_413_945);
+    t[(b'G' - b'A') as usize] = Some(57.021_463_735);
+    t[(b'H' - b'A') as usize] = Some(137.058_911_875);
+    t[(b'I' - b'A') as usize] = Some(113.084_064_015);
+    t[(b'K' - b'A') as usize] = Some(128.094_963_050);
+    t[(b'L' - b'A') as usize] = Some(113.084_064_015);
+    t[(b'M' - b'A') as usize] = Some(131.040_484_645);
+    t[(b'N' - b'A') as usize] = Some(114.042_927_470);
+    t[(b'P' - b'A') as usize] = Some(97.052_763_875);
+    t[(b'Q' - b'A') as usize] = Some(128.058_577_540);
+    t[(b'R' - b'A') as usize] = Some(156.101_111_050);
+    t[(b'S' - b'A') as usize] = Some(87.032_028_435);
+    t[(b'T' - b'A') as usize] = Some(101.047_678_505);
+    t[(b'V' - b'A') as usize] = Some(99.068_413_945);
+    t[(b'W' - b'A') as usize] = Some(186.079_312_980);
+    t[(b'Y' - b'A') as usize] = Some(163.063_328_575);
+    t
+};
+
+/// Returns `true` if `code` is one of the 20 standard amino-acid one-letter codes.
+#[inline]
+pub fn is_standard_residue(code: u8) -> bool {
+    code.is_ascii_uppercase() && RESIDUE_MASS_TABLE[(code - b'A') as usize].is_some()
+}
+
+/// Monoisotopic mass of a single residue, or `None` for non-standard codes.
+#[inline]
+pub fn monoisotopic_residue_mass(code: u8) -> Option<f64> {
+    if code.is_ascii_uppercase() {
+        RESIDUE_MASS_TABLE[(code - b'A') as usize]
+    } else {
+        None
+    }
+}
+
+/// Monoisotopic residue mass, panicking on non-standard codes.
+///
+/// Use only on sequences already validated (e.g. by [`crate::fasta`] or the
+/// digestion pipeline, which drop non-standard residues).
+#[inline]
+pub fn residue_mass_unchecked(code: u8) -> f64 {
+    monoisotopic_residue_mass(code)
+        .unwrap_or_else(|| panic!("non-standard amino acid code {:?}", code as char))
+}
+
+/// Neutral (uncharged) monoisotopic mass of a peptide sequence: residue
+/// masses + one water. Returns `None` if any residue is non-standard.
+pub fn peptide_neutral_mass(seq: &[u8]) -> Option<f64> {
+    let mut sum = WATER_MASS;
+    for &c in seq {
+        sum += monoisotopic_residue_mass(c)?;
+    }
+    Some(sum)
+}
+
+/// Precursor m/z of a peptide of `neutral_mass` at charge `z` (`z >= 1`).
+#[inline]
+pub fn precursor_mz(neutral_mass: f64, z: u8) -> f64 {
+    assert!(z >= 1, "charge must be >= 1");
+    (neutral_mass + z as f64 * PROTON_MASS) / z as f64
+}
+
+/// Inverse of [`precursor_mz`]: neutral mass from an observed m/z and charge.
+#[inline]
+pub fn neutral_mass_from_mz(mz: f64, z: u8) -> f64 {
+    assert!(z >= 1, "charge must be >= 1");
+    mz * z as f64 - z as f64 * PROTON_MASS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_residues_have_masses() {
+        for &aa in &STANDARD_AMINO_ACIDS {
+            assert!(monoisotopic_residue_mass(aa).is_some(), "{}", aa as char);
+            assert!(is_standard_residue(aa));
+        }
+    }
+
+    #[test]
+    fn nonstandard_residues_have_no_mass() {
+        for c in [b'B', b'J', b'O', b'U', b'X', b'Z', b'a', b'1', b'*', b'-'] {
+            assert!(monoisotopic_residue_mass(c).is_none(), "{}", c as char);
+            assert!(!is_standard_residue(c));
+        }
+    }
+
+    #[test]
+    fn leucine_isoleucine_isobaric() {
+        assert_eq!(
+            monoisotopic_residue_mass(b'L'),
+            monoisotopic_residue_mass(b'I')
+        );
+    }
+
+    #[test]
+    fn glycine_peptide_mass() {
+        // GG = 2 * 57.021463735 + water
+        let m = peptide_neutral_mass(b"GG").unwrap();
+        assert!((m - (2.0 * 57.021_463_735 + WATER_MASS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_peptide_mass_peptide() {
+        // "PEPTIDE" has a well-known monoisotopic mass of ~799.3600 Da.
+        let m = peptide_neutral_mass(b"PEPTIDE").unwrap();
+        assert!((m - 799.359_964).abs() < 1e-3, "got {m}");
+    }
+
+    #[test]
+    fn empty_sequence_is_water() {
+        assert!((peptide_neutral_mass(b"").unwrap() - WATER_MASS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_fails_on_nonstandard() {
+        assert!(peptide_neutral_mass(b"PEPTIDEX").is_none());
+    }
+
+    #[test]
+    fn mz_round_trip() {
+        let m = peptide_neutral_mass(b"SAMPLER").unwrap();
+        for z in 1..=4u8 {
+            let mz = precursor_mz(m, z);
+            assert!((neutral_mass_from_mz(mz, z) - m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singly_charged_mz_is_mass_plus_proton() {
+        let m = 1000.0;
+        assert!((precursor_mz(m, 1) - (m + PROTON_MASS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_charge_lowers_mz() {
+        let m = peptide_neutral_mass(b"ELVISLIVESK").unwrap();
+        assert!(precursor_mz(m, 2) < precursor_mz(m, 1));
+        assert!(precursor_mz(m, 3) < precursor_mz(m, 2));
+    }
+}

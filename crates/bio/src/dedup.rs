@@ -1,0 +1,107 @@
+//! Duplicate-peptide removal (the paper's `DBToolkit` step).
+//!
+//! Shotgun proteomes are highly redundant: isoforms, paralogs, and repeated
+//! domains all yield identical tryptic peptides. The paper removes duplicate
+//! *sequences* after digestion; the first occurrence (lowest peptide id, i.e.
+//! lowest protein index) is kept, which matches DBToolkit's behaviour of
+//! keeping one representative entry per sequence.
+
+use crate::peptide::{Peptide, PeptideDb};
+use std::collections::HashSet;
+
+/// Statistics from a deduplication pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DedupStats {
+    /// Peptides seen on input.
+    pub input: usize,
+    /// Unique peptides kept.
+    pub kept: usize,
+    /// Duplicates removed.
+    pub removed: usize,
+}
+
+impl DedupStats {
+    /// Fraction of the input that was redundant, in `[0, 1]`.
+    pub fn redundancy(&self) -> f64 {
+        if self.input == 0 {
+            0.0
+        } else {
+            self.removed as f64 / self.input as f64
+        }
+    }
+}
+
+/// Removes duplicate peptide sequences, keeping the first occurrence of each.
+///
+/// Order of the survivors is the input order (stable).
+pub fn dedup_peptides(db: PeptideDb) -> (PeptideDb, DedupStats) {
+    let input = db.len();
+    let mut seen: HashSet<Box<[u8]>> = HashSet::with_capacity(input);
+    let mut kept: Vec<Peptide> = Vec::with_capacity(input);
+    for p in db.into_vec() {
+        if seen.insert(p.sequence().into()) {
+            kept.push(p);
+        }
+    }
+    let stats = DedupStats {
+        input,
+        kept: kept.len(),
+        removed: input - kept.len(),
+    };
+    (PeptideDb::from_vec(kept), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pep(s: &str, protein: u32) -> Peptide {
+        Peptide::new(s.as_bytes(), protein, 0).unwrap()
+    }
+
+    #[test]
+    fn removes_exact_duplicates() {
+        let db = PeptideDb::from_vec(vec![pep("AAK", 0), pep("CCK", 1), pep("AAK", 2)]);
+        let (out, stats) = dedup_peptides(db);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats, DedupStats { input: 3, kept: 2, removed: 1 });
+    }
+
+    #[test]
+    fn keeps_first_occurrence() {
+        let db = PeptideDb::from_vec(vec![pep("AAK", 5), pep("AAK", 9)]);
+        let (out, _) = dedup_peptides(db);
+        assert_eq!(out.get(0).protein(), 5);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let db = PeptideDb::from_vec(vec![pep("YYK", 0), pep("AAK", 0), pep("MMK", 0)]);
+        let (out, _) = dedup_peptides(db);
+        let seqs: Vec<&str> = out.peptides().iter().map(|p| p.sequence_str()).collect();
+        assert_eq!(seqs, vec!["YYK", "AAK", "MMK"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = dedup_peptides(PeptideDb::new());
+        assert!(out.is_empty());
+        assert_eq!(stats.redundancy(), 0.0);
+    }
+
+    #[test]
+    fn all_unique_removes_nothing() {
+        let db = PeptideDb::from_vec(vec![pep("AAK", 0), pep("CCK", 0)]);
+        let (out, stats) = dedup_peptides(db);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.removed, 0);
+        assert_eq!(stats.redundancy(), 0.0);
+    }
+
+    #[test]
+    fn redundancy_fraction() {
+        let db = PeptideDb::from_vec(vec![pep("AAK", 0); 4]);
+        let (_, stats) = dedup_peptides(db);
+        assert!((stats.redundancy() - 0.75).abs() < 1e-12);
+    }
+}

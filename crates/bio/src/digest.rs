@@ -1,0 +1,404 @@
+//! In-silico enzymatic digestion (the paper's OpenMS `Digestor` step).
+//!
+//! The paper's published settings (§V-A.1): *fully tryptic, up to 2 missed
+//! cleavages, peptide lengths 6–40, peptide mass 100–5000 amu* — these are
+//! the defaults of [`DigestParams`].
+//!
+//! Trypsin cleaves C-terminal of K or R, except when the next residue is P
+//! (the classical "Keil rule"). A peptide with `m` internal cleavage sites
+//! has `m` missed cleavages; fully-tryptic digestion emits every fragment
+//! spanning `0..=max_missed_cleavages` consecutive cleavage intervals.
+//!
+//! Peptides containing non-standard residues (X, B, Z, U, O, J, `*`) are
+//! dropped, mirroring what Digestor + mass computation do in practice.
+
+use crate::aa::{is_standard_residue, peptide_neutral_mass};
+use crate::error::BioError;
+use crate::fasta::Protein;
+use crate::peptide::{Peptide, PeptideDb};
+
+/// A proteolytic enzyme's cleavage rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Enzyme {
+    /// Cleaves after K or R, not before P.
+    Trypsin,
+    /// Cleaves after K or R regardless of the next residue ("Trypsin/P").
+    TrypsinP,
+    /// Cleaves after K only (Lys-C), not before P.
+    LysC,
+    /// Cleaves after R only (Arg-C), not before P.
+    ArgC,
+    /// Cleaves after F, W, Y, L (chymotrypsin, high specificity), not before P.
+    Chymotrypsin,
+    /// No cleavage at all — the whole protein is one "peptide" (subject to
+    /// the length/mass windows). Useful in tests.
+    NoCleave,
+}
+
+impl Enzyme {
+    /// `true` if the enzyme cleaves between `prev` and `next`.
+    #[inline]
+    pub fn cleaves_between(self, prev: u8, next: Option<u8>) -> bool {
+        let blocked_by_proline = |n: Option<u8>| n == Some(b'P');
+        match self {
+            Enzyme::Trypsin => matches!(prev, b'K' | b'R') && !blocked_by_proline(next),
+            Enzyme::TrypsinP => matches!(prev, b'K' | b'R'),
+            Enzyme::LysC => prev == b'K' && !blocked_by_proline(next),
+            Enzyme::ArgC => prev == b'R' && !blocked_by_proline(next),
+            Enzyme::Chymotrypsin => {
+                matches!(prev, b'F' | b'W' | b'Y' | b'L') && !blocked_by_proline(next)
+            }
+            Enzyme::NoCleave => false,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Enzyme::Trypsin => "Trypsin",
+            Enzyme::TrypsinP => "Trypsin/P",
+            Enzyme::LysC => "Lys-C",
+            Enzyme::ArgC => "Arg-C",
+            Enzyme::Chymotrypsin => "Chymotrypsin",
+            Enzyme::NoCleave => "no cleavage",
+        }
+    }
+}
+
+/// Digestion parameters. Defaults reproduce the paper's §V-A.1 settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestParams {
+    /// Cleavage rule. Paper: fully tryptic.
+    pub enzyme: Enzyme,
+    /// Maximum missed cleavages per peptide. Paper: 2.
+    pub max_missed_cleavages: u8,
+    /// Minimum peptide length in residues. Paper: 6.
+    pub min_len: usize,
+    /// Maximum peptide length in residues. Paper: 40.
+    pub max_len: usize,
+    /// Minimum neutral peptide mass in Daltons. Paper: 100.
+    pub min_mass: f64,
+    /// Maximum neutral peptide mass in Daltons. Paper: 5000.
+    pub max_mass: f64,
+}
+
+impl Default for DigestParams {
+    fn default() -> Self {
+        DigestParams {
+            enzyme: Enzyme::Trypsin,
+            max_missed_cleavages: 2,
+            min_len: 6,
+            max_len: 40,
+            min_mass: 100.0,
+            max_mass: 5000.0,
+        }
+    }
+}
+
+impl DigestParams {
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<(), BioError> {
+        if self.min_len > self.max_len {
+            return Err(BioError::InvalidParams(format!(
+                "min_len ({}) > max_len ({})",
+                self.min_len, self.max_len
+            )));
+        }
+        if self.min_mass > self.max_mass {
+            return Err(BioError::InvalidParams(format!(
+                "min_mass ({}) > max_mass ({})",
+                self.min_mass, self.max_mass
+            )));
+        }
+        if self.min_len == 0 {
+            return Err(BioError::InvalidParams("min_len must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// `true` if `seq` passes the length window, mass window, and contains
+    /// only standard residues.
+    pub fn accepts(&self, seq: &[u8]) -> bool {
+        if seq.len() < self.min_len || seq.len() > self.max_len {
+            return false;
+        }
+        if !seq.iter().all(|&c| is_standard_residue(c)) {
+            return false;
+        }
+        match peptide_neutral_mass(seq) {
+            Some(m) => m >= self.min_mass && m <= self.max_mass,
+            None => false,
+        }
+    }
+}
+
+/// Returns the cleavage cut points of `seq` under `enzyme`: indices `i` such
+/// that the enzyme cleaves between `seq[i-1]` and `seq[i]`, plus the
+/// endpoints `0` and `seq.len()`. The result is strictly increasing.
+pub fn cleavage_sites(seq: &[u8], enzyme: Enzyme) -> Vec<usize> {
+    let mut sites = Vec::with_capacity(8);
+    sites.push(0);
+    for i in 1..seq.len() {
+        if enzyme.cleaves_between(seq[i - 1], Some(seq[i])) {
+            sites.push(i);
+        }
+    }
+    if !seq.is_empty() {
+        sites.push(seq.len());
+    }
+    sites
+}
+
+/// Digests one protein, appending accepted peptides to `out`.
+///
+/// `protein_idx` is recorded on each emitted [`Peptide`].
+pub fn digest_protein_into(
+    protein: &Protein,
+    protein_idx: u32,
+    params: &DigestParams,
+    out: &mut Vec<Peptide>,
+) {
+    let seq = &protein.sequence;
+    if seq.is_empty() {
+        return;
+    }
+    let sites = cleavage_sites(seq, params.enzyme);
+    let nfrag = sites.len() - 1; // number of fully-cleaved fragments
+    for start in 0..nfrag {
+        let max_span = (params.max_missed_cleavages as usize + 1).min(nfrag - start);
+        for span in 1..=max_span {
+            let lo = sites[start];
+            let hi = sites[start + span];
+            let pep = &seq[lo..hi];
+            if pep.len() > params.max_len {
+                break; // longer spans only grow; stop extending this start
+            }
+            if params.accepts(pep) {
+                if let Some(p) = Peptide::new(pep, protein_idx, (span - 1) as u8) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// Digests one protein, returning the accepted peptides.
+pub fn digest_protein(protein: &Protein, protein_idx: u32, params: &DigestParams) -> Vec<Peptide> {
+    let mut out = Vec::new();
+    digest_protein_into(protein, protein_idx, params, &mut out);
+    out
+}
+
+/// Digests a whole proteome into a [`PeptideDb`] (duplicates *not* removed —
+/// see [`crate::dedup`]).
+pub fn digest_proteome(proteins: &[Protein], params: &DigestParams) -> Result<PeptideDb, BioError> {
+    params.validate()?;
+    let mut out = Vec::new();
+    for (i, p) in proteins.iter().enumerate() {
+        digest_protein_into(p, i as u32, params, &mut out);
+    }
+    Ok(PeptideDb::from_vec(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protein(seq: &str) -> Protein {
+        Protein::new("test", seq)
+    }
+
+    fn no_window() -> DigestParams {
+        DigestParams {
+            min_len: 1,
+            max_len: 1000,
+            min_mass: 0.0,
+            max_mass: 1e9,
+            ..DigestParams::default()
+        }
+    }
+
+    fn seqs(peps: &[Peptide]) -> Vec<String> {
+        peps.iter().map(|p| p.sequence_str().to_string()).collect()
+    }
+
+    #[test]
+    fn trypsin_cleaves_after_k_and_r() {
+        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAK", "CCR", "DD"]);
+    }
+
+    #[test]
+    fn trypsin_blocked_by_proline() {
+        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let peps = digest_protein(&protein("AAKPCCR"), 0, &params);
+        // K followed by P: no cleavage there.
+        assert_eq!(seqs(&peps), vec!["AAKPCCR"]);
+    }
+
+    #[test]
+    fn trypsin_p_ignores_proline() {
+        let params = DigestParams {
+            enzyme: Enzyme::TrypsinP,
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAKPCCR"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAK", "PCCR"]);
+    }
+
+    #[test]
+    fn missed_cleavages_emit_spans() {
+        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
+        let got = seqs(&peps);
+        for expect in ["AAK", "AAKCCR", "AAKCCRDD", "CCR", "CCRDD", "DD"] {
+            assert!(got.contains(&expect.to_string()), "missing {expect}: {got:?}");
+        }
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn missed_cleavage_counts_recorded() {
+        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
+        for p in &peps {
+            let internal_sites = cleavage_sites(p.sequence(), Enzyme::Trypsin).len() - 2;
+            assert_eq!(p.missed_cleavages() as usize, internal_sites, "{}", p.sequence_str());
+        }
+    }
+
+    #[test]
+    fn length_window_enforced() {
+        let params = DigestParams {
+            min_len: 6,
+            max_len: 8,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAKCCRDDEEFFK"), 0, &params);
+        for p in &peps {
+            assert!(p.len() >= 6 && p.len() <= 8, "{}", p.sequence_str());
+        }
+    }
+
+    #[test]
+    fn mass_window_enforced() {
+        let params = DigestParams {
+            min_mass: 300.0,
+            max_mass: 400.0,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
+        for p in &peps {
+            assert!(p.mass() >= 300.0 && p.mass() <= 400.0);
+        }
+    }
+
+    #[test]
+    fn nonstandard_residues_dropped() {
+        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let peps = digest_protein(&protein("AXKCCR"), 0, &params);
+        // "AXK" contains X → dropped; "CCR" survives.
+        assert_eq!(seqs(&peps), vec!["CCR"]);
+    }
+
+    #[test]
+    fn empty_protein_yields_nothing() {
+        let peps = digest_protein(&protein(""), 0, &no_window());
+        assert!(peps.is_empty());
+    }
+
+    #[test]
+    fn protein_without_sites_is_one_fragment() {
+        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let peps = digest_protein(&protein("ACDEFG"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["ACDEFG"]);
+    }
+
+    #[test]
+    fn terminal_k_produces_no_empty_fragment() {
+        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let peps = digest_protein(&protein("AAKCCK"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAK", "CCK"]);
+    }
+
+    #[test]
+    fn cleavage_sites_are_strictly_increasing() {
+        let sites = cleavage_sites(b"KAKRKPAAR", Enzyme::Trypsin);
+        assert!(sites.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sites.first().unwrap(), 0);
+        assert_eq!(*sites.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn lysc_only_cleaves_k() {
+        let params = DigestParams {
+            enzyme: Enzyme::LysC,
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAKCCRDDK"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAK", "CCRDDK"]);
+    }
+
+    #[test]
+    fn argc_only_cleaves_r() {
+        let params = DigestParams {
+            enzyme: Enzyme::ArgC,
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAKCCR", "DD"]);
+    }
+
+    #[test]
+    fn chymotrypsin_cleaves_aromatics() {
+        let params = DigestParams {
+            enzyme: Enzyme::Chymotrypsin,
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
+        let peps = digest_protein(&protein("AAFGGWCC"), 0, &params);
+        assert_eq!(seqs(&peps), vec!["AAF", "GGW", "CC"]);
+    }
+
+    #[test]
+    fn nocleave_returns_whole_protein() {
+        let peps = digest_protein(&protein("ACDEFGH"), 7, &no_window());
+        assert_eq!(peps.len(), 1);
+        assert_eq!(peps[0].protein(), 7);
+    }
+
+    #[test]
+    fn digest_proteome_tracks_protein_indices() {
+        let proteins = vec![protein("AAKCCK"), protein("DDRFFR")];
+        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let db = digest_proteome(&proteins, &params).unwrap();
+        let zero: Vec<_> = db.peptides().iter().filter(|p| p.protein() == 0).collect();
+        let one: Vec<_> = db.peptides().iter().filter(|p| p.protein() == 1).collect();
+        assert_eq!(zero.len(), 2);
+        assert_eq!(one.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_windows() {
+        let p = DigestParams { min_len: 10, max_len: 5, ..DigestParams::default() };
+        assert!(p.validate().is_err());
+        let p = DigestParams { min_mass: 5000.0, max_mass: 100.0, ..DigestParams::default() };
+        assert!(p.validate().is_err());
+        let p = DigestParams { min_len: 0, ..DigestParams::default() };
+        assert!(p.validate().is_err());
+        assert!(DigestParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_settings() {
+        let p = DigestParams::default();
+        assert_eq!(p.enzyme, Enzyme::Trypsin);
+        assert_eq!(p.max_missed_cleavages, 2);
+        assert_eq!((p.min_len, p.max_len), (6, 40));
+        assert_eq!((p.min_mass, p.max_mass), (100.0, 5000.0));
+    }
+}

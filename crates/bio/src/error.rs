@@ -1,0 +1,65 @@
+//! Error type shared across the bio substrate.
+
+use std::fmt;
+
+/// Errors from FASTA parsing, digestion configuration, and dataset generation.
+#[derive(Debug)]
+pub enum BioError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed FASTA input (message, 1-based line number).
+    FastaParse { msg: String, line: usize },
+    /// An invalid parameter combination was supplied.
+    InvalidParams(String),
+}
+
+impl fmt::Display for BioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BioError::Io(e) => write!(f, "I/O error: {e}"),
+            BioError::FastaParse { msg, line } => {
+                write!(f, "FASTA parse error at line {line}: {msg}")
+            }
+            BioError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BioError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BioError {
+    fn from(e: std::io::Error) -> Self {
+        BioError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = BioError::FastaParse { msg: "bad header".into(), line: 3 };
+        assert!(e.to_string().contains("line 3"));
+        let e = BioError::InvalidParams("min_len > max_len".into());
+        assert!(e.to_string().contains("min_len"));
+        let e: BioError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e: BioError = std::io::Error::other("x").into();
+        assert!(e.source().is_some());
+        let e = BioError::InvalidParams("p".into());
+        assert!(e.source().is_none());
+    }
+}

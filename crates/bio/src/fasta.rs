@@ -1,0 +1,245 @@
+//! FASTA reading and writing.
+//!
+//! The paper's pipeline consumes the UniProt human proteome in FASTA format
+//! and Algorithm 1's output is "concatenated … in FASTA format to yield a
+//! clustered database", so both directions are needed.
+//!
+//! The parser is tolerant in the ways real proteome files require: wrapped
+//! sequence lines, `*` stop codons (stripped at the end of a sequence),
+//! lowercase residues (uppercased), and blank lines. Any other non-standard
+//! residue is preserved as-is; downstream digestion decides what to do with
+//! non-standard residues (it never emits peptides containing them).
+
+use crate::error::BioError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A protein record: a FASTA header (without the leading `>`) and its
+/// amino-acid sequence as uppercase ASCII bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protein {
+    /// Full header line without the leading `>` (e.g. `sp|P12345|NAME_HUMAN ...`).
+    pub header: String,
+    /// Uppercase amino-acid sequence.
+    pub sequence: Vec<u8>,
+}
+
+impl Protein {
+    /// Builds a protein from a header and a sequence string (uppercased).
+    pub fn new(header: impl Into<String>, sequence: impl AsRef<[u8]>) -> Self {
+        Protein {
+            header: header.into(),
+            sequence: sequence.as_ref().to_ascii_uppercase(),
+        }
+    }
+
+    /// The accession: the header up to the first whitespace.
+    pub fn accession(&self) -> &str {
+        self.header.split_whitespace().next().unwrap_or("")
+    }
+
+    /// Sequence length in residues.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// `true` if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// Reads all protein records from a FASTA stream.
+///
+/// Returns an error if the stream contains sequence data before the first
+/// header, or a header with an empty sequence would be silently dropped
+/// (empty-sequence records are kept — callers can filter).
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Protein>, BioError> {
+    let reader = BufReader::new(reader);
+    let mut proteins: Vec<Protein> = Vec::new();
+    let mut current: Option<Protein> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(p) = current.take() {
+                proteins.push(p);
+            }
+            current = Some(Protein {
+                header: rest.trim().to_string(),
+                sequence: Vec::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(p) => {
+                    p.sequence.extend(
+                        line.bytes()
+                            .filter(|b| !b.is_ascii_whitespace())
+                            .map(|b| b.to_ascii_uppercase()),
+                    );
+                }
+                None => {
+                    return Err(BioError::FastaParse {
+                        msg: "sequence data before first '>' header".into(),
+                        line: idx + 1,
+                    })
+                }
+            }
+        }
+    }
+    if let Some(mut p) = current.take() {
+        // Strip a single trailing stop codon, common in translated databases.
+        if p.sequence.last() == Some(&b'*') {
+            p.sequence.pop();
+        }
+        proteins.push(p);
+    }
+    // Strip stop codons on all earlier records too.
+    for p in &mut proteins {
+        if p.sequence.last() == Some(&b'*') {
+            p.sequence.pop();
+        }
+    }
+    Ok(proteins)
+}
+
+/// Reads a FASTA file from disk.
+pub fn read_fasta_path(path: impl AsRef<Path>) -> Result<Vec<Protein>, BioError> {
+    let f = std::fs::File::open(path)?;
+    read_fasta(f)
+}
+
+/// Writes protein records as FASTA with sequence lines wrapped at `width`
+/// (60 columns, the UniProt convention).
+pub fn write_fasta<W: Write>(writer: W, proteins: &[Protein]) -> Result<(), BioError> {
+    write_fasta_wrapped(writer, proteins, 60)
+}
+
+/// Writes FASTA with an explicit wrap width (`0` = no wrapping).
+pub fn write_fasta_wrapped<W: Write>(
+    writer: W,
+    proteins: &[Protein],
+    width: usize,
+) -> Result<(), BioError> {
+    let mut w = BufWriter::new(writer);
+    for p in proteins {
+        writeln!(w, ">{}", p.header)?;
+        if width == 0 {
+            w.write_all(&p.sequence)?;
+            writeln!(w)?;
+        } else {
+            for chunk in p.sequence.chunks(width) {
+                w.write_all(chunk)?;
+                writeln!(w)?;
+            }
+            if p.sequence.is_empty() {
+                // keep an explicit (empty) sequence line out; header-only is valid
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a FASTA file to disk.
+pub fn write_fasta_path(path: impl AsRef<Path>, proteins: &[Protein]) -> Result<(), BioError> {
+    let f = std::fs::File::create(path)?;
+    write_fasta(f, proteins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_records() {
+        let input = ">sp|P1|A desc\nMKWV\nTFIS\n>sp|P2|B\nACDE\n";
+        let ps = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].header, "sp|P1|A desc");
+        assert_eq!(ps[0].sequence, b"MKWVTFIS");
+        assert_eq!(ps[1].accession(), "sp|P2|B");
+        assert_eq!(ps[1].sequence, b"ACDE");
+    }
+
+    #[test]
+    fn uppercases_and_skips_blank_lines() {
+        let input = ">p\n\nmkwv\n  \ntfis\n";
+        let ps = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(ps[0].sequence, b"MKWVTFIS");
+    }
+
+    #[test]
+    fn strips_trailing_stop_codon() {
+        let input = ">p\nMKWV*\n>q\nACDE\n";
+        let ps = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(ps[0].sequence, b"MKWV");
+        assert_eq!(ps[1].sequence, b"ACDE");
+    }
+
+    #[test]
+    fn rejects_headerless_sequence() {
+        let err = read_fasta("MKWV\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, BioError::FastaParse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert!(read_fasta("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let proteins = vec![
+            Protein::new("sp|P1|A first protein", "MKWVTFISLLFLFSSAYSRGVFRR"),
+            Protein::new("sp|P2|B", "A".repeat(150)),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &proteins).unwrap();
+        let back = read_fasta(&buf[..]).unwrap();
+        assert_eq!(back, proteins);
+    }
+
+    #[test]
+    fn wrapping_at_width() {
+        let proteins = vec![Protein::new("p", "A".repeat(130))];
+        let mut buf = Vec::new();
+        write_fasta_wrapped(&mut buf, &proteins, 60).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 10
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 10);
+    }
+
+    #[test]
+    fn no_wrap_mode() {
+        let proteins = vec![Protein::new("p", "A".repeat(130))];
+        let mut buf = Vec::new();
+        write_fasta_wrapped(&mut buf, &proteins, 0).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn accession_is_first_token() {
+        let p = Protein::new("sp|Q9Y6K9|NEMO_HUMAN NF-kappa-B essential modulator", "MQ");
+        assert_eq!(p.accession(), "sp|Q9Y6K9|NEMO_HUMAN");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lbe_bio_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fasta");
+        let proteins = vec![Protein::new("x", "PEPTIDE")];
+        write_fasta_path(&path, &proteins).unwrap();
+        let back = read_fasta_path(&path).unwrap();
+        assert_eq!(back, proteins);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! # lbe-bio — proteomics substrate for the LBE reproduction
+//!
+//! Everything upstream of the index: amino-acid chemistry, FASTA I/O,
+//! in-silico enzymatic digestion (the paper used OpenMS `Digestor`),
+//! duplicate-peptide removal (the paper used `DBToolkit`), variable
+//! post-translational modifications, and a synthetic proteome generator
+//! standing in for the UniProt human proteome `UP000005640`.
+//!
+//! All randomness is seed-driven ([`rand::SeedableRng`]) so every dataset in
+//! the repository is reproducible bit-for-bit.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use lbe_bio::prelude::*;
+//!
+//! // A tiny "proteome" of one protein.
+//! let protein = Protein::new("sp|TEST|TEST_HUMAN", "MKWVTFISLLFLFSSAYSRGVFRR");
+//! let params = DigestParams::default();        // fully tryptic, <=2 missed cleavages
+//! let peptides = digest_protein(&protein, 0, &params);
+//! assert!(!peptides.is_empty());
+//! for p in &peptides {
+//!     assert!(p.sequence().len() >= params.min_len);
+//!     assert!(p.sequence().len() <= params.max_len);
+//! }
+//! ```
+
+pub mod aa;
+pub mod decoy;
+pub mod dedup;
+pub mod digest;
+pub mod error;
+pub mod fasta;
+pub mod mods;
+pub mod peptide;
+pub mod synthetic;
+
+pub use aa::{monoisotopic_residue_mass, peptide_neutral_mass, precursor_mz, PROTON_MASS, WATER_MASS};
+pub use decoy::{concat_target_decoy, decoy_sequence, generate_decoys, DecoyMethod, DecoyStats};
+pub use dedup::{dedup_peptides, DedupStats};
+pub use digest::{digest_proteome, digest_protein, DigestParams, Enzyme};
+pub use error::BioError;
+pub use fasta::{read_fasta, read_fasta_path, write_fasta, write_fasta_path, Protein};
+pub use mods::{enumerate_modforms, ModForm, ModSpec, ModType, VariableMod};
+pub use peptide::{Peptide, PeptideDb};
+pub use synthetic::{SyntheticProteome, SyntheticProteomeParams};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::aa::{monoisotopic_residue_mass, peptide_neutral_mass, precursor_mz};
+    pub use crate::dedup::dedup_peptides;
+    pub use crate::digest::{digest_proteome, digest_protein, DigestParams, Enzyme};
+    pub use crate::fasta::{read_fasta, write_fasta, Protein};
+    pub use crate::mods::{enumerate_modforms, ModForm, ModSpec, ModType, VariableMod};
+    pub use crate::peptide::{Peptide, PeptideDb};
+    pub use crate::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+}

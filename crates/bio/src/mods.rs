@@ -1,0 +1,399 @@
+//! Variable post-translational modifications (PTMs) and modform enumeration.
+//!
+//! The paper indexes, per peptide, every *modform* — each combination of
+//! variable modifications over the peptide's modifiable residues, capped at
+//! "max modified residues per peptide = 5". Its experiments use deamidation
+//! on N/Q, Gly-Gly adducts on K (and C), and oxidation on M; index size is
+//! swept by varying these settings (§V-B), which is exactly how our figure
+//! harness scales the index.
+//!
+//! Enumeration is the source of the exponential index growth the paper
+//! motivates with: a peptide with `s` candidate sites yields
+//! `Σ_{k=0..min(s,max)} C(s,k)` modforms.
+
+use std::fmt;
+
+/// A kind of modification, with its Unimod monoisotopic delta mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModType {
+    /// Oxidation (+15.994915), classically on methionine.
+    Oxidation,
+    /// Deamidation (+0.984016) on asparagine/glutamine.
+    Deamidation,
+    /// Gly-Gly adduct (+114.042927), the ubiquitylation remnant on lysine.
+    GlyGly,
+    /// Phosphorylation (+79.966331) on S/T/Y.
+    Phospho,
+    /// Carbamidomethylation (+57.021464) on cysteine.
+    Carbamidomethyl,
+    /// Acetylation (+42.010565) on lysine.
+    Acetyl,
+    /// A user-defined delta mass.
+    Custom(f64),
+}
+
+impl ModType {
+    /// Monoisotopic delta mass in Daltons.
+    pub fn delta_mass(self) -> f64 {
+        match self {
+            ModType::Oxidation => 15.994_915,
+            ModType::Deamidation => 0.984_016,
+            ModType::GlyGly => 114.042_927,
+            ModType::Phospho => 79.966_331,
+            ModType::Carbamidomethyl => 57.021_464,
+            ModType::Acetyl => 42.010_565,
+            ModType::Custom(d) => d,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModType::Oxidation => "Oxidation",
+            ModType::Deamidation => "Deamidation",
+            ModType::GlyGly => "GlyGly",
+            ModType::Phospho => "Phospho",
+            ModType::Carbamidomethyl => "Carbamidomethyl",
+            ModType::Acetyl => "Acetyl",
+            ModType::Custom(_) => "Custom",
+        }
+    }
+}
+
+impl fmt::Display for ModType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModType::Custom(d) => write!(f, "Custom({d:+.6})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// One variable modification rule: a [`ModType`] applicable to a set of
+/// target residues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableMod {
+    /// The modification chemistry.
+    pub mod_type: ModType,
+    /// Residues this modification may occur on (uppercase one-letter codes).
+    pub targets: Vec<u8>,
+}
+
+impl VariableMod {
+    /// Convenience constructor.
+    pub fn new(mod_type: ModType, targets: &[u8]) -> Self {
+        VariableMod {
+            mod_type,
+            targets: targets.to_vec(),
+        }
+    }
+
+    /// `true` if this mod can sit on residue `c`.
+    #[inline]
+    pub fn applies_to(&self, c: u8) -> bool {
+        self.targets.contains(&c)
+    }
+}
+
+/// A full variable-modification specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModSpec {
+    /// The variable modifications considered.
+    pub mods: Vec<VariableMod>,
+    /// Maximum modified residues per peptide (paper: 5).
+    pub max_mods_per_peptide: usize,
+    /// Hard cap on modforms enumerated per peptide (combinatorial safety
+    /// valve; `usize::MAX` = unlimited). Enumeration order guarantees the
+    /// unmodified form and all lighter combinations come first, so a cap
+    /// truncates only the heaviest combinations.
+    pub max_modforms_per_peptide: usize,
+}
+
+impl ModSpec {
+    /// No variable modifications — each peptide has exactly one (unmodified)
+    /// modform.
+    pub fn none() -> Self {
+        ModSpec {
+            mods: Vec::new(),
+            max_mods_per_peptide: 0,
+            max_modforms_per_peptide: usize::MAX,
+        }
+    }
+
+    /// The paper's §V-A setting: deamidation on N/Q, Gly-Gly on K/C,
+    /// oxidation on M, max 5 modified residues per peptide.
+    pub fn paper_default() -> Self {
+        ModSpec {
+            mods: vec![
+                VariableMod::new(ModType::Deamidation, b"NQ"),
+                VariableMod::new(ModType::GlyGly, b"KC"),
+                VariableMod::new(ModType::Oxidation, b"M"),
+            ],
+            max_mods_per_peptide: 5,
+            max_modforms_per_peptide: 512,
+        }
+    }
+
+    /// A reduced setting (oxidation only) — the small end of the paper's
+    /// index-size sweep.
+    pub fn oxidation_only() -> Self {
+        ModSpec {
+            mods: vec![VariableMod::new(ModType::Oxidation, b"M")],
+            max_mods_per_peptide: 3,
+            max_modforms_per_peptide: 64,
+        }
+    }
+
+    /// All candidate `(position, mod index)` sites of `seq` under this spec,
+    /// position-major (which makes enumeration deterministic).
+    pub fn candidate_sites(&self, seq: &[u8]) -> Vec<(u16, u8)> {
+        let mut sites = Vec::new();
+        for (pos, &c) in seq.iter().enumerate() {
+            for (mi, m) in self.mods.iter().enumerate() {
+                if m.applies_to(c) {
+                    sites.push((pos as u16, mi as u8));
+                }
+            }
+        }
+        sites
+    }
+}
+
+/// One modform: a specific assignment of variable mods to residue positions
+/// of a base peptide (empty = the unmodified form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModForm {
+    /// `(position, mod index into the spec's `mods`)`, position-sorted, at
+    /// most one mod per position.
+    pub sites: Vec<(u16, u8)>,
+    /// Total delta mass of all sites, in Daltons.
+    pub delta_mass: f64,
+}
+
+impl ModForm {
+    /// The unmodified form.
+    pub fn unmodified() -> Self {
+        ModForm {
+            sites: Vec::new(),
+            delta_mass: 0.0,
+        }
+    }
+
+    /// Number of modified residues.
+    pub fn num_mods(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` for the unmodified form.
+    pub fn is_unmodified(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Delta mass carried by residue `pos` under `spec` (0 if unmodified).
+    pub fn delta_at(&self, pos: u16, spec: &ModSpec) -> f64 {
+        match self.sites.binary_search_by_key(&pos, |&(p, _)| p) {
+            Ok(i) => spec.mods[self.sites[i].1 as usize].mod_type.delta_mass(),
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Enumerates all modforms of `seq` under `spec`, unmodified form first,
+/// then in increasing number of modifications (breadth-first over
+/// combination size), deterministic for a given input.
+///
+/// At most one modification per residue position. Truncated at
+/// `spec.max_modforms_per_peptide`.
+pub fn enumerate_modforms(seq: &[u8], spec: &ModSpec) -> Vec<ModForm> {
+    let mut out = vec![ModForm::unmodified()];
+    if spec.mods.is_empty() || spec.max_mods_per_peptide == 0 {
+        return out;
+    }
+    let sites = spec.candidate_sites(seq);
+    if sites.is_empty() {
+        return out;
+    }
+
+    // Breadth-first by combination size so a cap keeps the lightest forms.
+    // Each frontier entry is (last site index used, chosen sites, delta).
+    type FrontierEntry = (usize, Vec<(u16, u8)>, f64);
+    let mut frontier: Vec<FrontierEntry> = vec![(usize::MAX, Vec::new(), 0.0)];
+    for _k in 1..=spec.max_mods_per_peptide {
+        let mut next = Vec::new();
+        for (last, chosen, delta) in &frontier {
+            let start = match *last {
+                usize::MAX => 0,
+                l => l + 1,
+            };
+            for (si, &(pos, mi)) in sites.iter().enumerate().skip(start) {
+                // one mod per position: skip sites at a position already used
+                if chosen.last().is_some_and(|&(p, _)| p == pos) {
+                    continue;
+                }
+                let mut c = chosen.clone();
+                c.push((pos, mi));
+                let d = delta + spec.mods[mi as usize].mod_type.delta_mass();
+                out.push(ModForm {
+                    sites: c.clone(),
+                    delta_mass: d,
+                });
+                if out.len() >= spec.max_modforms_per_peptide {
+                    return out;
+                }
+                next.push((si, c, d));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Counts the modforms of `seq` without materializing them (exact unless the
+/// cap truncates, in which case the cap is returned).
+pub fn count_modforms(seq: &[u8], spec: &ModSpec) -> usize {
+    enumerate_modforms(seq, spec).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_mods_yields_unmodified_only() {
+        let forms = enumerate_modforms(b"PEPTIDEK", &ModSpec::none());
+        assert_eq!(forms.len(), 1);
+        assert!(forms[0].is_unmodified());
+    }
+
+    #[test]
+    fn no_candidate_sites_yields_unmodified_only() {
+        let spec = ModSpec::oxidation_only();
+        let forms = enumerate_modforms(b"AAGGAAR", &spec); // no M
+        assert_eq!(forms.len(), 1);
+    }
+
+    #[test]
+    fn single_site_yields_two_forms() {
+        let spec = ModSpec::oxidation_only();
+        let forms = enumerate_modforms(b"AAMGGR", &spec);
+        assert_eq!(forms.len(), 2);
+        assert!(forms[0].is_unmodified());
+        assert_eq!(forms[1].sites, vec![(2, 0)]);
+        assert!((forms[1].delta_mass - 15.994_915).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_sites_yield_four_forms() {
+        let spec = ModSpec::oxidation_only();
+        let forms = enumerate_modforms(b"MAMR", &spec);
+        // {}, {0}, {2}, {0,2}
+        assert_eq!(forms.len(), 4);
+        let sizes: Vec<usize> = forms.iter().map(ModForm::num_mods).collect();
+        assert_eq!(sizes, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn max_mods_bounds_combination_size() {
+        let spec = ModSpec {
+            mods: vec![VariableMod::new(ModType::Oxidation, b"M")],
+            max_mods_per_peptide: 1,
+            max_modforms_per_peptide: usize::MAX,
+        };
+        let forms = enumerate_modforms(b"MMMM", &spec);
+        assert_eq!(forms.len(), 5); // {} + 4 singletons
+        assert!(forms.iter().all(|f| f.num_mods() <= 1));
+    }
+
+    #[test]
+    fn cap_truncates_but_keeps_light_forms() {
+        let spec = ModSpec {
+            mods: vec![VariableMod::new(ModType::Oxidation, b"M")],
+            max_mods_per_peptide: 4,
+            max_modforms_per_peptide: 3,
+        };
+        let forms = enumerate_modforms(b"MMMM", &spec);
+        assert_eq!(forms.len(), 3);
+        assert!(forms[0].is_unmodified());
+        assert!(forms.iter().all(|f| f.num_mods() <= 1));
+    }
+
+    #[test]
+    fn one_mod_per_position() {
+        // Two mods both target N: a position must not carry both.
+        let spec = ModSpec {
+            mods: vec![
+                VariableMod::new(ModType::Deamidation, b"N"),
+                VariableMod::new(ModType::Custom(10.0), b"N"),
+            ],
+            max_mods_per_peptide: 2,
+            max_modforms_per_peptide: usize::MAX,
+        };
+        let forms = enumerate_modforms(b"NAN", &spec);
+        for f in &forms {
+            let mut positions: Vec<u16> = f.sites.iter().map(|&(p, _)| p).collect();
+            let n = positions.len();
+            positions.dedup();
+            assert_eq!(n, positions.len(), "duplicate position in {f:?}");
+        }
+        // {} + 4 singles + 4 pairs (2 mods × 2 mods across the two Ns)
+        assert_eq!(forms.len(), 9);
+    }
+
+    #[test]
+    fn delta_mass_is_sum_of_sites() {
+        let spec = ModSpec::paper_default();
+        for f in enumerate_modforms(b"MNKQM", &spec) {
+            let expect: f64 = f
+                .sites
+                .iter()
+                .map(|&(_, mi)| spec.mods[mi as usize].mod_type.delta_mass())
+                .sum();
+            assert!((f.delta_mass - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_at_reports_per_position() {
+        let spec = ModSpec::oxidation_only();
+        let forms = enumerate_modforms(b"AMA", &spec);
+        let modified = &forms[1];
+        assert!((modified.delta_at(1, &spec) - 15.994_915).abs() < 1e-9);
+        assert_eq!(modified.delta_at(0, &spec), 0.0);
+        assert_eq!(modified.delta_at(2, &spec), 0.0);
+    }
+
+    #[test]
+    fn paper_default_counts() {
+        let spec = ModSpec::paper_default();
+        assert_eq!(spec.max_mods_per_peptide, 5);
+        // K,N,Q,M,C each modifiable once; sequence with 3 sites → 2^3 forms.
+        let forms = enumerate_modforms(b"ANKGG", &spec); // sites: N, K
+        assert_eq!(forms.len(), 4);
+    }
+
+    #[test]
+    fn modform_count_grows_with_spec() {
+        let seq = b"MNKQMC";
+        let none = count_modforms(seq, &ModSpec::none());
+        let ox = count_modforms(seq, &ModSpec::oxidation_only());
+        let full = count_modforms(seq, &ModSpec::paper_default());
+        assert!(none < ox && ox < full, "{none} {ox} {full}");
+    }
+
+    #[test]
+    fn sites_are_position_sorted() {
+        let spec = ModSpec::paper_default();
+        for f in enumerate_modforms(b"MNKQMCNQK", &spec) {
+            assert!(f.sites.windows(2).all(|w| w[0].0 < w[1].0), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModType::Oxidation.to_string(), "Oxidation");
+        assert!(ModType::Custom(1.5).to_string().contains("+1.5"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Peptide records and the peptide database produced by digestion.
+
+use crate::aa::peptide_neutral_mass;
+
+/// One tryptic (or other-enzyme) peptide produced by in-silico digestion.
+///
+/// The sequence is stored as a boxed slice (two words instead of three) since
+/// peptide databases hold tens of millions of entries and are never mutated
+/// after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peptide {
+    /// Uppercase amino-acid sequence.
+    seq: Box<[u8]>,
+    /// Neutral monoisotopic mass in Daltons (residues + water).
+    mass: f64,
+    /// Index of the parent protein in the source proteome.
+    protein: u32,
+    /// Number of missed cleavage sites contained in this peptide.
+    missed_cleavages: u8,
+}
+
+impl Peptide {
+    /// Builds a peptide, computing its neutral mass.
+    ///
+    /// Returns `None` if the sequence contains a non-standard residue
+    /// (digestion skips such peptides, mirroring Digestor's behaviour).
+    pub fn new(seq: &[u8], protein: u32, missed_cleavages: u8) -> Option<Self> {
+        let mass = peptide_neutral_mass(seq)?;
+        Some(Peptide {
+            seq: seq.into(),
+            mass,
+            protein,
+            missed_cleavages,
+        })
+    }
+
+    /// The amino-acid sequence.
+    #[inline]
+    pub fn sequence(&self) -> &[u8] {
+        &self.seq
+    }
+
+    /// The sequence as a `&str` (always valid ASCII).
+    #[inline]
+    pub fn sequence_str(&self) -> &str {
+        std::str::from_utf8(&self.seq).expect("peptide sequences are ASCII")
+    }
+
+    /// Neutral monoisotopic mass in Daltons.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Index of the parent protein.
+    #[inline]
+    pub fn protein(&self) -> u32 {
+        self.protein
+    }
+
+    /// Number of missed cleavages.
+    #[inline]
+    pub fn missed_cleavages(&self) -> u8 {
+        self.missed_cleavages
+    }
+
+    /// Length in residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` for the (never produced by digestion) empty peptide.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Heap bytes owned by this peptide (for footprint accounting).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.seq.len()
+    }
+}
+
+/// A flat peptide database: the output of digestion + dedup and the input of
+/// LBE grouping. Indexed by `u32` peptide ids (the paper's "peptide index
+/// entries").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeptideDb {
+    peptides: Vec<Peptide>,
+}
+
+impl PeptideDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a vector of peptides.
+    pub fn from_vec(peptides: Vec<Peptide>) -> Self {
+        assert!(
+            peptides.len() <= u32::MAX as usize,
+            "peptide databases are indexed by u32"
+        );
+        PeptideDb { peptides }
+    }
+
+    /// Number of peptides.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.peptides.len()
+    }
+
+    /// `true` if no peptides.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.peptides.is_empty()
+    }
+
+    /// The peptide with id `id`.
+    #[inline]
+    pub fn get(&self, id: u32) -> &Peptide {
+        &self.peptides[id as usize]
+    }
+
+    /// All peptides, in id order.
+    #[inline]
+    pub fn peptides(&self) -> &[Peptide] {
+        &self.peptides
+    }
+
+    /// Iterator over `(id, peptide)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Peptide)> {
+        self.peptides.iter().enumerate().map(|(i, p)| (i as u32, p))
+    }
+
+    /// Appends a peptide, returning its id.
+    pub fn push(&mut self, p: Peptide) -> u32 {
+        let id = self.peptides.len();
+        assert!(id < u32::MAX as usize, "peptide database overflow");
+        self.peptides.push(p);
+        id as u32
+    }
+
+    /// Sorts peptides by length, then lexicographically — the pre-pass of the
+    /// paper's Algorithm 1 ("SortByLength" then "LexSort").
+    pub fn sort_for_grouping(&mut self) {
+        self.peptides.sort_by(|a, b| {
+            a.len()
+                .cmp(&b.len())
+                .then_with(|| a.sequence().cmp(b.sequence()))
+        });
+    }
+
+    /// Sorts peptides by precursor (neutral) mass — the shared-memory layout
+    /// of Fig. 1.
+    pub fn sort_by_mass(&mut self) {
+        self.peptides
+            .sort_by(|a, b| a.mass().partial_cmp(&b.mass()).expect("masses are finite"));
+    }
+
+    /// Total heap bytes held by the database (for footprint accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.peptides.capacity() * std::mem::size_of::<Peptide>()
+            + self.peptides.iter().map(Peptide::heap_bytes).sum::<usize>()
+    }
+
+    /// Consumes the database, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<Peptide> {
+        self.peptides
+    }
+}
+
+impl FromIterator<Peptide> for PeptideDb {
+    fn from_iter<T: IntoIterator<Item = Peptide>>(iter: T) -> Self {
+        PeptideDb::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pep(s: &str) -> Peptide {
+        Peptide::new(s.as_bytes(), 0, 0).unwrap()
+    }
+
+    #[test]
+    fn new_computes_mass() {
+        let p = pep("PEPTIDE");
+        assert!((p.mass() - 799.359_964).abs() < 1e-3);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.sequence_str(), "PEPTIDE");
+    }
+
+    #[test]
+    fn new_rejects_nonstandard() {
+        assert!(Peptide::new(b"PEPX", 0, 0).is_none());
+        assert!(Peptide::new(b"PEPB", 0, 0).is_none());
+    }
+
+    #[test]
+    fn db_push_and_get() {
+        let mut db = PeptideDb::new();
+        let id = db.push(pep("AAAK"));
+        assert_eq!(id, 0);
+        assert_eq!(db.get(0).sequence(), b"AAAK");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn sort_for_grouping_orders_by_len_then_lex() {
+        let mut db = PeptideDb::from_vec(vec![pep("CCR"), pep("AAAK"), pep("AAR"), pep("AAAC")]);
+        db.sort_for_grouping();
+        let seqs: Vec<&str> = db.peptides().iter().map(|p| p.sequence_str()).collect();
+        assert_eq!(seqs, vec!["AAR", "CCR", "AAAC", "AAAK"]);
+    }
+
+    #[test]
+    fn sort_by_mass_orders_ascending() {
+        let mut db = PeptideDb::from_vec(vec![pep("WWWW"), pep("GG"), pep("PEPTIDE")]);
+        db.sort_by_mass();
+        let masses: Vec<f64> = db.peptides().iter().map(|p| p.mass()).collect();
+        assert!(masses.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: PeptideDb = vec![pep("AAK"), pep("CCK")].into_iter().collect();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let small = PeptideDb::from_vec(vec![pep("AAK")]);
+        let big = PeptideDb::from_vec(vec![pep("AAK"), pep("CCKCCKCCK")]);
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let db = PeptideDb::from_vec(vec![pep("AAK"), pep("CCK")]);
+        let ids: Vec<u32> = db.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

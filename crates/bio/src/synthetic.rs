@@ -1,0 +1,326 @@
+//! Synthetic proteome generation — the stand-in for UniProt `UP000005640`.
+//!
+//! The substitution (documented in `DESIGN.md`) must preserve the property
+//! LBE exploits: real proteomes contain *families* of highly similar
+//! sequences (isoforms, paralogs, repeated domains), so in-silico digestion
+//! yields clusters of near-identical peptides that a shared-peak index maps
+//! to overlapping candidate sets. The generator therefore emits
+//!
+//! 1. base proteins drawn from the human amino-acid frequency distribution,
+//! 2. *family members*: copies of a base protein with point mutations
+//!    (substitutions plus rare insertions/deletions),
+//!
+//! with the family fraction, family size and mutation rate all tunable.
+//! Every draw comes from a caller-seeded ChaCha8 RNG, so a
+//! `(params, seed)` pair is a complete, reproducible dataset description.
+
+use crate::fasta::Protein;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Human proteome one-letter codes and relative frequencies (UniProt
+/// statistics, normalized).
+pub const HUMAN_AA_FREQS: [(u8, f64); 20] = [
+    (b'A', 0.0702),
+    (b'R', 0.0564),
+    (b'N', 0.0359),
+    (b'D', 0.0473),
+    (b'C', 0.0230),
+    (b'E', 0.0710),
+    (b'Q', 0.0477),
+    (b'G', 0.0657),
+    (b'H', 0.0263),
+    (b'I', 0.0433),
+    (b'L', 0.0996),
+    (b'K', 0.0573),
+    (b'M', 0.0213),
+    (b'F', 0.0365),
+    (b'P', 0.0631),
+    (b'S', 0.0833),
+    (b'T', 0.0536),
+    (b'W', 0.0122),
+    (b'Y', 0.0266),
+    (b'V', 0.0597),
+];
+
+/// Parameters of the synthetic proteome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticProteomeParams {
+    /// Total number of protein records to emit.
+    pub num_proteins: usize,
+    /// Mean protein length (lengths are uniform in `[0.5, 1.5] × mean`).
+    pub mean_protein_len: usize,
+    /// Fraction of proteins that are mutated family copies of an earlier
+    /// base protein, in `[0, 1)`. Human-like proteomes sit around 0.3–0.5.
+    pub family_fraction: f64,
+    /// Per-residue substitution probability when deriving a family member.
+    pub mutation_rate: f64,
+    /// Per-residue insertion/deletion probability when deriving a family
+    /// member (kept low; indels shift tryptic frames).
+    pub indel_rate: f64,
+}
+
+impl Default for SyntheticProteomeParams {
+    fn default() -> Self {
+        SyntheticProteomeParams {
+            num_proteins: 200,
+            mean_protein_len: 450,
+            family_fraction: 0.4,
+            mutation_rate: 0.03,
+            indel_rate: 0.002,
+        }
+    }
+}
+
+impl SyntheticProteomeParams {
+    /// A small proteome for unit tests and examples.
+    pub fn small() -> Self {
+        SyntheticProteomeParams {
+            num_proteins: 40,
+            mean_protein_len: 200,
+            ..Default::default()
+        }
+    }
+
+    /// Scales the proteome so digestion yields roughly `target` *unique*
+    /// peptides under default digestion (empirically ≈ 0.75 unique peptides
+    /// per residue with 2 missed cleavages and the 6–40 length window).
+    pub fn sized_for_peptides(target: usize) -> Self {
+        let mean_len = 450usize;
+        let residues_needed = (target as f64 / 0.75).ceil() as usize;
+        SyntheticProteomeParams {
+            num_proteins: (residues_needed / mean_len).max(1),
+            mean_protein_len: mean_len,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated proteome plus its provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticProteome {
+    /// The protein records (FASTA-ready).
+    pub proteins: Vec<Protein>,
+    /// The parameters used.
+    pub params: SyntheticProteomeParams,
+    /// The RNG seed used.
+    pub seed: u64,
+    /// For each protein, the index of the base protein it was derived from
+    /// (`None` for base proteins). Ground truth for clustering evaluations.
+    pub family_of: Vec<Option<u32>>,
+}
+
+impl SyntheticProteome {
+    /// Generates a proteome from `params` with the given `seed`.
+    pub fn generate(params: SyntheticProteomeParams, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let letters: Vec<u8> = HUMAN_AA_FREQS.iter().map(|&(c, _)| c).collect();
+        let weights: Vec<f64> = HUMAN_AA_FREQS.iter().map(|&(_, w)| w).collect();
+        let dist = WeightedIndex::new(&weights).expect("weights are positive");
+
+        let mut proteins: Vec<Protein> = Vec::with_capacity(params.num_proteins);
+        let mut family_of: Vec<Option<u32>> = Vec::with_capacity(params.num_proteins);
+
+        for i in 0..params.num_proteins {
+            let make_family_member =
+                !proteins.is_empty() && rng.gen_bool(params.family_fraction.clamp(0.0, 0.999));
+            if make_family_member {
+                let base_idx = rng.gen_range(0..proteins.len());
+                // Follow derived members back to their base so families are flat.
+                let root = family_of[base_idx].map(|r| r as usize).unwrap_or(base_idx);
+                let base_seq = proteins[root].sequence.clone();
+                let mutated = mutate_sequence(&base_seq, &params, &letters, &dist, &mut rng);
+                proteins.push(Protein::new(
+                    format!("syn|S{:06}|FAM{:06}_SYN derived from S{:06}", i, root, root),
+                    mutated,
+                ));
+                family_of.push(Some(root as u32));
+            } else {
+                let len = random_length(params.mean_protein_len, &mut rng);
+                let seq: Vec<u8> = (0..len).map(|_| letters[dist.sample(&mut rng)]).collect();
+                proteins.push(Protein::new(format!("syn|S{:06}|BASE{:06}_SYN", i, i), seq));
+                family_of.push(None);
+            }
+        }
+        SyntheticProteome {
+            proteins,
+            params,
+            seed,
+            family_of,
+        }
+    }
+
+    /// Total residues across all proteins.
+    pub fn total_residues(&self) -> usize {
+        self.proteins.iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of base (non-family) proteins.
+    pub fn num_base_proteins(&self) -> usize {
+        self.family_of.iter().filter(|f| f.is_none()).count()
+    }
+}
+
+fn random_length(mean: usize, rng: &mut ChaCha8Rng) -> usize {
+    let lo = (mean / 2).max(20);
+    let hi = mean + mean / 2;
+    rng.gen_range(lo..=hi)
+}
+
+fn mutate_sequence(
+    base: &[u8],
+    params: &SyntheticProteomeParams,
+    letters: &[u8],
+    dist: &WeightedIndex<f64>,
+    rng: &mut ChaCha8Rng,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(base.len() + 4);
+    for &c in base {
+        // deletion
+        if rng.gen_bool(params.indel_rate) {
+            continue;
+        }
+        // substitution
+        if rng.gen_bool(params.mutation_rate) {
+            out.push(letters[dist.sample(rng)]);
+        } else {
+            out.push(c);
+        }
+        // insertion
+        if rng.gen_bool(params.indel_rate) {
+            out.push(letters[dist.sample(rng)]);
+        }
+    }
+    if out.is_empty() {
+        out.push(b'A');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aa::is_standard_residue;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = SyntheticProteome::generate(SyntheticProteomeParams::small(), 42);
+        let b = SyntheticProteome::generate(SyntheticProteomeParams::small(), 42);
+        assert_eq!(a.proteins, b.proteins);
+        assert_eq!(a.family_of, b.family_of);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticProteome::generate(SyntheticProteomeParams::small(), 1);
+        let b = SyntheticProteome::generate(SyntheticProteomeParams::small(), 2);
+        assert_ne!(a.proteins, b.proteins);
+    }
+
+    #[test]
+    fn emits_requested_count() {
+        let p = SyntheticProteome::generate(SyntheticProteomeParams::small(), 7);
+        assert_eq!(p.proteins.len(), 40);
+        assert_eq!(p.family_of.len(), 40);
+    }
+
+    #[test]
+    fn sequences_are_standard_residues() {
+        let p = SyntheticProteome::generate(SyntheticProteomeParams::small(), 3);
+        for prot in &p.proteins {
+            assert!(prot.sequence.iter().all(|&c| is_standard_residue(c)));
+            assert!(!prot.is_empty());
+        }
+    }
+
+    #[test]
+    fn lengths_within_band() {
+        let params = SyntheticProteomeParams {
+            family_fraction: 0.0,
+            ..SyntheticProteomeParams::small()
+        };
+        let mean = params.mean_protein_len;
+        let p = SyntheticProteome::generate(params, 5);
+        for prot in &p.proteins {
+            assert!(prot.len() >= mean / 2 && prot.len() <= mean + mean / 2);
+        }
+    }
+
+    #[test]
+    fn family_fraction_zero_means_no_families() {
+        let params = SyntheticProteomeParams {
+            family_fraction: 0.0,
+            ..SyntheticProteomeParams::small()
+        };
+        let p = SyntheticProteome::generate(params, 11);
+        assert_eq!(p.num_base_proteins(), p.proteins.len());
+    }
+
+    #[test]
+    fn families_point_at_base_proteins() {
+        let params = SyntheticProteomeParams {
+            family_fraction: 0.8,
+            ..SyntheticProteomeParams::small()
+        };
+        let p = SyntheticProteome::generate(params, 13);
+        for (i, fam) in p.family_of.iter().enumerate() {
+            if let Some(root) = fam {
+                let root = *root as usize;
+                assert!(root < i, "family root must precede member");
+                assert!(p.family_of[root].is_none(), "family roots are base proteins");
+            }
+        }
+        assert!(p.num_base_proteins() < p.proteins.len());
+    }
+
+    #[test]
+    fn family_members_resemble_their_base() {
+        let params = SyntheticProteomeParams {
+            num_proteins: 30,
+            mean_protein_len: 300,
+            family_fraction: 0.7,
+            mutation_rate: 0.02,
+            indel_rate: 0.0,
+        };
+        let p = SyntheticProteome::generate(params, 17);
+        for (i, fam) in p.family_of.iter().enumerate() {
+            if let Some(root) = fam {
+                let a = &p.proteins[i].sequence;
+                let b = &p.proteins[*root as usize].sequence;
+                assert_eq!(a.len(), b.len()); // no indels in this config
+                let same = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+                let identity = same as f64 / a.len() as f64;
+                assert!(identity > 0.9, "identity {identity} too low");
+            }
+        }
+    }
+
+    #[test]
+    fn sized_for_peptides_scales_protein_count() {
+        let small = SyntheticProteomeParams::sized_for_peptides(10_000);
+        let large = SyntheticProteomeParams::sized_for_peptides(100_000);
+        assert!(large.num_proteins > small.num_proteins * 5);
+    }
+
+    #[test]
+    fn frequencies_roughly_match_target() {
+        let params = SyntheticProteomeParams {
+            num_proteins: 50,
+            mean_protein_len: 1000,
+            family_fraction: 0.0,
+            ..Default::default()
+        };
+        let p = SyntheticProteome::generate(params, 23);
+        let total = p.total_residues() as f64;
+        let count_l = p
+            .proteins
+            .iter()
+            .flat_map(|pr| pr.sequence.iter())
+            .filter(|&&c| c == b'L')
+            .count() as f64;
+        let freq_l = count_l / total;
+        assert!((freq_l - 0.0996).abs() < 0.02, "L frequency {freq_l}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Virtual time: per-rank clocks and the communication cost model.
+
+/// Communication cost model (LogP-flavoured): a message of `b` bytes sent at
+/// sender-time `t` becomes *available* to the receiver at
+/// `t + latency_s + b × per_byte_s`.
+///
+/// Defaults approximate commodity gigabit Ethernet + MPI software overhead
+/// (50 µs latency, ~1 GB/s effective bandwidth), the class of interconnect
+/// in the paper's cluster of workstations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommCostModel {
+    /// Fixed per-message latency, seconds.
+    pub latency_s: f64,
+    /// Per-byte transfer cost, seconds.
+    pub per_byte_s: f64,
+}
+
+impl Default for CommCostModel {
+    fn default() -> Self {
+        CommCostModel {
+            latency_s: 50e-6,
+            per_byte_s: 1e-9,
+        }
+    }
+}
+
+impl CommCostModel {
+    /// A zero-cost network (useful to isolate compute imbalance).
+    pub fn free() -> Self {
+        CommCostModel {
+            latency_s: 0.0,
+            per_byte_s: 0.0,
+        }
+    }
+
+    /// Transfer time of a `bytes`-sized message.
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 * self.per_byte_s
+    }
+}
+
+/// A monotonically advancing virtual clock, one per rank.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances by `seconds` of modelled compute.
+    #[inline]
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance by negative time");
+        debug_assert!(seconds.is_finite(), "cannot advance by non-finite time");
+        self.now += seconds;
+    }
+
+    /// Moves the clock forward to `t` if `t` is later (message arrival,
+    /// barrier release). Never moves backwards.
+    #[inline]
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_only_moves_forward() {
+        let mut c = VirtualClock::new();
+        c.advance(5.0);
+        c.sync_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.sync_to(7.0);
+        assert_eq!(c.now(), 7.0);
+    }
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let m = CommCostModel {
+            latency_s: 1.0,
+            per_byte_s: 0.5,
+        };
+        assert!((m.transfer_time(0) - 1.0).abs() < 1e-12);
+        assert!((m.transfer_time(4) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_network_costs_nothing() {
+        assert_eq!(CommCostModel::free().transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn default_model_is_positive() {
+        let m = CommCostModel::default();
+        assert!(m.latency_s > 0.0 && m.per_byte_s > 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Point-to-point messaging between ranks.
+//!
+//! Semantics mirror MPI's matched send/receive: a receive names its source
+//! rank and tag; messages from other `(src, tag)` pairs are buffered until a
+//! matching receive posts. Payloads are typed end-to-end (`Box<dyn Any>`
+//! under the hood — a mismatched receive type is a programming error and
+//! panics with a clear message, the moral equivalent of an MPI datatype
+//! mismatch aborting the job).
+
+use crate::clock::{CommCostModel, VirtualClock};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+/// Message tag, as in MPI.
+pub type Tag = u32;
+
+/// Errors surfaced by the communicator.
+#[derive(Debug)]
+pub enum CommError {
+    /// A blocking receive waited longer than the configured wall-clock
+    /// timeout — almost always a deadlock in the SPMD program.
+    Timeout {
+        /// Receiving rank.
+        rank: usize,
+        /// Source rank the receive was waiting on.
+        src: usize,
+        /// Tag the receive was waiting on.
+        tag: Tag,
+    },
+    /// The peer rank's thread exited while we waited (it panicked).
+    Disconnected {
+        /// Receiving rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { rank, src, tag } => write!(
+                f,
+                "rank {rank}: receive from rank {src} tag {tag} timed out (deadlock?)"
+            ),
+            CommError::Disconnected { rank } => {
+                write!(f, "rank {rank}: peer channel disconnected (peer panicked?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A message in flight.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    /// Sender's virtual time at the moment of send.
+    pub sent_at: f64,
+    /// Modelled wire size in bytes (drives the cost model; the real Rust
+    /// value moves by pointer).
+    pub sim_bytes: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// One rank's endpoint: its identity, mailbox, and virtual clock.
+///
+/// Not `Clone` — exactly one communicator exists per rank, as in MPI.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Messages that arrived but did not match the receive being serviced.
+    pending: Vec<Envelope>,
+    clock: VirtualClock,
+    cost: CommCostModel,
+    /// Wall-clock guard against deadlocks in tests/benches.
+    recv_timeout: Duration,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Envelope>>,
+        receiver: Receiver<Envelope>,
+        cost: CommCostModel,
+        recv_timeout: Duration,
+    ) -> Self {
+        Communicator {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: Vec::new(),
+            clock: VirtualClock::new(),
+            cost,
+            recv_timeout,
+        }
+    }
+
+    /// This rank's id, `0 ≤ rank < size`. Rank 0 is the master by convention.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// `true` on rank 0.
+    #[inline]
+    pub fn is_master(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Current virtual time of this rank.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The communication cost model in effect.
+    #[inline]
+    pub fn cost_model(&self) -> CommCostModel {
+        self.cost
+    }
+
+    /// Advances this rank's virtual clock by `seconds` of modelled compute.
+    #[inline]
+    pub fn compute(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+
+    /// Moves this rank's clock forward to `t` if later (never backwards).
+    /// Used by collectives to model synchronization points.
+    #[inline]
+    pub fn sync_clock_to(&mut self, t: f64) {
+        self.clock.sync_to(t);
+    }
+
+    /// Sends `value` to `dest` with `tag`. `sim_bytes` is the modelled wire
+    /// size used by the cost model. Sends are non-blocking (buffered), as
+    /// with an MPI eager send.
+    ///
+    /// Self-sends are legal (delivered through the same mailbox).
+    pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: Tag, value: T, sim_bytes: usize) {
+        assert!(dest < self.size, "send to nonexistent rank {dest}");
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            sent_at: self.clock.now(),
+            sim_bytes,
+            payload: Box::new(value),
+        };
+        self.senders[dest]
+            .send(env)
+            .expect("rank mailbox closed: cluster is shutting down");
+    }
+
+    /// Blocking receive of a `T` from rank `src` with tag `tag`.
+    ///
+    /// Advances the virtual clock to the message's modelled arrival time.
+    /// Panics on type mismatch, wall-clock timeout, or disconnected peers —
+    /// all unrecoverable SPMD programming errors.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        self.try_recv(src, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::recv`] but surfaces timeout/disconnect as an error.
+    pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Result<T, CommError> {
+        // Check the pending buffer first (messages that arrived out of order).
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            let env = self.pending.remove(pos);
+            return Ok(self.open(env));
+        }
+        let deadline = std::time::Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.receiver.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return Ok(self.open(env));
+                    }
+                    self.pending.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        rank: self.rank,
+                        src,
+                        tag,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { rank: self.rank })
+                }
+            }
+        }
+    }
+
+    /// Unwraps an envelope: advances the clock to the arrival time and
+    /// downcasts the payload.
+    fn open<T: Send + 'static>(&mut self, env: Envelope) -> T {
+        let arrival = env.sent_at + self.cost.transfer_time(env.sim_bytes);
+        self.clock.sync_to(arrival);
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving from rank {} tag {} (expected {})",
+                self.rank,
+                env.src,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+impl fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("now", &self.clock.now())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::{Cluster, ClusterConfig};
+
+    #[test]
+    fn send_recv_round_trip() {
+        let out = Cluster::new(ClusterConfig::new(2)).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, String::from("hello"), 5);
+                String::new()
+            } else {
+                comm.recv::<String>(0, 7)
+            }
+        });
+        assert_eq!(out.results[1], "hello");
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let out = Cluster::new(ClusterConfig::new(2)).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 111u32, 4);
+                comm.send(1, 2, 222u32, 4);
+                (0, 0)
+            } else {
+                // Receive tag 2 first even though tag 1 was sent first.
+                let b = comm.recv::<u32>(0, 2);
+                let a = comm.recv::<u32>(0, 1);
+                (a, b)
+            }
+        });
+        assert_eq!(out.results[1], (111, 222));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Cluster::new(ClusterConfig::new(1)).run(|comm| {
+            let me = comm.rank();
+            comm.send(me, 0, 42u64, 8);
+            comm.recv::<u64>(me, 0)
+        });
+        assert_eq!(out.results[0], 42);
+    }
+
+    #[test]
+    fn recv_advances_virtual_clock() {
+        let cfg = ClusterConfig::new(2).with_cost(CommCostModel {
+            latency_s: 1.0,
+            per_byte_s: 0.0,
+        });
+        let out = Cluster::new(cfg).run(|comm| {
+            if comm.rank() == 0 {
+                comm.compute(5.0); // sender is at t=5 when it sends
+                comm.send(1, 0, (), 0);
+            } else {
+                comm.recv::<()>(0, 0); // arrival at 5 + 1 latency
+            }
+            comm.now()
+        });
+        assert!((out.results[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_does_not_rewind_on_early_message() {
+        let cfg = ClusterConfig::new(2).with_cost(CommCostModel::free());
+        let out = Cluster::new(cfg).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, (), 0); // sent at t=0
+                0.0
+            } else {
+                comm.compute(10.0);
+                comm.recv::<()>(0, 0); // arrival t=0 < local t=10
+                comm.now()
+            }
+        });
+        assert_eq!(out.results[1], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Cluster::new(ClusterConfig::new(1)).run(|comm| {
+            comm.send(0, 0, 1u32, 4);
+            let _ = comm.recv::<String>(0, 0);
+        });
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let cfg = ClusterConfig::new(1).with_recv_timeout(Duration::from_millis(50));
+        let out = Cluster::new(cfg).run(|comm| {
+            // Nothing was sent; try_recv should time out.
+            comm.try_recv::<u32>(0, 9).is_err()
+        });
+        assert!(out.results[0]);
+    }
+
+    #[test]
+    fn messages_from_different_sources_matched_correctly() {
+        let out = Cluster::new(ClusterConfig::new(3)).run(|comm| match comm.rank() {
+            0 => {
+                // Receive from 2 first, then 1 — regardless of arrival order.
+                let from2 = comm.recv::<usize>(2, 0);
+                let from1 = comm.recv::<usize>(1, 0);
+                vec![from1, from2]
+            }
+            r => {
+                comm.send(0, 0, r * 100, 8);
+                vec![]
+            }
+        });
+        assert_eq!(out.results[0], vec![100, 200]);
+    }
+}

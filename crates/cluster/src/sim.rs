@@ -1,0 +1,132 @@
+//! Closed-form imbalance analysis for static work assignments.
+//!
+//! Spinning up threads is unnecessary when the per-rank work of a phase is
+//! already known (e.g. candidate counts from a partitioned index): the
+//! virtual times are then just `work × unit_cost`. The figure harness uses
+//! this fast path for wide parameter sweeps; the threaded cluster is used by
+//! the end-to-end engine and integration tests to validate that both paths
+//! agree.
+
+/// Converts per-rank work units into per-rank times under a uniform
+/// per-unit cost.
+pub fn rank_times_from_work(work_units: &[u64], seconds_per_unit: f64) -> Vec<f64> {
+    work_units
+        .iter()
+        .map(|&w| w as f64 * seconds_per_unit)
+        .collect()
+}
+
+/// Summary statistics of a set of per-rank times — the quantities the
+/// paper's evaluation is phrased in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImbalanceSummary {
+    /// Mean per-rank time `Tavg`.
+    pub t_avg: f64,
+    /// Maximum per-rank time (the makespan).
+    pub t_max: f64,
+    /// Minimum per-rank time.
+    pub t_min: f64,
+    /// Maximum positive deviation `ΔTmax = t_max − t_avg`.
+    pub delta_t_max: f64,
+    /// Load imbalance `LI = ΔTmax / Tavg` (paper Eq. 1). Zero for an
+    /// all-zero or perfectly balanced system.
+    pub load_imbalance: f64,
+}
+
+impl ImbalanceSummary {
+    /// Computes the summary from per-rank times. Panics on an empty slice.
+    pub fn from_times(times: &[f64]) -> Self {
+        assert!(!times.is_empty(), "need at least one rank time");
+        let n = times.len() as f64;
+        let t_avg = times.iter().sum::<f64>() / n;
+        let t_max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let t_min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let delta_t_max = t_max - t_avg;
+        let load_imbalance = if t_avg > 0.0 { delta_t_max / t_avg } else { 0.0 };
+        ImbalanceSummary {
+            t_avg,
+            t_max,
+            t_min,
+            delta_t_max,
+            load_imbalance,
+        }
+    }
+
+    /// Wasted CPU time `Twst = N·ΔTmax` for `n` ranks (paper §VI).
+    pub fn wasted_cpu_time(&self, n: usize) -> f64 {
+        n as f64 * self.delta_t_max
+    }
+
+    /// Load imbalance as a percentage (the y-axis of Fig. 6).
+    pub fn load_imbalance_pct(&self) -> f64 {
+        self.load_imbalance * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_to_times_scales() {
+        let t = rank_times_from_work(&[0, 10, 20], 0.5);
+        assert_eq!(t, vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn balanced_system_has_zero_li() {
+        let s = ImbalanceSummary::from_times(&[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(s.load_imbalance, 0.0);
+        assert_eq!(s.delta_t_max, 0.0);
+        assert_eq!(s.t_avg, 4.0);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §VI: 16 CPUs, ΔTmax = 80 s over Tavg = 100 s → LI = 0.8,
+        // Twst = 1280 s.
+        // 15 ranks at 95, one at 175: avg = (15*95+175)/16 = 100.
+        let mut times = vec![95.0; 15];
+        times.push(175.0);
+        let s = ImbalanceSummary::from_times(&times);
+        assert!((s.t_avg - 100.0).abs() < 1e-9);
+        assert!((s.delta_t_max - 75.0).abs() < 1e-9);
+        // Reconstruct the paper's exact numbers with ΔTmax = 80:
+        let s2 = ImbalanceSummary {
+            t_avg: 100.0,
+            t_max: 180.0,
+            t_min: 95.0,
+            delta_t_max: 80.0,
+            load_imbalance: 0.8,
+        };
+        assert!((s2.wasted_cpu_time(16) - 1280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn li_matches_definition() {
+        let s = ImbalanceSummary::from_times(&[1.0, 2.0, 3.0]);
+        assert!((s.t_avg - 2.0).abs() < 1e-12);
+        assert!((s.load_imbalance - 0.5).abs() < 1e-12);
+        assert!((s.load_imbalance_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_system() {
+        let s = ImbalanceSummary::from_times(&[0.0, 0.0]);
+        assert_eq!(s.load_imbalance, 0.0);
+        assert_eq!(s.wasted_cpu_time(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_times_panic() {
+        ImbalanceSummary::from_times(&[]);
+    }
+
+    #[test]
+    fn single_rank_has_zero_imbalance() {
+        let s = ImbalanceSummary::from_times(&[42.0]);
+        assert_eq!(s.load_imbalance, 0.0);
+        assert_eq!(s.t_max, 42.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Levenshtein edit distance — the similarity measure of Algorithm 1.
+//!
+//! Two implementations:
+//!
+//! * [`edit_distance`]: classic two-row DP, O(|a|·|b|) time, O(min) space.
+//! * [`edit_distance_bounded`]: Ukkonen-banded DP that answers "is the
+//!   distance ≤ k, and if so what is it?" in O(k·min(|a|,|b|)) — the right
+//!   tool inside Algorithm 1, whose cutoffs are small constants (`d = 2`).
+//!
+//! Property tests (see `tests/`) check metric axioms and agreement between
+//! the two implementations.
+
+/// Levenshtein distance between `a` and `b` (unit costs).
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    // Keep the shorter string in the inner dimension for O(min) space.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let del = prev[j + 1] + 1;
+            let ins = curr[j] + 1;
+            curr[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Banded Levenshtein with cutoff: returns `Some(d)` if the distance is
+/// `≤ max_dist`, `None` otherwise, in O(max_dist · min(|a|,|b|)) time.
+pub fn edit_distance_bounded(a: &[u8], b: &[u8], max_dist: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    // Length difference alone is a lower bound.
+    if a.len() - b.len() > max_dist {
+        return None;
+    }
+    if b.is_empty() {
+        return (a.len() <= max_dist).then_some(a.len());
+    }
+    let k = max_dist;
+    let big = max_dist + 1; // sentinel meaning "> max_dist"
+    let n = b.len();
+    // Row i covers columns j in [i-k, i+k] ∩ [0, n].
+    let mut prev: Vec<usize> = vec![big; n + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(n) + 1) {
+        *p = j;
+    }
+    let mut curr: Vec<usize> = vec![big; n + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        let row = i + 1;
+        let lo = row.saturating_sub(k);
+        let hi = (row + k).min(n);
+        if lo > hi {
+            return None;
+        }
+        let mut row_min = big;
+        // Reset only the band (plus its left neighbour used as "ins" source).
+        if lo > 0 {
+            curr[lo - 1] = big;
+        }
+        for j in lo..=hi {
+            let v = if j == 0 {
+                row // first column: j=0 → distance = row
+            } else {
+                let cb = b[j - 1];
+                let sub = prev[j - 1].saturating_add(usize::from(ca != cb));
+                let del = prev[j].saturating_add(1);
+                let ins = curr[j - 1].saturating_add(1);
+                sub.min(del).min(ins)
+            };
+            let v = v.min(big);
+            curr[j] = v;
+            row_min = row_min.min(v);
+        }
+        if row_min > max_dist {
+            return None; // the whole band exceeded the cutoff — early exit
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        // The next row's band extends one column further right than this
+        // row's; its "delete" source there is stale — mark it out-of-band.
+        // (Its left diagonal source is this row's first band cell, which is
+        // fresh, so nothing to invalidate on the left.)
+        if row + 1 + k <= n {
+            prev[row + 1 + k] = big;
+        }
+    }
+    let d = prev[n];
+    (d <= max_dist).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_zero() {
+        assert_eq!(edit_distance(b"PEPTIDE", b"PEPTIDE"), 0);
+        assert_eq!(edit_distance_bounded(b"PEPTIDE", b"PEPTIDE", 0), Some(0));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"ABC", b""), 3);
+        assert_eq!(edit_distance(b"", b"ABCD"), 4);
+        assert_eq!(edit_distance_bounded(b"", b"", 0), Some(0));
+        assert_eq!(edit_distance_bounded(b"ABC", b"", 3), Some(3));
+        assert_eq!(edit_distance_bounded(b"ABC", b"", 2), None);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"intention", b"execution"), 5);
+        assert_eq!(edit_distance(b"AAAK", b"AAAR"), 1);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(edit_distance(b"PEPTIDE", b"PEPTIDES"), 1); // insert
+        assert_eq!(edit_distance(b"PEPTIDE", b"PEPTIDA"), 1); // substitute
+        assert_eq!(edit_distance(b"PEPTIDE", b"PETIDE"), 1); // delete (one P)
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs: [(&[u8], &[u8]); 3] =
+            [(b"ELVIS", b"LIVES"), (b"AAK", b"AAAAK"), (b"GGR", b"KKR")];
+        for (a, b) in pairs {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_with_full_when_within() {
+        let samples: &[&[u8]] = &[
+            b"PEPTIDEK",
+            b"PEPTIDER",
+            b"PEPTIDE",
+            b"PEPTIDEKK",
+            b"AAAAAAA",
+            b"ELVISLIVESK",
+            b"",
+            b"K",
+        ];
+        for &a in samples {
+            for &b in samples {
+                let full = edit_distance(a, b);
+                for k in 0..=12 {
+                    let bounded = edit_distance_bounded(a, b, k);
+                    if full <= k {
+                        assert_eq!(bounded, Some(full), "a={a:?} b={b:?} k={k}");
+                    } else {
+                        assert_eq!(bounded, None, "a={a:?} b={b:?} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_early_exit_on_length_gap() {
+        assert_eq!(edit_distance_bounded(b"A", b"AAAAAAAAAA", 3), None);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let words: [&[u8]; 4] = [b"PEPTIDEK", b"PEPTIDER", b"PEPTIKER", b"GGGGGGGG"];
+        for &x in &words {
+            for &y in &words {
+                for &z in &words {
+                    assert!(edit_distance(x, z) <= edit_distance(x, y) + edit_distance(y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completely_different_strings() {
+        assert_eq!(edit_distance(b"AAAA", b"GGGG"), 4);
+        assert_eq!(edit_distance_bounded(b"AAAA", b"GGGG", 4), Some(4));
+        assert_eq!(edit_distance_bounded(b"AAAA", b"GGGG", 3), None);
+    }
+
+    #[test]
+    fn large_k_behaves_like_full() {
+        assert_eq!(
+            edit_distance_bounded(b"kitten", b"sitting", 100),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,675 @@
+//! Distributed index construction and querying (§III-D/E, Fig. 3 and 4).
+//!
+//! The SPMD program each rank executes:
+//!
+//! 1. read + preprocess the query spectra (every rank, as in the paper);
+//! 2. extract its peptide partition from the clustered database;
+//! 3. build its *partial* SLM index; the master additionally builds the
+//!    mapping table (workers "discard their partial peptide indices");
+//! 4. barrier — the paper times querying separately from construction;
+//! 5. search every query against the partial index, advancing the virtual
+//!    clock through [`SearchCostModel`];
+//! 6. send per-query candidate lists (virtual = local indices) to the
+//!    master, which maps them to original peptide ids in O(1) each via the
+//!    [`crate::mapping::MappingTable`] and merges top-k.
+//!
+//! All figures of the paper are measurements of this program under varying
+//! `(policy, ranks, index size)` — see `lbe-bench`.
+
+use crate::grouping::Grouping;
+use crate::mapping::MappingTable;
+use crate::partition::{partition_groups, Partition, PartitionPolicy};
+use lbe_bio::mods::ModSpec;
+use lbe_bio::peptide::{Peptide, PeptideDb};
+use lbe_cluster::sim::ImbalanceSummary;
+use lbe_cluster::{Cluster, ClusterConfig, Communicator};
+use lbe_index::footprint::MemoryFootprint;
+use lbe_index::query::{Psm, QueryStats, Searcher};
+use lbe_index::{IndexBuilder, SlmConfig};
+use lbe_spectra::spectrum::Spectrum;
+
+/// Per-unit costs of the parallel phases (drive the virtual clock).
+///
+/// Absolute values are calibrated to commodity ~2019 Xeon cores so the
+/// figure harness lands in the same order of magnitude as the paper; every
+/// *comparison* in the evaluation is a ratio, so only relative magnitudes
+/// matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchCostModel {
+    /// Per posting scanned during shared-peak counting.
+    pub per_posting_s: f64,
+    /// Per ion-bin lookup.
+    pub per_bin_s: f64,
+    /// Per candidate PSM that passes filtration — this is the full
+    /// spectrum-to-spectrum comparison the index exists to minimize
+    /// ("computationally expensive", §I), so it dominates the per-query
+    /// cost and is what the paper's load imbalance is made of.
+    pub per_candidate_s: f64,
+    /// Fixed overhead per query spectrum.
+    pub per_query_s: f64,
+    /// Index construction cost per ion.
+    pub per_ion_build_s: f64,
+    /// Partition extraction cost per database peptide (each rank scans the
+    /// clustered database once).
+    pub per_peptide_extract_s: f64,
+}
+
+impl Default for SearchCostModel {
+    fn default() -> Self {
+        SearchCostModel {
+            per_posting_s: 1.5e-9,
+            per_bin_s: 2.0e-9,
+            per_candidate_s: 1.0e-6,
+            per_query_s: 20e-6,
+            per_ion_build_s: 12e-9,
+            per_peptide_extract_s: 3e-9,
+        }
+    }
+}
+
+impl SearchCostModel {
+    /// Virtual seconds of one query's search work.
+    pub fn query_seconds(&self, stats: &QueryStats) -> f64 {
+        self.per_query_s
+            + stats.bins_touched as f64 * self.per_bin_s
+            + stats.postings_scanned as f64 * self.per_posting_s
+            + stats.candidates as f64 * self.per_candidate_s
+    }
+
+    /// Virtual seconds to build an index of `ions` postings.
+    pub fn build_seconds(&self, ions: usize) -> f64 {
+        ions as f64 * self.per_ion_build_s
+    }
+
+    /// Scales the *index-size-linear* cost terms (posting scans, bin
+    /// lookups, index build) by `factor`, leaving per-query and
+    /// per-candidate costs alone.
+    ///
+    /// Used by the figure harness: when an experiment runs on an index
+    /// `factor×` smaller than the paper's, multiplying these terms by
+    /// `factor` restores the paper-scale per-query work profile — and with
+    /// it the load-imbalance signal, which lives in how posting-scan work is
+    /// distributed across ranks (the "data sketch" of §III).
+    pub fn scaled_for_index(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        self.per_posting_s *= factor;
+        self.per_ion_build_s *= factor;
+        // Candidate counts are also ~linear in index size (the paper's
+        // 73,723 cPSMs/query on a 49.45M index ≈ a constant ~1,490
+        // candidates per query per million spectra), so the scoring term
+        // scales the same way.
+        self.per_candidate_s *= factor;
+        // per_bin_s is NOT scaled: bins touched per query depend only on
+        // peak count × tolerance window, not on index size.
+        self
+    }
+}
+
+/// Costs of the serial (non-scaling) phases — the Amdahl term of Figs. 9/10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerialCostModel {
+    /// Query-file read + preprocessing per spectrum (every rank pays it —
+    /// it does not shrink with p).
+    pub per_spectrum_io_s: f64,
+    /// Algorithm 1 grouping cost per peptide (preprocessing, master-side).
+    pub per_peptide_grouping_s: f64,
+    /// Master-side merge cost per received PSM.
+    pub per_psm_merge_s: f64,
+}
+
+impl Default for SerialCostModel {
+    fn default() -> Self {
+        SerialCostModel {
+            per_spectrum_io_s: 120e-6,
+            per_peptide_grouping_s: 250e-9,
+            per_psm_merge_s: 30e-9,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Index/search settings.
+    pub slm: SlmConfig,
+    /// Variable modifications to index.
+    pub modspec: ModSpec,
+    /// Data distribution policy.
+    pub policy: PartitionPolicy,
+    /// Parallel-phase cost model.
+    pub cost: SearchCostModel,
+    /// Serial-phase cost model.
+    pub serial: SerialCostModel,
+    /// Intra-rank threads (the paper's §VIII *hybrid OpenMP+MPI* direction):
+    /// each rank splits its query batch round-robin across this many
+    /// shared-memory threads; the rank's query time is the slowest thread's.
+    /// 1 = the paper's flat-MPI configuration.
+    pub threads_per_rank: usize,
+    /// Relative speed of each rank (1.0 = nominal), for **heterogeneous**
+    /// clusters (§VIII). Compute on rank `m` takes `work / rank_speeds[m]`
+    /// virtual seconds. `None` = homogeneous.
+    pub rank_speeds: Option<Vec<f64>>,
+    /// When `true` and `rank_speeds` is set, partition peptide counts
+    /// proportionally to speed ([`crate::partition::partition_weighted_cyclic`])
+    /// — the paper's "load-predicting model". When `false`, the configured
+    /// policy is used unchanged (exposing the imbalance mis-prediction
+    /// causes).
+    pub weight_partition_by_speed: bool,
+}
+
+impl EngineConfig {
+    /// Paper-default settings with the given policy.
+    pub fn with_policy(policy: PartitionPolicy) -> Self {
+        EngineConfig {
+            slm: SlmConfig::default(),
+            modspec: ModSpec::none(),
+            policy,
+            cost: SearchCostModel::default(),
+            serial: SerialCostModel::default(),
+            threads_per_rank: 1,
+            rank_speeds: None,
+            weight_partition_by_speed: false,
+        }
+    }
+
+    /// The speed factor of rank `me` (1.0 when homogeneous).
+    fn speed_of(&self, me: usize) -> f64 {
+        self.rank_speeds
+            .as_ref()
+            .map(|v| v[me])
+            .unwrap_or(1.0)
+    }
+}
+
+/// A PSM with the *global* (original database) peptide id, as produced by
+/// the master after mapping-table translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalPsm {
+    /// Original peptide id in the input database.
+    pub peptide: u32,
+    /// Modform ordinal.
+    pub modform: u16,
+    /// Shared peak count.
+    pub shared_peaks: u16,
+    /// Score (comparable within one query).
+    pub score: f32,
+    /// Rank that produced the match.
+    pub rank: u16,
+}
+
+/// What one rank reports to the master (and to the caller).
+#[derive(Debug, Clone, PartialEq)]
+struct RankReturn {
+    peptides: usize,
+    spectra: usize,
+    ions: usize,
+    build_time: f64,
+    query_time: f64,
+    stats: QueryStats,
+    footprint: MemoryFootprint,
+}
+
+/// Full report of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedSearchReport {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Policy used.
+    pub policy: PartitionPolicy,
+    /// Peptides per rank.
+    pub partition_sizes: Vec<usize>,
+    /// Indexed theoretical spectra per rank.
+    pub index_spectra: Vec<usize>,
+    /// Indexed ions per rank.
+    pub index_ions: Vec<usize>,
+    /// Per-rank index footprints (master's includes the mapping table).
+    pub footprints: Vec<MemoryFootprint>,
+    /// Mapping-table bytes (master only).
+    pub mapping_table_bytes: usize,
+    /// Per-rank virtual index-build times.
+    pub build_times: Vec<f64>,
+    /// Per-rank virtual query times — Fig. 6/7/8's quantity.
+    pub rank_query_times: Vec<f64>,
+    /// Per-rank final clocks (total execution) — Fig. 9/10's quantity.
+    pub total_times: Vec<f64>,
+    /// Modelled serial preprocessing seconds included in every rank's clock.
+    pub serial_seconds: f64,
+    /// Imbalance summary over `rank_query_times` (Eq. 1).
+    pub imbalance: ImbalanceSummary,
+    /// Total candidate PSMs across ranks (the paper's cPSM count).
+    pub total_candidates: u64,
+    /// Per-rank work counters.
+    pub per_rank_stats: Vec<QueryStats>,
+    /// Master-merged top-k PSMs per query, global peptide ids.
+    pub psms: Vec<Vec<GlobalPsm>>,
+}
+
+impl DistributedSearchReport {
+    /// Query-phase makespan (the paper's "Query Time").
+    pub fn query_time(&self) -> f64 {
+        self.rank_query_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total-execution makespan (the paper's "Execution Time").
+    pub fn execution_time(&self) -> f64 {
+        self.total_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean candidate PSMs per query.
+    pub fn cpsms_per_query(&self) -> f64 {
+        if self.psms.is_empty() {
+            0.0
+        } else {
+            self.total_candidates as f64 / self.psms.len() as f64
+        }
+    }
+}
+
+
+/// Runs the full distributed pipeline on `ranks` simulated machines.
+///
+/// `grouping` is Algorithm 1's output over `db` (serial preprocessing, per
+/// the paper's workflow); `queries` are preprocessed spectra searched by
+/// every rank against its partition.
+pub fn run_distributed_search(
+    db: &PeptideDb,
+    grouping: &Grouping,
+    queries: &[Spectrum],
+    cfg: &EngineConfig,
+    ranks: usize,
+) -> DistributedSearchReport {
+    if let Some(speeds) = &cfg.rank_speeds {
+        assert_eq!(speeds.len(), ranks, "rank_speeds must cover every rank");
+    }
+    assert!(cfg.threads_per_rank >= 1, "threads_per_rank must be >= 1");
+    let partition = match (&cfg.rank_speeds, cfg.weight_partition_by_speed) {
+        (Some(speeds), true) => crate::partition::partition_weighted_cyclic(grouping, speeds),
+        _ => partition_groups(grouping, ranks, cfg.policy),
+    };
+    let mapping = MappingTable::from_partition(&partition);
+    let serial_seconds = cfg.serial.per_spectrum_io_s * queries.len() as f64
+        + cfg.serial.per_peptide_grouping_s * db.len() as f64;
+
+    let cluster = Cluster::new(ClusterConfig::new(ranks));
+    let outcome = cluster.run(|comm| {
+        rank_program(
+            comm,
+            db,
+            &partition,
+            &mapping,
+            queries,
+            cfg,
+            serial_seconds,
+        )
+    });
+
+    assemble_report(outcome, &partition, &mapping, cfg, serial_seconds, queries.len())
+}
+
+/// The SPMD body executed by each rank.
+fn rank_program(
+    comm: &mut Communicator,
+    db: &PeptideDb,
+    partition: &Partition,
+    mapping: &MappingTable,
+    queries: &[Spectrum],
+    cfg: &EngineConfig,
+    serial_seconds: f64,
+) -> (RankReturn, Option<Vec<Vec<GlobalPsm>>>) {
+    let me = comm.rank();
+    let speed = cfg.speed_of(me);
+
+    // 1. Serial preprocessing: grouping happened upstream; every rank reads
+    //    and preprocesses the query file (does not scale with p).
+    comm.compute(serial_seconds / speed);
+
+    // 2. Extract this rank's partition from the clustered database.
+    comm.compute(cfg.cost.per_peptide_extract_s * db.len() as f64 / speed);
+    let local_db: PeptideDb = partition
+        .rank(me)
+        .iter()
+        .map(|&gid| db.get(gid).clone())
+        .collect::<Vec<Peptide>>()
+        .into_iter()
+        .collect();
+
+    // 3. Build the partial SLM index (and the mapping table on the master —
+    //    its cost is one pass over N ids, folded into extraction above).
+    let t_build0 = comm.now();
+    let mut builder = IndexBuilder::new(cfg.slm.clone(), cfg.modspec.clone());
+    let index = builder.build(&local_db);
+    comm.compute(cfg.cost.build_seconds(index.num_ions()) / speed);
+    let build_time = comm.now() - t_build0;
+
+    let mut footprint = MemoryFootprint::of_index(&index);
+    if comm.is_master() {
+        footprint = footprint.with_mapping_table(mapping.len());
+    }
+
+    // 4. Construction/query separation point.
+    comm.barrier();
+
+    // 5. Search every query against the partial index. With
+    //    `threads_per_rank > 1` (hybrid mode), queries are dealt round-robin
+    //    to shared-memory threads; the rank finishes with its slowest
+    //    thread. Multicore nodes are symmetrical, so this simple static
+    //    split is already near-balanced (§VIII).
+    let t_q0 = comm.now();
+    let threads = cfg.threads_per_rank;
+    let mut thread_times = vec![0.0f64; threads];
+    let mut searcher = Searcher::new(&index);
+    let mut totals = QueryStats::default();
+    let mut local_psms: Vec<Vec<Psm>> = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let r = searcher.search(q);
+        thread_times[qi % threads] += cfg.cost.query_seconds(&r.stats) / speed;
+        totals.accumulate(&r.stats);
+        local_psms.push(r.psms);
+    }
+    comm.compute(thread_times.iter().copied().fold(0.0, f64::max));
+    let query_time = comm.now() - t_q0;
+
+    // 6. Return virtual indices to the master; O(1) mapping + merge there.
+    let psm_count: usize = local_psms.iter().map(Vec::len).sum();
+    let wire: Vec<Vec<Psm>> = local_psms;
+    let gathered = comm.gather(0, wire, psm_count * std::mem::size_of::<Psm>());
+
+    let merged = gathered.map(|per_rank| {
+        let total_psms: usize = per_rank.iter().flat_map(|r| r.iter().map(Vec::len)).sum();
+        comm.compute(cfg.serial.per_psm_merge_s * total_psms as f64 / speed);
+        merge_results(per_rank, mapping, cfg.slm.top_k, queries.len())
+    });
+
+    (
+        RankReturn {
+            peptides: local_db.len(),
+            spectra: index.num_spectra(),
+            ions: index.num_ions(),
+            build_time,
+            query_time,
+            stats: totals,
+            footprint,
+        },
+        merged,
+    )
+}
+
+/// Master-side merge: translate local ids to global, combine ranks, keep
+/// top-k per query.
+fn merge_results(
+    per_rank: Vec<Vec<Vec<Psm>>>,
+    mapping: &MappingTable,
+    top_k: usize,
+    num_queries: usize,
+) -> Vec<Vec<GlobalPsm>> {
+    let mut merged: Vec<Vec<GlobalPsm>> = vec![Vec::new(); num_queries];
+    for (rank, rank_results) in per_rank.into_iter().enumerate() {
+        assert_eq!(
+            rank_results.len(),
+            num_queries,
+            "rank {rank} returned wrong query count"
+        );
+        for (qi, psms) in rank_results.into_iter().enumerate() {
+            for p in psms {
+                merged[qi].push(GlobalPsm {
+                    peptide: mapping.global_of(rank, p.peptide),
+                    modform: p.modform,
+                    shared_peaks: p.shared_peaks,
+                    score: p.score,
+                    rank: rank as u16,
+                });
+            }
+        }
+    }
+    for q in &mut merged {
+        q.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then(a.peptide.cmp(&b.peptide))
+        });
+        q.truncate(top_k);
+    }
+    merged
+}
+
+fn assemble_report(
+    outcome: lbe_cluster::RunOutcome<(RankReturn, Option<Vec<Vec<GlobalPsm>>>)>,
+    partition: &Partition,
+    mapping: &MappingTable,
+    cfg: &EngineConfig,
+    serial_seconds: f64,
+    num_queries: usize,
+) -> DistributedSearchReport {
+    let ranks = partition.num_ranks();
+    let mut partition_sizes = Vec::with_capacity(ranks);
+    let mut index_spectra = Vec::with_capacity(ranks);
+    let mut index_ions = Vec::with_capacity(ranks);
+    let mut footprints = Vec::with_capacity(ranks);
+    let mut build_times = Vec::with_capacity(ranks);
+    let mut rank_query_times = Vec::with_capacity(ranks);
+    let mut per_rank_stats = Vec::with_capacity(ranks);
+    let mut total_candidates = 0u64;
+    let mut psms: Vec<Vec<GlobalPsm>> = vec![Vec::new(); num_queries];
+
+    for (rr, merged) in outcome.results {
+        partition_sizes.push(rr.peptides);
+        index_spectra.push(rr.spectra);
+        index_ions.push(rr.ions);
+        footprints.push(rr.footprint);
+        build_times.push(rr.build_time);
+        rank_query_times.push(rr.query_time);
+        total_candidates += rr.stats.candidates;
+        per_rank_stats.push(rr.stats);
+        if let Some(m) = merged {
+            psms = m;
+        }
+    }
+
+    let imbalance = ImbalanceSummary::from_times(&rank_query_times);
+    DistributedSearchReport {
+        ranks,
+        policy: cfg.policy,
+        partition_sizes,
+        index_spectra,
+        index_ions,
+        footprints,
+        mapping_table_bytes: mapping.heap_bytes(),
+        build_times,
+        rank_query_times,
+        total_times: outcome.times,
+        serial_seconds,
+        imbalance,
+        total_candidates,
+        per_rank_stats,
+        psms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{group_peptides, GroupingParams};
+    use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+
+    fn small_db() -> PeptideDb {
+        let seqs = [
+            "ELVISLIVESK",
+            "ELVISLIVESR",
+            "PEPTIDEK",
+            "PEPTIDER",
+            "SAMPLERK",
+            "SAMPLERR",
+            "MNKQMGGR",
+            "WWYYFFHHK",
+        ];
+        PeptideDb::from_vec(
+            seqs.iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    fn run(policy: PartitionPolicy, ranks: usize) -> (DistributedSearchReport, SyntheticDataset, PeptideDb) {
+        let db = small_db();
+        let grouping = group_peptides(&db, &GroupingParams::default());
+        let queries = SyntheticDataset::generate(
+            &db,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 12,
+                ..Default::default()
+            },
+            5,
+        );
+        let cfg = EngineConfig::with_policy(policy);
+        let report = run_distributed_search(&db, &grouping, &queries.spectra, &cfg, ranks);
+        (report, queries, db)
+    }
+
+    #[test]
+    fn exact_cover_across_ranks() {
+        let (r, _, db) = run(PartitionPolicy::Cyclic, 4);
+        assert_eq!(r.partition_sizes.iter().sum::<usize>(), db.len());
+        assert_eq!(r.index_spectra.iter().sum::<usize>(), db.len()); // no mods
+    }
+
+    #[test]
+    fn search_finds_truth_under_all_policies() {
+        for policy in [
+            PartitionPolicy::Chunk,
+            PartitionPolicy::Cyclic,
+            PartitionPolicy::Random { seed: 3 },
+        ] {
+            let (r, queries, _) = run(policy, 4);
+            let mut hits = 0;
+            for (qi, truth) in queries.truth.iter().enumerate() {
+                if r.psms[qi].first().map(|p| p.peptide) == Some(*truth) {
+                    hits += 1;
+                }
+            }
+            // Synthetic queries are high quality; the true peptide should
+            // top-rank nearly always regardless of how data is partitioned.
+            assert!(hits >= 10, "{policy}: only {hits}/12 top-1 correct");
+        }
+    }
+
+    #[test]
+    fn distributed_equals_single_rank_results() {
+        let (r1, queries, _) = run(PartitionPolicy::Cyclic, 1);
+        let (r4, _, _) = run(PartitionPolicy::Cyclic, 4);
+        assert_eq!(r1.psms.len(), r4.psms.len());
+        for (a, b) in r1.psms.iter().zip(&r4.psms) {
+            let pa: Vec<(u32, u16)> = a.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+            let pb: Vec<(u32, u16)> = b.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+            assert_eq!(pa, pb, "query {:?}", queries.truth);
+        }
+        assert_eq!(r1.total_candidates, r4.total_candidates);
+    }
+
+    #[test]
+    fn deterministic_virtual_times() {
+        let (a, _, _) = run(PartitionPolicy::Chunk, 4);
+        let (b, _, _) = run(PartitionPolicy::Chunk, 4);
+        assert_eq!(a.rank_query_times, b.rank_query_times);
+        assert_eq!(a.total_times, b.total_times);
+        assert_eq!(a.total_candidates, b.total_candidates);
+    }
+
+    #[test]
+    fn report_quantities_consistent() {
+        let (r, _, _) = run(PartitionPolicy::Cyclic, 4);
+        assert_eq!(r.ranks, 4);
+        assert!(r.query_time() > 0.0);
+        assert!(r.execution_time() >= r.query_time());
+        assert!(r.serial_seconds > 0.0);
+        assert!(r.imbalance.load_imbalance >= 0.0);
+        assert!(r.mapping_table_bytes >= 8 * 4);
+        assert_eq!(r.footprints.len(), 4);
+        // Master's footprint includes the mapping table; workers' don't.
+        assert!(r.footprints[0].mapping_table > 0);
+        assert!(r.footprints[1..].iter().all(|f| f.mapping_table == 0));
+    }
+
+    #[test]
+    fn candidates_counted() {
+        let (r, _, _) = run(PartitionPolicy::Cyclic, 2);
+        assert!(r.total_candidates > 0);
+        assert!(r.cpsms_per_query() > 0.0);
+    }
+
+    fn run_with_cfg(cfg: &EngineConfig, ranks: usize) -> DistributedSearchReport {
+        let db = small_db();
+        let grouping = group_peptides(&db, &GroupingParams::default());
+        let queries = SyntheticDataset::generate(
+            &db,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 12,
+                ..Default::default()
+            },
+            5,
+        );
+        run_distributed_search(&db, &grouping, &queries.spectra, cfg, ranks)
+    }
+
+    #[test]
+    fn hybrid_threads_shrink_query_time() {
+        let flat = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        let mut hybrid = flat.clone();
+        hybrid.threads_per_rank = 4;
+        let r_flat = run_with_cfg(&flat, 2);
+        let r_hyb = run_with_cfg(&hybrid, 2);
+        // Same results, faster (or equal) virtual query phase.
+        assert_eq!(r_flat.total_candidates, r_hyb.total_candidates);
+        assert!(r_hyb.query_time() < r_flat.query_time());
+        // With 12 queries over 4 threads the split is near-perfect: ≥2x.
+        assert!(r_flat.query_time() / r_hyb.query_time() >= 2.0);
+    }
+
+    #[test]
+    fn heterogeneous_slow_rank_dominates_without_weighting() {
+        let mut cfg = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        cfg.rank_speeds = Some(vec![1.0, 1.0, 1.0, 0.25]);
+        let r = run_with_cfg(&cfg, 4);
+        // The 4x-slower rank should be the makespan.
+        let slowest = r
+            .rank_query_times
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(slowest, 3);
+        assert!(r.imbalance.load_imbalance > 0.3);
+    }
+
+    #[test]
+    fn speed_weighted_partition_rebalances() {
+        let mut uniform = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        uniform.rank_speeds = Some(vec![1.0, 1.0, 0.5, 0.5]);
+        let mut weighted = uniform.clone();
+        weighted.weight_partition_by_speed = true;
+        let r_u = run_with_cfg(&uniform, 4);
+        let r_w = run_with_cfg(&weighted, 4);
+        // Weighted partitioning gives slow ranks fewer peptides...
+        assert!(r_w.partition_sizes[2] < r_w.partition_sizes[0]);
+        // ...and cuts the imbalance versus speed-blind cyclic.
+        assert!(
+            r_w.imbalance.load_imbalance < r_u.imbalance.load_imbalance,
+            "weighted {:.3} !< uniform {:.3}",
+            r_w.imbalance.load_imbalance,
+            r_u.imbalance.load_imbalance
+        );
+        // Results unchanged.
+        assert_eq!(r_w.total_candidates, r_u.total_candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank_speeds must cover every rank")]
+    fn mismatched_speed_vector_rejected() {
+        let mut cfg = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        cfg.rank_speeds = Some(vec![1.0, 1.0]);
+        run_with_cfg(&cfg, 4);
+    }
+}

@@ -1,0 +1,483 @@
+//! Algorithm 1 — grouping similar peptide sequences.
+//!
+//! Verbatim from the paper (§III-C):
+//!
+//! 1. sort peptide sequences by length, then lexicographically;
+//! 2. start group `g1` at the first sequence `s1`;
+//! 3. scan forward: sequence `sj` joins the current group while the group
+//!    has fewer than `gsize` members (default 20) and `sj` is similar to the
+//!    group *seed* under the active criterion:
+//!    * **criterion 1**: `ED(s1, sj) ≤ max{d, len(sj)/2}` (default `d = 2`);
+//!    * **criterion 2**: `ED(s1, sj) / max{len(s1), len(sj)} ≤ d'`
+//!      (default `d' = 0.86`);
+//! 4. on failure, `sj` seeds the next group; repeat until exhausted.
+//!
+//! The output is the sorted traversal order plus the group sizes — exactly
+//! the `Lz` list of the paper's pseudocode, which is all the partitioner
+//! needs.
+
+use crate::distance::{edit_distance, edit_distance_bounded};
+use lbe_bio::peptide::PeptideDb;
+
+/// The two similarity cutoffs of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupingCriterion {
+    /// `ED(seed, s) ≤ max{d, len(s)/2}`.
+    Absolute {
+        /// The constant `d` (paper default 2).
+        d: usize,
+    },
+    /// `ED(seed, s) / max{len(seed), len(s)} ≤ d'`.
+    Normalized {
+        /// The ratio `d'` (paper default 0.86).
+        d_prime: f64,
+    },
+}
+
+impl GroupingCriterion {
+    /// Paper default for criterion 1.
+    pub fn absolute_default() -> Self {
+        GroupingCriterion::Absolute { d: 2 }
+    }
+
+    /// Paper default for criterion 2 (used in the evaluation, §V-A.1).
+    pub fn normalized_default() -> Self {
+        GroupingCriterion::Normalized { d_prime: 0.86 }
+    }
+
+    /// Whether `candidate` is similar enough to `seed`.
+    pub fn admits(&self, seed: &[u8], candidate: &[u8]) -> bool {
+        match *self {
+            GroupingCriterion::Absolute { d } => {
+                let cutoff = d.max(candidate.len() / 2);
+                edit_distance_bounded(seed, candidate, cutoff).is_some()
+            }
+            GroupingCriterion::Normalized { d_prime } => {
+                let denom = seed.len().max(candidate.len());
+                if denom == 0 {
+                    return true; // two empty sequences are identical
+                }
+                // The cutoff distance is d'·denom — still bounded, so the
+                // banded implementation applies.
+                let cutoff = (d_prime * denom as f64).floor() as usize;
+                edit_distance_bounded(seed, candidate, cutoff).is_some()
+            }
+        }
+    }
+
+    /// The raw distance (unbounded) — exposed for diagnostics/ablations.
+    pub fn distance(seed: &[u8], candidate: &[u8]) -> usize {
+        edit_distance(seed, candidate)
+    }
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupingParams {
+    /// Similarity criterion.
+    pub criterion: GroupingCriterion,
+    /// Maximum group size `gsize` (paper default 20; the pseudocode's
+    /// `csize`).
+    pub gsize: usize,
+}
+
+impl Default for GroupingParams {
+    fn default() -> Self {
+        GroupingParams {
+            // §V-A.1: "clustered using criterion 2 with default settings".
+            criterion: GroupingCriterion::normalized_default(),
+            gsize: 20,
+        }
+    }
+}
+
+/// The output of Algorithm 1: the sorted traversal order and group sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    /// Peptide ids in sorted (length, lex) order — the order groups are
+    /// laid out in.
+    pub order: Vec<u32>,
+    /// Size of each group, in traversal order (`Σ sizes == order.len()`).
+    pub group_sizes: Vec<u32>,
+}
+
+impl Grouping {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// Total peptides grouped.
+    pub fn num_peptides(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Mean group size.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.group_sizes.is_empty() {
+            0.0
+        } else {
+            self.order.len() as f64 / self.group_sizes.len() as f64
+        }
+    }
+
+    /// Iterates over groups as slices of peptide ids.
+    pub fn iter_groups(&self) -> impl Iterator<Item = &[u32]> {
+        GroupIter {
+            order: &self.order,
+            sizes: &self.group_sizes,
+            gi: 0,
+            offset: 0,
+        }
+    }
+
+    /// A trivial grouping (every peptide its own group) over `n` peptides in
+    /// id order — the "no grouping" ablation baseline.
+    pub fn trivial(n: usize) -> Self {
+        Grouping {
+            order: (0..n as u32).collect(),
+            group_sizes: vec![1; n],
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let total: u64 = self.group_sizes.iter().map(|&s| s as u64).sum();
+        if total != self.order.len() as u64 {
+            return Err(format!(
+                "group sizes sum to {total}, order holds {}",
+                self.order.len()
+            ));
+        }
+        if self.group_sizes.contains(&0) {
+            return Err("empty group".into());
+        }
+        let mut seen = vec![false; self.order.len()];
+        for &id in &self.order {
+            let i = id as usize;
+            if i >= seen.len() || seen[i] {
+                return Err(format!("peptide id {id} missing or duplicated"));
+            }
+            seen[i] = true;
+        }
+        Ok(())
+    }
+}
+
+struct GroupIter<'a> {
+    order: &'a [u32],
+    sizes: &'a [u32],
+    gi: usize,
+    offset: usize,
+}
+
+impl<'a> Iterator for GroupIter<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        let size = *self.sizes.get(self.gi)? as usize;
+        let slice = &self.order[self.offset..self.offset + size];
+        self.gi += 1;
+        self.offset += size;
+        Some(slice)
+    }
+}
+
+/// Groups peptides by **precursor mass** — the grouping key LBE prescribes
+/// when the underlying engine uses precursor-mass filtration (§III-C: "if
+/// the underlying algorithm filters reference data based on precursor
+/// masses, then the LBE must ensure identical average peptide precursor
+/// mass across the system").
+///
+/// Peptides are sorted by mass; a group grows while the candidate is within
+/// `mass_window` Daltons of the group seed and the group holds fewer than
+/// `gsize` members. Dealing these groups cyclically gives every rank a
+/// near-identical mass profile, so any precursor window selects a similar
+/// candidate count on every machine.
+pub fn group_peptides_by_mass(db: &PeptideDb, mass_window: f64, gsize: usize) -> Grouping {
+    assert!(gsize >= 1, "gsize must be at least 1");
+    assert!(mass_window >= 0.0 && mass_window.is_finite());
+    let mut order: Vec<u32> = (0..db.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        db.get(a)
+            .mass()
+            .partial_cmp(&db.get(b).mass())
+            .expect("finite masses")
+    });
+    let mut group_sizes: Vec<u32> = Vec::new();
+    if order.is_empty() {
+        return Grouping { order, group_sizes };
+    }
+    let mut seed_mass = db.get(order[0]).mass();
+    group_sizes.push(1);
+    for &id in &order[1..] {
+        let m = db.get(id).mass();
+        let current = group_sizes.last_mut().expect("at least one group");
+        if *current as usize >= gsize || (m - seed_mass) > mass_window {
+            seed_mass = m;
+            group_sizes.push(1);
+        } else {
+            *current += 1;
+        }
+    }
+    Grouping { order, group_sizes }
+}
+
+/// Runs Algorithm 1 over `db`.
+pub fn group_peptides(db: &PeptideDb, params: &GroupingParams) -> Grouping {
+    assert!(params.gsize >= 1, "gsize must be at least 1");
+    // SortByLength then LexSort (on ids, so the db itself is untouched).
+    let mut order: Vec<u32> = (0..db.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (pa, pb) = (db.get(a), db.get(b));
+        pa.len()
+            .cmp(&pb.len())
+            .then_with(|| pa.sequence().cmp(pb.sequence()))
+    });
+
+    let mut group_sizes: Vec<u32> = Vec::new();
+    if order.is_empty() {
+        return Grouping { order, group_sizes };
+    }
+
+    let mut seed = db.get(order[0]).sequence();
+    group_sizes.push(1);
+    for &id in &order[1..] {
+        let candidate = db.get(id).sequence();
+        let current = group_sizes.last_mut().expect("at least one group");
+        if *current as usize >= params.gsize || !params.criterion.admits(seed, candidate) {
+            seed = candidate;
+            group_sizes.push(1);
+        } else {
+            *current += 1;
+        }
+    }
+    Grouping { order, group_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::peptide::Peptide;
+
+    fn db(seqs: &[&str]) -> PeptideDb {
+        PeptideDb::from_vec(
+            seqs.iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn similar_sequences_grouped() {
+        // Family of near-identical peptides + one outlier.
+        let d = db(&["AAAGGGK", "AAAGGGR", "AAAGGCK", "WWWWYYFFK"]);
+        let g = group_peptides(
+            &d,
+            &GroupingParams {
+                criterion: GroupingCriterion::Absolute { d: 2 },
+                gsize: 20,
+            },
+        );
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 2);
+        let sizes: Vec<u32> = g.group_sizes.clone();
+        assert!(sizes.contains(&3) && sizes.contains(&1), "{sizes:?}");
+    }
+
+    #[test]
+    fn gsize_caps_groups() {
+        let seqs: Vec<String> = (0..10).map(|_| "AAAGGGK".to_string()).collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let g = group_peptides(
+            &db(&refs),
+            &GroupingParams {
+                criterion: GroupingCriterion::Absolute { d: 2 },
+                gsize: 4,
+            },
+        );
+        g.validate().unwrap();
+        assert!(g.group_sizes.iter().all(|&s| s <= 4));
+        assert_eq!(g.num_groups(), 3); // 4 + 4 + 2
+    }
+
+    #[test]
+    fn order_is_length_then_lex() {
+        let d = db(&["CCCCK", "AAK", "ACK", "AAAK"]);
+        let g = group_peptides(&d, &GroupingParams::default());
+        let seqs: Vec<&str> = g
+            .order
+            .iter()
+            .map(|&id| d.get(id).sequence_str())
+            .collect();
+        assert_eq!(seqs, vec!["AAK", "ACK", "AAAK", "CCCCK"]);
+    }
+
+    #[test]
+    fn criterion1_cutoff_is_max_of_d_and_half_len() {
+        let c = GroupingCriterion::Absolute { d: 2 };
+        // len 12 candidate → cutoff max(2,6)=6: distance 5 admits.
+        assert!(c.admits(b"AAAAAAAAAAAA", b"AAAAAAAGGGGG"));
+        // short candidate → cutoff 2: distance 3 rejects.
+        assert!(!c.admits(b"AAAA", b"AGGG"));
+    }
+
+    #[test]
+    fn criterion2_normalized() {
+        let c = GroupingCriterion::Normalized { d_prime: 0.5 };
+        // distance 2, maxlen 8 → 0.25 ≤ 0.5 admits.
+        assert!(c.admits(b"PEPTIDEK", b"PEPTIDER"));
+        // distance 8, maxlen 8 → 1.0 > 0.5 rejects.
+        assert!(!c.admits(b"AAAAAAAA", b"GGGGGGGG"));
+    }
+
+    #[test]
+    fn paper_default_criterion2_is_loose() {
+        // d' = 0.86 admits nearly everything of similar length — exactly
+        // what the paper's default does. Cutoff = floor(0.86·8) = 6.
+        let c = GroupingCriterion::normalized_default();
+        assert!(c.admits(b"AAAAAAAA", b"GGGAAAAA")); // distance 3 ≤ 6
+        assert!(c.admits(b"AAAAAAAA", b"GGGGGGAA")); // distance 6 ≤ 6
+        assert!(!c.admits(b"AAAAAAAA", b"GGGGGGGA")); // distance 7 > 6
+    }
+
+    #[test]
+    fn singleton_and_empty_dbs() {
+        let g = group_peptides(&db(&["AAK"]), &GroupingParams::default());
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 1);
+        let g = group_peptides(&PeptideDb::new(), &GroupingParams::default());
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 0);
+        assert_eq!(g.mean_group_size(), 0.0);
+    }
+
+    #[test]
+    fn iter_groups_covers_order() {
+        let d = db(&["AAAGGGK", "AAAGGGR", "WWWWYYFFK", "WWWWYYFFR"]);
+        let g = group_peptides(
+            &d,
+            &GroupingParams {
+                criterion: GroupingCriterion::Absolute { d: 2 },
+                gsize: 20,
+            },
+        );
+        let flattened: Vec<u32> = g.iter_groups().flatten().copied().collect();
+        assert_eq!(flattened, g.order);
+        assert_eq!(g.iter_groups().count(), g.num_groups());
+    }
+
+    #[test]
+    fn trivial_grouping() {
+        let g = Grouping::trivial(5);
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 5);
+        assert_eq!(g.mean_group_size(), 1.0);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut g = Grouping::trivial(3);
+        g.group_sizes[0] = 2;
+        assert!(g.validate().is_err());
+        let g = Grouping {
+            order: vec![0, 0, 1],
+            group_sizes: vec![3],
+        };
+        assert!(g.validate().is_err());
+        let g = Grouping {
+            order: vec![0],
+            group_sizes: vec![1, 0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = db(&["AAAGGGK", "AAAGGGR", "WWWWYYFFK", "PEPTIDEK", "PEPTIDER"]);
+        let p = GroupingParams::default();
+        assert_eq!(group_peptides(&d, &p), group_peptides(&d, &p));
+    }
+
+    #[test]
+    fn mass_grouping_orders_by_mass() {
+        let d = db(&["WWWWK", "GGK", "PEPTIDEK", "AAAK"]);
+        let g = group_peptides_by_mass(&d, 50.0, 20);
+        g.validate().unwrap();
+        let masses: Vec<f64> = g.order.iter().map(|&id| d.get(id).mass()).collect();
+        assert!(masses.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mass_grouping_splits_on_window() {
+        // GGK ~260, AAK-like cluster, then heavy outlier.
+        let d = db(&["GGK", "GGR", "WWWWWWWWK"]);
+        let g = group_peptides_by_mass(&d, 40.0, 20);
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.group_sizes[0], 2);
+    }
+
+    #[test]
+    fn mass_grouping_respects_gsize() {
+        let seqs: Vec<String> = (0..9).map(|_| "AAGGK".to_string()).collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let g = group_peptides_by_mass(&db(&refs), 10.0, 4);
+        g.validate().unwrap();
+        assert!(g.group_sizes.iter().all(|&s| s <= 4));
+    }
+
+    #[test]
+    fn mass_grouping_balances_rank_mass_sketch() {
+        use crate::partition::{partition_groups, PartitionPolicy};
+        // A mass gradient: cyclic dealing should equalize mean mass per
+        // rank; chunk should not.
+        let seqs: Vec<String> = (1..=40)
+            .map(|i| format!("{}K", "G".repeat(i)))
+            .collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let d = db(&refs);
+        let g = group_peptides_by_mass(&d, 30.0, 4);
+        let mean_mass = |ids: &[u32]| -> f64 {
+            ids.iter().map(|&id| d.get(id).mass()).sum::<f64>() / ids.len() as f64
+        };
+        let cyc = partition_groups(&g, 4, PartitionPolicy::Cyclic);
+        let chk = partition_groups(&g, 4, PartitionPolicy::Chunk);
+        let spread = |p: &crate::partition::Partition| {
+            let means: Vec<f64> = (0..4).map(|m| mean_mass(p.rank(m))).collect();
+            let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+            max - min
+        };
+        assert!(
+            spread(&cyc) < spread(&chk) / 5.0,
+            "cyclic mass spread {:.1} should be far below chunk {:.1}",
+            spread(&cyc),
+            spread(&chk)
+        );
+    }
+
+    #[test]
+    fn mass_grouping_empty_db() {
+        let g = group_peptides_by_mass(&PeptideDb::new(), 10.0, 5);
+        g.validate().unwrap();
+        assert_eq!(g.num_groups(), 0);
+    }
+
+    #[test]
+    fn seed_is_fixed_within_group() {
+        // A chain A→B→C where each neighbour is within d but C is far from A
+        // must split when the seed stays at A (no transitive chaining).
+        let d = db(&["AAAAAAAA", "AAAAAGGG", "AAGGGGGG"]);
+        let g = group_peptides(
+            &d,
+            &GroupingParams {
+                criterion: GroupingCriterion::Absolute { d: 3 },
+                gsize: 20,
+            },
+        );
+        // seed AAAAAAAA: AAAAAGGG at distance 3 joins (cutoff max(3,4)=4),
+        // AAGGGGGG at distance 6 > 4 starts a new group.
+        assert_eq!(g.group_sizes, vec![2, 1]);
+    }
+}

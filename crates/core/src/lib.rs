@@ -1,0 +1,62 @@
+//! # lbe-core — the LBE load-balancing algorithm
+//!
+//! The paper's contribution, end to end:
+//!
+//! * [`distance`] — edit distance (full DP and banded-with-cutoff, the inner
+//!   loop of Algorithm 1);
+//! * [`grouping`] — Algorithm 1: sort peptides by length then
+//!   lexicographically, greedily grow groups of similar sequences under one
+//!   of two configurable criteria;
+//! * [`partition`] — the three distribution policies (§III-D): **Chunk**
+//!   (the shared-memory baseline), **Cyclic**, and **Random**;
+//! * [`mapping`] — the master's O(1) virtual-index → original-entry mapping
+//!   table (§III-D, Fig. 4);
+//! * [`engine`] — the distributed build + query orchestration on top of
+//!   `lbe-cluster` (§III-E);
+//! * [`metrics`] — Load Imbalance, wasted CPU time, speedup and efficiency
+//!   calculations used by the paper's evaluation;
+//! * [`pipeline`] — one-call end-to-end runs for examples and the figure
+//!   harness.
+//!
+//! ```
+//! use lbe_core::prelude::*;
+//! use lbe_bio::prelude::*;
+//!
+//! // A small end-to-end distributed search.
+//! let report = PipelineBuilder::small_demo().run(42);
+//! assert!(report.search.imbalance.load_imbalance >= 0.0);
+//! assert_eq!(report.search.rank_query_times.len(), 4);
+//! ```
+
+pub mod distance;
+pub mod engine;
+pub mod fdr;
+pub mod grouping;
+pub mod mapping;
+pub mod metrics;
+pub mod partition;
+pub mod pipeline;
+pub mod spectral_grouping;
+
+pub use distance::{edit_distance, edit_distance_bounded};
+pub use engine::{
+    DistributedSearchReport, EngineConfig, GlobalPsm, SearchCostModel, SerialCostModel,
+};
+pub use grouping::{group_peptides, group_peptides_by_mass, Grouping, GroupingCriterion, GroupingParams};
+pub use mapping::MappingTable;
+pub use metrics::{amdahl_speedup, efficiency, lb_speedup_over_chunk, speedup};
+pub use fdr::{accepted_at, compute_q_values, QValued, ScoredId};
+pub use partition::{partition_groups, partition_weighted_cyclic, Partition, PartitionPolicy};
+pub use pipeline::{PipelineBuilder, PipelineReport};
+pub use spectral_grouping::{group_spectra, jaccard, SpectralGroupingParams};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::distance::{edit_distance, edit_distance_bounded};
+    pub use crate::engine::{DistributedSearchReport, EngineConfig, SearchCostModel};
+    pub use crate::grouping::{group_peptides, Grouping, GroupingCriterion, GroupingParams};
+    pub use crate::mapping::MappingTable;
+    pub use crate::metrics::{efficiency, lb_speedup_over_chunk, speedup};
+    pub use crate::partition::{partition_groups, Partition, PartitionPolicy};
+    pub use crate::pipeline::{PipelineBuilder, PipelineReport};
+}

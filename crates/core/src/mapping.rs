@@ -1,0 +1,143 @@
+//! The master's mapping table (§III-D, Fig. 4).
+//!
+//! "The mapping table is a simple array of size N where each *i*th chunk of
+//! array of size N/p contains the indices of peptide index entries mapped to
+//! machine *i*" — so a result arriving from machine `m` as a *virtual*
+//! (local) peptide index is translated to the original entry "in O(1) time
+//! (simple 1 memory access)".
+//!
+//! Our ranks may hold unequal counts (N may not divide p), so alongside the
+//! flat table we keep `p + 1` offsets; the lookup is still one add plus one
+//! array access.
+
+use crate::partition::Partition;
+
+/// Master-side virtual-index → global-peptide-id table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingTable {
+    /// Concatenated per-rank local→global id maps.
+    table: Vec<u32>,
+    /// `offsets[m]` = start of rank `m`'s slice; `offsets[p]` = N.
+    offsets: Vec<u64>,
+}
+
+impl MappingTable {
+    /// Builds the table from a partition (master does this once, after
+    /// index construction; worker ranks then discard their peptide tables,
+    /// as in the paper).
+    pub fn from_partition(partition: &Partition) -> Self {
+        let mut table = Vec::with_capacity(partition.total());
+        let mut offsets = Vec::with_capacity(partition.num_ranks() + 1);
+        offsets.push(0u64);
+        for rank in &partition.ranks {
+            table.extend_from_slice(rank);
+            offsets.push(table.len() as u64);
+        }
+        MappingTable { table, offsets }
+    }
+
+    /// Number of ranks covered.
+    pub fn num_ranks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// O(1) backmap: the global peptide id of local id `local` on `rank`.
+    ///
+    /// Panics if `rank`/`local` are out of range (a protocol error).
+    #[inline]
+    pub fn global_of(&self, rank: usize, local: u32) -> u32 {
+        let base = self.offsets[rank];
+        let idx = base + local as u64;
+        assert!(
+            idx < self.offsets[rank + 1],
+            "local id {local} out of range for rank {rank}"
+        );
+        self.table[idx as usize]
+    }
+
+    /// Number of peptides on `rank`.
+    pub fn rank_len(&self, rank: usize) -> usize {
+        (self.offsets[rank + 1] - self.offsets[rank]) as usize
+    }
+
+    /// Heap bytes (the distributed footprint overhead of Fig. 5).
+    pub fn heap_bytes(&self) -> usize {
+        self.table.capacity() * std::mem::size_of::<u32>()
+            + self.offsets.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::partition::{partition_groups, PartitionPolicy};
+
+    fn partition(n: usize, p: usize, policy: PartitionPolicy) -> Partition {
+        partition_groups(&Grouping::trivial(n), p, policy)
+    }
+
+    #[test]
+    fn round_trips_every_assignment() {
+        for policy in [
+            PartitionPolicy::Chunk,
+            PartitionPolicy::Cyclic,
+            PartitionPolicy::Random { seed: 11 },
+        ] {
+            let part = partition(23, 4, policy);
+            let map = MappingTable::from_partition(&part);
+            assert_eq!(map.len(), 23);
+            assert_eq!(map.num_ranks(), 4);
+            for (m, list) in part.ranks.iter().enumerate() {
+                assert_eq!(map.rank_len(m), list.len());
+                for (local, &global) in list.iter().enumerate() {
+                    assert_eq!(map.global_of(m, local as u32), global, "{policy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_ranks_supported() {
+        let part = partition(10, 3, PartitionPolicy::Cyclic);
+        let map = MappingTable::from_partition(&part);
+        assert_eq!(map.rank_len(0), 4);
+        assert_eq!(map.rank_len(1), 3);
+        assert_eq!(map.rank_len(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_local_panics() {
+        let part = partition(4, 2, PartitionPolicy::Chunk);
+        let map = MappingTable::from_partition(&part);
+        map.global_of(0, 2);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let part = partition(0, 2, PartitionPolicy::Chunk);
+        let map = MappingTable::from_partition(&part);
+        assert!(map.is_empty());
+        assert_eq!(map.rank_len(0), 0);
+    }
+
+    #[test]
+    fn heap_bytes_about_4n() {
+        let part = partition(1000, 4, PartitionPolicy::Cyclic);
+        let map = MappingTable::from_partition(&part);
+        // ≥ 4 bytes per entry, plus the small offsets array.
+        assert!(map.heap_bytes() >= 4000);
+        assert!(map.heap_bytes() < 4000 + 256);
+    }
+}

@@ -1,0 +1,147 @@
+//! Evaluation metrics: speedup, efficiency, Amdahl bound, and the paper's
+//! load-balance speedup (Fig. 11).
+
+use lbe_cluster::sim::ImbalanceSummary;
+
+/// Speedup relative to a base configuration, following the paper's Fig. 8
+/// methodology: the base case is assumed to run at ideal efficiency, so
+/// `speedup(p) = base_ranks × T(base) / T(p)`.
+///
+/// (The paper could not run on 1 rank — partition size per MPI process was
+/// capped at 10.5 M spectra — so it uses 2 CPUs as base for the 18 M index
+/// and 4 CPUs for the larger ones.)
+pub fn speedup(base_ranks: usize, base_time: f64, time: f64) -> f64 {
+    assert!(base_time >= 0.0 && time > 0.0, "times must be positive");
+    base_ranks as f64 * base_time / time
+}
+
+/// Parallel efficiency: `speedup / ranks` (1.0 = ideal).
+pub fn efficiency(speedup: f64, ranks: usize) -> f64 {
+    assert!(ranks >= 1);
+    speedup / ranks as f64
+}
+
+/// Amdahl's law: the speedup bound for a program with serial fraction `s`
+/// on `p` processors. The reference curve behind Fig. 10's saturation.
+pub fn amdahl_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_fraction), "fraction in [0,1]");
+    assert!(p >= 1);
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p as f64)
+}
+
+/// The paper's Fig. 11 quantity: CPU-time speedup of an LBE policy over the
+/// conventional chunk partitioning, derived from wasted CPU time
+/// `Twst = N·ΔTmax` (§VI). With equal `Tavg` (same total work), the ratio
+/// reduces to `ΔTmax(chunk) / ΔTmax(policy)` = `LI(chunk) / LI(policy)`.
+///
+/// Returns 1.0 when both are perfectly balanced, and `f64::INFINITY` when
+/// only the policy is (chunk wasted time, policy wasted none).
+pub fn lb_speedup_over_chunk(chunk: &ImbalanceSummary, policy: &ImbalanceSummary) -> f64 {
+    let eps = 1e-12;
+    if chunk.delta_t_max <= eps && policy.delta_t_max <= eps {
+        return 1.0;
+    }
+    if policy.delta_t_max <= eps {
+        return f64::INFINITY;
+    }
+    chunk.delta_t_max / policy.delta_t_max
+}
+
+/// Wall-clock-apparent slowdown vs true CPU-time waste (the §VI discussion:
+/// an 80 s stall on 16 CPUs *looks* like 0.8× but wastes 12.8 CPU-normalized
+/// units). Returns `(apparent_slowdown, cpu_time_waste_normalized)`.
+pub fn stall_amplification(summary: &ImbalanceSummary, ranks: usize) -> (f64, f64) {
+    let apparent = if summary.t_avg > 0.0 {
+        summary.delta_t_max / summary.t_avg
+    } else {
+        0.0
+    };
+    let cpu_waste = if summary.t_avg > 0.0 {
+        summary.wasted_cpu_time(ranks) / summary.t_avg
+    } else {
+        0.0
+    };
+    (apparent, cpu_waste)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(times: &[f64]) -> ImbalanceSummary {
+        ImbalanceSummary::from_times(times)
+    }
+
+    #[test]
+    fn speedup_ideal_base() {
+        // Base: 4 ranks at 100 s. At 8 ranks, 50 s → speedup 8.
+        assert!((speedup(4, 100.0, 50.0) - 8.0).abs() < 1e-12);
+        // Perfect efficiency at the base itself.
+        assert!((speedup(4, 100.0, 100.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_of_linear_scaling() {
+        assert!((efficiency(8.0, 8) - 1.0).abs() < 1e-12);
+        assert!((efficiency(4.0, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl_speedup(0.0, 16) - 16.0).abs() < 1e-12);
+        assert!((amdahl_speedup(1.0, 16) - 1.0).abs() < 1e-12);
+        // 10% serial on 16 CPUs ≈ 6.4×
+        let s = amdahl_speedup(0.1, 16);
+        assert!((s - 6.4).abs() < 0.01, "{s}");
+        // Monotone in p, bounded by 1/s.
+        assert!(amdahl_speedup(0.1, 32) > s);
+        assert!(amdahl_speedup(0.1, 1_000_000) < 10.0);
+    }
+
+    #[test]
+    fn lb_speedup_matches_paper_magnitudes() {
+        // Chunk LI ~120%, cyclic ~14% → ~8.6×, the paper's average.
+        let chunk = summary(&[100.0, 100.0, 100.0, 220.0]); // ΔT=90, Tavg=130
+        let t_avg = chunk.t_avg;
+        let cyclic = ImbalanceSummary {
+            delta_t_max: t_avg * 0.14,
+            ..chunk
+        };
+        let chunk_adj = ImbalanceSummary {
+            delta_t_max: t_avg * 1.2,
+            ..chunk
+        };
+        let s = lb_speedup_over_chunk(&chunk_adj, &cyclic);
+        assert!((s - 1.2 / 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lb_speedup_edge_cases() {
+        let balanced = summary(&[10.0, 10.0]);
+        let skewed = summary(&[5.0, 15.0]);
+        assert_eq!(lb_speedup_over_chunk(&balanced, &balanced), 1.0);
+        assert_eq!(lb_speedup_over_chunk(&skewed, &balanced), f64::INFINITY);
+        assert!(lb_speedup_over_chunk(&skewed, &skewed) - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn stall_amplification_paper_example() {
+        // §VI: N=16, ΔTmax=80 over Tavg=100 → apparent 0.8×, wasted 12.8×.
+        let s = ImbalanceSummary {
+            t_avg: 100.0,
+            t_max: 180.0,
+            t_min: 95.0,
+            delta_t_max: 80.0,
+            load_imbalance: 0.8,
+        };
+        let (apparent, waste) = stall_amplification(&s, 16);
+        assert!((apparent - 0.8).abs() < 1e-12);
+        assert!((waste - 12.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_time_rejected() {
+        speedup(2, 10.0, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end pipeline: proteome → digestion → dedup → Algorithm 1 →
+//! partition → distributed index → distributed search — one call for
+//! examples, integration tests, and the figure harness.
+
+use crate::engine::{run_distributed_search, DistributedSearchReport, EngineConfig};
+use crate::grouping::{group_peptides, Grouping, GroupingParams};
+use crate::partition::PartitionPolicy;
+use lbe_bio::dedup::dedup_peptides;
+use lbe_bio::digest::{digest_proteome, DigestParams};
+use lbe_bio::peptide::PeptideDb;
+use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+use lbe_spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+
+/// Everything needed for one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    /// Synthetic proteome parameters (the UP000005640 stand-in).
+    pub proteome: SyntheticProteomeParams,
+    /// Digestion settings (paper defaults).
+    pub digest: DigestParams,
+    /// Algorithm 1 settings.
+    pub grouping: GroupingParams,
+    /// Engine settings (index config, mods, policy, cost models).
+    pub engine: EngineConfig,
+    /// Query-dataset parameters (the PXD009072 stand-in).
+    pub dataset: SyntheticDatasetParams,
+    /// Query preprocessing (paper: top-100 peaks).
+    pub preprocess: PreprocessParams,
+    /// Number of simulated ranks.
+    pub ranks: usize,
+}
+
+impl PipelineBuilder {
+    /// A laptop-fast configuration: 4 ranks, a small proteome, 30 queries.
+    pub fn small_demo() -> Self {
+        PipelineBuilder {
+            proteome: SyntheticProteomeParams::small(),
+            digest: DigestParams::default(),
+            grouping: GroupingParams::default(),
+            engine: EngineConfig::with_policy(PartitionPolicy::Cyclic),
+            dataset: SyntheticDatasetParams {
+                num_spectra: 30,
+                ..Default::default()
+            },
+            preprocess: PreprocessParams::default(),
+            ranks: 4,
+        }
+    }
+
+    /// Same pipeline with a different distribution policy.
+    pub fn with_policy(mut self, policy: PartitionPolicy) -> Self {
+        self.engine.policy = policy;
+        self
+    }
+
+    /// Same pipeline on a different rank count.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Runs the full pipeline. `seed` controls proteome and query
+    /// generation (two independent streams are derived from it).
+    pub fn run(&self, seed: u64) -> PipelineReport {
+        let proteome = SyntheticProteome::generate(self.proteome.clone(), seed);
+        let digested = digest_proteome(&proteome.proteins, &self.digest)
+            .expect("digest parameters validated");
+        let before_dedup = digested.len();
+        let (db, dedup_stats) = dedup_peptides(digested);
+        let grouping = group_peptides(&db, &self.grouping);
+
+        let dataset =
+            SyntheticDataset::generate(&db, &self.engine.modspec, &self.dataset, seed ^ 0x9E37_79B9);
+        let queries: Vec<_> = dataset
+            .spectra
+            .iter()
+            .map(|s| preprocess_spectrum(s, &self.preprocess))
+            .collect();
+
+        let search = run_distributed_search(&db, &grouping, &queries, &self.engine, self.ranks);
+
+        let top1_correct = dataset
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|&(qi, &t)| search.psms[qi].first().map(|p| p.peptide) == Some(t))
+            .count();
+
+        PipelineReport {
+            proteins: proteome.proteins.len(),
+            peptides_before_dedup: before_dedup,
+            peptides: db.len(),
+            redundancy: dedup_stats.redundancy(),
+            grouping,
+            queries: queries.len(),
+            top1_correct,
+            truth: dataset.truth,
+            search,
+            db,
+        }
+    }
+}
+
+/// The outcome of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Proteins in the synthetic proteome.
+    pub proteins: usize,
+    /// Peptides produced by digestion (pre-dedup).
+    pub peptides_before_dedup: usize,
+    /// Unique peptides indexed.
+    pub peptides: usize,
+    /// Fraction of digested peptides that were duplicates.
+    pub redundancy: f64,
+    /// Algorithm 1's output.
+    pub grouping: Grouping,
+    /// Query spectra searched.
+    pub queries: usize,
+    /// Queries whose top-1 PSM is the generating peptide.
+    pub top1_correct: usize,
+    /// Ground-truth peptide id per query.
+    pub truth: Vec<u32>,
+    /// The distributed-search report (times, imbalance, footprints, PSMs).
+    pub search: DistributedSearchReport,
+    /// The deduplicated peptide database (kept for inspection).
+    pub db: PeptideDb,
+}
+
+impl PipelineReport {
+    /// Top-1 identification accuracy against ground truth.
+    pub fn top1_accuracy(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.top1_correct as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_demo_runs_end_to_end() {
+        let report = PipelineBuilder::small_demo().run(7);
+        assert!(report.proteins > 0);
+        assert!(report.peptides > 0);
+        assert!(report.peptides <= report.peptides_before_dedup);
+        assert_eq!(report.queries, 30);
+        assert_eq!(report.search.ranks, 4);
+        report.grouping.validate().unwrap();
+    }
+
+    #[test]
+    fn identification_accuracy_is_high() {
+        let report = PipelineBuilder::small_demo().run(7);
+        assert!(
+            report.top1_accuracy() >= 0.8,
+            "top-1 accuracy {} too low",
+            report.top1_accuracy()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PipelineBuilder::small_demo().run(11);
+        let b = PipelineBuilder::small_demo().run(11);
+        assert_eq!(a.peptides, b.peptides);
+        assert_eq!(a.search.rank_query_times, b.search.rank_query_times);
+        assert_eq!(a.top1_correct, b.top1_correct);
+    }
+
+    #[test]
+    fn policies_change_times_not_results() {
+        let base = PipelineBuilder::small_demo();
+        let cyc = base.clone().with_policy(PartitionPolicy::Cyclic).run(3);
+        let chk = base.clone().with_policy(PartitionPolicy::Chunk).run(3);
+        // Same total candidates regardless of where peptides live.
+        assert_eq!(cyc.search.total_candidates, chk.search.total_candidates);
+        assert_eq!(cyc.top1_correct, chk.top1_correct);
+    }
+
+    #[test]
+    fn rank_count_change_preserves_results() {
+        let base = PipelineBuilder::small_demo();
+        let r2 = base.clone().with_ranks(2).run(5);
+        let r8 = base.clone().with_ranks(8).run(5);
+        assert_eq!(r2.search.total_candidates, r8.search.total_candidates);
+        assert_eq!(r2.top1_correct, r8.top1_correct);
+        assert_eq!(r2.search.ranks, 2);
+        assert_eq!(r8.search.ranks, 8);
+    }
+}

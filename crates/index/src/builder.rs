@@ -1,0 +1,220 @@
+//! Index construction: modform enumeration → fragment generation →
+//! counting-sort CSR assembly.
+//!
+//! Construction is two-pass (count bins, then fill), which is both O(ions)
+//! and allocation-exact — there is no over-allocation to distort the memory
+//! figures.
+
+use crate::config::SlmConfig;
+use crate::slm::{SlmIndex, SpectrumEntry};
+use lbe_bio::mods::{enumerate_modforms, ModSpec};
+use lbe_bio::peptide::PeptideDb;
+use lbe_spectra::theo::TheoSpectrum;
+
+/// Statistics from one index build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildStats {
+    /// Peptides consumed.
+    pub peptides: usize,
+    /// Theoretical spectra (modforms) indexed.
+    pub spectra: usize,
+    /// Ions (postings) indexed.
+    pub ions: usize,
+    /// Fragments dropped because they fell outside `max_fragment_mz`.
+    pub dropped_fragments: usize,
+}
+
+/// Builds [`SlmIndex`] instances from peptide databases.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    config: SlmConfig,
+    modspec: ModSpec,
+    stats: BuildStats,
+}
+
+impl IndexBuilder {
+    /// A builder with the given index configuration and variable-mod spec.
+    pub fn new(config: SlmConfig, modspec: ModSpec) -> Self {
+        IndexBuilder {
+            config,
+            modspec,
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// Statistics of the most recent [`IndexBuilder::build`] call.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// The modification specification in use.
+    pub fn modspec(&self) -> &ModSpec {
+        &self.modspec
+    }
+
+    /// Builds an index over all peptides of `db`. Peptide ids in the index
+    /// are the ids of `db` (`0..db.len()`), i.e. *local* ids — the LBE
+    /// mapping table relates them to global ids.
+    pub fn build(&mut self, db: &PeptideDb) -> SlmIndex {
+        // Pass 1: generate all theoretical spectra, count ions per bin.
+        let mut entries: Vec<SpectrumEntry> = Vec::new();
+        let mut spectra: Vec<TheoSpectrum> = Vec::new();
+        let mut bin_counts = vec![0u64; self.config.num_bins() + 1];
+        let mut dropped = 0usize;
+
+        for (pid, pep) in db.iter() {
+            let forms = enumerate_modforms(pep.sequence(), &self.modspec);
+            for (fi, form) in forms.iter().enumerate() {
+                let theo =
+                    TheoSpectrum::from_sequence(pep.sequence(), form, &self.modspec, &self.config.theo);
+                let mut kept = 0u16;
+                for &mz in &theo.fragment_mzs {
+                    match self.config.bin_of(mz) {
+                        Some(bin) => {
+                            bin_counts[bin as usize] += 1;
+                            kept += 1;
+                        }
+                        None => dropped += 1,
+                    }
+                }
+                entries.push(SpectrumEntry {
+                    peptide: pid,
+                    modform: fi as u16,
+                    num_fragments: kept,
+                    precursor_mass: theo.precursor_mass as f32,
+                });
+                spectra.push(theo);
+            }
+        }
+        assert!(
+            entries.len() <= u32::MAX as usize,
+            "index partition exceeds u32 entry ids; partition the input"
+        );
+
+        // Exclusive prefix sum → CSR offsets.
+        let mut bin_offsets = vec![0u64; self.config.num_bins() + 1];
+        let mut acc = 0u64;
+        for (i, &c) in bin_counts.iter().enumerate().take(self.config.num_bins()) {
+            bin_offsets[i] = acc;
+            acc += c;
+        }
+        bin_offsets[self.config.num_bins()] = acc;
+
+        // Pass 2: fill postings using a moving cursor per bin.
+        let mut cursor: Vec<u64> = bin_offsets.clone();
+        let mut postings = vec![0u32; acc as usize];
+        for (eid, theo) in spectra.iter().enumerate() {
+            for &mz in &theo.fragment_mzs {
+                if let Some(bin) = self.config.bin_of(mz) {
+                    let slot = cursor[bin as usize];
+                    postings[slot as usize] = eid as u32;
+                    cursor[bin as usize] += 1;
+                }
+            }
+        }
+
+        self.stats = BuildStats {
+            peptides: db.len(),
+            spectra: entries.len(),
+            ions: postings.len(),
+            dropped_fragments: dropped,
+        };
+        // Allocation-exact: footprint accounting equates capacity and length.
+        entries.shrink_to_fit();
+        SlmIndex::from_parts(self.config.clone(), entries, bin_offsets, postings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::peptide::Peptide;
+
+    fn db(seqs: &[&str]) -> PeptideDb {
+        PeptideDb::from_vec(
+            seqs.iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_db_builds_empty_index() {
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let idx = b.build(&PeptideDb::new());
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_ions(), 0);
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn stats_match_index() {
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let idx = b.build(&db(&["PEPTIDEK", "ELVISK"]));
+        let s = b.stats();
+        assert_eq!(s.peptides, 2);
+        assert_eq!(s.spectra, idx.num_spectra());
+        assert_eq!(s.ions, idx.num_ions());
+        assert_eq!(s.dropped_fragments, 0);
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn mods_multiply_spectra() {
+        let mut plain = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let mut modded = IndexBuilder::new(SlmConfig::default(), ModSpec::paper_default());
+        let d = db(&["MNKQMR", "PEPTIDEK"]);
+        let i1 = plain.build(&d);
+        let i2 = modded.build(&d);
+        assert!(i2.num_spectra() > i1.num_spectra());
+        assert_eq!(i1.num_spectra(), 2);
+        i2.validate().unwrap();
+    }
+
+    #[test]
+    fn entries_are_peptide_major_modform_minor() {
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::oxidation_only());
+        let idx = b.build(&db(&["AMK", "GGR"]));
+        // AMK: unmod + 1 ox; GGR: unmod only.
+        assert_eq!(idx.num_spectra(), 3);
+        assert_eq!((idx.entry(0).peptide, idx.entry(0).modform), (0, 0));
+        assert_eq!((idx.entry(1).peptide, idx.entry(1).modform), (0, 1));
+        assert_eq!((idx.entry(2).peptide, idx.entry(2).modform), (1, 0));
+    }
+
+    #[test]
+    fn postings_within_each_bin_sorted_by_entry() {
+        // Pass-2 fill order is entry-major, so each bin's postings come out
+        // ascending — an invariant the searcher's dedup relies on.
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let idx = b.build(&db(&["PEPTIDEK", "PEPTIDER", "PEPTIDEKK"]));
+        for bin in 0..idx.config().num_bins() as u32 {
+            let p = idx.bin_postings(bin);
+            assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn oversized_fragments_dropped_not_crashed() {
+        let cfg = SlmConfig {
+            max_fragment_mz: 300.0,
+            ..SlmConfig::default()
+        };
+        let mut b = IndexBuilder::new(cfg, ModSpec::none());
+        let idx = b.build(&db(&["WWWWWWK"])); // many fragments above 300 Da
+        assert!(b.stats().dropped_fragments > 0);
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn identical_peptides_get_identical_posting_patterns() {
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let idx = b.build(&db(&["SAMPLEK", "SAMPLEK"]));
+        assert_eq!(idx.entry(0).num_fragments, idx.entry(1).num_fragments);
+        // Every bin containing entry 0 must contain entry 1.
+        for bin in 0..idx.config().num_bins() as u32 {
+            let p = idx.bin_postings(bin);
+            assert_eq!(p.contains(&0), p.contains(&1), "bin {bin}");
+        }
+    }
+}

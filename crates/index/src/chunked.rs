@@ -1,0 +1,263 @@
+//! Shared-memory chunking (the paper's Fig. 1 scheme).
+//!
+//! Within one machine, SLM-style engines sort peptides by precursor mass and
+//! split the index into mass-contiguous chunks so that (for closed searches)
+//! a query only loads/searches the chunks overlapping its precursor window.
+//! The paper's Fig. 2 shows why this layout is *wrong* across machines —
+//! LBE exists to fix that — but per-node it remains useful, and the paper's
+//! Fig. 3 notes "the data may be further partitioned at each node according
+//! to the scheme shown in Fig. 1". This module implements that per-node
+//! scheme.
+
+use crate::builder::IndexBuilder;
+use crate::config::SlmConfig;
+use crate::query::{QueryStats, SearchResult, Searcher};
+use crate::slm::SlmIndex;
+use lbe_bio::mods::ModSpec;
+use lbe_bio::peptide::{Peptide, PeptideDb};
+use lbe_spectra::spectrum::Spectrum;
+
+/// A mass-partitioned sequence of SLM indices.
+///
+/// Chunk `i` covers precursor masses `[boundaries[i], boundaries[i+1])`;
+/// peptide ids are *local to each chunk*, with `global_ids` mapping back to
+/// the input database's ids (the same virtual-index trick LBE uses across
+/// machines).
+#[derive(Debug, Clone)]
+pub struct ChunkedIndex {
+    chunks: Vec<SlmIndex>,
+    /// `chunks.len() + 1` mass boundaries (first = 0, last = +∞).
+    boundaries: Vec<f64>,
+    /// Per chunk: local peptide id → input db peptide id.
+    global_ids: Vec<Vec<u32>>,
+}
+
+impl ChunkedIndex {
+    /// Builds a chunked index: peptides are sorted by precursor mass and
+    /// split into runs of at most `max_peptides_per_chunk`.
+    pub fn build(
+        db: &PeptideDb,
+        config: SlmConfig,
+        modspec: ModSpec,
+        max_peptides_per_chunk: usize,
+    ) -> Self {
+        assert!(max_peptides_per_chunk >= 1, "chunks must hold at least one peptide");
+        // Sort (global id, peptide) pairs by mass — Fig. 1's first step.
+        let mut order: Vec<(u32, &Peptide)> = db.iter().collect();
+        order.sort_by(|a, b| a.1.mass().partial_cmp(&b.1.mass()).expect("finite masses"));
+
+        let mut chunks = Vec::new();
+        let mut boundaries = vec![0.0f64];
+        let mut global_ids = Vec::new();
+        for run in order.chunks(max_peptides_per_chunk) {
+            let ids: Vec<u32> = run.iter().map(|&(id, _)| id).collect();
+            let peptides: Vec<Peptide> = run.iter().map(|&(_, p)| p.clone()).collect();
+            let local = PeptideDb::from_vec(peptides);
+            let idx = IndexBuilder::new(config.clone(), modspec.clone()).build(&local);
+            chunks.push(idx);
+            global_ids.push(ids);
+            boundaries.push(run.last().unwrap().1.mass());
+        }
+        if let Some(last) = boundaries.last_mut() {
+            *last = f64::INFINITY;
+        }
+        ChunkedIndex {
+            chunks,
+            boundaries,
+            global_ids,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The underlying chunk indices.
+    pub fn chunks(&self) -> &[SlmIndex] {
+        &self.chunks
+    }
+
+    /// Total indexed spectra across chunks.
+    pub fn num_spectra(&self) -> usize {
+        self.chunks.iter().map(SlmIndex::num_spectra).sum()
+    }
+
+    /// Chunks whose mass range intersects `[query_mass − ΔM, query_mass + ΔM]`.
+    /// For an open search this is all of them.
+    pub fn chunks_for_query(&self, query_mass: f64, precursor_tolerance: f64) -> Vec<usize> {
+        if precursor_tolerance.is_infinite() {
+            return (0..self.chunks.len()).collect();
+        }
+        let lo = query_mass - precursor_tolerance;
+        let hi = query_mass + precursor_tolerance;
+        (0..self.chunks.len())
+            .filter(|&i| {
+                // chunk i spans (boundaries[i] exclusive-ish, boundaries[i+1]]
+                // — use closed overlap to be conservative at boundaries.
+                self.boundaries[i] <= hi && lo <= self.boundaries[i + 1]
+            })
+            .collect()
+    }
+
+    /// Searches one query across the relevant chunks, translating PSM
+    /// peptide ids back to the input database's ids.
+    pub fn search(&self, query: &Spectrum) -> SearchResult {
+        let tol = self
+            .chunks
+            .first()
+            .map(|c| c.config().precursor_tolerance)
+            .unwrap_or(f64::INFINITY);
+        let top_k = self
+            .chunks
+            .first()
+            .map(|c| c.config().top_k)
+            .unwrap_or(10);
+        let mut psms = Vec::new();
+        let mut stats = QueryStats::default();
+        for ci in self.chunks_for_query(query.precursor_neutral_mass(), tol) {
+            let mut s = Searcher::new(&self.chunks[ci]);
+            let r = s.search(query);
+            stats.accumulate(&r.stats);
+            for mut p in r.psms {
+                p.peptide = self.global_ids[ci][p.peptide as usize];
+                psms.push(p);
+            }
+        }
+        psms.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then(a.peptide.cmp(&b.peptide))
+        });
+        psms.truncate(top_k);
+        SearchResult { psms, stats }
+    }
+
+    /// Total heap bytes across all chunks.
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.iter().map(SlmIndex::heap_bytes).sum::<usize>()
+            + self.boundaries.capacity() * std::mem::size_of::<f64>()
+            + self
+                .global_ids
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::mods::ModForm;
+    use lbe_spectra::spectrum::Peak;
+    use lbe_spectra::theo::{TheoParams, TheoSpectrum};
+
+    fn db() -> PeptideDb {
+        PeptideDb::from_vec(
+            ["GGGGGK", "AAAGGK", "PEPTIDEK", "ELVISLIVESK", "WWWWWWK", "SAMPLERK"]
+                .iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    fn perfect_query(seq: &[u8]) -> Spectrum {
+        let theo = TheoSpectrum::from_sequence(
+            seq,
+            &ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 100.0)).collect();
+        Spectrum::new(0, lbe_bio::aa::precursor_mz(theo.precursor_mass, 2), 2, peaks)
+    }
+
+    #[test]
+    fn chunk_count_and_sizes() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        assert_eq!(c.num_chunks(), 3);
+        assert_eq!(c.num_spectra(), 6);
+    }
+
+    #[test]
+    fn chunks_are_mass_sorted() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        for w in c.boundaries.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Max mass in chunk i ≤ min mass in chunk i+1.
+        for i in 0..c.num_chunks() - 1 {
+            let max_i = c.chunks()[i]
+                .entries()
+                .iter()
+                .map(|e| e.precursor_mass)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let min_next = c.chunks()[i + 1]
+                .entries()
+                .iter()
+                .map(|e| e.precursor_mass)
+                .fold(f32::INFINITY, f32::min);
+            assert!(max_i <= min_next);
+        }
+    }
+
+    #[test]
+    fn open_search_touches_all_chunks() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        assert_eq!(c.chunks_for_query(800.0, f64::INFINITY), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn closed_search_skips_chunks() {
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let c = ChunkedIndex::build(&db(), cfg, ModSpec::none(), 2);
+        let m = lbe_bio::aa::peptide_neutral_mass(b"GGGGGK").unwrap();
+        let touched = c.chunks_for_query(m, 1.0);
+        assert!(touched.len() < 3);
+        assert!(touched.contains(&0));
+    }
+
+    #[test]
+    fn search_returns_global_ids() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let r = c.search(&perfect_query(b"PEPTIDEK"));
+        assert!(!r.psms.is_empty());
+        assert_eq!(r.psms[0].peptide, 2); // id of PEPTIDEK in the input db
+    }
+
+    #[test]
+    fn chunked_equals_monolithic_for_open_search() {
+        let cfg = SlmConfig {
+            shared_peak_threshold: 2,
+            top_k: usize::MAX,
+            ..Default::default()
+        };
+        let mono = IndexBuilder::new(cfg.clone(), ModSpec::none()).build(&db());
+        let chunked = ChunkedIndex::build(&db(), cfg, ModSpec::none(), 2);
+        let q = perfect_query(b"ELVISLIVESK");
+        let mut ms = Searcher::new(&mono);
+        let rm = ms.search(&q);
+        let rc = chunked.search(&q);
+        // Same candidate set (compare (peptide, shared) multisets).
+        let mut a: Vec<(u32, u16)> = rm.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut b: Vec<(u32, u16)> = rc.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_chunk_degenerate_case() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 100);
+        assert_eq!(c.num_chunks(), 1);
+        let r = c.search(&perfect_query(b"SAMPLERK"));
+        assert_eq!(r.psms[0].peptide, 5);
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        assert!(c.heap_bytes() > 0);
+    }
+}

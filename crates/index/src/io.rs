@@ -1,0 +1,311 @@
+//! Binary (de)serialization of [`SlmIndex`] partitions.
+//!
+//! The paper notes index chunks "may be stored on disks when not in use"
+//! (§II-B) — at 49.45 M spectra even the partitioned index competes with the
+//! OS for RAM. The format is a straightforward little-endian dump of the
+//! flat arrays, so loading is one contiguous read per array (the access
+//! pattern disks and page caches like):
+//!
+//! ```text
+//! magic   b"LBESLM1\0"
+//! config  resolution f64 | ΔF f64 | ΔM f64 | shpeak u16 | max_mz f64
+//!         | b_ions u8 | y_ions u8 | n_charges u8 | charges u8×n | top_k u64
+//! entries u64 count | (peptide u32, modform u16, nfrag u16, mass f32)×count
+//! offsets u64 count | u64×count
+//! postings u64 count | u32×count
+//! ```
+
+use crate::config::SlmConfig;
+use crate::slm::{SlmIndex, SpectrumEntry};
+use lbe_spectra::theo::TheoParams;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LBESLM1\0";
+
+fn w_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+fn r_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    Ok(u16::from_le_bytes(r_exact::<R, 2>(r)?))
+}
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(r_exact::<R, 4>(r)?))
+}
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(r_exact::<R, 8>(r)?))
+}
+fn r_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    Ok(f32::from_le_bytes(r_exact::<R, 4>(r)?))
+}
+fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    Ok(f64::from_le_bytes(r_exact::<R, 8>(r)?))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serializes an index to a writer.
+pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+
+    let cfg = index.config();
+    w_f64(&mut w, cfg.resolution)?;
+    w_f64(&mut w, cfg.fragment_tolerance)?;
+    w_f64(&mut w, cfg.precursor_tolerance)?;
+    w_u16(&mut w, cfg.shared_peak_threshold)?;
+    w_f64(&mut w, cfg.max_fragment_mz)?;
+    w.write_all(&[cfg.theo.b_ions as u8, cfg.theo.y_ions as u8])?;
+    w.write_all(&[cfg.theo.charges.len() as u8])?;
+    w.write_all(&cfg.theo.charges)?;
+    w_u64(&mut w, cfg.top_k as u64)?;
+
+    w_u64(&mut w, index.num_spectra() as u64)?;
+    for e in index.entries() {
+        w_u32(&mut w, e.peptide)?;
+        w_u16(&mut w, e.modform)?;
+        w_u16(&mut w, e.num_fragments)?;
+        w_f32(&mut w, e.precursor_mass)?;
+    }
+
+    // Offsets are reconstructed from per-bin posting lengths via the public
+    // API (one pass) rather than exposing the internal array.
+    let nbins = cfg.num_bins() + 1;
+    w_u64(&mut w, nbins as u64)?;
+    let mut acc = 0u64;
+    w_u64(&mut w, acc)?;
+    for bin in 0..cfg.num_bins() as u32 {
+        acc += index.bin_postings(bin).len() as u64;
+        w_u64(&mut w, acc)?;
+    }
+
+    w_u64(&mut w, index.num_ions() as u64)?;
+    for bin in 0..cfg.num_bins() as u32 {
+        for &p in index.bin_postings(bin) {
+            w_u32(&mut w, p)?;
+        }
+    }
+    w.flush()
+}
+
+/// Deserializes an index from a reader, validating structure.
+pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
+    let mut r = BufReader::new(reader);
+    let magic: [u8; 8] = r_exact(&mut r)?;
+    if &magic != MAGIC {
+        return Err(bad("not an LBE SLM index file (bad magic)"));
+    }
+
+    let resolution = r_f64(&mut r)?;
+    let fragment_tolerance = r_f64(&mut r)?;
+    let precursor_tolerance = r_f64(&mut r)?;
+    let shared_peak_threshold = r_u16(&mut r)?;
+    let max_fragment_mz = r_f64(&mut r)?;
+    if resolution.is_nan() || resolution <= 0.0 || max_fragment_mz.is_nan() || max_fragment_mz <= 0.0 {
+        return Err(bad("invalid config values"));
+    }
+    let flags: [u8; 2] = r_exact(&mut r)?;
+    let ncharges: [u8; 1] = r_exact(&mut r)?;
+    let mut charges = vec![0u8; ncharges[0] as usize];
+    r.read_exact(&mut charges)?;
+    let top_k = r_u64(&mut r)? as usize;
+
+    let config = SlmConfig {
+        resolution,
+        fragment_tolerance,
+        precursor_tolerance,
+        shared_peak_threshold,
+        max_fragment_mz,
+        theo: TheoParams {
+            b_ions: flags[0] != 0,
+            y_ions: flags[1] != 0,
+            charges,
+        },
+        top_k,
+    };
+
+    let n_entries = r_u64(&mut r)? as usize;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        entries.push(SpectrumEntry {
+            peptide: r_u32(&mut r)?,
+            modform: r_u16(&mut r)?,
+            num_fragments: r_u16(&mut r)?,
+            precursor_mass: r_f32(&mut r)?,
+        });
+    }
+
+    let n_offsets = r_u64(&mut r)? as usize;
+    if n_offsets != config.num_bins() + 1 {
+        return Err(bad("offset table does not match configuration"));
+    }
+    let mut bin_offsets = Vec::with_capacity(n_offsets);
+    for _ in 0..n_offsets {
+        bin_offsets.push(r_u64(&mut r)?);
+    }
+
+    let n_postings = r_u64(&mut r)? as usize;
+    if *bin_offsets.last().unwrap_or(&0) as usize != n_postings {
+        return Err(bad("posting count does not match offsets"));
+    }
+    let mut postings = Vec::with_capacity(n_postings);
+    for _ in 0..n_postings {
+        postings.push(r_u32(&mut r)?);
+    }
+
+    let index = SlmIndex::from_parts(config, entries, bin_offsets, postings);
+    index.validate().map_err(|e| bad(&e))?;
+    Ok(index)
+}
+
+/// Writes an index to a file.
+pub fn write_index_path(path: impl AsRef<Path>, index: &SlmIndex) -> io::Result<()> {
+    write_index(std::fs::File::create(path)?, index)
+}
+
+/// Reads an index from a file.
+pub fn read_index_path(path: impl AsRef<Path>) -> io::Result<SlmIndex> {
+    read_index(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use lbe_bio::mods::ModSpec;
+    use lbe_bio::peptide::{Peptide, PeptideDb};
+
+    fn sample_index(mods: bool) -> SlmIndex {
+        let db = PeptideDb::from_vec(
+            ["ELVISLIVESK", "PEPTIDEK", "MNKQMGGR", "SAMPLERK"]
+                .iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        );
+        let spec = if mods { ModSpec::paper_default() } else { ModSpec::none() };
+        IndexBuilder::new(SlmConfig::default(), spec).build(&db)
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        for mods in [false, true] {
+            let idx = sample_index(mods);
+            let mut buf = Vec::new();
+            write_index(&mut buf, &idx).unwrap();
+            let back = read_index(&buf[..]).unwrap();
+            assert_eq!(back, idx);
+            back.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("lbe_index_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("part.slm");
+        let idx = sample_index(false);
+        write_index_path(&path, &idx).unwrap();
+        let back = read_index_path(&path).unwrap();
+        assert_eq!(back, idx);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_results_survive_round_trip() {
+        use crate::query::Searcher;
+        use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+        let db = PeptideDb::from_vec(
+            ["ELVISLIVESK", "PEPTIDEK", "MNKQMGGR"]
+                .iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        );
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&db);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        let loaded = read_index(&buf[..]).unwrap();
+
+        let queries = SyntheticDataset::generate(
+            &db,
+            &ModSpec::none(),
+            &SyntheticDatasetParams { num_spectra: 8, ..Default::default() },
+            44,
+        );
+        let mut s1 = Searcher::new(&idx);
+        let mut s2 = Searcher::new(&loaded);
+        for q in &queries.spectra {
+            assert_eq!(s1.search(q), s2.search(q));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_index(&b"NOTANIDX........."[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let idx = sample_index(false);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        for cut in [10, buf.len() / 2, buf.len() - 3] {
+            assert!(read_index(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_offsets_rejected() {
+        let idx = sample_index(false);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        // Flip a byte deep in the offsets region.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        // Either a structural error or a validation failure — never a
+        // silently corrupt index.
+        if let Ok(loaded) = read_index(&buf[..]) {
+            assert_eq!(loaded, idx, "corruption must not pass silently");
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&PeptideDb::new());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn open_search_infinity_survives() {
+        let idx = sample_index(false);
+        assert!(idx.config().is_open_search());
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        assert!(back.config().is_open_search());
+    }
+}

@@ -1,0 +1,58 @@
+//! # lbe-index — SLM-Transform-style fragment-ion index
+//!
+//! The paper implements LBE inside the SLM-Transform (SLM-Index) code base:
+//! a memory-efficient *shared-peak-count* index over theoretical spectra.
+//! This crate is our from-scratch equivalent:
+//!
+//! * theoretical b/y fragments are **quantized** at resolution `r` (paper:
+//!   0.01 Da) into integer bins;
+//! * a CSR (offsets + postings) structure maps every ion bin to the indexed
+//!   spectra containing it;
+//! * a query walks its peaks' tolerance windows (`ΔF`, paper: ±0.05 Da),
+//!   counts shared peaks per indexed spectrum, and keeps candidates with
+//!   `shared ≥ shpeak` (paper: 4) inside the precursor window (`ΔM`, paper:
+//!   ∞ — open search);
+//! * every structure reports its exact heap bytes, which is how the memory
+//!   figure (Fig. 5) is reproduced deterministically.
+//!
+//! ```
+//! use lbe_bio::peptide::{Peptide, PeptideDb};
+//! use lbe_bio::mods::ModSpec;
+//! use lbe_index::{IndexBuilder, SlmConfig, Searcher};
+//! use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+//!
+//! let db = PeptideDb::from_vec(vec![
+//!     Peptide::new(b"ELVISLIVESK", 0, 0).unwrap(),
+//!     Peptide::new(b"PEPTIDERCK", 0, 0).unwrap(),
+//! ]);
+//! let cfg = SlmConfig::default();
+//! let index = IndexBuilder::new(cfg.clone(), ModSpec::none()).build(&db);
+//! let queries = SyntheticDataset::generate(&db, &ModSpec::none(),
+//!     &SyntheticDatasetParams { num_spectra: 4, ..Default::default() }, 1);
+//! let mut searcher = Searcher::new(&index);
+//! let hits = searcher.search(&queries.spectra[0]);
+//! assert!(!hits.psms.is_empty());
+//! assert_eq!(hits.psms[0].peptide, queries.truth[0]);
+//! ```
+
+pub mod builder;
+pub mod chunked;
+pub mod config;
+pub mod footprint;
+pub mod io;
+pub mod parallel;
+pub mod precursor;
+pub mod query;
+pub mod seqtag;
+pub mod slm;
+
+pub use builder::{BuildStats, IndexBuilder};
+pub use io::{read_index, read_index_path, write_index, write_index_path};
+pub use parallel::search_batch_parallel;
+pub use precursor::{PrecursorIndex, PrecursorQueryStats};
+pub use seqtag::{extract_tags, TagIndex, TagQueryStats};
+pub use chunked::ChunkedIndex;
+pub use config::SlmConfig;
+pub use footprint::MemoryFootprint;
+pub use query::{Psm, QueryStats, SearchResult, Searcher};
+pub use slm::{SlmIndex, SpectrumEntry};

@@ -1,0 +1,132 @@
+//! Shared-memory parallel batch search.
+//!
+//! Within one node the index is immutable and shared; the query batch is
+//! embarrassingly parallel. This module provides a real (not simulated)
+//! multi-threaded batch searcher used by node-local deployments and by the
+//! hybrid mode's intra-rank level: queries are split into contiguous slices
+//! across scoped threads (crossbeam), each thread owning its own
+//! [`Searcher`] scratch state.
+//!
+//! Results are returned in query order and are bit-identical to the
+//! sequential path — parallelism must never change what is found (tested).
+
+use crate::query::{QueryStats, SearchResult, Searcher};
+use crate::slm::SlmIndex;
+use lbe_spectra::spectrum::Spectrum;
+
+/// Searches `queries` against `index` using `num_threads` OS threads.
+///
+/// Returns per-query results (in input order) and the accumulated work
+/// counters. `num_threads = 1` degenerates to the sequential path.
+pub fn search_batch_parallel(
+    index: &SlmIndex,
+    queries: &[Spectrum],
+    num_threads: usize,
+) -> (Vec<SearchResult>, QueryStats) {
+    assert!(num_threads >= 1, "need at least one thread");
+    if num_threads == 1 || queries.len() <= 1 {
+        let mut s = Searcher::new(index);
+        return s.search_batch(queries);
+    }
+
+    let threads = num_threads.min(queries.len());
+    let chunk = queries.len().div_ceil(threads);
+    let mut per_chunk: Vec<(Vec<SearchResult>, QueryStats)> = Vec::with_capacity(threads);
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut s = Searcher::new(index);
+                    s.search_batch(slice)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("search thread panicked"));
+        }
+    })
+    .expect("search scope");
+
+    let mut results = Vec::with_capacity(queries.len());
+    let mut totals = QueryStats::default();
+    for (r, stats) in per_chunk {
+        results.extend(r);
+        totals.accumulate(&stats);
+    }
+    (results, totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::config::SlmConfig;
+    use lbe_bio::mods::ModSpec;
+    use lbe_bio::peptide::{Peptide, PeptideDb};
+    use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+
+    fn setup(nq: usize) -> (SlmIndex, Vec<Spectrum>) {
+        let db = PeptideDb::from_vec(
+            ["ELVISLIVESK", "PEPTIDEK", "MNKQMGGR", "SAMPLERK", "GGAASSYYK"]
+                .iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        );
+        let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&db);
+        let queries = SyntheticDataset::generate(
+            &db,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: nq,
+                ..Default::default()
+            },
+            66,
+        );
+        (index, queries.spectra)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (index, queries) = setup(37);
+        let (seq, seq_stats) = search_batch_parallel(&index, &queries, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let (par, par_stats) = search_batch_parallel(&index, &queries, threads);
+            assert_eq!(par, seq, "{threads} threads");
+            assert_eq!(par_stats, seq_stats);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let (index, queries) = setup(3);
+        let (r, _) = search_batch_parallel(&index, &queries, 16);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (index, _) = setup(1);
+        let (r, stats) = search_batch_parallel(&index, &[], 4);
+        assert!(r.is_empty());
+        assert_eq!(stats, QueryStats::default());
+    }
+
+    #[test]
+    fn results_in_query_order() {
+        let (index, queries) = setup(20);
+        let (par, _) = search_batch_parallel(&index, &queries, 4);
+        let mut s = Searcher::new(&index);
+        for (q, r) in queries.iter().zip(&par) {
+            assert_eq!(&s.search(q), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let (index, queries) = setup(2);
+        search_batch_parallel(&index, &queries, 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Shared-peak query: filtration + scoring.
+//!
+//! For each query peak, the searcher scans every posting within the
+//! fragment-tolerance window and bumps a per-entry shared-peak counter.
+//! Entries reaching `shpeak` inside the precursor window become *candidate
+//! PSMs* (the paper's cPSMs — 22.5 billion of them in its full-dataset run);
+//! the top-k by score are returned.
+//!
+//! The per-entry counters live in a scratch arena that is O(index) once and
+//! reset per query by walking only the touched entries — the standard trick
+//! that keeps per-query cost proportional to postings scanned, not index
+//! size.
+
+use crate::config::SlmConfig;
+use crate::slm::SlmIndex;
+use lbe_spectra::spectrum::Spectrum;
+use lbe_spectra::theo::TheoSpectrum;
+
+/// One candidate peptide-to-spectrum match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Psm {
+    /// Index entry id (local to the partition).
+    pub entry: u32,
+    /// Peptide id (local to the partition's peptide table).
+    pub peptide: u32,
+    /// Modform ordinal of the matched theoretical spectrum.
+    pub modform: u16,
+    /// Shared-peak count.
+    pub shared_peaks: u16,
+    /// Hyperscore-flavoured score: monotone in shared peaks and in matched
+    /// intensity. Comparable only within one query.
+    pub score: f32,
+}
+
+/// Work counters for one query — the inputs of the virtual-time cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Query peaks processed.
+    pub peaks: u64,
+    /// Ion bins inspected.
+    pub bins_touched: u64,
+    /// Postings scanned (the dominant compute term).
+    pub postings_scanned: u64,
+    /// Candidate PSMs passing the shared-peak + precursor filters (cPSMs).
+    pub candidates: u64,
+}
+
+impl QueryStats {
+    /// Accumulates another query's counters (per-rank totals).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.peaks += other.peaks;
+        self.bins_touched += other.bins_touched;
+        self.postings_scanned += other.postings_scanned;
+        self.candidates += other.candidates;
+    }
+}
+
+/// Result of searching one spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Top-k candidate PSMs, best first.
+    pub psms: Vec<Psm>,
+    /// Work counters.
+    pub stats: QueryStats,
+}
+
+/// A reusable searcher over one index. Holds scratch state; create one per
+/// thread (it is `Send` but deliberately not shared).
+pub struct Searcher<'a> {
+    index: &'a SlmIndex,
+    /// Per-entry shared-peak counters (scratch, reset via `touched`).
+    counts: Vec<u16>,
+    /// Per-entry matched-intensity sums (scratch).
+    intensity: Vec<f32>,
+    /// Entries touched by the current query.
+    touched: Vec<u32>,
+}
+
+impl<'a> Searcher<'a> {
+    /// Creates a searcher (allocates O(index entries) scratch once).
+    pub fn new(index: &'a SlmIndex) -> Self {
+        Searcher {
+            index,
+            counts: vec![0; index.num_spectra()],
+            intensity: vec![0.0; index.num_spectra()],
+            touched: Vec::with_capacity(1024),
+        }
+    }
+
+    /// The index being searched.
+    pub fn index(&self) -> &'a SlmIndex {
+        self.index
+    }
+
+    /// Searches one (preprocessed) query spectrum.
+    pub fn search(&mut self, query: &Spectrum) -> SearchResult {
+        let cfg = self.index.config();
+        let mut stats = QueryStats {
+            peaks: query.peaks.len() as u64,
+            ..Default::default()
+        };
+
+        for peak in &query.peaks {
+            let counts = &mut self.counts;
+            let intensity = &mut self.intensity;
+            let touched = &mut self.touched;
+            let mut scanned = 0u64;
+            let bins = self.index.for_postings_near(peak.mz, |entry| {
+                scanned += 1;
+                let e = entry as usize;
+                if counts[e] == 0 {
+                    touched.push(entry);
+                }
+                counts[e] = counts[e].saturating_add(1);
+                intensity[e] += peak.intensity;
+            });
+            stats.bins_touched += bins as u64;
+            stats.postings_scanned += scanned;
+        }
+
+        let query_mass = query.precursor_neutral_mass();
+        let mut psms: Vec<Psm> = Vec::new();
+        for &entry in &self.touched {
+            let e = entry as usize;
+            let shared = self.counts[e];
+            let meta = self.index.entry(entry);
+            if shared >= cfg.shared_peak_threshold
+                && cfg.precursor_admits(query_mass, meta.precursor_mass as f64)
+            {
+                stats.candidates += 1;
+                psms.push(Psm {
+                    entry,
+                    peptide: meta.peptide,
+                    modform: meta.modform,
+                    shared_peaks: shared,
+                    score: score(shared, self.intensity[e]),
+                });
+            }
+            // Reset scratch as we go.
+            self.counts[e] = 0;
+            self.intensity[e] = 0.0;
+        }
+        self.touched.clear();
+
+        // Best first; deterministic tie-break by entry id.
+        psms.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.entry.cmp(&b.entry))
+        });
+        psms.truncate(cfg.top_k);
+        SearchResult { psms, stats }
+    }
+
+    /// Searches a batch, returning per-query results plus total work.
+    pub fn search_batch(&mut self, queries: &[Spectrum]) -> (Vec<SearchResult>, QueryStats) {
+        let mut total = QueryStats::default();
+        let results: Vec<SearchResult> = queries
+            .iter()
+            .map(|q| {
+                let r = self.search(q);
+                total.accumulate(&r.stats);
+                r
+            })
+            .collect();
+        (results, total)
+    }
+}
+
+/// Hyperscore-flavoured score: shared-peak count weighted by log matched
+/// intensity. Deterministic, monotone in both arguments.
+#[inline]
+fn score(shared: u16, matched_intensity: f32) -> f32 {
+    shared as f32 * (1.0 + (1.0 + matched_intensity.max(0.0)).ln() / 16.0)
+}
+
+/// Reference implementation: shared-peak count of `query` against one
+/// theoretical spectrum under `cfg`'s binned-tolerance semantics. O(peaks ×
+/// fragments); used by tests/benches to validate the CSR fast path.
+pub fn brute_force_shared_peaks(cfg: &SlmConfig, query: &Spectrum, theo: &TheoSpectrum) -> u16 {
+    let tol = cfg.tolerance_bins();
+    let mut shared = 0u16;
+    for p in &query.peaks {
+        let Some(qb) = cfg.bin_of(p.mz) else { continue };
+        for &f in &theo.fragment_mzs {
+            let Some(fb) = cfg.bin_of(f) else { continue };
+            if qb.abs_diff(fb) <= tol {
+                shared = shared.saturating_add(1);
+            }
+        }
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use lbe_bio::mods::{ModForm, ModSpec};
+    use lbe_bio::peptide::{Peptide, PeptideDb};
+    use lbe_spectra::spectrum::Peak;
+    use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+    use lbe_spectra::theo::TheoParams;
+
+    fn db(seqs: &[&str]) -> PeptideDb {
+        PeptideDb::from_vec(
+            seqs.iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    fn perfect_query(seq: &[u8]) -> Spectrum {
+        let theo = TheoSpectrum::from_sequence(
+            seq,
+            &ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 100.0)).collect();
+        Spectrum::new(
+            0,
+            lbe_bio::aa::precursor_mz(theo.precursor_mass, 2),
+            2,
+            peaks,
+        )
+    }
+
+    #[test]
+    fn perfect_query_ranks_true_peptide_first() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK", "SAMPLERK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEK"));
+        assert!(!r.psms.is_empty());
+        assert_eq!(r.psms[0].peptide, 1);
+        assert_eq!(r.psms[0].shared_peaks, 14); // all 2*(8-1) fragments
+    }
+
+    #[test]
+    fn shared_peak_threshold_filters() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK"]);
+        let cfg = SlmConfig {
+            shared_peak_threshold: 100,
+            ..Default::default()
+        };
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEK"));
+        assert!(r.psms.is_empty());
+        assert_eq!(r.stats.candidates, 0);
+    }
+
+    #[test]
+    fn precursor_window_filters() {
+        let d = db(&["PEPTIDEK", "PEPTIDEKGGGGGGK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEK"));
+        // The longer peptide shares all of PEPTIDEK's b ions but is ~400 Da
+        // heavier — excluded by the closed window.
+        assert!(r.psms.iter().all(|p| p.peptide == 0));
+    }
+
+    #[test]
+    fn open_search_admits_heavier_candidates() {
+        let d = db(&["PEPTIDEK", "PEPTIDEKGGGGGGGGK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEK"));
+        let peptides: Vec<u32> = r.psms.iter().map(|p| p.peptide).collect();
+        assert!(peptides.contains(&0) && peptides.contains(&1), "{peptides:?}");
+    }
+
+    #[test]
+    fn scratch_resets_between_queries() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r1 = s.search(&perfect_query(b"PEPTIDEK"));
+        let r2 = s.search(&perfect_query(b"PEPTIDEK"));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_spectrum_matches_nothing() {
+        let d = db(&["PEPTIDEK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&Spectrum::new(0, 500.0, 2, vec![]));
+        assert!(r.psms.is_empty());
+        assert_eq!(r.stats.peaks, 0);
+    }
+
+    #[test]
+    fn top_k_truncates_but_candidates_counted() {
+        let seqs: Vec<String> = (0..20).map(|i| format!("PEPTIDEK{}K", "G".repeat(i % 3 + 1))).collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let d = db(&refs);
+        let cfg = SlmConfig {
+            top_k: 3,
+            shared_peak_threshold: 2,
+            ..Default::default()
+        };
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEKGK"));
+        assert!(r.psms.len() <= 3);
+        assert!(r.stats.candidates >= r.psms.len() as u64);
+    }
+
+    #[test]
+    fn counts_match_brute_force_on_synthetic_queries() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK", "SAMPLERK", "MNKQMGGR", "AAAGGGKR"]);
+        let cfg = SlmConfig {
+            shared_peak_threshold: 1,
+            top_k: usize::MAX,
+            ..Default::default()
+        };
+        let idx = IndexBuilder::new(cfg.clone(), ModSpec::none()).build(&d);
+        let queries = SyntheticDataset::generate(
+            &d,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 20,
+                ..Default::default()
+            },
+            99,
+        );
+        let mut s = Searcher::new(&idx);
+        for q in &queries.spectra {
+            let r = s.search(q);
+            for (pid, pep) in d.iter() {
+                let theo = TheoSpectrum::from_sequence(
+                    pep.sequence(),
+                    &ModForm::unmodified(),
+                    &ModSpec::none(),
+                    &cfg.theo,
+                );
+                let expect = brute_force_shared_peaks(&cfg, q, &theo);
+                let got = r
+                    .psms
+                    .iter()
+                    .find(|p| p.peptide == pid)
+                    .map(|p| p.shared_peaks)
+                    .unwrap_or(0);
+                assert_eq!(got, expect, "peptide {pid} on scan {}", q.scan);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let d = db(&["PEPTIDEK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let q = perfect_query(b"PEPTIDEK");
+        let r = s.search(&q);
+        assert_eq!(r.stats.peaks, q.peaks.len() as u64);
+        assert!(r.stats.bins_touched >= r.stats.peaks);
+        assert!(r.stats.postings_scanned >= 14);
+    }
+
+    #[test]
+    fn batch_accumulates_stats() {
+        let d = db(&["PEPTIDEK", "ELVISLIVESK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let qs = vec![perfect_query(b"PEPTIDEK"), perfect_query(b"ELVISLIVESK")];
+        let (results, total) = s.search_batch(&qs);
+        assert_eq!(results.len(), 2);
+        let sum: u64 = results.iter().map(|r| r.stats.postings_scanned).sum();
+        assert_eq!(total.postings_scanned, sum);
+    }
+
+    #[test]
+    fn modified_spectrum_found_via_modform() {
+        let spec = ModSpec::oxidation_only();
+        let d = db(&["AMSAMPLEK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), spec.clone()).build(&d);
+        // Build a query from the oxidized form.
+        let forms = lbe_bio::mods::enumerate_modforms(b"AMSAMPLEK", &spec);
+        let ox = forms.iter().position(|f| f.num_mods() == 1).unwrap();
+        let theo = TheoSpectrum::from_sequence(b"AMSAMPLEK", &forms[ox], &spec, &TheoParams::default());
+        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 50.0)).collect();
+        let q = Spectrum::new(0, lbe_bio::aa::precursor_mz(theo.precursor_mass, 2), 2, peaks);
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&q);
+        assert_eq!(r.psms[0].modform as usize, ox);
+        assert_eq!(r.psms[0].shared_peaks as usize, theo.fragment_count());
+    }
+}

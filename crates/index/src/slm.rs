@@ -1,0 +1,259 @@
+//! The SLM-style ion index structure: CSR postings over quantized fragment
+//! bins.
+//!
+//! Layout (all flat arrays, mirroring SLM-Transform's memory frugality):
+//!
+//! ```text
+//! entries:      SpectrumEntry[num_spectra]   // one per indexed theoretical spectrum
+//! bin_offsets:  u64[num_bins + 1]            // CSR row pointers
+//! postings:     u32[total_ions]              // entry ids, grouped by bin
+//! ```
+//!
+//! "Index size" in the paper's figures is `entries.len()` ("Million peptides
+//! & spectra") and the ion count is `postings.len()` (the "2 billion ions
+//! (8GB)" limit the paper mentions is the `int`-indexing limit of their C++
+//! arrays; we use `u64` offsets so the limit does not apply, but partition
+//! sizing still matters for RAM).
+
+use crate::config::SlmConfig;
+
+/// One indexed theoretical spectrum: a (peptide, modform) pair.
+///
+/// 16 bytes: the bulk per-spectrum cost besides postings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumEntry {
+    /// Peptide id in the *local* peptide table of the index partition.
+    /// The LBE mapping table translates local → global ids on the master.
+    pub peptide: u32,
+    /// Ordinal of the modform within the peptide's enumeration (0 = unmodified).
+    pub modform: u16,
+    /// Number of theoretical fragments this spectrum contributed.
+    pub num_fragments: u16,
+    /// Neutral precursor mass (f32 keeps the entry at 16 bytes; 0.5 ppm
+    /// rounding at 5 kDa is far below any precursor tolerance in use).
+    pub precursor_mass: f32,
+}
+
+/// The fragment-ion index over a set of theoretical spectra.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlmIndex {
+    config: SlmConfig,
+    entries: Vec<SpectrumEntry>,
+    bin_offsets: Vec<u64>,
+    postings: Vec<u32>,
+}
+
+impl SlmIndex {
+    /// Assembles an index from parts (used by [`crate::builder`]).
+    pub(crate) fn from_parts(
+        config: SlmConfig,
+        entries: Vec<SpectrumEntry>,
+        bin_offsets: Vec<u64>,
+        postings: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(bin_offsets.len(), config.num_bins() + 1);
+        debug_assert_eq!(*bin_offsets.last().unwrap() as usize, postings.len());
+        SlmIndex {
+            config,
+            entries,
+            bin_offsets,
+            postings,
+        }
+    }
+
+    /// The configuration this index was built with.
+    #[inline]
+    pub fn config(&self) -> &SlmConfig {
+        &self.config
+    }
+
+    /// Number of indexed theoretical spectra (the paper's "index size").
+    #[inline]
+    pub fn num_spectra(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of indexed ions (postings).
+    #[inline]
+    pub fn num_ions(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// `true` if the index holds nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry table.
+    #[inline]
+    pub fn entries(&self) -> &[SpectrumEntry] {
+        &self.entries
+    }
+
+    /// Entry by id.
+    #[inline]
+    pub fn entry(&self, id: u32) -> &SpectrumEntry {
+        &self.entries[id as usize]
+    }
+
+    /// The posting list (entry ids) of one ion bin.
+    #[inline]
+    pub fn bin_postings(&self, bin: u32) -> &[u32] {
+        let b = bin as usize;
+        if b + 1 >= self.bin_offsets.len() {
+            return &[];
+        }
+        let lo = self.bin_offsets[b] as usize;
+        let hi = self.bin_offsets[b + 1] as usize;
+        &self.postings[lo..hi]
+    }
+
+    /// All postings within the fragment-tolerance window of `mz`.
+    /// Returns `(bins_touched, iterator)` work via a callback to avoid
+    /// allocation on the hot path.
+    #[inline]
+    pub fn for_postings_near<F: FnMut(u32)>(&self, mz: f64, mut f: F) -> u32 {
+        let Some(center) = self.config.bin_of(mz) else {
+            return 0;
+        };
+        let tol = self.config.tolerance_bins();
+        let lo = center.saturating_sub(tol);
+        let hi = (center + tol).min(self.config.num_bins() as u32 - 1);
+        for bin in lo..=hi {
+            for &entry in self.bin_postings(bin) {
+                f(entry);
+            }
+        }
+        hi - lo + 1
+    }
+
+    /// Exact heap bytes of the index structures (Fig. 5's y-axis).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<SpectrumEntry>()
+            + self.bin_offsets.capacity() * std::mem::size_of::<u64>()
+            + self.postings.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Internal consistency check (used by property tests): CSR offsets are
+    /// monotone, postings reference valid entries, and per-entry fragment
+    /// counts sum to the posting count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bin_offsets.len() != self.config.num_bins() + 1 {
+            return Err("bin_offsets length mismatch".into());
+        }
+        if self
+            .bin_offsets
+            .windows(2)
+            .any(|w| w[0] > w[1])
+        {
+            return Err("bin_offsets not monotone".into());
+        }
+        if *self.bin_offsets.last().unwrap() as usize != self.postings.len() {
+            return Err("final offset != postings length".into());
+        }
+        let n = self.entries.len() as u32;
+        if self.postings.iter().any(|&e| e >= n) {
+            return Err("posting references nonexistent entry".into());
+        }
+        let total: usize = self.entries.iter().map(|e| e.num_fragments as usize).sum();
+        if total != self.postings.len() {
+            return Err(format!(
+                "entry fragment counts ({total}) != postings ({})",
+                self.postings.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use lbe_bio::mods::ModSpec;
+    use lbe_bio::peptide::{Peptide, PeptideDb};
+
+    fn small_index() -> SlmIndex {
+        let db = PeptideDb::from_vec(vec![
+            Peptide::new(b"ELVISLIVESK", 0, 0).unwrap(),
+            Peptide::new(b"PEPTIDEK", 0, 0).unwrap(),
+        ]);
+        IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&db)
+    }
+
+    #[test]
+    fn index_counts() {
+        let idx = small_index();
+        assert_eq!(idx.num_spectra(), 2);
+        // b/y singly charged: (11-1)*2 + (8-1)*2 = 34 ions
+        assert_eq!(idx.num_ions(), 34);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn validates() {
+        small_index().validate().unwrap();
+    }
+
+    #[test]
+    fn postings_point_at_owning_entry() {
+        let idx = small_index();
+        // Every fragment of entry 1 ("PEPTIDEK") must be findable near its m/z.
+        let theo = lbe_spectra::theo::TheoSpectrum::from_sequence(
+            b"PEPTIDEK",
+            &lbe_bio::mods::ModForm::unmodified(),
+            &ModSpec::none(),
+            &idx.config().theo,
+        );
+        for &mz in &theo.fragment_mzs {
+            let mut found = false;
+            idx.for_postings_near(mz, |e| found |= e == 1);
+            assert!(found, "fragment {mz} of entry 1 not indexed");
+        }
+    }
+
+    #[test]
+    fn bin_postings_out_of_range_is_empty() {
+        let idx = small_index();
+        assert!(idx.bin_postings(u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn for_postings_near_counts_bins() {
+        let idx = small_index();
+        let bins = idx.for_postings_near(500.0, |_| {});
+        assert_eq!(bins, 2 * idx.config().tolerance_bins() + 1);
+    }
+
+    #[test]
+    fn out_of_range_mz_touches_nothing() {
+        let idx = small_index();
+        let mut n = 0;
+        let bins = idx.for_postings_near(-5.0, |_| n += 1);
+        assert_eq!((bins, n), (0, 0));
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_and_scales() {
+        let idx = small_index();
+        assert!(idx.heap_bytes() > 0);
+        let db = PeptideDb::from_vec(
+            (0..50)
+                .map(|i| {
+                    let seq = format!("PEPTIDEK{}R", "A".repeat(i % 10 + 1));
+                    Peptide::new(seq.as_bytes(), 0, 0).unwrap()
+                })
+                .collect(),
+        );
+        let big = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&db);
+        assert!(big.heap_bytes() > idx.heap_bytes());
+    }
+
+    #[test]
+    fn precursor_masses_recorded() {
+        let idx = small_index();
+        let m = lbe_bio::aa::peptide_neutral_mass(b"ELVISLIVESK").unwrap();
+        assert!((idx.entry(0).precursor_mass as f64 - m).abs() < 0.01);
+    }
+}

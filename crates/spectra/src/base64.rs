@@ -1,0 +1,131 @@
+//! Standard base64 (RFC 4648, with padding) — needed by mzML's binary data
+//! arrays. Hand-rolled to keep the workspace dependency-light.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes base64 (padding required for the final quantum; embedded ASCII
+/// whitespace is skipped). Returns `None` on any invalid character or
+/// malformed length.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    fn value(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a') as u32 + 26),
+            b'0'..=b'9' => Some((c - b'0') as u32 + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let cleaned: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    if !cleaned.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for quad in cleaned.chunks(4) {
+        let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 {
+            return None;
+        }
+        // '=' only allowed at the end of the stream.
+        let datalen = 4 - pad;
+        let mut n: u32 = 0;
+        for (i, &c) in quad.iter().enumerate() {
+            let v = if i < datalen {
+                value(c)?
+            } else if c == b'=' {
+                0
+            } else {
+                return None;
+            };
+            n = n << 6 | v;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, b64) in vectors {
+            assert_eq!(encode(plain.as_bytes()), b64);
+            assert_eq!(decode(b64).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn float_array_round_trip() {
+        let floats = [1.5f64, -2.25, 1234.5678, f64::MIN_POSITIVE];
+        let bytes: Vec<u8> = floats.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let back = decode(&encode(&bytes)).unwrap();
+        assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn whitespace_ignored() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zg==  ").unwrap(), b"f");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(decode("Zg=").is_none()); // bad length
+        assert!(decode("Z!==").is_none()); // bad character
+        assert!(decode("====").is_none()); // too much padding
+        assert!(decode("Zg=A").is_none()); // data after padding
+    }
+}

@@ -1,0 +1,43 @@
+//! # lbe-spectra — MS/MS spectra substrate for the LBE reproduction
+//!
+//! Theoretical fragment (b/y ion) generation from peptide sequences, the
+//! experimental-spectrum model, MS2 and MGF text formats (the paper converts
+//! RAW files to MS2 with `msconvert`), spectrum preprocessing (top-N peak
+//! extraction, §V-A.3 uses N = 100), and a synthetic query-dataset generator
+//! standing in for the PRIDE dataset PXD009072.
+//!
+//! ```
+//! use lbe_spectra::prelude::*;
+//! use lbe_bio::mods::{ModForm, ModSpec};
+//!
+//! let theo = TheoSpectrum::from_sequence(b"PEPTIDEK", &ModForm::unmodified(),
+//!                                        &ModSpec::none(), &TheoParams::default());
+//! assert_eq!(theo.fragment_count(), 2 * (8 - 1)); // b1..b7 and y1..y7
+//! ```
+
+pub mod base64;
+pub mod mgf;
+pub mod ms2;
+pub mod mzml;
+pub mod preprocess;
+pub mod spectrum;
+pub mod synthetic;
+pub mod theo;
+
+pub use mgf::{read_mgf, write_mgf};
+pub use ms2::{read_ms2, read_ms2_path, write_ms2, write_ms2_path};
+pub use mzml::{read_mzml, read_mzml_path, write_mzml, write_mzml_path};
+pub use preprocess::{preprocess_spectrum, PreprocessParams};
+pub use spectrum::{Peak, Spectrum};
+pub use synthetic::{SyntheticDataset, SyntheticDatasetParams};
+pub use theo::{TheoParams, TheoSpectrum};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::mgf::{read_mgf, write_mgf};
+    pub use crate::ms2::{read_ms2, write_ms2};
+    pub use crate::preprocess::{preprocess_spectrum, PreprocessParams};
+    pub use crate::spectrum::{Peak, Spectrum};
+    pub use crate::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+    pub use crate::theo::{TheoParams, TheoSpectrum};
+}

@@ -1,0 +1,225 @@
+//! Mascot Generic Format (MGF) — the other text format every proteomics
+//! pipeline speaks. Provided so datasets generated here can be fed to
+//! external engines and vice versa.
+//!
+//! ```text
+//! BEGIN IONS
+//! TITLE=scan=1
+//! PEPMASS=503.1234 12345.0
+//! CHARGE=2+
+//! SCANS=1
+//! 112.0872 231.5
+//! END IONS
+//! ```
+
+use crate::spectrum::{Peak, Spectrum};
+use lbe_bio::error::BioError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Reads spectra from an MGF stream.
+pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    let mut in_ions = false;
+    let mut title = String::new();
+    let mut pepmass: f64 = 0.0;
+    let mut charge: u8 = 1;
+    let mut scan: u32 = 0;
+    let mut peaks: Vec<Peak> = Vec::new();
+    let mut next_scan: u32 = 0;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("BEGIN IONS") {
+            if in_ions {
+                return Err(BioError::FastaParse {
+                    msg: "nested BEGIN IONS".into(),
+                    line: lineno,
+                });
+            }
+            in_ions = true;
+            title.clear();
+            pepmass = 0.0;
+            charge = 1;
+            scan = next_scan;
+            next_scan += 1;
+            peaks.clear();
+            continue;
+        }
+        if line.eq_ignore_ascii_case("END IONS") {
+            if !in_ions {
+                return Err(BioError::FastaParse {
+                    msg: "END IONS without BEGIN IONS".into(),
+                    line: lineno,
+                });
+            }
+            let mut s = Spectrum::new(scan, pepmass, charge, std::mem::take(&mut peaks));
+            s.title = std::mem::take(&mut title);
+            out.push(s);
+            in_ions = false;
+            continue;
+        }
+        if !in_ions {
+            // Global parameter lines (e.g. COM=, ITOL=) are legal; skip them.
+            if line.contains('=') {
+                continue;
+            }
+            return Err(BioError::FastaParse {
+                msg: format!("unexpected line outside BEGIN/END IONS: {line:?}"),
+                line: lineno,
+            });
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            match key.to_ascii_uppercase().as_str() {
+                "TITLE" => title = value.trim().to_string(),
+                "PEPMASS" => {
+                    let first = value.split_whitespace().next().unwrap_or("");
+                    pepmass = first.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad PEPMASS {value:?}"),
+                        line: lineno,
+                    })?;
+                }
+                "CHARGE" => {
+                    let v = value.trim().trim_end_matches(['+', '-']);
+                    charge = v.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad CHARGE {value:?}"),
+                        line: lineno,
+                    })?;
+                }
+                "SCANS" => {
+                    scan = value.trim().parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad SCANS {value:?}"),
+                        line: lineno,
+                    })?;
+                }
+                _ => {} // RTINSECONDS etc.: ignored
+            }
+        } else {
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(mz), Some(inten)) => {
+                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad peak m/z {mz:?}"),
+                        line: lineno,
+                    })?;
+                    let inten: f32 = inten.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad peak intensity {inten:?}"),
+                        line: lineno,
+                    })?;
+                    peaks.push(Peak::new(mz, inten));
+                }
+                (Some(mz), None) => {
+                    // Intensity-less peaks are legal MGF; assume 1.0.
+                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad peak m/z {mz:?}"),
+                        line: lineno,
+                    })?;
+                    peaks.push(Peak::new(mz, 1.0));
+                }
+                _ => unreachable!("split_whitespace on non-empty line yields at least one token"),
+            }
+        }
+    }
+    if in_ions {
+        return Err(BioError::FastaParse {
+            msg: "unterminated BEGIN IONS".into(),
+            line: 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes spectra as MGF.
+pub fn write_mgf<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioError> {
+    let mut w = BufWriter::new(writer);
+    for s in spectra {
+        writeln!(w, "BEGIN IONS")?;
+        if s.title.is_empty() {
+            writeln!(w, "TITLE=scan={}", s.scan)?;
+        } else {
+            writeln!(w, "TITLE={}", s.title)?;
+        }
+        writeln!(w, "PEPMASS={:.5}", s.precursor_mz)?;
+        writeln!(w, "CHARGE={}+", s.charge)?;
+        writeln!(w, "SCANS={}", s.scan)?;
+        for p in &s.peaks {
+            writeln!(w, "{:.5} {:.2}", p.mz, p.intensity)?;
+        }
+        writeln!(w, "END IONS")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Spectrum> {
+        let mut s = Spectrum::new(5, 503.1234, 2, vec![Peak::new(112.0872, 231.5)]);
+        s.title = "my spectrum".into();
+        vec![s, Spectrum::new(9, 611.5, 3, vec![Peak::new(201.1, 55.0), Peak::new(300.0, 5.0)])]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_mgf(&mut buf, &sample()).unwrap();
+        let back = read_mgf(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].title, "my spectrum");
+        assert_eq!(back[0].scan, 5);
+        assert_eq!(back[0].charge, 2);
+        assert!((back[0].precursor_mz - 503.1234).abs() < 1e-4);
+        assert_eq!(back[1].peak_count(), 2);
+    }
+
+    #[test]
+    fn charge_suffix_variants() {
+        for (text, expect) in [("2+", 2u8), ("3", 3), ("1+", 1)] {
+            let input = format!("BEGIN IONS\nPEPMASS=400\nCHARGE={text}\n100 1\nEND IONS\n");
+            let s = read_mgf(input.as_bytes()).unwrap();
+            assert_eq!(s[0].charge, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn pepmass_with_intensity_token() {
+        let input = "BEGIN IONS\nPEPMASS=400.5 12345.0\n100 1\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        assert!((s[0].precursor_mz - 400.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_less_peaks_get_one() {
+        let input = "BEGIN IONS\nPEPMASS=400\n100.5\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        assert_eq!(s[0].peaks[0].intensity, 1.0);
+    }
+
+    #[test]
+    fn global_params_skipped() {
+        let input = "COM=run 1\nITOL=0.5\nBEGIN IONS\nPEPMASS=400\n100 1\nEND IONS\n";
+        assert_eq!(read_mgf(input.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(read_mgf("BEGIN IONS\nBEGIN IONS\n".as_bytes()).is_err());
+        assert!(read_mgf("END IONS\n".as_bytes()).is_err());
+        assert!(read_mgf("BEGIN IONS\nPEPMASS=400\n".as_bytes()).is_err());
+        assert!(read_mgf("stray line\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn default_scan_numbers_increment() {
+        let input = "BEGIN IONS\nPEPMASS=1\nEND IONS\nBEGIN IONS\nPEPMASS=2\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        assert_eq!((s[0].scan, s[1].scan), (0, 1));
+    }
+}

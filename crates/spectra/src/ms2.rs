@@ -1,0 +1,230 @@
+//! MS2 text format (the paper's query input: `msconvert` RAW → MS2).
+//!
+//! The MS2 format (McDonald et al., 2004) is line-oriented:
+//!
+//! ```text
+//! H       CreationDate    ...           # header lines, ignored on read
+//! S       1       1       503.1234      # scan-start, scan-end, precursor m/z
+//! Z       2       1005.2395             # charge, (M+H)+ mass
+//! 112.0872 231.5                        # fragment m/z + intensity pairs
+//! ...
+//! ```
+//!
+//! One `S` record may carry several `Z` lines (charge ambiguity); this
+//! implementation emits one [`Spectrum`] per `Z` line, matching how search
+//! engines (including SLM-based ones) treat multi-charge scans.
+
+use crate::spectrum::{Peak, Spectrum};
+use lbe_bio::aa::PROTON_MASS;
+use lbe_bio::error::BioError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads spectra from an MS2 stream.
+pub fn read_ms2<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
+    let reader = BufReader::new(reader);
+    let mut out: Vec<Spectrum> = Vec::new();
+    // Current S record state.
+    let mut scan: u32 = 0;
+    let mut precursor_mz: f64 = 0.0;
+    let mut charges: Vec<u8> = Vec::new();
+    let mut peaks: Vec<Peak> = Vec::new();
+    let mut have_scan = false;
+
+    let flush =
+        |scan: u32, precursor_mz: f64, charges: &mut Vec<u8>, peaks: &mut Vec<Peak>, out: &mut Vec<Spectrum>| {
+            if charges.is_empty() {
+                // No Z line: assume 1+ (rare, but files exist).
+                charges.push(1);
+            }
+            for &z in charges.iter() {
+                out.push(Spectrum::new(scan, precursor_mz, z, peaks.clone()));
+            }
+            charges.clear();
+            peaks.clear();
+        };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('H') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('S') {
+            if have_scan {
+                flush(scan, precursor_mz, &mut charges, &mut peaks, &mut out);
+            }
+            let mut it = rest.split_whitespace();
+            let first = it.next().ok_or_else(|| BioError::FastaParse {
+                msg: "S line missing scan number".into(),
+                line: lineno,
+            })?;
+            scan = first.parse().map_err(|_| BioError::FastaParse {
+                msg: format!("bad scan number {first:?}"),
+                line: lineno,
+            })?;
+            let _scan_end = it.next();
+            let mz = it.next().ok_or_else(|| BioError::FastaParse {
+                msg: "S line missing precursor m/z".into(),
+                line: lineno,
+            })?;
+            precursor_mz = mz.parse().map_err(|_| BioError::FastaParse {
+                msg: format!("bad precursor m/z {mz:?}"),
+                line: lineno,
+            })?;
+            have_scan = true;
+        } else if let Some(rest) = line.strip_prefix('Z') {
+            let mut it = rest.split_whitespace();
+            let z = it.next().ok_or_else(|| BioError::FastaParse {
+                msg: "Z line missing charge".into(),
+                line: lineno,
+            })?;
+            let z: u8 = z.parse().map_err(|_| BioError::FastaParse {
+                msg: format!("bad charge {z:?}"),
+                line: lineno,
+            })?;
+            charges.push(z);
+        } else {
+            if !have_scan {
+                return Err(BioError::FastaParse {
+                    msg: "peak line before first S record".into(),
+                    line: lineno,
+                });
+            }
+            let mut it = line.split_whitespace();
+            let (mz, inten) = (it.next(), it.next());
+            match (mz, inten) {
+                (Some(mz), Some(inten)) => {
+                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad peak m/z {mz:?}"),
+                        line: lineno,
+                    })?;
+                    let inten: f32 = inten.parse().map_err(|_| BioError::FastaParse {
+                        msg: format!("bad peak intensity {inten:?}"),
+                        line: lineno,
+                    })?;
+                    peaks.push(Peak::new(mz, inten));
+                }
+                _ => {
+                    return Err(BioError::FastaParse {
+                        msg: format!("malformed peak line {line:?}"),
+                        line: lineno,
+                    })
+                }
+            }
+        }
+    }
+    if have_scan {
+        flush(scan, precursor_mz, &mut charges, &mut peaks, &mut out);
+    }
+    Ok(out)
+}
+
+/// Reads an MS2 file from disk.
+pub fn read_ms2_path(path: impl AsRef<Path>) -> Result<Vec<Spectrum>, BioError> {
+    read_ms2(std::fs::File::open(path)?)
+}
+
+/// Writes spectra as MS2. Each spectrum becomes one `S` record with a single
+/// `Z` line.
+pub fn write_ms2<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "H\tCreationDate\tlbe-spectra")?;
+    writeln!(w, "H\tExtractor\tlbe-spectra MS2 writer")?;
+    for s in spectra {
+        writeln!(w, "S\t{}\t{}\t{:.5}", s.scan, s.scan, s.precursor_mz)?;
+        let mh = s.precursor_neutral_mass() + PROTON_MASS;
+        writeln!(w, "Z\t{}\t{:.5}", s.charge, mh)?;
+        for p in &s.peaks {
+            writeln!(w, "{:.5} {:.2}", p.mz, p.intensity)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an MS2 file to disk.
+pub fn write_ms2_path(path: impl AsRef<Path>, spectra: &[Spectrum]) -> Result<(), BioError> {
+    write_ms2(std::fs::File::create(path)?, spectra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Spectrum> {
+        vec![
+            Spectrum::new(1, 503.1234, 2, vec![Peak::new(112.0872, 231.5), Peak::new(358.9, 80.0)]),
+            Spectrum::new(7, 611.5, 3, vec![Peak::new(201.1, 55.0)]),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_ms2(&mut buf, &sample()).unwrap();
+        let back = read_ms2(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].scan, 1);
+        assert_eq!(back[0].charge, 2);
+        assert!((back[0].precursor_mz - 503.1234).abs() < 1e-4);
+        assert_eq!(back[0].peak_count(), 2);
+        assert!((back[1].peaks[0].mz - 201.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn header_lines_ignored() {
+        let input = "H\tjunk\nS\t3\t3\t450.5\nZ\t2\t900.0\n100.0 1.0\n";
+        let s = read_ms2(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].scan, 3);
+    }
+
+    #[test]
+    fn multiple_z_lines_duplicate_scan() {
+        let input = "S\t3\t3\t450.5\nZ\t2\t900.0\nZ\t3\t1350.0\n100.0 1.0\n";
+        let s = read_ms2(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].charge, 2);
+        assert_eq!(s[1].charge, 3);
+        assert_eq!(s[0].peaks, s[1].peaks);
+    }
+
+    #[test]
+    fn missing_z_defaults_to_singly_charged() {
+        let input = "S\t3\t3\t450.5\n100.0 1.0\n";
+        let s = read_ms2(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].charge, 1);
+    }
+
+    #[test]
+    fn peak_before_scan_is_error() {
+        assert!(read_ms2("100.0 1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(read_ms2("S\tx\t1\t450.5\n".as_bytes()).is_err());
+        assert!(read_ms2("S\t1\t1\tnotanumber\n".as_bytes()).is_err());
+        assert!(read_ms2("S\t1\t1\t450.5\nZ\tbad\t900\n".as_bytes()).is_err());
+        assert!(read_ms2("S\t1\t1\t450.5\n100.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(read_ms2("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lbe_spectra_ms2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ms2");
+        write_ms2_path(&path, &sample()).unwrap();
+        let back = read_ms2_path(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

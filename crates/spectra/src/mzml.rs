@@ -1,0 +1,343 @@
+//! mzML-lite: a pragmatic subset of the HUPO-PSI mzML format — the output
+//! of `msconvert`, the converter the paper runs on raw instrument files.
+//!
+//! The writer emits structurally valid mzML (indexless) with the standard
+//! cvParam accessions and uncompressed little-endian binary arrays (64-bit
+//! m/z, 32-bit intensity). The reader is a tolerant scanning parser that
+//! extracts exactly what a search engine needs — precursor m/z, charge,
+//! scan id, and the two binary arrays — from files produced by this writer
+//! or by msconvert with default (no-compression) settings.
+//!
+//! Not supported (by design, documented): zlib-compressed arrays, numpress,
+//! chromatograms, MS1 spectra filtering (everything with arrays is read).
+
+use crate::base64;
+use crate::spectrum::{Peak, Spectrum};
+use lbe_bio::error::BioError;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes spectra as mzML.
+pub fn write_mzml<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, r#"<?xml version="1.0" encoding="utf-8"?>"#)?;
+    writeln!(
+        w,
+        r#"<mzML xmlns="http://psi.hupo.org/ms/mzml" version="1.1.0">"#
+    )?;
+    writeln!(w, r#"  <run id="lbe-run">"#)?;
+    writeln!(w, r#"    <spectrumList count="{}">"#, spectra.len())?;
+    for (i, s) in spectra.iter().enumerate() {
+        let mz_bytes: Vec<u8> = s.peaks.iter().flat_map(|p| p.mz.to_le_bytes()).collect();
+        let int_bytes: Vec<u8> = s
+            .peaks
+            .iter()
+            .flat_map(|p| p.intensity.to_le_bytes())
+            .collect();
+        writeln!(
+            w,
+            r#"      <spectrum index="{i}" id="scan={}" defaultArrayLength="{}">"#,
+            s.scan,
+            s.peaks.len()
+        )?;
+        writeln!(
+            w,
+            r#"        <cvParam cvRef="MS" accession="MS:1000511" name="ms level" value="2"/>"#
+        )?;
+        writeln!(w, r#"        <precursorList count="1">"#)?;
+        writeln!(w, r#"          <precursor>"#)?;
+        writeln!(w, r#"            <selectedIonList count="1">"#)?;
+        writeln!(w, r#"              <selectedIon>"#)?;
+        writeln!(
+            w,
+            r#"                <cvParam cvRef="MS" accession="MS:1000744" name="selected ion m/z" value="{:.6}"/>"#,
+            s.precursor_mz
+        )?;
+        writeln!(
+            w,
+            r#"                <cvParam cvRef="MS" accession="MS:1000041" name="charge state" value="{}"/>"#,
+            s.charge
+        )?;
+        writeln!(w, r#"              </selectedIon>"#)?;
+        writeln!(w, r#"            </selectedIonList>"#)?;
+        writeln!(w, r#"          </precursor>"#)?;
+        writeln!(w, r#"        </precursorList>"#)?;
+        writeln!(w, r#"        <binaryDataArrayList count="2">"#)?;
+        for (accession, name, bits, data) in [
+            ("MS:1000514", "m/z array", "MS:1000523", &mz_bytes),
+            ("MS:1000515", "intensity array", "MS:1000521", &int_bytes),
+        ] {
+            writeln!(w, r#"          <binaryDataArray encodedLength="{}">"#, base64::encode(data).len())?;
+            writeln!(
+                w,
+                r#"            <cvParam cvRef="MS" accession="{bits}" name="float"/>"#
+            )?;
+            writeln!(
+                w,
+                r#"            <cvParam cvRef="MS" accession="MS:1000576" name="no compression"/>"#
+            )?;
+            writeln!(
+                w,
+                r#"            <cvParam cvRef="MS" accession="{accession}" name="{name}"/>"#
+            )?;
+            writeln!(w, r#"            <binary>{}</binary>"#, base64::encode(data))?;
+            writeln!(w, r#"          </binaryDataArray>"#)?;
+        }
+        writeln!(w, r#"        </binaryDataArrayList>"#)?;
+        writeln!(w, r#"      </spectrum>"#)?;
+    }
+    writeln!(w, r#"    </spectrumList>"#)?;
+    writeln!(w, r#"  </run>"#)?;
+    writeln!(w, r#"</mzML>"#)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn parse_err(msg: impl Into<String>) -> BioError {
+    BioError::FastaParse {
+        msg: msg.into(),
+        line: 0,
+    }
+}
+
+/// Extracts the substring between `open` and `close`, starting at `from`.
+/// Returns `(content, position after close)`.
+fn between<'a>(text: &'a str, open: &str, close: &str, from: usize) -> Option<(&'a str, usize)> {
+    let start = text[from..].find(open)? + from + open.len();
+    let end = text[start..].find(close)? + start;
+    Some((&text[start..end], end + close.len()))
+}
+
+/// The `value="..."` of the first cvParam in `block` with `accession`.
+fn cv_value<'a>(block: &'a str, accession: &str) -> Option<&'a str> {
+    let pos = block.find(&format!(r#"accession="{accession}""#))?;
+    let tail = &block[pos..];
+    let tag_end = tail.find("/>")?;
+    let tag = &tail[..tag_end];
+    let v = tag.find(r#"value=""#)? + 7;
+    let end = tag[v..].find('"')? + v;
+    Some(&tag[v..end])
+}
+
+/// XML attribute of the element opening at `tag`.
+fn attr<'a>(tag: &'a str, name: &str) -> Option<&'a str> {
+    let pos = tag.find(&format!(r#"{name}=""#))? + name.len() + 2;
+    let end = tag[pos..].find('"')? + pos;
+    Some(&tag[pos..end])
+}
+
+/// Reads spectra from an mzML stream (this crate's subset — see module docs).
+pub fn read_mzml<R: Read>(mut reader: R) -> Result<Vec<Spectrum>, BioError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+
+    while let Some(spec_open) = text[cursor..].find("<spectrum ") {
+        let spec_start = cursor + spec_open;
+        let tag_end = text[spec_start..]
+            .find('>')
+            .ok_or_else(|| parse_err("unterminated <spectrum> tag"))?
+            + spec_start;
+        let spec_tag = &text[spec_start..tag_end];
+        let close = text[tag_end..]
+            .find("</spectrum>")
+            .ok_or_else(|| parse_err("missing </spectrum>"))?
+            + tag_end;
+        let block = &text[spec_start..close];
+        cursor = close + "</spectrum>".len();
+
+        // Scan id: from id="scan=N" (ours / msconvert) or index attr.
+        let scan: u32 = attr(spec_tag, "id")
+            .and_then(|id| id.rsplit('=').next())
+            .and_then(|n| n.parse().ok())
+            .or_else(|| attr(spec_tag, "index").and_then(|n| n.parse().ok()))
+            .unwrap_or(out.len() as u32);
+
+        let precursor_mz: f64 = cv_value(block, "MS:1000744")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(format!("spectrum scan={scan}: no selected ion m/z")))?;
+        let charge: u8 = cv_value(block, "MS:1000041")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+
+        // The two binary arrays: identify each by its array-type accession.
+        let mut mzs: Option<Vec<f64>> = None;
+        let mut intensities: Option<Vec<f32>> = None;
+        let mut arr_cursor = 0usize;
+        while let Some((arr_block, next)) =
+            between(block, "<binaryDataArray", "</binaryDataArray>", arr_cursor)
+        {
+            arr_cursor = next;
+            let (payload, _) = between(arr_block, "<binary>", "</binary>", 0)
+                .ok_or_else(|| parse_err("binaryDataArray without <binary>"))?;
+            let bytes = base64::decode(payload)
+                .ok_or_else(|| parse_err("invalid base64 in binary array"))?;
+            if arr_block.contains(r#"accession="MS:1000514""#) {
+                // m/z: 64-bit little-endian floats.
+                if bytes.len() % 8 != 0 {
+                    return Err(parse_err("m/z array not a multiple of 8 bytes"));
+                }
+                mzs = Some(
+                    bytes
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                        .collect(),
+                );
+            } else if arr_block.contains(r#"accession="MS:1000515""#) {
+                // intensity: 32-bit little-endian floats.
+                if bytes.len() % 4 != 0 {
+                    return Err(parse_err("intensity array not a multiple of 4 bytes"));
+                }
+                intensities = Some(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                        .collect(),
+                );
+            }
+        }
+        let mzs = mzs.ok_or_else(|| parse_err(format!("spectrum scan={scan}: no m/z array")))?;
+        let intensities = intensities
+            .ok_or_else(|| parse_err(format!("spectrum scan={scan}: no intensity array")))?;
+        if mzs.len() != intensities.len() {
+            return Err(parse_err(format!(
+                "spectrum scan={scan}: array length mismatch ({} vs {})",
+                mzs.len(),
+                intensities.len()
+            )));
+        }
+        let peaks: Vec<Peak> = mzs
+            .into_iter()
+            .zip(intensities)
+            .map(|(m, i)| Peak::new(m, i))
+            .collect();
+        out.push(Spectrum::new(scan, precursor_mz, charge, peaks));
+    }
+    Ok(out)
+}
+
+/// Writes an mzML file to disk.
+pub fn write_mzml_path(path: impl AsRef<Path>, spectra: &[Spectrum]) -> Result<(), BioError> {
+    write_mzml(std::fs::File::create(path)?, spectra)
+}
+
+/// Reads an mzML file from disk.
+pub fn read_mzml_path(path: impl AsRef<Path>) -> Result<Vec<Spectrum>, BioError> {
+    read_mzml(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Spectrum> {
+        vec![
+            Spectrum::new(
+                7,
+                503.1234,
+                2,
+                vec![Peak::new(112.0872, 231.5), Peak::new(358.91, 80.25)],
+            ),
+            Spectrum::new(9, 611.5, 3, vec![Peak::new(201.1, 55.0)]),
+            Spectrum::new(11, 402.0, 1, vec![]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()).unwrap();
+        let back = read_mzml(&buf[..]).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&sample()) {
+            assert_eq!(a.scan, b.scan);
+            assert_eq!(a.charge, b.charge);
+            assert!((a.precursor_mz - b.precursor_mz).abs() < 1e-6);
+            assert_eq!(a.peak_count(), b.peak_count());
+            for (pa, pb) in a.peaks.iter().zip(&b.peaks) {
+                assert_eq!(pa.mz, pb.mz); // binary arrays: bit-exact
+                assert_eq!(pa.intensity, pb.intensity);
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_wellformed_enough() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains(r#"<mzML"#));
+        assert!(text.contains(r#"accession="MS:1000744""#));
+        assert_eq!(text.matches("<spectrum ").count(), 3);
+        assert_eq!(text.matches("</spectrum>").count(), 3);
+        assert!(text.trim_end().ends_with("</mzML>"));
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &[]).unwrap();
+        assert!(read_mzml(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_precursor_is_error() {
+        let input = r#"<mzML><spectrum id="scan=1" defaultArrayLength="0">
+            <binaryDataArray><cvParam accession="MS:1000514" value=""/><binary></binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515" value=""/><binary></binary></binaryDataArray>
+        </spectrum></mzML>"#;
+        assert!(read_mzml(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn corrupted_base64_is_error() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()[..1]).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("<binary>", "<binary>!!");
+        assert!(read_mzml(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn array_length_mismatch_is_error() {
+        // Hand-build a block where intensity has fewer entries than m/z.
+        let mz = crate::base64::encode(&1.0f64.to_le_bytes());
+        let input = format!(
+            r#"<mzML><spectrum id="scan=1">
+            <cvParam accession="MS:1000744" name="selected ion m/z" value="500.0"/>
+            <binaryDataArray><cvParam accession="MS:1000514" name="m/z array"/><binary>{mz}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515" name="intensity array"/><binary></binary></binaryDataArray>
+            </spectrum></mzML>"#
+        );
+        assert!(read_mzml(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn default_charge_is_one() {
+        let input = format!(
+            r#"<mzML><spectrum id="scan=4">
+            <cvParam accession="MS:1000744" name="selected ion m/z" value="500.0"/>
+            <binaryDataArray><cvParam accession="MS:1000514" name="m/z array"/><binary>{}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515" name="intensity array"/><binary>{}</binary></binaryDataArray>
+            </spectrum></mzML>"#,
+            crate::base64::encode(&250.5f64.to_le_bytes()),
+            crate::base64::encode(&9.0f32.to_le_bytes()),
+        );
+        let s = read_mzml(input.as_bytes()).unwrap();
+        assert_eq!(s[0].charge, 1);
+        assert_eq!(s[0].scan, 4);
+        assert_eq!(s[0].peaks[0].mz, 250.5);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lbe_mzml_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mzML");
+        write_mzml_path(&path, &sample()).unwrap();
+        let back = read_mzml_path(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

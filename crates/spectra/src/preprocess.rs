@@ -1,0 +1,181 @@
+//! Query-spectrum preprocessing.
+//!
+//! The paper's SLM-Transform setting (§V-A.3) extracts the 100 most
+//! intense peaks from each query spectrum. Preprocessing here does exactly
+//! that, plus optional low-m/z cutoff and intensity normalization, and
+//! re-sorts the surviving peaks by m/z (the order the shared-peak query
+//! walk requires).
+
+use crate::spectrum::{Peak, Spectrum};
+
+/// Preprocessing parameters. Defaults reproduce §V-A.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessParams {
+    /// Keep only the N most intense peaks (paper: 100).
+    pub top_n: usize,
+    /// Drop peaks below this m/z (0 = keep all). Immonium/low-mass noise cut.
+    pub min_mz: f64,
+    /// Rescale intensities so the base peak is 100.0.
+    pub normalize: bool,
+}
+
+impl Default for PreprocessParams {
+    fn default() -> Self {
+        PreprocessParams {
+            top_n: 100,
+            min_mz: 0.0,
+            normalize: false,
+        }
+    }
+}
+
+/// Applies preprocessing, returning a new spectrum.
+///
+/// Tie-breaking for equal intensities at the top-N boundary is by ascending
+/// m/z (deterministic).
+pub fn preprocess_spectrum(s: &Spectrum, params: &PreprocessParams) -> Spectrum {
+    let mut peaks: Vec<Peak> = s
+        .peaks
+        .iter()
+        .copied()
+        .filter(|p| p.mz >= params.min_mz)
+        .collect();
+
+    if peaks.len() > params.top_n {
+        // Sort by intensity descending, m/z ascending for ties; keep top N.
+        peaks.sort_by(|a, b| {
+            b.intensity
+                .partial_cmp(&a.intensity)
+                .expect("intensities are finite")
+                .then(a.mz.partial_cmp(&b.mz).expect("m/z are finite"))
+        });
+        peaks.truncate(params.top_n);
+    }
+
+    if params.normalize {
+        let base = peaks
+            .iter()
+            .map(|p| p.intensity)
+            .fold(f32::NEG_INFINITY, f32::max);
+        if base > 0.0 {
+            for p in &mut peaks {
+                p.intensity = p.intensity / base * 100.0;
+            }
+        }
+    }
+
+    let mut out = Spectrum::new(s.scan, s.precursor_mz, s.charge, peaks);
+    out.title = s.title.clone();
+    out
+}
+
+/// Preprocesses a whole dataset in place.
+pub fn preprocess_all(spectra: &mut [Spectrum], params: &PreprocessParams) {
+    for s in spectra.iter_mut() {
+        *s = preprocess_spectrum(s, params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum_with(n: usize) -> Spectrum {
+        let peaks: Vec<Peak> = (0..n)
+            .map(|i| Peak::new(100.0 + i as f64, i as f32 + 1.0))
+            .collect();
+        Spectrum::new(1, 500.0, 2, peaks)
+    }
+
+    #[test]
+    fn keeps_top_n_by_intensity() {
+        let s = spectrum_with(10);
+        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 3, ..Default::default() });
+        assert_eq!(out.peak_count(), 3);
+        // The 3 most intense are the last 3 added (intensities 8,9,10).
+        let intensities: Vec<f32> = out.peaks.iter().map(|p| p.intensity).collect();
+        assert!(intensities.iter().all(|&i| i >= 8.0));
+    }
+
+    #[test]
+    fn output_sorted_by_mz() {
+        let s = spectrum_with(50);
+        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 10, ..Default::default() });
+        assert!(out.is_sorted());
+    }
+
+    #[test]
+    fn fewer_peaks_than_n_untouched() {
+        let s = spectrum_with(5);
+        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 100, ..Default::default() });
+        assert_eq!(out.peaks, s.peaks);
+    }
+
+    #[test]
+    fn min_mz_filters() {
+        let s = spectrum_with(10); // mz 100..109
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams { min_mz: 105.0, ..Default::default() },
+        );
+        assert_eq!(out.peak_count(), 5);
+        assert!(out.peaks.iter().all(|p| p.mz >= 105.0));
+    }
+
+    #[test]
+    fn normalization_scales_base_to_100() {
+        let s = spectrum_with(10);
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams { normalize: true, ..Default::default() },
+        );
+        let base = out.base_peak().unwrap().intensity;
+        assert!((base - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let peaks = vec![
+            Peak::new(300.0, 5.0),
+            Peak::new(100.0, 5.0),
+            Peak::new(200.0, 5.0),
+        ];
+        let s = Spectrum::new(1, 400.0, 2, peaks);
+        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 2, ..Default::default() });
+        let mzs: Vec<f64> = out.peaks.iter().map(|p| p.mz).collect();
+        assert_eq!(mzs, vec![100.0, 200.0]); // lowest m/z wins ties
+    }
+
+    #[test]
+    fn metadata_preserved() {
+        let mut s = spectrum_with(3);
+        s.title = "t".into();
+        let out = preprocess_spectrum(&s, &PreprocessParams::default());
+        assert_eq!(out.scan, s.scan);
+        assert_eq!(out.charge, s.charge);
+        assert_eq!(out.precursor_mz, s.precursor_mz);
+        assert_eq!(out.title, "t");
+    }
+
+    #[test]
+    fn empty_spectrum_passes_through() {
+        let s = Spectrum::new(1, 400.0, 2, vec![]);
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams { normalize: true, ..Default::default() },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preprocess_all_applies_to_each() {
+        let mut v = vec![spectrum_with(10), spectrum_with(20)];
+        preprocess_all(&mut v, &PreprocessParams { top_n: 4, ..Default::default() });
+        assert!(v.iter().all(|s| s.peak_count() == 4));
+    }
+
+    #[test]
+    fn paper_default_is_top_100() {
+        assert_eq!(PreprocessParams::default().top_n, 100);
+    }
+}

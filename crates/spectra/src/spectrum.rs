@@ -1,0 +1,141 @@
+//! Experimental (query) spectrum model.
+
+use lbe_bio::aa::neutral_mass_from_mz;
+
+/// One fragment peak: m/z plus measured intensity.
+///
+/// Intensity is `f32` — instrument dynamic range fits comfortably and the
+/// paper's memory-pressure story makes every byte in bulk structures count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Mass-to-charge ratio.
+    pub mz: f64,
+    /// Measured intensity (arbitrary units).
+    pub intensity: f32,
+}
+
+impl Peak {
+    /// Convenience constructor.
+    pub fn new(mz: f64, intensity: f32) -> Self {
+        Peak { mz, intensity }
+    }
+}
+
+/// One experimental MS/MS spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// Scan number (unique within a run file).
+    pub scan: u32,
+    /// Precursor m/z as measured.
+    pub precursor_mz: f64,
+    /// Assumed precursor charge state.
+    pub charge: u8,
+    /// Fragment peaks, sorted ascending by m/z.
+    pub peaks: Vec<Peak>,
+    /// Free-form title (MGF TITLE line; empty for MS2 input).
+    pub title: String,
+}
+
+impl Spectrum {
+    /// Builds a spectrum, sorting peaks by m/z.
+    pub fn new(scan: u32, precursor_mz: f64, charge: u8, mut peaks: Vec<Peak>) -> Self {
+        peaks.sort_by(|a, b| a.mz.partial_cmp(&b.mz).expect("m/z values are finite"));
+        Spectrum {
+            scan,
+            precursor_mz,
+            charge,
+            peaks,
+            title: String::new(),
+        }
+    }
+
+    /// Neutral precursor mass implied by `precursor_mz` and `charge`.
+    pub fn precursor_neutral_mass(&self) -> f64 {
+        neutral_mass_from_mz(self.precursor_mz, self.charge)
+    }
+
+    /// Number of fragment peaks.
+    pub fn peak_count(&self) -> usize {
+        self.peaks.len()
+    }
+
+    /// `true` if there are no peaks.
+    pub fn is_empty(&self) -> bool {
+        self.peaks.is_empty()
+    }
+
+    /// Total ion current (sum of intensities).
+    pub fn total_ion_current(&self) -> f64 {
+        self.peaks.iter().map(|p| p.intensity as f64).sum()
+    }
+
+    /// The base peak (most intense), if any.
+    pub fn base_peak(&self) -> Option<Peak> {
+        self.peaks
+            .iter()
+            .copied()
+            .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).expect("finite"))
+    }
+
+    /// Checks the sorted-by-m/z invariant (debug aid / property tests).
+    pub fn is_sorted(&self) -> bool {
+        self.peaks.windows(2).all(|w| w[0].mz <= w[1].mz)
+    }
+
+    /// Heap bytes owned by this spectrum (footprint accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.peaks.capacity() * std::mem::size_of::<Peak>() + self.title.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::aa::PROTON_MASS;
+
+    fn spec() -> Spectrum {
+        Spectrum::new(
+            1,
+            500.0,
+            2,
+            vec![Peak::new(300.0, 10.0), Peak::new(100.0, 50.0), Peak::new(200.0, 30.0)],
+        )
+    }
+
+    #[test]
+    fn new_sorts_peaks() {
+        let s = spec();
+        assert!(s.is_sorted());
+        assert_eq!(s.peaks[0].mz, 100.0);
+        assert_eq!(s.peaks[2].mz, 300.0);
+    }
+
+    #[test]
+    fn precursor_neutral_mass_inverts_mz() {
+        let s = spec();
+        let m = s.precursor_neutral_mass();
+        assert!((m - (500.0 * 2.0 - 2.0 * PROTON_MASS)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tic_and_base_peak() {
+        let s = spec();
+        assert!((s.total_ion_current() - 90.0).abs() < 1e-6);
+        assert_eq!(s.base_peak().unwrap().mz, 100.0);
+    }
+
+    #[test]
+    fn empty_spectrum() {
+        let s = Spectrum::new(0, 400.0, 1, vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.peak_count(), 0);
+        assert!(s.base_peak().is_none());
+        assert_eq!(s.total_ion_current(), 0.0);
+    }
+
+    #[test]
+    fn heap_bytes_counts_peaks() {
+        let s = spec();
+        assert!(s.heap_bytes() >= 3 * std::mem::size_of::<Peak>());
+    }
+}

@@ -1,0 +1,351 @@
+//! Synthetic query-spectrum generation — the stand-in for PRIDE PXD009072.
+//!
+//! Shared-peak filtering cares about one thing: how many quantized fragment
+//! bins a query shares with each indexed theoretical spectrum. A faithful
+//! synthetic query therefore needs (a) a true source peptide drawn from the
+//! database (possibly carrying variable mods), (b) incomplete fragment
+//! detection, (c) small m/z measurement error within the fragment tolerance,
+//! (d) noise peaks, and (e) precursor mass error. All five are modelled and
+//! parameterized below; ground truth is recorded per spectrum so search
+//! results can be validated end-to-end.
+
+use crate::spectrum::{Peak, Spectrum};
+use crate::theo::{TheoParams, TheoSpectrum};
+use lbe_bio::aa::precursor_mz;
+use lbe_bio::mods::{enumerate_modforms, ModSpec};
+use lbe_bio::peptide::PeptideDb;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticDatasetParams {
+    /// Number of query spectra to generate.
+    pub num_spectra: usize,
+    /// Probability each theoretical fragment is actually observed.
+    pub fragment_detection_prob: f64,
+    /// Fragment m/z error: uniform in `±jitter` Daltons. Keep below the
+    /// search fragment tolerance (paper ΔF = 0.05 Da).
+    pub mz_jitter: f64,
+    /// Number of uniform random noise peaks added per spectrum.
+    pub noise_peaks: usize,
+    /// Precursor m/z relative error bound (uniform, ppm).
+    pub precursor_error_ppm: f64,
+    /// Precursor charge states sampled uniformly from this inclusive range.
+    pub charge_range: (u8, u8),
+    /// Fraction of spectra generated from a *modified* form of their source
+    /// peptide (when the modspec yields any).
+    pub modified_fraction: f64,
+    /// Abundance bias: peptides are sampled with Zipf-like weights
+    /// `1/(rank+1)^skew` over a seeded random ranking. `0.0` = uniform.
+    /// Real biological samples are strongly skewed (protein abundances span
+    /// orders of magnitude), which is a driver of the paper's chunk-policy
+    /// load imbalance: the popular peptides' similarity groups sit on few
+    /// machines.
+    pub abundance_skew: f64,
+}
+
+impl Default for SyntheticDatasetParams {
+    fn default() -> Self {
+        SyntheticDatasetParams {
+            num_spectra: 100,
+            fragment_detection_prob: 0.85,
+            mz_jitter: 0.01,
+            noise_peaks: 20,
+            precursor_error_ppm: 10.0,
+            charge_range: (2, 3),
+            modified_fraction: 0.3,
+            abundance_skew: 0.0,
+        }
+    }
+}
+
+/// A generated dataset with per-spectrum ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The query spectra (scan numbers `0..n`).
+    pub spectra: Vec<Spectrum>,
+    /// For each spectrum, the peptide id it was generated from.
+    pub truth: Vec<u32>,
+    /// For each spectrum, the modform ordinal used (0 = unmodified).
+    pub truth_modform: Vec<u16>,
+}
+
+impl SyntheticDataset {
+    /// Generates `params.num_spectra` queries from peptides of `db`,
+    /// with variable mods drawn from `modspec`. Deterministic in `seed`.
+    ///
+    /// Panics if `db` is empty.
+    pub fn generate(
+        db: &PeptideDb,
+        modspec: &ModSpec,
+        params: &SyntheticDatasetParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!db.is_empty(), "cannot sample queries from an empty peptide database");
+        assert!(
+            params.charge_range.0 >= 1 && params.charge_range.0 <= params.charge_range.1,
+            "invalid charge range"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let theo_params = TheoParams::default();
+
+        // Optional abundance bias: Zipf-like weights over a seeded random
+        // ranking of the peptides.
+        let sampler: Option<(Vec<u32>, rand::distributions::WeightedIndex<f64>)> =
+            if params.abundance_skew > 0.0 {
+                let mut ranking: Vec<u32> = (0..db.len() as u32).collect();
+                use rand::seq::SliceRandom;
+                ranking.shuffle(&mut rng);
+                let weights: Vec<f64> = (0..db.len())
+                    .map(|r| 1.0 / ((r + 1) as f64).powf(params.abundance_skew))
+                    .collect();
+                let dist = rand::distributions::WeightedIndex::new(&weights)
+                    .expect("weights are positive");
+                Some((ranking, dist))
+            } else {
+                None
+            };
+
+        let mut spectra = Vec::with_capacity(params.num_spectra);
+        let mut truth = Vec::with_capacity(params.num_spectra);
+        let mut truth_modform = Vec::with_capacity(params.num_spectra);
+
+        for scan in 0..params.num_spectra {
+            let pid = match &sampler {
+                Some((ranking, dist)) => {
+                    use rand::distributions::Distribution;
+                    ranking[dist.sample(&mut rng)]
+                }
+                None => rng.gen_range(0..db.len()) as u32,
+            };
+            let pep = db.get(pid);
+            let forms = enumerate_modforms(pep.sequence(), modspec);
+            let form_idx = if forms.len() > 1 && rng.gen_bool(params.modified_fraction) {
+                rng.gen_range(1..forms.len())
+            } else {
+                0
+            };
+            let theo =
+                TheoSpectrum::from_sequence(pep.sequence(), &forms[form_idx], modspec, &theo_params);
+
+            let mut peaks: Vec<Peak> = Vec::with_capacity(theo.fragment_count() + params.noise_peaks);
+            for &mz in &theo.fragment_mzs {
+                if rng.gen_bool(params.fragment_detection_prob) {
+                    let jitter = rng.gen_range(-params.mz_jitter..=params.mz_jitter);
+                    // Signal intensity: skewed towards strong peaks.
+                    let u: f32 = rng.gen_range(0.0f32..1.0);
+                    let intensity = 20.0 + 980.0 * u * u;
+                    peaks.push(Peak::new(mz + jitter, intensity));
+                }
+            }
+            if peaks.is_empty() && theo.fragment_count() > 0 {
+                // Guarantee at least one signal peak so the spectrum is searchable.
+                peaks.push(Peak::new(theo.fragment_mzs[0], 50.0));
+            }
+            let max_mz = theo
+                .fragment_mzs
+                .last()
+                .copied()
+                .unwrap_or(1000.0)
+                .max(200.0);
+            for _ in 0..params.noise_peaks {
+                let mz = rng.gen_range(100.0..max_mz + 50.0);
+                let intensity = rng.gen_range(1.0f32..40.0);
+                peaks.push(Peak::new(mz, intensity));
+            }
+
+            let z = rng.gen_range(params.charge_range.0..=params.charge_range.1);
+            let true_mz = precursor_mz(theo.precursor_mass, z);
+            let ppm = rng.gen_range(-params.precursor_error_ppm..=params.precursor_error_ppm);
+            let observed_mz = true_mz * (1.0 + ppm * 1e-6);
+
+            spectra.push(Spectrum::new(scan as u32, observed_mz, z, peaks));
+            truth.push(pid);
+            truth_modform.push(form_idx as u16);
+        }
+        SyntheticDataset {
+            spectra,
+            truth,
+            truth_modform,
+        }
+    }
+
+    /// Number of spectra.
+    pub fn len(&self) -> usize {
+        self.spectra.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.spectra.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::peptide::Peptide;
+
+    fn db() -> PeptideDb {
+        PeptideDb::from_vec(
+            ["ELVISLIVESK", "PEPTIDEK", "SAMPLERK", "MNKQMGGR"]
+                .iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d1 = SyntheticDataset::generate(&db(), &ModSpec::none(), &Default::default(), 9);
+        let d2 = SyntheticDataset::generate(&db(), &ModSpec::none(), &Default::default(), 9);
+        assert_eq!(d1.spectra, d2.spectra);
+        assert_eq!(d1.truth, d2.truth);
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let params = SyntheticDatasetParams { num_spectra: 25, ..Default::default() };
+        let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &params, 1);
+        assert_eq!(d.len(), 25);
+        assert_eq!(d.truth.len(), 25);
+        assert_eq!(d.truth_modform.len(), 25);
+    }
+
+    #[test]
+    fn truth_ids_are_valid() {
+        let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &Default::default(), 2);
+        assert!(d.truth.iter().all(|&t| (t as usize) < db().len()));
+    }
+
+    #[test]
+    fn unmodified_spec_never_marks_modforms() {
+        let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &Default::default(), 3);
+        assert!(d.truth_modform.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn modified_fraction_produces_modforms() {
+        let params = SyntheticDatasetParams {
+            num_spectra: 200,
+            modified_fraction: 0.9,
+            ..Default::default()
+        };
+        let d = SyntheticDataset::generate(&db(), &ModSpec::paper_default(), &params, 4);
+        let modified = d.truth_modform.iter().filter(|&&m| m > 0).count();
+        assert!(modified > 50, "only {modified} modified spectra");
+    }
+
+    #[test]
+    fn charges_within_range() {
+        let params = SyntheticDatasetParams { charge_range: (2, 4), ..Default::default() };
+        let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &params, 5);
+        assert!(d.spectra.iter().all(|s| (2..=4).contains(&s.charge)));
+    }
+
+    #[test]
+    fn spectra_sorted_and_nonempty() {
+        let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &Default::default(), 6);
+        for s in &d.spectra {
+            assert!(s.is_sorted());
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn precursor_error_within_ppm_bound() {
+        let params = SyntheticDatasetParams {
+            precursor_error_ppm: 10.0,
+            modified_fraction: 0.0,
+            ..Default::default()
+        };
+        let database = db();
+        let d = SyntheticDataset::generate(&database, &ModSpec::none(), &params, 7);
+        for (s, &pid) in d.spectra.iter().zip(&d.truth) {
+            let true_mass = database.get(pid).mass();
+            let observed = s.precursor_neutral_mass();
+            let ppm = ((observed - true_mass) / true_mass).abs() * 1e6;
+            // charge multiplies absolute error; allow slack over the 10ppm m/z bound
+            assert!(ppm < 15.0, "ppm error {ppm}");
+        }
+    }
+
+    #[test]
+    fn no_noise_no_jitter_gives_exact_subset() {
+        let params = SyntheticDatasetParams {
+            num_spectra: 10,
+            fragment_detection_prob: 1.0,
+            mz_jitter: 0.0,
+            noise_peaks: 0,
+            precursor_error_ppm: 0.0,
+            modified_fraction: 0.0,
+            ..Default::default()
+        };
+        let database = db();
+        let d = SyntheticDataset::generate(&database, &ModSpec::none(), &params, 8);
+        for (s, &pid) in d.spectra.iter().zip(&d.truth) {
+            let theo = TheoSpectrum::from_sequence(
+                database.get(pid).sequence(),
+                &lbe_bio::mods::ModForm::unmodified(),
+                &ModSpec::none(),
+                &TheoParams::default(),
+            );
+            assert_eq!(s.peak_count(), theo.fragment_count());
+            for (p, &mz) in s.peaks.iter().zip(&theo.fragment_mzs) {
+                assert!((p.mz - mz).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_db_panics() {
+        SyntheticDataset::generate(&PeptideDb::new(), &ModSpec::none(), &Default::default(), 0);
+    }
+
+    #[test]
+    fn abundance_skew_concentrates_sampling() {
+        let database = db();
+        let uniform = SyntheticDataset::generate(
+            &database,
+            &ModSpec::none(),
+            &SyntheticDatasetParams { num_spectra: 400, ..Default::default() },
+            21,
+        );
+        let skewed = SyntheticDataset::generate(
+            &database,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 400,
+                abundance_skew: 2.0,
+                ..Default::default()
+            },
+            21,
+        );
+        let top_count = |d: &SyntheticDataset| {
+            let mut counts = [0usize; 4];
+            for &t in &d.truth {
+                counts[t as usize] += 1;
+            }
+            *counts.iter().max().unwrap()
+        };
+        assert!(
+            top_count(&skewed) > top_count(&uniform),
+            "skewed sampling should concentrate on few peptides"
+        );
+        // Skewed sampling is still deterministic.
+        let skewed2 = SyntheticDataset::generate(
+            &database,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 400,
+                abundance_skew: 2.0,
+                ..Default::default()
+            },
+            21,
+        );
+        assert_eq!(skewed.truth, skewed2.truth);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional args, and `--key value`
+/// options (flags without values hold `""`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options, keys without the leading dashes.
+    options: HashMap<String, String>,
+}
+
+/// A parse/validation failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses tokens (exclusive of the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty flag '--'".into()));
+                }
+                // A value follows unless the next token is another flag.
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                    _ => String::new(),
+                };
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("duplicate option --{key}")));
+                }
+            } else if args.command.is_empty() {
+                args.command = tok;
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// `true` if the flag was present (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// All provided option keys (for unknown-flag diagnostics).
+    pub fn option_keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+
+    /// Errors on any option not in `allowed`.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.option_keys() {
+            if !allowed.contains(&k) {
+                return Err(ArgError(format!(
+                    "unknown option --{k} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_options() {
+        let a = parse("digest --in x.fasta --missed-cleavages 2").unwrap();
+        assert_eq!(a.command, "digest");
+        assert_eq!(a.require("in").unwrap(), "x.fasta");
+        assert_eq!(a.get_parsed::<u8>("missed-cleavages", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let a = parse("digest").unwrap();
+        assert_eq!(a.get_parsed::<usize>("gsize", 20).unwrap(), 20);
+        assert!(a.get("out").is_none());
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse("index --verbose --out x").unwrap();
+        assert!(a.has("verbose"));
+        assert_eq!(a.require("out").unwrap(), "x");
+    }
+
+    #[test]
+    fn positional_args() {
+        let a = parse("search a.slm b.ms2").unwrap();
+        assert_eq!(a.positional, vec!["a.slm", "b.ms2"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("x --a 1 --a 2").is_err()); // duplicate
+        assert!(parse("x --").is_err()); // empty flag
+        let a = parse("x").unwrap();
+        assert!(a.require("in").is_err()); // missing
+        let a = parse("x --n abc").unwrap();
+        assert!(a.get_parsed::<usize>("n", 0).is_err()); // bad value
+    }
+
+    #[test]
+    fn reject_unknown_flags() {
+        let a = parse("x --in f --bogus 1").unwrap();
+        assert!(a.reject_unknown(&["in"]).is_err());
+        assert!(a.reject_unknown(&["in", "bogus"]).is_ok());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("").unwrap();
+        assert!(a.command.is_empty());
+    }
+}

@@ -1,0 +1,555 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a function from parsed [`Args`] to a `Result`, writing
+//! human output to the supplied writer — so commands are unit-testable
+//! without spawning processes.
+
+use crate::cli::args::{ArgError, Args};
+use lbe_bio::dedup::dedup_peptides;
+use lbe_bio::digest::{digest_proteome, DigestParams};
+use lbe_bio::fasta::{read_fasta_path, write_fasta_path, Protein};
+use lbe_bio::mods::ModSpec;
+use lbe_bio::peptide::{Peptide, PeptideDb};
+use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+use lbe_core::engine::{run_distributed_search, EngineConfig};
+use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
+use lbe_core::partition::PartitionPolicy;
+use lbe_index::{read_index_path, write_index_path, IndexBuilder, Searcher, SlmConfig};
+use lbe_spectra::mgf::read_mgf;
+use lbe_spectra::ms2::{read_ms2_path, write_ms2_path};
+use lbe_spectra::mzml::{read_mzml_path, write_mzml_path};
+use lbe_spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe_spectra::spectrum::Spectrum;
+use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+use std::io::Write;
+
+/// Any command failure (argument, I/O, or data error).
+pub type CmdError = Box<dyn std::error::Error>;
+
+/// Dispatches a parsed command, writing output to `out`.
+pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    match args.command.as_str() {
+        "synth-proteome" => synth_proteome(args, out),
+        "digest" => digest(args, out),
+        "cluster-db" => cluster_db(args, out),
+        "synth-queries" => synth_queries(args, out),
+        "index" => index_cmd(args, out),
+        "search" => search(args, out),
+        "simulate" => simulate(args, out),
+        "help" | "" => {
+            write!(out, "{}", usage())?;
+            Ok(())
+        }
+        other => Err(Box::new(ArgError(format!(
+            "unknown command {other:?}; run `lbe help`"
+        )))),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> String {
+    "\
+lbe — LBE distributed peptide search (IPDPSW'19 reproduction)
+
+USAGE: lbe <command> [--option value ...]
+
+COMMANDS:
+  synth-proteome  --out p.fasta [--proteins 200] [--seed 42]
+                  generate a synthetic family-rich proteome
+  digest          --in p.fasta --out peptides.fasta
+                  [--missed-cleavages 2] [--min-len 6] [--max-len 40]
+                  tryptic in-silico digestion + duplicate removal
+  cluster-db      --in peptides.fasta --out clustered.fasta
+                  [--criterion 1|2] [--d 2] [--d-prime 0.86] [--gsize 20]
+                  Algorithm 1: sort + group, emit the clustered database
+  synth-queries   --db peptides.fasta --out q.ms2 [--n 100] [--seed 7]
+                  [--mods none|oxidation|paper] [--format ms2|mzml]
+                  generate query spectra with ground truth in the MS2 scan
+  index           --db peptides.fasta --out index.slm
+                  [--mods none|oxidation|paper]
+                  build an SLM fragment-ion index partition
+  search          --index index.slm --queries q.{ms2|mgf|mzML} --out results.tsv
+                  [--top-k 10]
+                  search an index, write a TSV of PSMs
+  simulate        --db peptides.fasta --queries q.ms2
+                  [--ranks 16] [--policy chunk|cyclic|random]
+                  [--mods none|oxidation|paper] [--threads-per-rank 1]
+                  run the distributed engine, report times and imbalance
+  help            this text
+"
+    .to_string()
+}
+
+fn parse_mods(args: &Args) -> Result<ModSpec, CmdError> {
+    match args.get("mods").unwrap_or("none") {
+        "none" => Ok(ModSpec::none()),
+        "oxidation" => Ok(ModSpec::oxidation_only()),
+        "paper" => Ok(ModSpec::paper_default()),
+        other => Err(Box::new(ArgError(format!(
+            "unknown --mods {other:?} (none|oxidation|paper)"
+        )))),
+    }
+}
+
+fn parse_policy(args: &Args) -> Result<PartitionPolicy, CmdError> {
+    let seed = args.get_parsed::<u64>("seed", 7)?;
+    match args.get("policy").unwrap_or("cyclic") {
+        "chunk" => Ok(PartitionPolicy::Chunk),
+        "cyclic" => Ok(PartitionPolicy::Cyclic),
+        "random" => Ok(PartitionPolicy::Random { seed }),
+        other => Err(Box::new(ArgError(format!(
+            "unknown --policy {other:?} (chunk|cyclic|random)"
+        )))),
+    }
+}
+
+/// Reads query spectra, dispatching on file extension (.ms2/.mgf/.mzML).
+fn read_queries(path: &str) -> Result<Vec<Spectrum>, CmdError> {
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".mzml") {
+        Ok(read_mzml_path(path)?)
+    } else if lower.ends_with(".mgf") {
+        Ok(read_mgf(std::fs::File::open(path).map_err(lbe_bio::error::BioError::Io)?)?)
+    } else {
+        Ok(read_ms2_path(path)?)
+    }
+}
+
+/// Reads a peptide-per-record FASTA into a [`PeptideDb`].
+fn read_peptide_fasta(path: &str) -> Result<PeptideDb, CmdError> {
+    let records = read_fasta_path(path)?;
+    let mut peptides = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let p = Peptide::new(&r.sequence, i as u32, 0).ok_or_else(|| {
+            ArgError(format!(
+                "record {} ({}) contains non-standard residues",
+                i,
+                r.accession()
+            ))
+        })?;
+        peptides.push(p);
+    }
+    Ok(PeptideDb::from_vec(peptides))
+}
+
+fn write_peptide_fasta(path: &str, db: &PeptideDb, header: impl Fn(u32) -> String) -> Result<(), CmdError> {
+    let records: Vec<Protein> = db
+        .iter()
+        .map(|(id, p)| Protein::new(header(id), p.sequence()))
+        .collect();
+    write_fasta_path(path, &records)?;
+    Ok(())
+}
+
+fn synth_proteome<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["out", "proteins", "seed", "mean-len", "family-fraction"])?;
+    let path = args.require("out")?;
+    let params = SyntheticProteomeParams {
+        num_proteins: args.get_parsed("proteins", 200)?,
+        mean_protein_len: args.get_parsed("mean-len", 450)?,
+        family_fraction: args.get_parsed("family-fraction", 0.4)?,
+        ..Default::default()
+    };
+    let seed = args.get_parsed("seed", 42u64)?;
+    let proteome = SyntheticProteome::generate(params, seed);
+    write_fasta_path(path, &proteome.proteins)?;
+    writeln!(
+        out,
+        "wrote {} proteins ({} residues) to {path}",
+        proteome.proteins.len(),
+        proteome.total_residues()
+    )?;
+    Ok(())
+}
+
+fn digest<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["in", "out", "missed-cleavages", "min-len", "max-len"])?;
+    let input = args.require("in")?;
+    let output = args.require("out")?;
+    let params = DigestParams {
+        max_missed_cleavages: args.get_parsed("missed-cleavages", 2u8)?,
+        min_len: args.get_parsed("min-len", 6usize)?,
+        max_len: args.get_parsed("max-len", 40usize)?,
+        ..Default::default()
+    };
+    let proteins = read_fasta_path(input)?;
+    let digested = digest_proteome(&proteins, &params)?;
+    let before = digested.len();
+    let (db, stats) = dedup_peptides(digested);
+    write_peptide_fasta(output, &db, |id| format!("pep{:07}", id))?;
+    writeln!(
+        out,
+        "digested {} proteins -> {} peptides -> {} unique ({:.1}% redundant), wrote {output}",
+        proteins.len(),
+        before,
+        db.len(),
+        stats.redundancy() * 100.0
+    )?;
+    Ok(())
+}
+
+fn cluster_db<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["in", "out", "criterion", "d", "d-prime", "gsize"])?;
+    let input = args.require("in")?;
+    let output = args.require("out")?;
+    let criterion = match args.get_parsed("criterion", 2u8)? {
+        1 => GroupingCriterion::Absolute {
+            d: args.get_parsed("d", 2usize)?,
+        },
+        2 => GroupingCriterion::Normalized {
+            d_prime: args.get_parsed("d-prime", 0.86f64)?,
+        },
+        other => return Err(Box::new(ArgError(format!("--criterion must be 1 or 2, got {other}")))),
+    };
+    let params = GroupingParams {
+        criterion,
+        gsize: args.get_parsed("gsize", 20usize)?,
+    };
+    let db = read_peptide_fasta(input)?;
+    let grouping = group_peptides(&db, &params);
+    // Emit the clustered database: groups concatenated in grouped order
+    // (§III-C.2), group id recorded in each header.
+    let records: Vec<Protein> = grouping
+        .iter_groups()
+        .enumerate()
+        .flat_map(|(gi, group)| group.iter().map(move |&pid| (gi, pid)))
+        .map(|(gi, pid)| Protein::new(format!("group{:06}|pep{:07}", gi, pid), db.get(pid).sequence()))
+        .collect();
+    write_fasta_path(output, &records)?;
+    writeln!(
+        out,
+        "grouped {} peptides into {} groups (mean size {:.2}), wrote {output}",
+        grouping.num_peptides(),
+        grouping.num_groups(),
+        grouping.mean_group_size()
+    )?;
+    Ok(())
+}
+
+fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["db", "out", "n", "seed", "mods", "skew", "format"])?;
+    let db_path = args.require("db")?;
+    let output = args.require("out")?;
+    let db = read_peptide_fasta(db_path)?;
+    let modspec = parse_mods(args)?;
+    let params = SyntheticDatasetParams {
+        num_spectra: args.get_parsed("n", 100usize)?,
+        abundance_skew: args.get_parsed("skew", 0.0f64)?,
+        ..Default::default()
+    };
+    let seed = args.get_parsed("seed", 7u64)?;
+    let dataset = SyntheticDataset::generate(&db, &modspec, &params, seed);
+    match args.get("format").unwrap_or("ms2") {
+        "ms2" => write_ms2_path(output, &dataset.spectra)?,
+        "mzml" => write_mzml_path(output, &dataset.spectra)?,
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown --format {other:?} (ms2|mzml)"
+            ))))
+        }
+    }
+    writeln!(
+        out,
+        "wrote {} query spectra to {output} (ground truth: scan i <- peptide {{truth[i]}})",
+        dataset.len()
+    )?;
+    Ok(())
+}
+
+fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["db", "out", "mods"])?;
+    let db_path = args.require("db")?;
+    let output = args.require("out")?;
+    let db = read_peptide_fasta(db_path)?;
+    let modspec = parse_mods(args)?;
+    let mut builder = IndexBuilder::new(SlmConfig::default(), modspec);
+    let index = builder.build(&db);
+    write_index_path(output, &index)?;
+    let stats = builder.stats();
+    writeln!(
+        out,
+        "indexed {} peptides -> {} spectra, {} ions ({:.2} MB), wrote {output}",
+        stats.peptides,
+        stats.spectra,
+        stats.ions,
+        index.heap_bytes() as f64 / 1e6
+    )?;
+    Ok(())
+}
+
+fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["index", "queries", "out", "top-k"])?;
+    let index_path = args.require("index")?;
+    let queries_path = args.require("queries")?;
+    let output = args.require("out")?;
+    let index = read_index_path(index_path)?;
+    let queries = read_queries(queries_path)?;
+    let pre = PreprocessParams::default();
+    let queries: Vec<Spectrum> = queries.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+
+    // The index's own top_k is fixed at build time; the CLI flag clamps
+    // the emitted rows.
+    let top_k = args.get_parsed("top-k", 10usize)?;
+    let mut searcher = Searcher::new(&index);
+    let mut tsv = std::io::BufWriter::new(std::fs::File::create(output)?);
+    writeln!(tsv, "scan\trank\tpeptide\tmodform\tshared_peaks\tscore")?;
+    let mut total_psms = 0usize;
+    for q in &queries {
+        let r = searcher.search(q);
+        for (rank, p) in r.psms.iter().take(top_k).enumerate() {
+            writeln!(
+                tsv,
+                "{}\t{}\t{}\t{}\t{}\t{:.4}",
+                q.scan,
+                rank + 1,
+                p.peptide,
+                p.modform,
+                p.shared_peaks,
+                p.score
+            )?;
+            total_psms += 1;
+        }
+    }
+    tsv.flush()?;
+    writeln!(
+        out,
+        "searched {} spectra against {} indexed spectra, wrote {total_psms} PSMs to {output}",
+        queries.len(),
+        index.num_spectra()
+    )?;
+    Ok(())
+}
+
+fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&[
+        "db",
+        "queries",
+        "ranks",
+        "policy",
+        "seed",
+        "mods",
+        "threads-per-rank",
+        "gsize",
+        "cost-scale",
+    ])?;
+    let db_path = args.require("db")?;
+    let queries_path = args.require("queries")?;
+    let ranks = args.get_parsed("ranks", 16usize)?;
+    let policy = parse_policy(args)?;
+    let db = read_peptide_fasta(db_path)?;
+    let queries = read_queries(queries_path)?;
+    let pre = PreprocessParams::default();
+    let queries: Vec<Spectrum> = queries.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+
+    let grouping = group_peptides(
+        &db,
+        &GroupingParams {
+            criterion: GroupingCriterion::normalized_default(),
+            gsize: args.get_parsed("gsize", 20usize)?,
+        },
+    );
+    let mut cfg = EngineConfig::with_policy(policy);
+    cfg.modspec = parse_mods(args)?;
+    cfg.threads_per_rank = args.get_parsed("threads-per-rank", 1usize)?;
+    cfg.cost = cfg
+        .cost
+        .scaled_for_index(args.get_parsed("cost-scale", 1.0f64)?);
+    let report = run_distributed_search(&db, &grouping, &queries, &cfg, ranks);
+
+    writeln!(out, "policy            : {policy}")?;
+    writeln!(out, "ranks             : {ranks}")?;
+    writeln!(out, "peptides          : {}", db.len())?;
+    writeln!(
+        out,
+        "indexed spectra   : {}",
+        report.index_spectra.iter().sum::<usize>()
+    )?;
+    writeln!(out, "queries           : {}", queries.len())?;
+    writeln!(out, "candidate PSMs    : {}", report.total_candidates)?;
+    writeln!(out, "query time (s)    : {:.4}", report.query_time())?;
+    writeln!(out, "execution time (s): {:.4}", report.execution_time())?;
+    writeln!(
+        out,
+        "load imbalance    : {:.1}%",
+        report.imbalance.load_imbalance_pct()
+    )?;
+    writeln!(
+        out,
+        "wasted CPU time   : {:.4}s",
+        report.imbalance.wasted_cpu_time(ranks)
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::args::Args;
+
+    fn run(cmdline: &str) -> Result<String, CmdError> {
+        let args = Args::parse(cmdline.split_whitespace().map(String::from))?;
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("lbe_cli_tests").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run("help").unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("cluster-db"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn full_file_pipeline() {
+        let d = tmpdir("pipeline");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+
+        let msg = run(&format!(
+            "synth-proteome --out {} --proteins 25 --seed 3",
+            p("prot.fasta")
+        ))
+        .unwrap();
+        assert!(msg.contains("25 proteins"));
+
+        let msg = run(&format!(
+            "digest --in {} --out {}",
+            p("prot.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        assert!(msg.contains("unique"));
+
+        let msg = run(&format!(
+            "cluster-db --in {} --out {} --criterion 2",
+            p("pep.fasta"),
+            p("clustered.fasta")
+        ))
+        .unwrap();
+        assert!(msg.contains("groups"));
+
+        let msg = run(&format!(
+            "synth-queries --db {} --out {} --n 12 --seed 9",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        assert!(msg.contains("12 query spectra"));
+
+        let msg = run(&format!(
+            "index --db {} --out {}",
+            p("clustered.fasta"),
+            p("idx.slm")
+        ))
+        .unwrap();
+        assert!(msg.contains("indexed"));
+
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {} --top-k 3",
+            p("idx.slm"),
+            p("q.ms2"),
+            p("results.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("PSMs"));
+        let tsv = std::fs::read_to_string(p("results.tsv")).unwrap();
+        assert!(tsv.starts_with("scan\trank\tpeptide"));
+        assert!(tsv.lines().count() > 1);
+
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 4 --policy cyclic",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        assert!(msg.contains("load imbalance"));
+        assert!(msg.contains("candidate PSMs"));
+    }
+
+    #[test]
+    fn digest_rejects_missing_files() {
+        assert!(run("digest --in /nonexistent/x.fasta --out /tmp/y.fasta").is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert!(run("digest --in a --out b --bogus 1").is_err());
+    }
+
+    #[test]
+    fn bad_policy_rejected() {
+        let d = tmpdir("badpol");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!("synth-proteome --out {} --proteins 5", p("p.fasta"))).unwrap();
+        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
+        run(&format!("synth-queries --db {} --out {} --n 2", p("pep.fasta"), p("q.ms2"))).unwrap();
+        let err = run(&format!(
+            "simulate --db {} --queries {} --policy zigzag",
+            p("pep.fasta"),
+            p("q.ms2")
+        ));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mzml_query_path() {
+        let d = tmpdir("mzml");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!("synth-proteome --out {} --proteins 8", p("p.fasta"))).unwrap();
+        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 5 --format mzml",
+            p("pep.fasta"),
+            p("q.mzML")
+        ))
+        .unwrap();
+        run(&format!("index --db {} --out {}", p("pep.fasta"), p("i.slm"))).unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.slm"),
+            p("q.mzML"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("searched 5 spectra"));
+        assert!(run(&format!(
+            "synth-queries --db {} --out {} --format bogus",
+            p("pep.fasta"),
+            p("x")
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn mods_variants_accepted() {
+        let d = tmpdir("mods");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!("synth-proteome --out {} --proteins 5", p("p.fasta"))).unwrap();
+        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
+        for mods in ["none", "oxidation", "paper"] {
+            run(&format!(
+                "index --db {} --out {} --mods {mods}",
+                p("pep.fasta"),
+                p("i.slm")
+            ))
+            .unwrap();
+        }
+        assert!(run(&format!(
+            "index --db {} --out {} --mods bogus",
+            p("pep.fasta"),
+            p("i.slm")
+        ))
+        .is_err());
+    }
+}

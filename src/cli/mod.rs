@@ -1,0 +1,10 @@
+//! Command-line interface: argument parsing and subcommands.
+//!
+//! The binary entry point is `src/bin/lbe.rs`; everything here is a library
+//! so every command is unit-testable in-process.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, usage, CmdError};

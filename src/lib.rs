@@ -1,0 +1,50 @@
+//! # lbe — LBE: load balancing for parallel peptide search
+//!
+//! A from-scratch Rust reproduction of *"LBE: A Computational Load Balancing
+//! Algorithm for Speeding up Parallel Peptide Search in Mass-Spectrometry
+//! based Proteomics"* (Haseeb, Afzali & Saeed, IEEE IPDPSW 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`bio`] | residue chemistry, FASTA, digestion, dedup, PTMs, synthetic proteomes |
+//! | [`spectra`] | b/y-ion prediction, MS2/MGF formats, preprocessing, synthetic queries |
+//! | [`index`] | SLM-style fragment-ion index with shared-peak filtering |
+//! | [`cluster`] | distributed-memory simulator (thread ranks + virtual clocks) |
+//! | [`core`] | LBE: Algorithm 1 grouping, Chunk/Cyclic/Random policies, mapping table, distributed engine, metrics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbe::core::pipeline::PipelineBuilder;
+//! use lbe::core::partition::PartitionPolicy;
+//!
+//! // Run the full pipeline — synthetic proteome → digestion → grouping →
+//! // cyclic partitioning across 4 simulated ranks → distributed search.
+//! let report = PipelineBuilder::small_demo()
+//!     .with_policy(PartitionPolicy::Cyclic)
+//!     .run(42);
+//!
+//! println!("peptides indexed : {}", report.peptides);
+//! println!("load imbalance   : {:.1}%", report.search.imbalance.load_imbalance_pct());
+//! println!("top-1 accuracy   : {:.0}%", report.top1_accuracy() * 100.0);
+//! assert!(report.top1_accuracy() > 0.5);
+//! ```
+
+pub use lbe_bio as bio;
+pub use lbe_cluster as cluster;
+pub use lbe_core as core;
+pub use lbe_index as index;
+pub use lbe_spectra as spectra;
+
+pub mod cli;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use lbe_bio::prelude::*;
+    pub use lbe_cluster::{Cluster, ClusterConfig, Communicator};
+    pub use lbe_core::prelude::*;
+    pub use lbe_index::{IndexBuilder, Searcher, SlmConfig, SlmIndex};
+    pub use lbe_spectra::prelude::*;
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full pipeline, result invariance
+//! across policies and rank counts, and agreement between execution modes.
+
+use lbe::bio::mods::ModSpec;
+use lbe::core::engine::{run_distributed_search, EngineConfig};
+use lbe::core::grouping::{group_peptides, GroupingParams};
+use lbe::core::partition::PartitionPolicy;
+use lbe::core::pipeline::PipelineBuilder;
+use lbe::index::{ChunkedIndex, IndexBuilder, Searcher, SlmConfig};
+use lbe::spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe::spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
+
+fn demo() -> lbe::core::pipeline::PipelineReport {
+    PipelineBuilder::small_demo().run(123)
+}
+
+#[test]
+fn pipeline_identifies_most_queries() {
+    let report = demo();
+    assert!(
+        report.top1_accuracy() >= 0.85,
+        "top-1 accuracy {:.2} below 0.85",
+        report.top1_accuracy()
+    );
+}
+
+#[test]
+fn results_invariant_across_policies_and_ranks() {
+    // The partitioning changes WHERE work happens, never WHAT is found:
+    // candidate sets (by peptide and shared-peak count) must be identical.
+    // Disable top-k truncation: with ties at the k-boundary, per-rank
+    // truncation legitimately keeps different equal-scored candidates.
+    let mut base = PipelineBuilder::small_demo();
+    base.engine.slm.top_k = usize::MAX;
+    let reference = base.clone().with_policy(PartitionPolicy::Cyclic).with_ranks(1).run(7);
+    for policy in [
+        PartitionPolicy::Chunk,
+        PartitionPolicy::Cyclic,
+        PartitionPolicy::Random { seed: 99 },
+        PartitionPolicy::RandomWithinGroups { seed: 4 },
+    ] {
+        for ranks in [2usize, 5, 8] {
+            let run = base.clone().with_policy(policy).with_ranks(ranks).run(7);
+            assert_eq!(
+                run.search.total_candidates, reference.search.total_candidates,
+                "{policy} at {ranks} ranks changed the candidate count"
+            );
+            for (qi, (a, b)) in reference.search.psms.iter().zip(&run.search.psms).enumerate() {
+                let mut pa: Vec<(u32, u16)> =
+                    a.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+                let mut pb: Vec<(u32, u16)> =
+                    b.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+                pa.sort_unstable();
+                pb.sort_unstable();
+                assert_eq!(pa, pb, "{policy} at {ranks} ranks, query {qi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_engine_agrees_with_local_searcher() {
+    // A 1-rank distributed run must reproduce a plain local search exactly.
+    let report = demo();
+    let db = &report.db;
+    let cfg = SlmConfig::default();
+    let index = IndexBuilder::new(cfg, ModSpec::none()).build(db);
+    let mut searcher = Searcher::new(&index);
+
+    let dataset = SyntheticDataset::generate(
+        db,
+        &ModSpec::none(),
+        &SyntheticDatasetParams {
+            num_spectra: 15,
+            ..Default::default()
+        },
+        555,
+    );
+    let pre = PreprocessParams::default();
+    let queries: Vec<_> = dataset
+        .spectra
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
+
+    let grouping = group_peptides(db, &GroupingParams::default());
+    let engine_cfg = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+    let dist = run_distributed_search(db, &grouping, &queries, &engine_cfg, 1);
+
+    for (qi, q) in queries.iter().enumerate() {
+        let local = searcher.search(q);
+        let mut la: Vec<(u32, u16)> = local.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        // 1-rank cyclic partition preserves grouped order, not db order, so
+        // compare as sets of (peptide, shared).
+        let mut da: Vec<(u32, u16)> = dist.psms[qi].iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        la.sort_unstable();
+        da.sort_unstable();
+        assert_eq!(la, da, "query {qi}");
+    }
+}
+
+#[test]
+fn chunked_index_agrees_with_distributed_candidates() {
+    // Fig. 1's shared-memory chunking and Fig. 3's cross-machine
+    // partitioning are different layouts of the same search.
+    let report = demo();
+    let db = &report.db;
+    let dataset = SyntheticDataset::generate(
+        db,
+        &ModSpec::none(),
+        &SyntheticDatasetParams {
+            num_spectra: 10,
+            ..Default::default()
+        },
+        777,
+    );
+    let pre = PreprocessParams::default();
+    let queries: Vec<_> = dataset
+        .spectra
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
+
+    let chunked = ChunkedIndex::build(db, SlmConfig::default(), ModSpec::none(), 100);
+    let grouping = group_peptides(db, &GroupingParams::default());
+    let cfg = EngineConfig::with_policy(PartitionPolicy::Chunk);
+    let dist = run_distributed_search(db, &grouping, &queries, &cfg, 4);
+
+    for (qi, q) in queries.iter().enumerate() {
+        let c = chunked.search(q);
+        let mut ca: Vec<(u32, u16)> = c.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut da: Vec<(u32, u16)> = dist.psms[qi].iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        ca.sort_unstable();
+        da.sort_unstable();
+        assert_eq!(ca, da, "query {qi}");
+    }
+}
+
+#[test]
+fn virtual_times_deterministic_across_repeats() {
+    let a = demo();
+    let b = demo();
+    assert_eq!(a.search.rank_query_times, b.search.rank_query_times);
+    assert_eq!(a.search.total_times, b.search.total_times);
+    assert_eq!(a.search.build_times, b.search.build_times);
+}
+
+#[test]
+fn imbalance_metrics_consistent_with_times() {
+    let report = demo();
+    let times = &report.search.rank_query_times;
+    let s = &report.search.imbalance;
+    let avg = times.iter().sum::<f64>() / times.len() as f64;
+    let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!((s.t_avg - avg).abs() < 1e-12);
+    assert!((s.t_max - max).abs() < 1e-12);
+    assert!((s.delta_t_max - (max - avg)).abs() < 1e-12);
+}
+
+#[test]
+fn modified_index_still_invariant_across_ranks() {
+    // With PTMs enabled (multiple modforms per peptide), candidates must
+    // still be partition-invariant.
+    let mut builder = PipelineBuilder::small_demo();
+    builder.engine.modspec = ModSpec::oxidation_only();
+    builder.dataset.modified_fraction = 0.5;
+    let r2 = builder.clone().with_ranks(2).run(31);
+    let r6 = builder.clone().with_ranks(6).run(31);
+    assert_eq!(r2.search.total_candidates, r6.search.total_candidates);
+    assert_eq!(r2.top1_correct, r6.top1_correct);
+}
+
+#[test]
+fn footprint_overhead_master_only() {
+    let report = demo();
+    let f = &report.search.footprints;
+    assert!(f[0].mapping_table > 0, "master carries the mapping table");
+    assert!(f[1..].iter().all(|x| x.mapping_table == 0));
+    let total: usize = f.iter().map(|x| x.total()).sum();
+    assert!(total > 0);
+    assert!(report.search.mapping_table_bytes > 0);
+}

@@ -1,0 +1,400 @@
+//! Property-based tests over the workspace's core invariants (proptest).
+
+use lbe::bio::aa::{peptide_neutral_mass, precursor_mz, neutral_mass_from_mz};
+use lbe::bio::digest::{cleavage_sites, digest_protein, DigestParams, Enzyme};
+use lbe::bio::fasta::{read_fasta, write_fasta, Protein};
+use lbe::bio::mods::{enumerate_modforms, ModSpec};
+use lbe::bio::peptide::{Peptide, PeptideDb};
+use lbe::core::distance::{edit_distance, edit_distance_bounded};
+use lbe::core::grouping::{group_peptides, Grouping, GroupingCriterion, GroupingParams};
+use lbe::core::mapping::MappingTable;
+use lbe::core::partition::{partition_groups, PartitionPolicy};
+use lbe::index::query::brute_force_shared_peaks;
+use lbe::index::{IndexBuilder, Searcher, SlmConfig};
+use lbe::spectra::mgf::{read_mgf, write_mgf};
+use lbe::spectra::ms2::{read_ms2, write_ms2};
+use lbe::spectra::mzml::{read_mzml, write_mzml};
+use lbe::spectra::spectrum::{Peak, Spectrum};
+use lbe::spectra::theo::{TheoParams, TheoSpectrum};
+use proptest::prelude::*;
+
+/// Strategy: a peptide-like uppercase sequence over the 20 standard codes.
+fn peptide_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(b"ACDEFGHIKLMNPQRSTVWY".to_vec()),
+        1..=max_len,
+    )
+}
+
+/// Strategy: arbitrary (possibly non-standard) ASCII letter sequences.
+fn letters(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ".to_vec()), 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- edit distance: metric axioms + band agreement ----------
+
+    #[test]
+    fn edit_distance_identity(a in letters(24)) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn edit_distance_symmetry(a in letters(20), b in letters(20)) {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn edit_distance_triangle(a in letters(12), b in letters(12), c in letters(12)) {
+        let ab = edit_distance(&a, &b);
+        let bc = edit_distance(&b, &c);
+        let ac = edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_max_len(a in letters(20), b in letters(20)) {
+        let d = edit_distance(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    #[test]
+    fn banded_agrees_with_full(a in letters(20), b in letters(20), k in 0usize..12) {
+        let full = edit_distance(&a, &b);
+        match edit_distance_bounded(&a, &b, k) {
+            Some(d) => prop_assert_eq!(d, full),
+            None => prop_assert!(full > k),
+        }
+    }
+
+    // ---------- mass computation ----------
+
+    #[test]
+    fn peptide_mass_positive_and_additive(a in peptide_seq(30), b in peptide_seq(30)) {
+        let ma = peptide_neutral_mass(&a).unwrap();
+        let mb = peptide_neutral_mass(&b).unwrap();
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        let mab = peptide_neutral_mass(&ab).unwrap();
+        // Concatenation: one fewer water than the sum of both.
+        let water = lbe::bio::aa::WATER_MASS;
+        prop_assert!((mab - (ma + mb - water)).abs() < 1e-6);
+        prop_assert!(ma > 0.0);
+    }
+
+    #[test]
+    fn mz_round_trip(mass in 100.0f64..5000.0, z in 1u8..5) {
+        let mz = precursor_mz(mass, z);
+        prop_assert!((neutral_mass_from_mz(mz, z) - mass).abs() < 1e-9);
+    }
+
+    // ---------- digestion ----------
+
+    #[test]
+    fn digestion_respects_windows(seq in peptide_seq(120)) {
+        let params = DigestParams::default();
+        let protein = Protein::new("p", &seq);
+        for pep in digest_protein(&protein, 0, &params) {
+            prop_assert!(pep.len() >= params.min_len && pep.len() <= params.max_len);
+            prop_assert!(pep.mass() >= params.min_mass && pep.mass() <= params.max_mass);
+        }
+    }
+
+    #[test]
+    fn zero_missed_cleavage_fragments_tile_protein(seq in peptide_seq(100)) {
+        // With no windows and 0 missed cleavages, fragments reassemble the
+        // protein exactly.
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            min_len: 1,
+            max_len: 10_000,
+            min_mass: 0.0,
+            max_mass: f64::INFINITY,
+            ..DigestParams::default()
+        };
+        let protein = Protein::new("p", &seq);
+        let peps = digest_protein(&protein, 0, &params);
+        let joined: Vec<u8> = peps.iter().flat_map(|p| p.sequence().to_vec()).collect();
+        prop_assert_eq!(joined, seq);
+    }
+
+    #[test]
+    fn cleavage_sites_follow_keil_rule(seq in peptide_seq(80)) {
+        let sites = cleavage_sites(&seq, Enzyme::Trypsin);
+        for &s in &sites[1..sites.len().saturating_sub(1)] {
+            prop_assert!(matches!(seq[s - 1], b'K' | b'R'));
+            prop_assert!(seq[s] != b'P');
+        }
+    }
+
+    #[test]
+    fn missed_cleavage_count_spans(seq in peptide_seq(100), mc in 0u8..4) {
+        let params = DigestParams {
+            max_missed_cleavages: mc,
+            min_len: 1,
+            max_len: 10_000,
+            min_mass: 0.0,
+            max_mass: f64::INFINITY,
+            ..DigestParams::default()
+        };
+        let protein = Protein::new("p", &seq);
+        for pep in digest_protein(&protein, 0, &params) {
+            prop_assert!(pep.missed_cleavages() <= mc);
+        }
+    }
+
+    // ---------- modforms ----------
+
+    #[test]
+    fn modforms_unique_and_bounded(seq in peptide_seq(12)) {
+        let spec = ModSpec::paper_default();
+        let forms = enumerate_modforms(&seq, &spec);
+        prop_assert!(!forms.is_empty());
+        prop_assert!(forms[0].is_unmodified());
+        prop_assert!(forms.len() <= spec.max_modforms_per_peptide);
+        let mut sites: Vec<_> = forms.iter().map(|f| f.sites.clone()).collect();
+        let n = sites.len();
+        sites.sort();
+        sites.dedup();
+        prop_assert_eq!(sites.len(), n, "duplicate modforms");
+        for f in &forms {
+            prop_assert!(f.num_mods() <= spec.max_mods_per_peptide);
+        }
+    }
+
+    // ---------- theoretical spectra ----------
+
+    #[test]
+    fn theo_spectrum_fragments_below_precursor(seq in peptide_seq(25)) {
+        prop_assume!(seq.len() >= 2);
+        let theo = TheoSpectrum::from_sequence(
+            &seq,
+            &lbe::bio::mods::ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        prop_assert_eq!(theo.fragment_count(), 2 * (seq.len() - 1));
+        let limit = theo.precursor_mass + 2.0 * lbe::bio::aa::PROTON_MASS;
+        for &mz in &theo.fragment_mzs {
+            prop_assert!(mz > 0.0 && mz < limit);
+        }
+        prop_assert!(theo.fragment_mzs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // ---------- grouping ----------
+
+    #[test]
+    fn grouping_is_exact_cover(seqs in prop::collection::vec(peptide_seq(15), 1..40), gsize in 1usize..10) {
+        let db = PeptideDb::from_vec(
+            seqs.iter().map(|s| Peptide::new(s, 0, 0).unwrap()).collect(),
+        );
+        let g = group_peptides(&db, &GroupingParams {
+            criterion: GroupingCriterion::Absolute { d: 2 },
+            gsize,
+        });
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.group_sizes.iter().all(|&s| s as usize <= gsize));
+        prop_assert_eq!(g.num_peptides(), db.len());
+    }
+
+    // ---------- partitioning + mapping ----------
+
+    #[test]
+    fn partitions_are_exact_covers(
+        n in 0usize..200,
+        p in 1usize..20,
+        seed in any::<u64>(),
+        policy_idx in 0usize..4,
+    ) {
+        let grouping = Grouping::trivial(n);
+        let policy = match policy_idx {
+            0 => PartitionPolicy::Chunk,
+            1 => PartitionPolicy::Cyclic,
+            2 => PartitionPolicy::Random { seed },
+            _ => PartitionPolicy::RandomWithinGroups { seed },
+        };
+        let part = partition_groups(&grouping, p, policy);
+        prop_assert!(part.validate(n).is_ok());
+        let (min, max) = part.load_spread();
+        prop_assert!(max - min <= 1, "{policy}: {min}..{max}");
+        // Mapping table round trip.
+        let map = MappingTable::from_partition(&part);
+        for (m, list) in part.ranks.iter().enumerate() {
+            for (local, &global) in list.iter().enumerate() {
+                prop_assert_eq!(map.global_of(m, local as u32), global);
+            }
+        }
+    }
+
+    // ---------- quantization/tolerance ----------
+
+    #[test]
+    fn nearby_mz_within_tolerance_bins(mz in 50.0f64..4000.0, delta in -0.04f64..0.04) {
+        let cfg = SlmConfig::default();
+        let a = cfg.bin_of(mz).unwrap();
+        let b = cfg.bin_of(mz + delta).unwrap();
+        prop_assert!(a.abs_diff(b) <= cfg.tolerance_bins());
+    }
+
+    // ---------- file formats ----------
+
+    #[test]
+    fn fasta_round_trip(records in prop::collection::vec((r"[a-zA-Z0-9 |_.-]{1,30}", peptide_seq(80)), 0..8)) {
+        let proteins: Vec<Protein> = records
+            .iter()
+            .map(|(h, s)| Protein::new(h.trim(), s))
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &proteins).unwrap();
+        let back = read_fasta(&buf[..]).unwrap();
+        prop_assert_eq!(back, proteins);
+    }
+
+    #[test]
+    fn ms2_round_trip(
+        spectra in prop::collection::vec(
+            (1u32..100_000, 100.0f64..2000.0, 1u8..5,
+             prop::collection::vec((50.0f64..3000.0, 0.1f32..1e5), 0..40)),
+            0..6,
+        )
+    ) {
+        let spectra: Vec<Spectrum> = spectra
+            .into_iter()
+            .map(|(scan, pmz, z, peaks)| {
+                Spectrum::new(scan, pmz, z, peaks.into_iter().map(|(m, i)| Peak::new(m, i)).collect())
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_ms2(&mut buf, &spectra).unwrap();
+        let back = read_ms2(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), spectra.len());
+        for (a, b) in back.iter().zip(&spectra) {
+            prop_assert_eq!(a.scan, b.scan);
+            prop_assert_eq!(a.charge, b.charge);
+            prop_assert!((a.precursor_mz - b.precursor_mz).abs() < 1e-4);
+            prop_assert_eq!(a.peak_count(), b.peak_count());
+            for (pa, pb) in a.peaks.iter().zip(&b.peaks) {
+                prop_assert!((pa.mz - pb.mz).abs() < 1e-4);
+                prop_assert!((pa.intensity - pb.intensity).abs() / pb.intensity.max(1.0) < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn mzml_round_trip_bit_exact(
+        spectra in prop::collection::vec(
+            (1u32..100_000, 100.0f64..2000.0, 1u8..5,
+             prop::collection::vec((50.0f64..3000.0, 0.1f32..1e5), 0..25)),
+            0..5,
+        )
+    ) {
+        let spectra: Vec<Spectrum> = spectra
+            .into_iter()
+            .map(|(scan, pmz, z, peaks)| {
+                Spectrum::new(scan, pmz, z, peaks.into_iter().map(|(m, i)| Peak::new(m, i)).collect())
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &spectra).unwrap();
+        let back = read_mzml(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), spectra.len());
+        for (a, b) in back.iter().zip(&spectra) {
+            prop_assert_eq!(a.scan, b.scan);
+            prop_assert_eq!(a.charge, b.charge);
+            // Binary arrays are bit-exact, unlike the text formats.
+            prop_assert_eq!(&a.peaks, &b.peaks);
+        }
+    }
+
+    #[test]
+    fn base64_round_trip(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = lbe::spectra::base64::encode(&data);
+        prop_assert_eq!(lbe::spectra::base64::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn mgf_round_trip(
+        spectra in prop::collection::vec(
+            (1u32..100_000, 100.0f64..2000.0, 1u8..5,
+             prop::collection::vec((50.0f64..3000.0, 0.1f32..1e5), 0..20)),
+            0..5,
+        )
+    ) {
+        let spectra: Vec<Spectrum> = spectra
+            .into_iter()
+            .map(|(scan, pmz, z, peaks)| {
+                Spectrum::new(scan, pmz, z, peaks.into_iter().map(|(m, i)| Peak::new(m, i)).collect())
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_mgf(&mut buf, &spectra).unwrap();
+        let back = read_mgf(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), spectra.len());
+        for (a, b) in back.iter().zip(&spectra) {
+            prop_assert_eq!(a.scan, b.scan);
+            prop_assert_eq!(a.charge, b.charge);
+            prop_assert_eq!(a.peak_count(), b.peak_count());
+        }
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn searcher_counts_match_brute_force(
+        seqs in prop::collection::vec(peptide_seq(14), 2..10),
+        peaks in prop::collection::vec((100.0f64..1500.0, 1.0f32..100.0), 1..40),
+        pmz in 200.0f64..1200.0,
+    ) {
+        let db = PeptideDb::from_vec(
+            seqs.iter().map(|s| Peptide::new(s, 0, 0).unwrap()).collect(),
+        );
+        let cfg = SlmConfig {
+            shared_peak_threshold: 1,
+            top_k: usize::MAX,
+            ..SlmConfig::default()
+        };
+        let idx = IndexBuilder::new(cfg.clone(), ModSpec::none()).build(&db);
+        let q = Spectrum::new(0, pmz, 2, peaks.iter().map(|&(m, i)| Peak::new(m, i)).collect());
+        let mut searcher = Searcher::new(&idx);
+        let r = searcher.search(&q);
+        // The index may hold duplicate sequences (proptest can generate
+        // them); compare per entry, aggregating by peptide id only when
+        // sequences are unique.
+        let mut unique = seqs.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assume!(unique.len() == seqs.len());
+        for (pid, pep) in db.iter() {
+            let theo = TheoSpectrum::from_sequence(
+                pep.sequence(),
+                &lbe::bio::mods::ModForm::unmodified(),
+                &ModSpec::none(),
+                &cfg.theo,
+            );
+            let expect = brute_force_shared_peaks(&cfg, &q, &theo);
+            let got = r.psms.iter().find(|p| p.peptide == pid).map(|p| p.shared_peaks).unwrap_or(0);
+            prop_assert_eq!(got, expect, "peptide {}", pid);
+        }
+    }
+
+    #[test]
+    fn index_validates_for_random_databases(
+        seqs in prop::collection::vec(peptide_seq(20), 0..30),
+        use_mods in any::<bool>(),
+    ) {
+        let db = PeptideDb::from_vec(
+            seqs.iter().map(|s| Peptide::new(s, 0, 0).unwrap()).collect(),
+        );
+        let spec = if use_mods { ModSpec::paper_default() } else { ModSpec::none() };
+        let mut builder = IndexBuilder::new(SlmConfig::default(), spec);
+        let idx = builder.build(&db);
+        prop_assert!(idx.validate().is_ok());
+        prop_assert_eq!(builder.stats().ions, idx.num_ions());
+    }
+}
