@@ -15,7 +15,9 @@ fn peptide_pairs(len: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut b = a.clone();
         b[len / 2] = alphabet[(i * 11 + 5) % 20]; // 1 substitution
         pairs.push((a.clone(), b));
-        let c: Vec<u8> = (0..len).map(|j| alphabet[(i * 13 + j * 5 + 9) % 20]).collect();
+        let c: Vec<u8> = (0..len)
+            .map(|j| alphabet[(i * 13 + j * 5 + 9) % 20])
+            .collect();
         pairs.push((a, c)); // unrelated
     }
     pairs

@@ -18,17 +18,13 @@ fn bench_index(c: &mut Criterion) {
         });
 
         let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&w.db);
-        group.bench_with_input(
-            BenchmarkId::new("query_batch50", w.db.len()),
-            &w,
-            |b, w| {
-                let mut searcher = Searcher::new(&index);
-                b.iter(|| {
-                    let (results, stats) = searcher.search_batch(black_box(&w.queries));
-                    black_box((results.len(), stats.candidates))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("query_batch50", w.db.len()), &w, |b, w| {
+            let mut searcher = Searcher::new(&index);
+            b.iter(|| {
+                let (results, stats) = searcher.search_batch(black_box(&w.queries));
+                black_box((results.len(), stats.candidates))
+            })
+        });
     }
 
     // Mods ablation: paper mods multiply index size.

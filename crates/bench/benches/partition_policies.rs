@@ -19,9 +19,7 @@ fn bench_partition(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("assign", policy.to_string()),
             &policy,
-            |b, &policy| {
-                b.iter(|| partition_groups(black_box(&w.grouping), 16, policy))
-            },
+            |b, &policy| b.iter(|| partition_groups(black_box(&w.grouping), 16, policy)),
         );
     }
 

@@ -18,8 +18,8 @@
 use lbe_bench::{build_workload, write_csv, IndexScale, Table};
 use lbe_core::engine::{run_distributed_search, EngineConfig};
 use lbe_core::grouping::{group_peptides, Grouping, GroupingCriterion, GroupingParams};
-use lbe_core::spectral_grouping::{group_spectra, SpectralGroupingParams};
 use lbe_core::partition::PartitionPolicy;
+use lbe_core::spectral_grouping::{group_spectra, SpectralGroupingParams};
 
 fn main() {
     let ranks = 16;
@@ -52,7 +52,11 @@ fn main() {
     let crit2 = group_peptides(&w.db, &GroupingParams::default());
     run("criterion2/gsize20", &crit2, PartitionPolicy::Chunk);
     run("criterion2/gsize20", &crit2, PartitionPolicy::Cyclic);
-    run("criterion2/gsize20", &crit2, PartitionPolicy::Random { seed: 7 });
+    run(
+        "criterion2/gsize20",
+        &crit2,
+        PartitionPolicy::Random { seed: 7 },
+    );
     run(
         "criterion2/gsize20",
         &crit2,
@@ -77,7 +81,11 @@ fn main() {
     // Spectra-level grouping (the paper's §III-C future direction).
     let spectral = group_spectra(&w.db, &SpectralGroupingParams::default());
     run("spectral/j0.5", &spectral, PartitionPolicy::Cyclic);
-    run("spectral/j0.5", &spectral, PartitionPolicy::Random { seed: 7 });
+    run(
+        "spectral/j0.5",
+        &spectral,
+        PartitionPolicy::Random { seed: 7 },
+    );
 
     // gsize sweep under criterion 2.
     for gsize in [5usize, 100] {
@@ -88,7 +96,11 @@ fn main() {
                 gsize,
             },
         );
-        run(&format!("criterion2/gsize{gsize}"), &g, PartitionPolicy::Cyclic);
+        run(
+            &format!("criterion2/gsize{gsize}"),
+            &g,
+            PartitionPolicy::Cyclic,
+        );
     }
 
     print!("{}", table.render());
@@ -96,5 +108,7 @@ fn main() {
         println!("\nwrote {}", p.display());
     }
     println!("\nreading: the length+lex sort behind Algorithm 1 is what makes chunk bad and cyclic good;");
-    println!("per-group-only shuffling (the literal §III-D.3 text) cannot escape the chunk layout.");
+    println!(
+        "per-group-only shuffling (the literal §III-D.3 text) cannot escape the chunk layout."
+    );
 }

@@ -17,12 +17,7 @@ fn main() {
     let num_queries = 1000;
     println!("Fig. 11 — load-balance CPU-time speedup over chunk, {ranks} ranks\n");
 
-    let mut table = Table::new(&[
-        "index(label)",
-        "chunk(x)",
-        "cyclic(x)",
-        "random(x)",
-    ]);
+    let mut table = Table::new(&["index(label)", "chunk(x)", "cyclic(x)", "random(x)"]);
     let (mut sum_cyc, mut sum_rand, mut n) = (0.0f64, 0.0f64, 0);
 
     for scale in IndexScale::sweep() {
@@ -30,7 +25,13 @@ fn main() {
         let cost_scale = scale.cost_scale(w.total_spectra());
         let chunk = run_policy_scaled(&w, scale.label, PartitionPolicy::Chunk, ranks, cost_scale);
         let cyclic = run_policy_scaled(&w, scale.label, PartitionPolicy::Cyclic, ranks, cost_scale);
-        let random = run_policy_scaled(&w, scale.label, PartitionPolicy::Random { seed: 7 }, ranks, cost_scale);
+        let random = run_policy_scaled(
+            &w,
+            scale.label,
+            PartitionPolicy::Random { seed: 7 },
+            ranks,
+            cost_scale,
+        );
 
         let s_cyc = lb_speedup_over_chunk(&chunk.report.imbalance, &cyclic.report.imbalance);
         let s_rand = lb_speedup_over_chunk(&chunk.report.imbalance, &random.report.imbalance);

@@ -64,8 +64,7 @@ fn main() {
             distributed = distributed.merged(&MemoryFootprint::of_index(&idx));
         }
 
-        let overhead =
-            (distributed.total() as f64 / shared.total() as f64 - 1.0) * 100.0;
+        let overhead = (distributed.total() as f64 / shared.total() as f64 - 1.0) * 100.0;
         table.row(&[
             scale.label.to_string(),
             spectra.to_string(),
@@ -85,8 +84,7 @@ fn main() {
         let ions_per_spectrum = shared.postings as f64 / 4.0 / s; // 4 B each
         let peptides_per_spectrum = w.db.len() as f64 / s;
         let paper = scale.paper_spectra;
-        let shared_proj =
-            paper * (16.0 + 4.0 * ions_per_spectrum) + shared.bin_offsets as f64;
+        let shared_proj = paper * (16.0 + 4.0 * ions_per_spectrum) + shared.bin_offsets as f64;
         let dist_proj = paper * (16.0 + 4.0 * ions_per_spectrum)   // entries+postings
             + ranks as f64 * shared.bin_offsets as f64             // per-rank fixed
             + paper * peptides_per_spectrum * 4.0; // mapping table
@@ -103,7 +101,9 @@ fn main() {
     }
 
     print!("{}", table.render());
-    println!("\nprojected to the paper's index sizes (measured densities, fixed costs unscaled):\n");
+    println!(
+        "\nprojected to the paper's index sizes (measured densities, fixed costs unscaled):\n"
+    );
     print!("{}", projected.render());
     if let Some(p) = write_csv("fig5_memory", &table) {
         println!("\nwrote {}", p.display());

@@ -34,10 +34,12 @@ fn main() {
             .report
             .query_time();
         let mut row = vec![scale.label.to_string()];
-        row.extend(
-            runs.iter()
-                .map(|r| format!("{:.2}", speedup(base_ranks, base_time, r.report.query_time()))),
-        );
+        row.extend(runs.iter().map(|r| {
+            format!(
+                "{:.2}",
+                speedup(base_ranks, base_time, r.report.query_time())
+            )
+        }));
         row.push("16.00".into());
         table.row(&row);
     }

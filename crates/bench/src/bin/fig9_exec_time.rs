@@ -24,7 +24,10 @@ fn main() {
         let cost_scale = scale.cost_scale(w.total_spectra());
         let runs = sweep_ranks(&w, scale.label, PartitionPolicy::Cyclic, &ranks, cost_scale);
         let mut row = vec![scale.label.to_string()];
-        row.extend(runs.iter().map(|r| format!("{:.3}", r.report.execution_time())));
+        row.extend(
+            runs.iter()
+                .map(|r| format!("{:.3}", r.report.execution_time())),
+        );
         row.push(format!("{:.3}", runs[0].report.serial_seconds));
         table.row(&row);
     }

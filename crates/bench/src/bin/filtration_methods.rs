@@ -37,7 +37,10 @@ fn main() {
 
     // --- precursor mass, closed (±0.5 Da) and open (±500 Da) ---
     let pre = PrecursorIndex::build(&w.db);
-    for (name, tol) in [("precursor ±0.5Da", 0.5), ("precursor ±500Da (open)", 500.0)] {
+    for (name, tol) in [
+        ("precursor ±0.5Da", 0.5),
+        ("precursor ±500Da (open)", 500.0),
+    ] {
         let mut cands = 0u64;
         let mut top1 = 0usize;
         for (qi, q) in w.queries.iter().enumerate() {
@@ -93,7 +96,10 @@ fn main() {
             "shared peaks (SLM, ranked)".to_string(),
             format!("{:.1}", cands as f64 / w.queries.len() as f64),
             format!("{:.1}", 100.0 * top1 as f64 / w.queries.len() as f64),
-            format!("{:.2}", MemoryFootprint::of_index(&index).total() as f64 / 1e6),
+            format!(
+                "{:.2}",
+                MemoryFootprint::of_index(&index).total() as f64 / 1e6
+            ),
         ]);
     }
 
@@ -103,7 +109,9 @@ fn main() {
     }
 
     // --- Part 2: LBE grouping for precursor-mass engines (§III-C) ---
-    println!("\nLBE for precursor filtration: per-rank candidate balance, 16 ranks, ±1 Da window\n");
+    println!(
+        "\nLBE for precursor filtration: per-rank candidate balance, 16 ranks, ±1 Da window\n"
+    );
     let grouping = group_peptides_by_mass(&w.db, 2.0, 20);
     let mut t2 = Table::new(&["partition", "LI_%", "min_cand", "max_cand"]);
     for policy in [PartitionPolicy::Chunk, PartitionPolicy::Cyclic] {
@@ -133,6 +141,8 @@ fn main() {
     if let Some(p) = write_csv("filtration_precursor_lbe", &t2) {
         println!("\nwrote {}", p.display());
     }
-    println!("\nreading: mass-grouped cyclic dealing equalizes the per-rank mass profile (§III-C),");
+    println!(
+        "\nreading: mass-grouped cyclic dealing equalizes the per-rank mass profile (§III-C),"
+    );
     println!("so closed-window candidate work balances; a mass-sorted chunk split cannot.");
 }

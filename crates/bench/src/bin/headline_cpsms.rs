@@ -43,6 +43,8 @@ fn main() {
     if let Some(p) = write_csv("headline_cpsms", &table) {
         println!("\nwrote {}", p.display());
     }
-    println!("\npaper (full scale): 22,517,426,929 cPSMs total, ~73,723 per query on a 49.45M index");
+    println!(
+        "\npaper (full scale): 22,517,426,929 cPSMs total, ~73,723 per query on a 49.45M index"
+    );
     println!("→ paper candidate density ≈ 1,490 cPSMs/query per million indexed spectra");
 }

@@ -9,6 +9,8 @@
 //! (tens to hundreds of thousands of spectra) noted in every output header.
 //! Set `LBE_SCALE=full` for paper-scale runs on a large machine.
 
+#![deny(missing_docs)]
+
 pub mod output;
 pub mod runner;
 pub mod workload;

@@ -45,7 +45,9 @@ impl IndexScale {
     /// scaled down ~1000× for commodity hardware (override with
     /// `LBE_SCALE=full`).
     pub fn sweep() -> Vec<IndexScale> {
-        let full = std::env::var("LBE_SCALE").map(|v| v == "full").unwrap_or(false);
+        let full = std::env::var("LBE_SCALE")
+            .map(|v| v == "full")
+            .unwrap_or(false);
         let f = if full { 1000 } else { 1 };
         vec![
             IndexScale {

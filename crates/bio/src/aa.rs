@@ -13,8 +13,8 @@ pub const PROTON_MASS: f64 = 1.007_276_466_88;
 
 /// The 20 standard amino acids in alphabetical one-letter-code order.
 pub const STANDARD_AMINO_ACIDS: [u8; 20] = [
-    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
-    b'S', b'T', b'V', b'W', b'Y',
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R', b'S',
+    b'T', b'V', b'W', b'Y',
 ];
 
 /// Monoisotopic residue masses indexed by `code - b'A'`; `None` for letters

@@ -81,7 +81,10 @@ pub fn generate_decoys(targets: &PeptideDb, method: DecoyMethod) -> (PeptideDb, 
             collisions += 1;
             continue;
         }
-        decoys.push(Peptide::new(&d, p.protein(), p.missed_cleavages()).expect("decoys reuse standard residues"));
+        decoys.push(
+            Peptide::new(&d, p.protein(), p.missed_cleavages())
+                .expect("decoys reuse standard residues"),
+        );
     }
     let stats = DecoyStats {
         generated: decoys.len(),

@@ -64,7 +64,14 @@ mod tests {
         let db = PeptideDb::from_vec(vec![pep("AAK", 0), pep("CCK", 1), pep("AAK", 2)]);
         let (out, stats) = dedup_peptides(db);
         assert_eq!(out.len(), 2);
-        assert_eq!(stats, DedupStats { input: 3, kept: 2, removed: 1 });
+        assert_eq!(
+            stats,
+            DedupStats {
+                input: 3,
+                kept: 2,
+                removed: 1
+            }
+        );
     }
 
     #[test]

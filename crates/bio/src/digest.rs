@@ -224,14 +224,20 @@ mod tests {
 
     #[test]
     fn trypsin_cleaves_after_k_and_r() {
-        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
         assert_eq!(seqs(&peps), vec!["AAK", "CCR", "DD"]);
     }
 
     #[test]
     fn trypsin_blocked_by_proline() {
-        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AAKPCCR"), 0, &params);
         // K followed by P: no cleavage there.
         assert_eq!(seqs(&peps), vec!["AAKPCCR"]);
@@ -250,22 +256,36 @@ mod tests {
 
     #[test]
     fn missed_cleavages_emit_spans() {
-        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 2,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
         let got = seqs(&peps);
         for expect in ["AAK", "AAKCCR", "AAKCCRDD", "CCR", "CCRDD", "DD"] {
-            assert!(got.contains(&expect.to_string()), "missing {expect}: {got:?}");
+            assert!(
+                got.contains(&expect.to_string()),
+                "missing {expect}: {got:?}"
+            );
         }
         assert_eq!(got.len(), 6);
     }
 
     #[test]
     fn missed_cleavage_counts_recorded() {
-        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 2,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AAKCCRDD"), 0, &params);
         for p in &peps {
             let internal_sites = cleavage_sites(p.sequence(), Enzyme::Trypsin).len() - 2;
-            assert_eq!(p.missed_cleavages() as usize, internal_sites, "{}", p.sequence_str());
+            assert_eq!(
+                p.missed_cleavages() as usize,
+                internal_sites,
+                "{}",
+                p.sequence_str()
+            );
         }
     }
 
@@ -297,7 +317,10 @@ mod tests {
 
     #[test]
     fn nonstandard_residues_dropped() {
-        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AXKCCR"), 0, &params);
         // "AXK" contains X → dropped; "CCR" survives.
         assert_eq!(seqs(&peps), vec!["CCR"]);
@@ -311,14 +334,20 @@ mod tests {
 
     #[test]
     fn protein_without_sites_is_one_fragment() {
-        let params = DigestParams { max_missed_cleavages: 2, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 2,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("ACDEFG"), 0, &params);
         assert_eq!(seqs(&peps), vec!["ACDEFG"]);
     }
 
     #[test]
     fn terminal_k_produces_no_empty_fragment() {
-        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
         let peps = digest_protein(&protein("AAKCCK"), 0, &params);
         assert_eq!(seqs(&peps), vec!["AAK", "CCK"]);
     }
@@ -374,7 +403,10 @@ mod tests {
     #[test]
     fn digest_proteome_tracks_protein_indices() {
         let proteins = vec![protein("AAKCCK"), protein("DDRFFR")];
-        let params = DigestParams { max_missed_cleavages: 0, ..no_window() };
+        let params = DigestParams {
+            max_missed_cleavages: 0,
+            ..no_window()
+        };
         let db = digest_proteome(&proteins, &params).unwrap();
         let zero: Vec<_> = db.peptides().iter().filter(|p| p.protein() == 0).collect();
         let one: Vec<_> = db.peptides().iter().filter(|p| p.protein() == 1).collect();
@@ -384,11 +416,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_windows() {
-        let p = DigestParams { min_len: 10, max_len: 5, ..DigestParams::default() };
+        let p = DigestParams {
+            min_len: 10,
+            max_len: 5,
+            ..DigestParams::default()
+        };
         assert!(p.validate().is_err());
-        let p = DigestParams { min_mass: 5000.0, max_mass: 100.0, ..DigestParams::default() };
+        let p = DigestParams {
+            min_mass: 5000.0,
+            max_mass: 100.0,
+            ..DigestParams::default()
+        };
         assert!(p.validate().is_err());
-        let p = DigestParams { min_len: 0, ..DigestParams::default() };
+        let p = DigestParams {
+            min_len: 0,
+            ..DigestParams::default()
+        };
         assert!(p.validate().is_err());
         assert!(DigestParams::default().validate().is_ok());
     }

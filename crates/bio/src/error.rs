@@ -7,8 +7,13 @@ use std::fmt;
 pub enum BioError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Malformed FASTA input (message, 1-based line number).
-    FastaParse { msg: String, line: usize },
+    /// Malformed FASTA input.
+    FastaParse {
+        /// What was wrong with the input.
+        msg: String,
+        /// 1-based line number where parsing failed.
+        line: usize,
+    },
     /// An invalid parameter combination was supplied.
     InvalidParams(String),
 }
@@ -46,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = BioError::FastaParse { msg: "bad header".into(), line: 3 };
+        let e = BioError::FastaParse {
+            msg: "bad header".into(),
+            line: 3,
+        };
         assert!(e.to_string().contains("line 3"));
         let e = BioError::InvalidParams("min_len > max_len".into());
         assert!(e.to_string().contains("min_len"));

@@ -25,6 +25,8 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod aa;
 pub mod decoy;
 pub mod dedup;
@@ -35,10 +37,12 @@ pub mod mods;
 pub mod peptide;
 pub mod synthetic;
 
-pub use aa::{monoisotopic_residue_mass, peptide_neutral_mass, precursor_mz, PROTON_MASS, WATER_MASS};
+pub use aa::{
+    monoisotopic_residue_mass, peptide_neutral_mass, precursor_mz, PROTON_MASS, WATER_MASS,
+};
 pub use decoy::{concat_target_decoy, decoy_sequence, generate_decoys, DecoyMethod, DecoyStats};
 pub use dedup::{dedup_peptides, DedupStats};
-pub use digest::{digest_proteome, digest_protein, DigestParams, Enzyme};
+pub use digest::{digest_protein, digest_proteome, DigestParams, Enzyme};
 pub use error::BioError;
 pub use fasta::{read_fasta, read_fasta_path, write_fasta, write_fasta_path, Protein};
 pub use mods::{enumerate_modforms, ModForm, ModSpec, ModType, VariableMod};
@@ -49,7 +53,7 @@ pub use synthetic::{SyntheticProteome, SyntheticProteomeParams};
 pub mod prelude {
     pub use crate::aa::{monoisotopic_residue_mass, peptide_neutral_mass, precursor_mz};
     pub use crate::dedup::dedup_peptides;
-    pub use crate::digest::{digest_proteome, digest_protein, DigestParams, Enzyme};
+    pub use crate::digest::{digest_protein, digest_proteome, DigestParams, Enzyme};
     pub use crate::fasta::{read_fasta, write_fasta, Protein};
     pub use crate::mods::{enumerate_modforms, ModForm, ModSpec, ModType, VariableMod};
     pub use crate::peptide::{Peptide, PeptideDb};

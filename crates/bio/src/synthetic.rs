@@ -269,7 +269,10 @@ mod tests {
             if let Some(root) = fam {
                 let root = *root as usize;
                 assert!(root < i, "family root must precede member");
-                assert!(p.family_of[root].is_none(), "family roots are base proteins");
+                assert!(
+                    p.family_of[root].is_none(),
+                    "family roots are base proteins"
+                );
             }
         }
         assert!(p.num_base_proteins() < p.proteins.len());

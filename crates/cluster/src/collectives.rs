@@ -94,7 +94,10 @@ impl Communicator {
             }
             v
         } else {
-            assert!(value.is_none(), "non-root ranks must pass None to broadcast");
+            assert!(
+                value.is_none(),
+                "non-root ranks must pass None to broadcast"
+            );
             self.recv::<T>(root, TAG_BCAST)
         }
     }
@@ -238,7 +241,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_to_all() {
         let out = cluster(4).run(|c| {
-            let v = if c.is_master() { Some("payload".to_string()) } else { None };
+            let v = if c.is_master() {
+                Some("payload".to_string())
+            } else {
+                None
+            };
             c.broadcast(0, v, 7)
         });
         assert!(out.results.iter().all(|r| r == "payload"));
@@ -246,7 +253,17 @@ mod tests {
 
     #[test]
     fn reduce_folds_in_rank_order() {
-        let out = cluster(4).run(|c| c.reduce(0, vec![c.rank()], |mut a, b| { a.extend(b); a }, 8));
+        let out = cluster(4).run(|c| {
+            c.reduce(
+                0,
+                vec![c.rank()],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+                8,
+            )
+        });
         assert_eq!(out.results[0], Some(vec![0, 1, 2, 3]));
     }
 

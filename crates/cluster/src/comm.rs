@@ -169,8 +169,7 @@ impl Communicator {
     /// Panics on type mismatch, wall-clock timeout, or disconnected peers —
     /// all unrecoverable SPMD programming errors.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
-        self.try_recv(src, tag)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Communicator::recv`] but surfaces timeout/disconnect as an error.

@@ -37,6 +37,8 @@
 //! assert!(outcome.times[3] >= 4.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod clock;
 pub mod collectives;
 pub mod comm;

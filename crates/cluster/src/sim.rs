@@ -42,7 +42,11 @@ impl ImbalanceSummary {
         let t_max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let t_min = times.iter().copied().fold(f64::INFINITY, f64::min);
         let delta_t_max = t_max - t_avg;
-        let load_imbalance = if t_avg > 0.0 { delta_t_max / t_avg } else { 0.0 };
+        let load_imbalance = if t_avg > 0.0 {
+            delta_t_max / t_avg
+        } else {
+            0.0
+        };
         ImbalanceSummary {
             t_avg,
             t_max,

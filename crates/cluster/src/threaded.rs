@@ -87,7 +87,8 @@ impl Cluster {
     {
         let p = self.config.ranks;
         // Build the full mailbox mesh up front: senders[dest] delivers to dest.
-        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded::<Envelope>()).unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Envelope>()).unzip();
 
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
@@ -107,11 +108,11 @@ impl Cluster {
 
         let f = &f;
         let mut slots: Vec<Option<(R, f64)>> = (0..p).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter_mut()
                 .map(|comm| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let r = f(comm);
                         (r, comm.now())
                     })
@@ -123,8 +124,7 @@ impl Cluster {
                     Err(e) => std::panic::resume_unwind(e),
                 }
             }
-        })
-        .expect("cluster scope");
+        });
 
         let (results, times) = slots
             .into_iter()

@@ -191,9 +191,6 @@ mod tests {
 
     #[test]
     fn large_k_behaves_like_full() {
-        assert_eq!(
-            edit_distance_bounded(b"kitten", b"sitting", 100),
-            Some(3)
-        );
+        assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 100), Some(3));
     }
 }

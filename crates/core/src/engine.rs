@@ -174,10 +174,7 @@ impl EngineConfig {
 
     /// The speed factor of rank `me` (1.0 when homogeneous).
     fn speed_of(&self, me: usize) -> f64 {
-        self.rank_speeds
-            .as_ref()
-            .map(|v| v[me])
-            .unwrap_or(1.0)
+        self.rank_speeds.as_ref().map(|v| v[me]).unwrap_or(1.0)
     }
 }
 
@@ -265,7 +262,6 @@ impl DistributedSearchReport {
     }
 }
 
-
 /// Runs the full distributed pipeline on `ranks` simulated machines.
 ///
 /// `grouping` is Algorithm 1's output over `db` (serial preprocessing, per
@@ -291,19 +287,17 @@ pub fn run_distributed_search(
         + cfg.serial.per_peptide_grouping_s * db.len() as f64;
 
     let cluster = Cluster::new(ClusterConfig::new(ranks));
-    let outcome = cluster.run(|comm| {
-        rank_program(
-            comm,
-            db,
-            &partition,
-            &mapping,
-            queries,
-            cfg,
-            serial_seconds,
-        )
-    });
+    let outcome = cluster
+        .run(|comm| rank_program(comm, db, &partition, &mapping, queries, cfg, serial_seconds));
 
-    assemble_report(outcome, &partition, &mapping, cfg, serial_seconds, queries.len())
+    assemble_report(
+        outcome,
+        &partition,
+        &mapping,
+        cfg,
+        serial_seconds,
+        queries.len(),
+    )
 }
 
 /// The SPMD body executed by each rank.
@@ -510,7 +504,10 @@ mod tests {
         )
     }
 
-    fn run(policy: PartitionPolicy, ranks: usize) -> (DistributedSearchReport, SyntheticDataset, PeptideDb) {
+    fn run(
+        policy: PartitionPolicy,
+        ranks: usize,
+    ) -> (DistributedSearchReport, SyntheticDataset, PeptideDb) {
         let db = small_db();
         let grouping = group_peptides(&db, &GroupingParams::default());
         let queries = SyntheticDataset::generate(

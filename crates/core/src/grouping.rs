@@ -305,11 +305,7 @@ mod tests {
     fn order_is_length_then_lex() {
         let d = db(&["CCCCK", "AAK", "ACK", "AAAK"]);
         let g = group_peptides(&d, &GroupingParams::default());
-        let seqs: Vec<&str> = g
-            .order
-            .iter()
-            .map(|&id| d.get(id).sequence_str())
-            .collect();
+        let seqs: Vec<&str> = g.order.iter().map(|&id| d.get(id).sequence_str()).collect();
         assert_eq!(seqs, vec!["AAK", "ACK", "AAAK", "CCCCK"]);
     }
 
@@ -432,9 +428,7 @@ mod tests {
         use crate::partition::{partition_groups, PartitionPolicy};
         // A mass gradient: cyclic dealing should equalize mean mass per
         // rank; chunk should not.
-        let seqs: Vec<String> = (1..=40)
-            .map(|i| format!("{}K", "G".repeat(i)))
-            .collect();
+        let seqs: Vec<String> = (1..=40).map(|i| format!("{}K", "G".repeat(i))).collect();
         let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
         let d = db(&refs);
         let g = group_peptides_by_mass(&d, 30.0, 4);

@@ -28,6 +28,8 @@
 //! assert_eq!(report.search.rank_query_times.len(), 4);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod distance;
 pub mod engine;
 pub mod fdr;
@@ -42,10 +44,12 @@ pub use distance::{edit_distance, edit_distance_bounded};
 pub use engine::{
     DistributedSearchReport, EngineConfig, GlobalPsm, SearchCostModel, SerialCostModel,
 };
-pub use grouping::{group_peptides, group_peptides_by_mass, Grouping, GroupingCriterion, GroupingParams};
+pub use fdr::{accepted_at, compute_q_values, QValued, ScoredId};
+pub use grouping::{
+    group_peptides, group_peptides_by_mass, Grouping, GroupingCriterion, GroupingParams,
+};
 pub use mapping::MappingTable;
 pub use metrics::{amdahl_speedup, efficiency, lb_speedup_over_chunk, speedup};
-pub use fdr::{accepted_at, compute_q_values, QValued, ScoredId};
 pub use partition::{partition_groups, partition_weighted_cyclic, Partition, PartitionPolicy};
 pub use pipeline::{PipelineBuilder, PipelineReport};
 pub use spectral_grouping::{group_spectra, jaccard, SpectralGroupingParams};

@@ -121,7 +121,11 @@ impl Partition {
 }
 
 /// Applies `policy` to the grouped order, producing per-rank peptide lists.
-pub fn partition_groups(grouping: &Grouping, num_ranks: usize, policy: PartitionPolicy) -> Partition {
+pub fn partition_groups(
+    grouping: &Grouping,
+    num_ranks: usize,
+    policy: PartitionPolicy,
+) -> Partition {
     assert!(num_ranks >= 1, "need at least one rank");
     let order = match policy {
         PartitionPolicy::Random { seed } => {
@@ -147,7 +151,9 @@ pub fn partition_groups(grouping: &Grouping, num_ranks: usize, policy: Partition
     };
 
     let n = order.len();
-    let mut ranks: Vec<Vec<u32>> = (0..num_ranks).map(|_| Vec::with_capacity(n / num_ranks + 1)).collect();
+    let mut ranks: Vec<Vec<u32>> = (0..num_ranks)
+        .map(|_| Vec::with_capacity(n / num_ranks + 1))
+        .collect();
     match policy {
         PartitionPolicy::Chunk
         | PartitionPolicy::Random { .. }
@@ -292,7 +298,10 @@ mod tests {
         let p = partition_groups(&g, 2, PartitionPolicy::Random { seed: 3 });
         p.validate(100).unwrap();
         let rank1_has_early = p.rank(1).iter().any(|&id| id < 5);
-        assert!(rank1_has_early, "global shuffle should move early ids to rank 1");
+        assert!(
+            rank1_has_early,
+            "global shuffle should move early ids to rank 1"
+        );
     }
 
     #[test]
@@ -385,7 +394,7 @@ mod tests {
         assert!(cyc.ranks.iter().all(|r| r.len() == 2));
         let chk = partition_groups(&g, 4, PartitionPolicy::Chunk);
         assert!(chk.ranks.iter().all(|r| r.len() == 2)); // counts equal...
-        // ...but chunk keeps lexicographic neighbours together:
+                                                         // ...but chunk keeps lexicographic neighbours together:
         assert_eq!(chk.rank(0), &[g.order[0], g.order[1]]);
     }
 
@@ -448,7 +457,10 @@ mod tests {
         let g = grouping(12);
         let w = partition_weighted_cyclic(&g, &[1.0, 1.0, 1.0]);
         for m in 0..3 {
-            assert!(w.rank(m).iter().any(|&id| id < 3), "rank {m} got no early id");
+            assert!(
+                w.rank(m).iter().any(|&id| id < 3),
+                "rank {m} got no early id"
+            );
         }
     }
 

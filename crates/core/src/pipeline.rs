@@ -64,14 +64,18 @@ impl PipelineBuilder {
     /// generation (two independent streams are derived from it).
     pub fn run(&self, seed: u64) -> PipelineReport {
         let proteome = SyntheticProteome::generate(self.proteome.clone(), seed);
-        let digested = digest_proteome(&proteome.proteins, &self.digest)
-            .expect("digest parameters validated");
+        let digested =
+            digest_proteome(&proteome.proteins, &self.digest).expect("digest parameters validated");
         let before_dedup = digested.len();
         let (db, dedup_stats) = dedup_peptides(digested);
         let grouping = group_peptides(&db, &self.grouping);
 
-        let dataset =
-            SyntheticDataset::generate(&db, &self.engine.modspec, &self.dataset, seed ^ 0x9E37_79B9);
+        let dataset = SyntheticDataset::generate(
+            &db,
+            &self.engine.modspec,
+            &self.dataset,
+            seed ^ 0x9E37_79B9,
+        );
         let queries: Vec<_> = dataset
             .spectra
             .iter()

@@ -47,12 +47,8 @@ impl Default for SpectralGroupingParams {
 /// Quantized fragment-bin set of one peptide's *unmodified* theoretical
 /// spectrum (sorted, deduplicated).
 fn bin_set(seq: &[u8], cfg: &SlmConfig) -> Vec<u32> {
-    let theo = TheoSpectrum::from_sequence(
-        seq,
-        &ModForm::unmodified(),
-        &ModSpec::none(),
-        &cfg.theo,
-    );
+    let theo =
+        TheoSpectrum::from_sequence(seq, &ModForm::unmodified(), &ModSpec::none(), &cfg.theo);
     let mut bins: Vec<u32> = theo
         .fragment_mzs
         .iter()
@@ -245,7 +241,13 @@ mod tests {
     #[test]
     fn output_partitionable() {
         use crate::partition::{partition_groups, PartitionPolicy};
-        let d = db(&["ELVISLIVESK", "ELVLSLLVESK", "GGGGGGK", "PEPTIDEK", "PEPTIDER"]);
+        let d = db(&[
+            "ELVISLIVESK",
+            "ELVLSLLVESK",
+            "GGGGGGK",
+            "PEPTIDEK",
+            "PEPTIDER",
+        ]);
         let g = group_spectra(&d, &SpectralGroupingParams::default());
         let p = partition_groups(&g, 3, PartitionPolicy::Cyclic);
         p.validate(5).unwrap();

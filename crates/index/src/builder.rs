@@ -65,8 +65,12 @@ impl IndexBuilder {
         for (pid, pep) in db.iter() {
             let forms = enumerate_modforms(pep.sequence(), &self.modspec);
             for (fi, form) in forms.iter().enumerate() {
-                let theo =
-                    TheoSpectrum::from_sequence(pep.sequence(), form, &self.modspec, &self.config.theo);
+                let theo = TheoSpectrum::from_sequence(
+                    pep.sequence(),
+                    form,
+                    &self.modspec,
+                    &self.config.theo,
+                );
                 let mut kept = 0u16;
                 for &mz in &theo.fragment_mzs {
                     match self.config.bin_of(mz) {

@@ -41,7 +41,10 @@ impl ChunkedIndex {
         modspec: ModSpec,
         max_peptides_per_chunk: usize,
     ) -> Self {
-        assert!(max_peptides_per_chunk >= 1, "chunks must hold at least one peptide");
+        assert!(
+            max_peptides_per_chunk >= 1,
+            "chunks must hold at least one peptide"
+        );
         // Sort (global id, peptide) pairs by mass — Fig. 1's first step.
         let mut order: Vec<(u32, &Peptide)> = db.iter().collect();
         order.sort_by(|a, b| a.1.mass().partial_cmp(&b.1.mass()).expect("finite masses"));
@@ -108,11 +111,7 @@ impl ChunkedIndex {
             .first()
             .map(|c| c.config().precursor_tolerance)
             .unwrap_or(f64::INFINITY);
-        let top_k = self
-            .chunks
-            .first()
-            .map(|c| c.config().top_k)
-            .unwrap_or(10);
+        let top_k = self.chunks.first().map(|c| c.config().top_k).unwrap_or(10);
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
         for ci in self.chunks_for_query(query.precursor_neutral_mass(), tol) {
@@ -155,10 +154,17 @@ mod tests {
 
     fn db() -> PeptideDb {
         PeptideDb::from_vec(
-            ["GGGGGK", "AAAGGK", "PEPTIDEK", "ELVISLIVESK", "WWWWWWK", "SAMPLERK"]
-                .iter()
-                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
-                .collect(),
+            [
+                "GGGGGK",
+                "AAAGGK",
+                "PEPTIDEK",
+                "ELVISLIVESK",
+                "WWWWWWK",
+                "SAMPLERK",
+            ]
+            .iter()
+            .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+            .collect(),
         )
     }
 
@@ -169,8 +175,17 @@ mod tests {
             &ModSpec::none(),
             &TheoParams::default(),
         );
-        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 100.0)).collect();
-        Spectrum::new(0, lbe_bio::aa::precursor_mz(theo.precursor_mass, 2), 2, peaks)
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 100.0))
+            .collect();
+        Spectrum::new(
+            0,
+            lbe_bio::aa::precursor_mz(theo.precursor_mass, 2),
+            2,
+            peaks,
+        )
     }
 
     #[test]
@@ -240,8 +255,16 @@ mod tests {
         let rm = ms.search(&q);
         let rc = chunked.search(&q);
         // Same candidate set (compare (peptide, shared) multisets).
-        let mut a: Vec<(u32, u16)> = rm.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
-        let mut b: Vec<(u32, u16)> = rc.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut a: Vec<(u32, u16)> = rm
+            .psms
+            .iter()
+            .map(|p| (p.peptide, p.shared_peaks))
+            .collect();
+        let mut b: Vec<(u32, u16)> = rc
+            .psms
+            .iter()
+            .map(|p| (p.peptide, p.shared_peaks))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

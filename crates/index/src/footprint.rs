@@ -81,7 +81,10 @@ mod tests {
         let db = PeptideDb::from_vec(
             (0..n)
                 .map(|i| {
-                    let seq = format!("PEPT{}DEK", ["A", "C", "D", "E", "F"][i % 5].repeat(i % 4 + 1));
+                    let seq = format!(
+                        "PEPT{}DEK",
+                        ["A", "C", "D", "E", "F"][i % 5].repeat(i % 4 + 1)
+                    );
                     Peptide::new(seq.as_bytes(), 0, 0).unwrap()
                 })
                 .collect(),
@@ -129,7 +132,12 @@ mod tests {
 
     #[test]
     fn merged_sums_components() {
-        let a = MemoryFootprint { entries: 1, bin_offsets: 2, postings: 3, mapping_table: 4 };
+        let a = MemoryFootprint {
+            entries: 1,
+            bin_offsets: 2,
+            postings: 3,
+            mapping_table: 4,
+        };
         let b = a;
         let m = a.merged(&b);
         assert_eq!(m.total(), 20);

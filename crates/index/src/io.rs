@@ -121,7 +121,11 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
     let precursor_tolerance = r_f64(&mut r)?;
     let shared_peak_threshold = r_u16(&mut r)?;
     let max_fragment_mz = r_f64(&mut r)?;
-    if resolution.is_nan() || resolution <= 0.0 || max_fragment_mz.is_nan() || max_fragment_mz <= 0.0 {
+    if resolution.is_nan()
+        || resolution <= 0.0
+        || max_fragment_mz.is_nan()
+        || max_fragment_mz <= 0.0
+    {
         return Err(bad("invalid config values"));
     }
     let flags: [u8; 2] = r_exact(&mut r)?;
@@ -202,7 +206,11 @@ mod tests {
                 .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
                 .collect(),
         );
-        let spec = if mods { ModSpec::paper_default() } else { ModSpec::none() };
+        let spec = if mods {
+            ModSpec::paper_default()
+        } else {
+            ModSpec::none()
+        };
         IndexBuilder::new(SlmConfig::default(), spec).build(&db)
     }
 
@@ -248,7 +256,10 @@ mod tests {
         let queries = SyntheticDataset::generate(
             &db,
             &ModSpec::none(),
-            &SyntheticDatasetParams { num_spectra: 8, ..Default::default() },
+            &SyntheticDatasetParams {
+                num_spectra: 8,
+                ..Default::default()
+            },
             44,
         );
         let mut s1 = Searcher::new(&idx);

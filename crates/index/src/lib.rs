@@ -35,6 +35,8 @@
 //! assert_eq!(hits.psms[0].peptide, queries.truth[0]);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod builder;
 pub mod chunked;
 pub mod config;
@@ -47,12 +49,12 @@ pub mod seqtag;
 pub mod slm;
 
 pub use builder::{BuildStats, IndexBuilder};
-pub use io::{read_index, read_index_path, write_index, write_index_path};
-pub use parallel::search_batch_parallel;
-pub use precursor::{PrecursorIndex, PrecursorQueryStats};
-pub use seqtag::{extract_tags, TagIndex, TagQueryStats};
 pub use chunked::ChunkedIndex;
 pub use config::SlmConfig;
 pub use footprint::MemoryFootprint;
+pub use io::{read_index, read_index_path, write_index, write_index_path};
+pub use parallel::search_batch_parallel;
+pub use precursor::{PrecursorIndex, PrecursorQueryStats};
 pub use query::{Psm, QueryStats, SearchResult, Searcher};
+pub use seqtag::{extract_tags, TagIndex, TagQueryStats};
 pub use slm::{SlmIndex, SpectrumEntry};

@@ -4,7 +4,7 @@
 //! embarrassingly parallel. This module provides a real (not simulated)
 //! multi-threaded batch searcher used by node-local deployments and by the
 //! hybrid mode's intra-rank level: queries are split into contiguous slices
-//! across scoped threads (crossbeam), each thread owning its own
+//! across scoped threads, each thread owning its own
 //! [`Searcher`] scratch state.
 //!
 //! Results are returned in query order and are bit-identical to the
@@ -33,11 +33,11 @@ pub fn search_batch_parallel(
     let chunk = queries.len().div_ceil(threads);
     let mut per_chunk: Vec<(Vec<SearchResult>, QueryStats)> = Vec::with_capacity(threads);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut s = Searcher::new(index);
                     s.search_batch(slice)
                 })
@@ -46,8 +46,7 @@ pub fn search_batch_parallel(
         for h in handles {
             per_chunk.push(h.join().expect("search thread panicked"));
         }
-    })
-    .expect("search scope");
+    });
 
     let mut results = Vec::with_capacity(queries.len());
     let mut totals = QueryStats::default();
@@ -69,10 +68,16 @@ mod tests {
 
     fn setup(nq: usize) -> (SlmIndex, Vec<Spectrum>) {
         let db = PeptideDb::from_vec(
-            ["ELVISLIVESK", "PEPTIDEK", "MNKQMGGR", "SAMPLERK", "GGAASSYYK"]
-                .iter()
-                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
-                .collect(),
+            [
+                "ELVISLIVESK",
+                "PEPTIDEK",
+                "MNKQMGGR",
+                "SAMPLERK",
+                "GGAASSYYK",
+            ]
+            .iter()
+            .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+            .collect(),
         );
         let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&db);
         let queries = SyntheticDataset::generate(

@@ -218,7 +218,11 @@ mod tests {
             &ModSpec::none(),
             &TheoParams::default(),
         );
-        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 100.0)).collect();
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 100.0))
+            .collect();
         Spectrum::new(
             0,
             lbe_bio::aa::precursor_mz(theo.precursor_mass, 2),
@@ -271,7 +275,10 @@ mod tests {
         let mut s = Searcher::new(&idx);
         let r = s.search(&perfect_query(b"PEPTIDEK"));
         let peptides: Vec<u32> = r.psms.iter().map(|p| p.peptide).collect();
-        assert!(peptides.contains(&0) && peptides.contains(&1), "{peptides:?}");
+        assert!(
+            peptides.contains(&0) && peptides.contains(&1),
+            "{peptides:?}"
+        );
     }
 
     #[test]
@@ -296,7 +303,9 @@ mod tests {
 
     #[test]
     fn top_k_truncates_but_candidates_counted() {
-        let seqs: Vec<String> = (0..20).map(|i| format!("PEPTIDEK{}K", "G".repeat(i % 3 + 1))).collect();
+        let seqs: Vec<String> = (0..20)
+            .map(|i| format!("PEPTIDEK{}K", "G".repeat(i % 3 + 1)))
+            .collect();
         let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
         let d = db(&refs);
         let cfg = SlmConfig {
@@ -313,7 +322,13 @@ mod tests {
 
     #[test]
     fn counts_match_brute_force_on_synthetic_queries() {
-        let d = db(&["ELVISLIVESK", "PEPTIDEK", "SAMPLERK", "MNKQMGGR", "AAAGGGKR"]);
+        let d = db(&[
+            "ELVISLIVESK",
+            "PEPTIDEK",
+            "SAMPLERK",
+            "MNKQMGGR",
+            "AAAGGGKR",
+        ]);
         let cfg = SlmConfig {
             shared_peak_threshold: 1,
             top_k: usize::MAX,
@@ -383,9 +398,19 @@ mod tests {
         // Build a query from the oxidized form.
         let forms = lbe_bio::mods::enumerate_modforms(b"AMSAMPLEK", &spec);
         let ox = forms.iter().position(|f| f.num_mods() == 1).unwrap();
-        let theo = TheoSpectrum::from_sequence(b"AMSAMPLEK", &forms[ox], &spec, &TheoParams::default());
-        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 50.0)).collect();
-        let q = Spectrum::new(0, lbe_bio::aa::precursor_mz(theo.precursor_mass, 2), 2, peaks);
+        let theo =
+            TheoSpectrum::from_sequence(b"AMSAMPLEK", &forms[ox], &spec, &TheoParams::default());
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 50.0))
+            .collect();
+        let q = Spectrum::new(
+            0,
+            lbe_bio::aa::precursor_mz(theo.precursor_mass, 2),
+            2,
+            peaks,
+        );
         let mut s = Searcher::new(&idx);
         let r = s.search(&q);
         assert_eq!(r.psms[0].modform as usize, ox);

@@ -172,7 +172,9 @@ fn residue_for_gap(gap: f64, tol: f64) -> Option<u8> {
 /// Canonicalizes a sequence for tag matching (I → L), used when building
 /// databases whose tags must match spectrum-derived tags.
 pub fn canonicalize_il(seq: &[u8]) -> Vec<u8> {
-    seq.iter().map(|&c| if c == b'I' { b'L' } else { c }).collect()
+    seq.iter()
+        .map(|&c| if c == b'I' { b'L' } else { c })
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,8 +200,17 @@ mod tests {
             &ModSpec::none(),
             &TheoParams::default(),
         );
-        let peaks = theo.fragment_mzs.iter().map(|&m| Peak::new(m, 10.0)).collect();
-        Spectrum::new(0, lbe_bio::aa::precursor_mz(theo.precursor_mass, 2), 2, peaks)
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 10.0))
+            .collect();
+        Spectrum::new(
+            0,
+            lbe_bio::aa::precursor_mz(theo.precursor_mass, 2),
+            2,
+            peaks,
+        )
     }
 
     #[test]

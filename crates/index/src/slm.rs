@@ -142,11 +142,7 @@ impl SlmIndex {
         if self.bin_offsets.len() != self.config.num_bins() + 1 {
             return Err("bin_offsets length mismatch".into());
         }
-        if self
-            .bin_offsets
-            .windows(2)
-            .any(|w| w[0] > w[1])
-        {
+        if self.bin_offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err("bin_offsets not monotone".into());
         }
         if *self.bin_offsets.last().unwrap() as usize != self.postings.len() {

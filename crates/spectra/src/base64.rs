@@ -43,10 +43,7 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
             _ => None,
         }
     }
-    let cleaned: Vec<u8> = text
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if !cleaned.len().is_multiple_of(4) {
         return None;
     }

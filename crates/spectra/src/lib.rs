@@ -15,6 +15,8 @@
 //! assert_eq!(theo.fragment_count(), 2 * (8 - 1)); // b1..b7 and y1..y7
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod base64;
 pub mod mgf;
 pub mod ms2;

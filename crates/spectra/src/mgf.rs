@@ -163,7 +163,15 @@ mod tests {
     fn sample() -> Vec<Spectrum> {
         let mut s = Spectrum::new(5, 503.1234, 2, vec![Peak::new(112.0872, 231.5)]);
         s.title = "my spectrum".into();
-        vec![s, Spectrum::new(9, 611.5, 3, vec![Peak::new(201.1, 55.0), Peak::new(300.0, 5.0)])]
+        vec![
+            s,
+            Spectrum::new(
+                9,
+                611.5,
+                3,
+                vec![Peak::new(201.1, 55.0), Peak::new(300.0, 5.0)],
+            ),
+        ]
     }
 
     #[test]

@@ -31,18 +31,21 @@ pub fn read_ms2<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
     let mut peaks: Vec<Peak> = Vec::new();
     let mut have_scan = false;
 
-    let flush =
-        |scan: u32, precursor_mz: f64, charges: &mut Vec<u8>, peaks: &mut Vec<Peak>, out: &mut Vec<Spectrum>| {
-            if charges.is_empty() {
-                // No Z line: assume 1+ (rare, but files exist).
-                charges.push(1);
-            }
-            for &z in charges.iter() {
-                out.push(Spectrum::new(scan, precursor_mz, z, peaks.clone()));
-            }
-            charges.clear();
-            peaks.clear();
-        };
+    let flush = |scan: u32,
+                 precursor_mz: f64,
+                 charges: &mut Vec<u8>,
+                 peaks: &mut Vec<Peak>,
+                 out: &mut Vec<Spectrum>| {
+        if charges.is_empty() {
+            // No Z line: assume 1+ (rare, but files exist).
+            charges.push(1);
+        }
+        for &z in charges.iter() {
+            out.push(Spectrum::new(scan, precursor_mz, z, peaks.clone()));
+        }
+        charges.clear();
+        peaks.clear();
+    };
 
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
@@ -155,7 +158,12 @@ mod tests {
 
     fn sample() -> Vec<Spectrum> {
         vec![
-            Spectrum::new(1, 503.1234, 2, vec![Peak::new(112.0872, 231.5), Peak::new(358.9, 80.0)]),
+            Spectrum::new(
+                1,
+                503.1234,
+                2,
+                vec![Peak::new(112.0872, 231.5), Peak::new(358.9, 80.0)],
+            ),
             Spectrum::new(7, 611.5, 3, vec![Peak::new(201.1, 55.0)]),
         ]
     }

@@ -67,7 +67,11 @@ pub fn write_mzml<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioEr
             ("MS:1000514", "m/z array", "MS:1000523", &mz_bytes),
             ("MS:1000515", "intensity array", "MS:1000521", &int_bytes),
         ] {
-            writeln!(w, r#"          <binaryDataArray encodedLength="{}">"#, base64::encode(data).len())?;
+            writeln!(
+                w,
+                r#"          <binaryDataArray encodedLength="{}">"#,
+                base64::encode(data).len()
+            )?;
             writeln!(
                 w,
                 r#"            <cvParam cvRef="MS" accession="{bits}" name="float"/>"#
@@ -80,7 +84,11 @@ pub fn write_mzml<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioEr
                 w,
                 r#"            <cvParam cvRef="MS" accession="{accession}" name="{name}"/>"#
             )?;
-            writeln!(w, r#"            <binary>{}</binary>"#, base64::encode(data))?;
+            writeln!(
+                w,
+                r#"            <binary>{}</binary>"#,
+                base64::encode(data)
+            )?;
             writeln!(w, r#"          </binaryDataArray>"#)?;
         }
         writeln!(w, r#"        </binaryDataArrayList>"#)?;
@@ -295,7 +303,9 @@ mod tests {
     fn corrupted_base64_is_error() {
         let mut buf = Vec::new();
         write_mzml(&mut buf, &sample()[..1]).unwrap();
-        let text = String::from_utf8(buf).unwrap().replace("<binary>", "<binary>!!");
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("<binary>", "<binary>!!");
         assert!(read_mzml(text.as_bytes()).is_err());
     }
 

@@ -90,7 +90,13 @@ mod tests {
     #[test]
     fn keeps_top_n_by_intensity() {
         let s = spectrum_with(10);
-        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 3, ..Default::default() });
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams {
+                top_n: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.peak_count(), 3);
         // The 3 most intense are the last 3 added (intensities 8,9,10).
         let intensities: Vec<f32> = out.peaks.iter().map(|p| p.intensity).collect();
@@ -100,14 +106,26 @@ mod tests {
     #[test]
     fn output_sorted_by_mz() {
         let s = spectrum_with(50);
-        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 10, ..Default::default() });
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams {
+                top_n: 10,
+                ..Default::default()
+            },
+        );
         assert!(out.is_sorted());
     }
 
     #[test]
     fn fewer_peaks_than_n_untouched() {
         let s = spectrum_with(5);
-        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 100, ..Default::default() });
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams {
+                top_n: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.peaks, s.peaks);
     }
 
@@ -116,7 +134,10 @@ mod tests {
         let s = spectrum_with(10); // mz 100..109
         let out = preprocess_spectrum(
             &s,
-            &PreprocessParams { min_mz: 105.0, ..Default::default() },
+            &PreprocessParams {
+                min_mz: 105.0,
+                ..Default::default()
+            },
         );
         assert_eq!(out.peak_count(), 5);
         assert!(out.peaks.iter().all(|p| p.mz >= 105.0));
@@ -127,7 +148,10 @@ mod tests {
         let s = spectrum_with(10);
         let out = preprocess_spectrum(
             &s,
-            &PreprocessParams { normalize: true, ..Default::default() },
+            &PreprocessParams {
+                normalize: true,
+                ..Default::default()
+            },
         );
         let base = out.base_peak().unwrap().intensity;
         assert!((base - 100.0).abs() < 1e-4);
@@ -141,7 +165,13 @@ mod tests {
             Peak::new(200.0, 5.0),
         ];
         let s = Spectrum::new(1, 400.0, 2, peaks);
-        let out = preprocess_spectrum(&s, &PreprocessParams { top_n: 2, ..Default::default() });
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams {
+                top_n: 2,
+                ..Default::default()
+            },
+        );
         let mzs: Vec<f64> = out.peaks.iter().map(|p| p.mz).collect();
         assert_eq!(mzs, vec![100.0, 200.0]); // lowest m/z wins ties
     }
@@ -162,7 +192,10 @@ mod tests {
         let s = Spectrum::new(1, 400.0, 2, vec![]);
         let out = preprocess_spectrum(
             &s,
-            &PreprocessParams { normalize: true, ..Default::default() },
+            &PreprocessParams {
+                normalize: true,
+                ..Default::default()
+            },
         );
         assert!(out.is_empty());
     }
@@ -170,7 +203,13 @@ mod tests {
     #[test]
     fn preprocess_all_applies_to_each() {
         let mut v = vec![spectrum_with(10), spectrum_with(20)];
-        preprocess_all(&mut v, &PreprocessParams { top_n: 4, ..Default::default() });
+        preprocess_all(
+            &mut v,
+            &PreprocessParams {
+                top_n: 4,
+                ..Default::default()
+            },
+        );
         assert!(v.iter().all(|s| s.peak_count() == 4));
     }
 

@@ -98,7 +98,11 @@ mod tests {
             1,
             500.0,
             2,
-            vec![Peak::new(300.0, 10.0), Peak::new(100.0, 50.0), Peak::new(200.0, 30.0)],
+            vec![
+                Peak::new(300.0, 10.0),
+                Peak::new(100.0, 50.0),
+                Peak::new(200.0, 30.0),
+            ],
         )
     }
 

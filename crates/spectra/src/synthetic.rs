@@ -83,7 +83,10 @@ impl SyntheticDataset {
         params: &SyntheticDatasetParams,
         seed: u64,
     ) -> Self {
-        assert!(!db.is_empty(), "cannot sample queries from an empty peptide database");
+        assert!(
+            !db.is_empty(),
+            "cannot sample queries from an empty peptide database"
+        );
         assert!(
             params.charge_range.0 >= 1 && params.charge_range.0 <= params.charge_range.1,
             "invalid charge range"
@@ -127,10 +130,15 @@ impl SyntheticDataset {
             } else {
                 0
             };
-            let theo =
-                TheoSpectrum::from_sequence(pep.sequence(), &forms[form_idx], modspec, &theo_params);
+            let theo = TheoSpectrum::from_sequence(
+                pep.sequence(),
+                &forms[form_idx],
+                modspec,
+                &theo_params,
+            );
 
-            let mut peaks: Vec<Peak> = Vec::with_capacity(theo.fragment_count() + params.noise_peaks);
+            let mut peaks: Vec<Peak> =
+                Vec::with_capacity(theo.fragment_count() + params.noise_peaks);
             for &mz in &theo.fragment_mzs {
                 if rng.gen_bool(params.fragment_detection_prob) {
                     let jitter = rng.gen_range(-params.mz_jitter..=params.mz_jitter);
@@ -207,7 +215,10 @@ mod tests {
 
     #[test]
     fn generates_requested_count() {
-        let params = SyntheticDatasetParams { num_spectra: 25, ..Default::default() };
+        let params = SyntheticDatasetParams {
+            num_spectra: 25,
+            ..Default::default()
+        };
         let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &params, 1);
         assert_eq!(d.len(), 25);
         assert_eq!(d.truth.len(), 25);
@@ -240,7 +251,10 @@ mod tests {
 
     #[test]
     fn charges_within_range() {
-        let params = SyntheticDatasetParams { charge_range: (2, 4), ..Default::default() };
+        let params = SyntheticDatasetParams {
+            charge_range: (2, 4),
+            ..Default::default()
+        };
         let d = SyntheticDataset::generate(&db(), &ModSpec::none(), &params, 5);
         assert!(d.spectra.iter().all(|s| (2..=4).contains(&s.charge)));
     }
@@ -311,7 +325,10 @@ mod tests {
         let uniform = SyntheticDataset::generate(
             &database,
             &ModSpec::none(),
-            &SyntheticDatasetParams { num_spectra: 400, ..Default::default() },
+            &SyntheticDatasetParams {
+                num_spectra: 400,
+                ..Default::default()
+            },
             21,
         );
         let skewed = SyntheticDataset::generate(

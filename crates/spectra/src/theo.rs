@@ -89,9 +89,8 @@ impl TheoSpectrum {
         let total = prefix[n];
         let precursor_mass = total + WATER_MASS;
 
-        let series = (n - 1)
-            * (params.b_ions as usize + params.y_ions as usize)
-            * params.charges.len();
+        let series =
+            (n - 1) * (params.b_ions as usize + params.y_ions as usize) * params.charges.len();
         let mut mzs = Vec::with_capacity(series);
         for &z in &params.charges {
             assert!(z >= 1, "fragment charge must be >= 1");
@@ -132,7 +131,12 @@ mod tests {
     use lbe_bio::mods::{enumerate_modforms, ModType, VariableMod};
 
     fn unmodified(seq: &[u8]) -> TheoSpectrum {
-        TheoSpectrum::from_sequence(seq, &ModForm::unmodified(), &ModSpec::none(), &TheoParams::default())
+        TheoSpectrum::from_sequence(
+            seq,
+            &ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        )
     }
 
     #[test]
@@ -170,13 +174,19 @@ mod tests {
             seq,
             &ModForm::unmodified(),
             &ModSpec::none(),
-            &TheoParams { y_ions: false, ..Default::default() },
+            &TheoParams {
+                y_ions: false,
+                ..Default::default()
+            },
         );
         let only_y = TheoSpectrum::from_sequence(
             seq,
             &ModForm::unmodified(),
             &ModSpec::none(),
-            &TheoParams { b_ions: false, ..Default::default() },
+            &TheoParams {
+                b_ions: false,
+                ..Default::default()
+            },
         );
         for i in 1..n {
             let b_i = only_b.fragment_mzs[i - 1]; // ascending = b1..b(n-1)
@@ -238,8 +248,24 @@ mod tests {
             max_modforms_per_peptide: usize::MAX,
         };
         let forms = enumerate_modforms(b"AGGK", &spec);
-        let plain = TheoSpectrum::from_sequence(b"AGGK", &forms[0], &spec, &TheoParams { y_ions: false, ..Default::default() });
-        let modded = TheoSpectrum::from_sequence(b"AGGK", &forms[1], &spec, &TheoParams { y_ions: false, ..Default::default() });
+        let plain = TheoSpectrum::from_sequence(
+            b"AGGK",
+            &forms[0],
+            &spec,
+            &TheoParams {
+                y_ions: false,
+                ..Default::default()
+            },
+        );
+        let modded = TheoSpectrum::from_sequence(
+            b"AGGK",
+            &forms[1],
+            &spec,
+            &TheoParams {
+                y_ions: false,
+                ..Default::default()
+            },
+        );
         for (a, b) in modded.fragment_mzs.iter().zip(plain.fragment_mzs.iter()) {
             assert!((a - b - 100.0).abs() < 1e-9);
         }

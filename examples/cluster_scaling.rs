@@ -56,7 +56,11 @@ fn main() {
         .map(|s| preprocess_spectrum(s, &pre))
         .collect();
 
-    println!("workload: {} peptides, {} queries\n", db.len(), queries.len());
+    println!(
+        "workload: {} peptides, {} queries\n",
+        db.len(),
+        queries.len()
+    );
     println!(
         "{:<16} {:>6} {:>12} {:>8} {:>10}",
         "policy", "ranks", "query_t(s)", "LI_%", "Twst(s)"

@@ -55,10 +55,18 @@ fn main() {
         let peaks: Vec<Peak> = (0..80)
             .map(|_| Peak::new(rng.gen_range(100.0..1800.0), rng.gen_range(1.0f32..500.0)))
             .collect();
-        queries.push(Spectrum::new(1000 + scan, rng.gen_range(300.0..900.0), 2, peaks));
+        queries.push(Spectrum::new(
+            1000 + scan,
+            rng.gen_range(300.0..900.0),
+            2,
+            peaks,
+        ));
     }
     let pre = PreprocessParams::default();
-    let queries: Vec<Spectrum> = queries.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+    let queries: Vec<Spectrum> = queries
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
     println!("queries: {} (120 signal + 60 noise)\n", queries.len());
 
     // Distributed search over 4 ranks.

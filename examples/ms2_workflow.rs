@@ -44,15 +44,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Digest, dedup, group; emit the clustered database.
     let digested = digest_proteome(&proteins, &DigestParams::default())?;
     let (db, stats) = dedup_peptides(digested);
-    println!("digestion           : {} unique peptides ({} duplicates removed)", db.len(), stats.removed);
+    println!(
+        "digestion           : {} unique peptides ({} duplicates removed)",
+        db.len(),
+        stats.removed
+    );
     let grouping = group_peptides(&db, &GroupingParams::default());
     let clustered: Vec<Protein> = grouping
         .iter_groups()
         .enumerate()
-        .flat_map(|(gi, group)| {
-            group.iter().map(move |&pid| (gi, pid))
+        .flat_map(|(gi, group)| group.iter().map(move |&pid| (gi, pid)))
+        .map(|(gi, pid)| {
+            Protein::new(
+                format!("group{:05}|pep{:06}", gi, pid),
+                db.get(pid).sequence(),
+            )
         })
-        .map(|(gi, pid)| Protein::new(format!("group{:05}|pep{:06}", gi, pid), db.get(pid).sequence()))
         .collect();
     let clustered_path = dir.join("clustered.fasta");
     write_fasta_path(&clustered_path, &clustered)?;
@@ -87,11 +94,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_ms2_path(&ms2, &dataset.spectra)?;
     let loaded = read_ms2_path(&ms2)?;
     assert_eq!(loaded.len(), dataset.spectra.len());
-    println!("queries.ms2         : {} spectra round-tripped", loaded.len());
+    println!(
+        "queries.ms2         : {} spectra round-tripped",
+        loaded.len()
+    );
 
     // 4. Search the file-loaded spectra against the file-loaded database.
     let pre = PreprocessParams::default();
-    let queries: Vec<_> = loaded.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+    let queries: Vec<_> = loaded
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
     let grouping2 = group_peptides(&db2, &GroupingParams::default());
     let cfg = EngineConfig::with_policy(PartitionPolicy::Cyclic);
     let report = run_distributed_search(&db2, &grouping2, &queries, &cfg, 4);

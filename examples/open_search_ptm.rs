@@ -46,7 +46,11 @@ fn main() {
         .map(|s| preprocess_spectrum(s, &pre))
         .collect();
     let modified_queries = dataset.truth_modform.iter().filter(|&&m| m > 0).count();
-    println!("queries: {} ({} carry a modification)\n", queries.len(), modified_queries);
+    println!(
+        "queries: {} ({} carry a modification)\n",
+        queries.len(),
+        modified_queries
+    );
 
     // Index A: no variable mods. Index B: the paper's PTM set.
     let cfg = SlmConfig::default(); // ΔM = ∞ (open search)
@@ -87,8 +91,14 @@ fn main() {
         }
     }
 
-    println!("top-1 correct, PTM-blind index : {top1_plain}/{}", queries.len());
-    println!("top-1 correct, PTM-aware index : {top1_mod}/{}", queries.len());
+    println!(
+        "top-1 correct, PTM-blind index : {top1_plain}/{}",
+        queries.len()
+    );
+    println!(
+        "top-1 correct, PTM-aware index : {top1_mod}/{}",
+        queries.len()
+    );
     if let Some((seq, shift)) = example_shift {
         println!("\nexample: {seq} identified with mass shift {shift:+.4} Da");
         println!("(open search localized the modification the blind index missed)");

@@ -30,7 +30,10 @@ fn main() {
         report.grouping.mean_group_size()
     );
     println!("ranks                   : {}", report.search.ranks);
-    println!("partition sizes         : {:?}", report.search.partition_sizes);
+    println!(
+        "partition sizes         : {:?}",
+        report.search.partition_sizes
+    );
     println!("queries searched        : {}", report.queries);
     println!(
         "candidate PSMs          : {} ({:.1}/query)",
@@ -61,6 +64,9 @@ fn main() {
             psm.shared_peaks,
             psm.rank
         );
-        println!("scan 0 ground truth     : {}", report.db.get(report.truth[0]).sequence_str());
+        println!(
+            "scan 0 ground truth     : {}",
+            report.db.get(report.truth[0]).sequence_str()
+        );
     }
 }

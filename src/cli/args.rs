@@ -163,4 +163,60 @@ mod tests {
         let a = parse("").unwrap();
         assert!(a.command.is_empty());
     }
+
+    #[test]
+    fn error_messages_name_the_offending_option() {
+        let e = parse("x --a 1 --a 2").unwrap_err();
+        assert_eq!(e.to_string(), "duplicate option --a");
+
+        let e = parse("x --").unwrap_err();
+        assert_eq!(e.to_string(), "empty flag '--'");
+
+        let a = parse("x").unwrap();
+        assert_eq!(
+            a.require("in").unwrap_err().to_string(),
+            "missing required option --in"
+        );
+
+        let a = parse("x --n abc").unwrap();
+        let e = a.get_parsed::<usize>("n", 0).unwrap_err();
+        assert_eq!(e.to_string(), "invalid value for --n: \"abc\"");
+
+        let a = parse("x --bogus 1").unwrap();
+        let e = a.reject_unknown(&["in", "out"]).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown option --bogus (allowed: --in, --out)"
+        );
+    }
+
+    #[test]
+    fn key_value_round_trips() {
+        let a = parse("search --index a.slm --queries q.ms2 --top-k 3").unwrap();
+        let mut keys: Vec<&str> = a.option_keys().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["index", "queries", "top-k"]);
+        assert_eq!(a.get("index"), Some("a.slm"));
+        assert_eq!(a.get("queries"), Some("q.ms2"));
+        assert_eq!(a.get_parsed::<usize>("top-k", 10).unwrap(), 3);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_takes_no_value() {
+        // `--verbose` must not swallow `--out` as its value.
+        let a = parse("index --verbose --out x.slm").unwrap();
+        assert_eq!(a.get("verbose"), Some(""));
+        assert_eq!(a.require("out").unwrap(), "x.slm");
+        // An empty-valued option fails `require` but satisfies `has`.
+        assert!(a.require("verbose").is_err());
+        assert!(a.has("verbose"));
+    }
+
+    #[test]
+    fn negative_numbers_parse_as_values() {
+        // A leading single dash is a value, not a flag.
+        let a = parse("x --skew -0.5").unwrap();
+        assert_eq!(a.get_parsed::<f64>("skew", 0.0).unwrap(), -0.5);
+    }
 }

@@ -109,7 +109,9 @@ fn read_queries(path: &str) -> Result<Vec<Spectrum>, CmdError> {
     if lower.ends_with(".mzml") {
         Ok(read_mzml_path(path)?)
     } else if lower.ends_with(".mgf") {
-        Ok(read_mgf(std::fs::File::open(path).map_err(lbe_bio::error::BioError::Io)?)?)
+        Ok(read_mgf(
+            std::fs::File::open(path).map_err(lbe_bio::error::BioError::Io)?,
+        )?)
     } else {
         Ok(read_ms2_path(path)?)
     }
@@ -132,7 +134,11 @@ fn read_peptide_fasta(path: &str) -> Result<PeptideDb, CmdError> {
     Ok(PeptideDb::from_vec(peptides))
 }
 
-fn write_peptide_fasta(path: &str, db: &PeptideDb, header: impl Fn(u32) -> String) -> Result<(), CmdError> {
+fn write_peptide_fasta(
+    path: &str,
+    db: &PeptideDb,
+    header: impl Fn(u32) -> String,
+) -> Result<(), CmdError> {
     let records: Vec<Protein> = db
         .iter()
         .map(|(id, p)| Protein::new(header(id), p.sequence()))
@@ -199,7 +205,11 @@ fn cluster_db<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         2 => GroupingCriterion::Normalized {
             d_prime: args.get_parsed("d-prime", 0.86f64)?,
         },
-        other => return Err(Box::new(ArgError(format!("--criterion must be 1 or 2, got {other}")))),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "--criterion must be 1 or 2, got {other}"
+            ))))
+        }
     };
     let params = GroupingParams {
         criterion,
@@ -213,7 +223,12 @@ fn cluster_db<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         .iter_groups()
         .enumerate()
         .flat_map(|(gi, group)| group.iter().map(move |&pid| (gi, pid)))
-        .map(|(gi, pid)| Protein::new(format!("group{:06}|pep{:07}", gi, pid), db.get(pid).sequence()))
+        .map(|(gi, pid)| {
+            Protein::new(
+                format!("group{:06}|pep{:07}", gi, pid),
+                db.get(pid).sequence(),
+            )
+        })
         .collect();
     write_fasta_path(output, &records)?;
     writeln!(
@@ -285,7 +300,10 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     let index = read_index_path(index_path)?;
     let queries = read_queries(queries_path)?;
     let pre = PreprocessParams::default();
-    let queries: Vec<Spectrum> = queries.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+    let queries: Vec<Spectrum> = queries
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
 
     // The index's own top_k is fixed at build time; the CLI flag clamps
     // the emitted rows.
@@ -339,7 +357,10 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     let db = read_peptide_fasta(db_path)?;
     let queries = read_queries(queries_path)?;
     let pre = PreprocessParams::default();
-    let queries: Vec<Spectrum> = queries.iter().map(|s| preprocess_spectrum(s, &pre)).collect();
+    let queries: Vec<Spectrum> = queries
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
 
     let grouping = group_peptides(
         &db,
@@ -491,9 +512,23 @@ mod tests {
     fn bad_policy_rejected() {
         let d = tmpdir("badpol");
         let p = |n: &str| d.join(n).to_string_lossy().to_string();
-        run(&format!("synth-proteome --out {} --proteins 5", p("p.fasta"))).unwrap();
-        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
-        run(&format!("synth-queries --db {} --out {} --n 2", p("pep.fasta"), p("q.ms2"))).unwrap();
+        run(&format!(
+            "synth-proteome --out {} --proteins 5",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 2",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
         let err = run(&format!(
             "simulate --db {} --queries {} --policy zigzag",
             p("pep.fasta"),
@@ -506,15 +541,29 @@ mod tests {
     fn mzml_query_path() {
         let d = tmpdir("mzml");
         let p = |n: &str| d.join(n).to_string_lossy().to_string();
-        run(&format!("synth-proteome --out {} --proteins 8", p("p.fasta"))).unwrap();
-        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
+        run(&format!(
+            "synth-proteome --out {} --proteins 8",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
         run(&format!(
             "synth-queries --db {} --out {} --n 5 --format mzml",
             p("pep.fasta"),
             p("q.mzML")
         ))
         .unwrap();
-        run(&format!("index --db {} --out {}", p("pep.fasta"), p("i.slm"))).unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.slm")
+        ))
+        .unwrap();
         let msg = run(&format!(
             "search --index {} --queries {} --out {}",
             p("i.slm"),
@@ -532,11 +581,118 @@ mod tests {
     }
 
     #[test]
+    fn cluster_db_criterion_variants() {
+        let d = tmpdir("criterion");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 10 --seed 5",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        // Criterion 1 (absolute edit distance) with an explicit d.
+        let msg = run(&format!(
+            "cluster-db --in {} --out {} --criterion 1 --d 3",
+            p("pep.fasta"),
+            p("c1.fasta")
+        ))
+        .unwrap();
+        assert!(msg.contains("groups"));
+        // Criterion 3 does not exist.
+        let err = run(&format!(
+            "cluster-db --in {} --out {} --criterion 3",
+            p("pep.fasta"),
+            p("c3.fasta")
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--criterion must be 1 or 2"));
+    }
+
+    #[test]
+    fn mgf_query_path() {
+        let d = tmpdir("mgf");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 8 --seed 2",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 4",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        // Convert to MGF so `search` exercises its extension dispatch.
+        let spectra = lbe_spectra::ms2::read_ms2_path(p("q.ms2")).unwrap();
+        let f = std::fs::File::create(p("q.mgf")).unwrap();
+        lbe_spectra::mgf::write_mgf(f, &spectra).unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.slm")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.slm"),
+            p("q.mgf"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("searched 4 spectra"));
+    }
+
+    #[test]
+    fn bad_mods_message_lists_choices() {
+        let d = tmpdir("badmods");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 5",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        let err = run(&format!(
+            "index --db {} --out {} --mods sumo",
+            p("pep.fasta"),
+            p("i.slm")
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("none|oxidation|paper"));
+    }
+
+    #[test]
     fn mods_variants_accepted() {
         let d = tmpdir("mods");
         let p = |n: &str| d.join(n).to_string_lossy().to_string();
-        run(&format!("synth-proteome --out {} --proteins 5", p("p.fasta"))).unwrap();
-        run(&format!("digest --in {} --out {}", p("p.fasta"), p("pep.fasta"))).unwrap();
+        run(&format!(
+            "synth-proteome --out {} --proteins 5",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
         for mods in ["none", "oxidation", "paper"] {
             run(&format!(
                 "index --db {} --out {} --mods {mods}",

@@ -32,6 +32,8 @@
 //! assert!(report.top1_accuracy() > 0.5);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use lbe_bio as bio;
 pub use lbe_cluster as cluster;
 pub use lbe_core as core;

@@ -99,14 +99,16 @@ fn repeated_runs_on_same_cluster_are_independent() {
     });
     let b = cluster.run(|c| c.now());
     assert!(a.results.iter().all(|&t| t == 1.0));
-    assert!(b.results.iter().all(|&t| t == 0.0), "clocks must reset per run");
+    assert!(
+        b.results.iter().all(|&t| t == 0.0),
+        "clocks must reset per run"
+    );
 }
 
 #[test]
 fn large_rank_counts() {
-    let out = Cluster::new(ClusterConfig::new(32)).run(|comm| {
-        comm.all_reduce(1u64, |a, b| a + b, 8)
-    });
+    let out =
+        Cluster::new(ClusterConfig::new(32)).run(|comm| comm.all_reduce(1u64, |a, b| a + b, 8));
     assert!(out.results.iter().all(|&r| r == 32));
 }
 

@@ -32,7 +32,11 @@ fn results_invariant_across_policies_and_ranks() {
     // truncation legitimately keeps different equal-scored candidates.
     let mut base = PipelineBuilder::small_demo();
     base.engine.slm.top_k = usize::MAX;
-    let reference = base.clone().with_policy(PartitionPolicy::Cyclic).with_ranks(1).run(7);
+    let reference = base
+        .clone()
+        .with_policy(PartitionPolicy::Cyclic)
+        .with_ranks(1)
+        .run(7);
     for policy in [
         PartitionPolicy::Chunk,
         PartitionPolicy::Cyclic,
@@ -45,7 +49,13 @@ fn results_invariant_across_policies_and_ranks() {
                 run.search.total_candidates, reference.search.total_candidates,
                 "{policy} at {ranks} ranks changed the candidate count"
             );
-            for (qi, (a, b)) in reference.search.psms.iter().zip(&run.search.psms).enumerate() {
+            for (qi, (a, b)) in reference
+                .search
+                .psms
+                .iter()
+                .zip(&run.search.psms)
+                .enumerate()
+            {
                 let mut pa: Vec<(u32, u16)> =
                     a.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
                 let mut pb: Vec<(u32, u16)> =
@@ -89,10 +99,17 @@ fn distributed_engine_agrees_with_local_searcher() {
 
     for (qi, q) in queries.iter().enumerate() {
         let local = searcher.search(q);
-        let mut la: Vec<(u32, u16)> = local.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut la: Vec<(u32, u16)> = local
+            .psms
+            .iter()
+            .map(|p| (p.peptide, p.shared_peaks))
+            .collect();
         // 1-rank cyclic partition preserves grouped order, not db order, so
         // compare as sets of (peptide, shared).
-        let mut da: Vec<(u32, u16)> = dist.psms[qi].iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut da: Vec<(u32, u16)> = dist.psms[qi]
+            .iter()
+            .map(|p| (p.peptide, p.shared_peaks))
+            .collect();
         la.sort_unstable();
         da.sort_unstable();
         assert_eq!(la, da, "query {qi}");
@@ -129,7 +146,10 @@ fn chunked_index_agrees_with_distributed_candidates() {
     for (qi, q) in queries.iter().enumerate() {
         let c = chunked.search(q);
         let mut ca: Vec<(u32, u16)> = c.psms.iter().map(|p| (p.peptide, p.shared_peaks)).collect();
-        let mut da: Vec<(u32, u16)> = dist.psms[qi].iter().map(|p| (p.peptide, p.shared_peaks)).collect();
+        let mut da: Vec<(u32, u16)> = dist.psms[qi]
+            .iter()
+            .map(|p| (p.peptide, p.shared_peaks))
+            .collect();
         ca.sort_unstable();
         da.sort_unstable();
         assert_eq!(ca, da, "query {qi}");

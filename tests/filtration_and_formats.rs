@@ -61,7 +61,11 @@ fn tag_filter_reduces_space_but_keeps_most_truths() {
     }
     // Tags are noise-sensitive; require substantial-but-not-perfect recall
     // and a real reduction versus scoring everything.
-    assert!(kept >= queries.len() * 7 / 10, "kept only {kept}/{}", queries.len());
+    assert!(
+        kept >= queries.len() * 7 / 10,
+        "kept only {kept}/{}",
+        queries.len()
+    );
     assert!(
         total_candidates < (db.len() * queries.len()) as u64 / 2,
         "tag filter did not reduce the space"
@@ -129,5 +133,9 @@ fn parallel_search_matches_sequential_on_pipeline_workload() {
         .zip(&truth)
         .filter(|(r, &t)| r.psms.first().map(|p| p.peptide) == Some(t))
         .count();
-    assert!(top1 >= queries.len() * 8 / 10, "top1 {top1}/{}", queries.len());
+    assert!(
+        top1 >= queries.len() * 8 / 10,
+        "top1 {top1}/{}",
+        queries.len()
+    );
 }

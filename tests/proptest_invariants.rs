@@ -1,6 +1,6 @@
 //! Property-based tests over the workspace's core invariants (proptest).
 
-use lbe::bio::aa::{peptide_neutral_mass, precursor_mz, neutral_mass_from_mz};
+use lbe::bio::aa::{neutral_mass_from_mz, peptide_neutral_mass, precursor_mz};
 use lbe::bio::digest::{cleavage_sites, digest_protein, DigestParams, Enzyme};
 use lbe::bio::fasta::{read_fasta, write_fasta, Protein};
 use lbe::bio::mods::{enumerate_modforms, ModSpec};
@@ -28,7 +28,10 @@ fn peptide_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
 
 /// Strategy: arbitrary (possibly non-standard) ASCII letter sequences.
 fn letters(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop::sample::select(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ".to_vec()), 0..=max_len)
+    prop::collection::vec(
+        prop::sample::select(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ".to_vec()),
+        0..=max_len,
+    )
 }
 
 proptest! {

@@ -1,0 +1,344 @@
+//! Offline shim of the [`criterion` 0.5](https://docs.rs/criterion/0.5) API
+//! surface used by this workspace's benches.
+//!
+//! Unlike the statistical harness in the real crate, this shim is a small,
+//! honest wall-clock timer: each benchmark warms up briefly, then runs
+//! batches of iterations until a fixed time budget is spent, and prints the
+//! mean time per iteration. That keeps `cargo bench` functional (and fast)
+//! in an offline environment while preserving source compatibility — swap
+//! the workspace pin back to crates.io `criterion = "0.5"` for publication-
+//! quality measurements.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget of the shim harness (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warm-up budget.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Requested sample count. The shim uses it only to cap iteration counts.
+    sample_size: usize,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// True when invoked in test mode (`--test`): run each benchmark once.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target sample count (API compatibility; the shim treats it
+    /// as an upper bound on iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments: a positional substring filter, and
+    /// `--test`/`--quick` to run each benchmark once. Unknown flags that the
+    /// real harness accepts (`--bench`, `--save-baseline`, …) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "--quick" => self.test_mode = true,
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.render(None), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, full_name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            max_iters: if self.test_mode {
+                1
+            } else {
+                sample_size as u64 * 100
+            },
+            measure_budget: if self.test_mode {
+                Duration::ZERO
+            } else {
+                MEASURE_BUDGET
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("{full_name:<50} (no iterations)");
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!(
+            "{full_name:<50} time: {:>12} ({} iterations)",
+            format_ns(per_iter),
+            bencher.iters
+        );
+    }
+
+    /// No-op, for drop-in compatibility with `criterion_main!` expansions.
+    pub fn final_summary(&self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.render(None));
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render(None));
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, _group: Option<&str>) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    max_iters: u64,
+    measure_budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, discarding a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= WARMUP_BUDGET || self.measure_budget.is_zero() {
+                break;
+            }
+        }
+        if self.measure_budget.is_zero() {
+            // Test mode: the warm-up call above already exercised the routine.
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Measurement: batches of geometrically growing size.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while self.iters < self.max_iters && start.elapsed() < self.measure_budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(self.max_iters - self.iters).max(1);
+        }
+    }
+}
+
+/// Defines a function that runs a list of benchmark targets.
+///
+/// Supports both the simple form `criterion_group!(benches, f, g)` and the
+/// configured form
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` to run one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut ran = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 32).render(None), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").render(None), "x");
+        assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.00 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.00 ms");
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline shim of the [`crossbeam-channel`
+//! 0.5](https://docs.rs/crossbeam-channel/0.5) API surface used by this
+//! workspace.
+//!
+//! The subset this workspace needs — [`unbounded`], clonable [`Sender`],
+//! [`Receiver::recv_timeout`] with [`RecvTimeoutError`] — is exactly the
+//! API of [`std::sync::mpsc`], so this crate is a thin re-export. The one
+//! behavioral difference (std's `Receiver` is `!Sync`) does not matter
+//! here: each cluster rank owns its receiver exclusively.
+
+#![deny(missing_docs)]
+
+pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+/// Creates an unbounded channel (`std::sync::mpsc::channel`).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 5);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<_> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The `any::<T>()` strategy for types with a canonical full-domain
+//! distribution.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: the workspace's uses never want NaN/inf.
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Generates any value of `T` (uniform over the type's domain for integers
+/// and `bool`; finite values for floats).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let strat = any::<bool>();
+        let mut rng = TestRng::from_seed(8);
+        let trues = (0..100).filter(|_| strat.new_value(&mut rng)).count();
+        assert!(trues > 20 && trues < 80, "{trues} trues out of 100");
+    }
+
+    #[test]
+    fn any_u8_spans_domain() {
+        let strat = any::<u8>();
+        let mut rng = TestRng::from_seed(6);
+        let mut seen = [false; 256];
+        for _ in 0..5000 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 200);
+    }
+}

@@ -1,0 +1,44 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly among a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Generates values drawn uniformly from `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_from_options() {
+        let strat = select(vec![2u8, 4, 6]);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            assert!([2, 4, 6].contains(&strat.new_value(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_options_rejected() {
+        select(Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,184 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes into strategies. This shim supports
+//! the subset the workspace's tests use: a sequence of atoms, where an atom
+//! is a literal character or a character class `[...]` (with `a-z` ranges
+//! and literal members, `-` allowed last), optionally followed by a bounded
+//! quantifier `{m}`, `{m,n}`, `?`, `+`, or `*` (`+`/`*` are capped at 8
+//! repetitions). Unsupported syntax panics with a clear message.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters.
+    chars: Vec<char>,
+    /// Repetition bounds, inclusive.
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidates = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                vec![esc]
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?} (shim supports classes and literals only)")
+            }
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in regex {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                break;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let start = pending.take().expect("checked above");
+                let end = chars.next().expect("peeked");
+                assert!(
+                    start <= end,
+                    "reversed range {start}-{end} in regex {pattern:?}"
+                );
+                members.extend(start..=end);
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+                ) {
+                    members.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+    assert!(
+        !members.is_empty(),
+        "empty character class in regex {pattern:?}"
+    );
+    members
+}
+
+fn parse_quantifier(
+    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let parts: Vec<&str> = body.split(',').collect();
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in regex {pattern:?}"))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_n(n);
+                    (n, n)
+                }
+                [m, n] => (parse_n(m), parse_n(n)),
+                _ => panic!("bad quantifier {{{body}}} in regex {pattern:?}"),
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = generate(r"[a-zA-Z0-9 |_.-]{1,30}", &mut rng);
+            assert!((1..=30).contains(&s.len()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " |_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::from_seed(2);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+    }
+
+    #[test]
+    fn optional_and_plus() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let s = generate("a?b+", &mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_rejected() {
+        generate("a|b", &mut TestRng::from_seed(1));
+    }
+}

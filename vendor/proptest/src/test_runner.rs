@@ -1,0 +1,151 @@
+//! Test-runner plumbing: configuration, RNG, and case outcomes.
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+    /// A `prop_assert!` failed, with its rendered message.
+    Fail(String),
+}
+
+/// The deterministic RNG driving value generation (xoshiro256\*\*).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+    seed: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test. The seed is derived from the test
+    /// name (FNV-1a), or taken from the `PROPTEST_SEED` environment variable
+    /// when set — the failure message prints it for reproduction.
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => parse_seed(&s).unwrap_or_else(|| fnv1a(name.as_bytes())),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        Self::from_seed(seed)
+    }
+
+    /// Creates the RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+            seed,
+        }
+    }
+
+    /// The seed this RNG was created with (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [ref mut s0, ref mut s1, ref mut s2, ref mut s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
+        result
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`. Uses 24 bits so the value stays strictly
+    /// below 1 after the cast (casting a 53-bit `f64` unit to `f32` can
+    /// round up to exactly 1.0).
+    pub fn unit_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("some_test");
+        let mut b = TestRng::for_test("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other_test");
+        assert_ne!(TestRng::for_test("some_test").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn parse_seed_forms() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("bogus"), None);
+    }
+}

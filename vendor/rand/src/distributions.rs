@@ -1,0 +1,124 @@
+//! Distribution sampling (`Distribution`, `WeightedIndex`).
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "a weight is negative or not finite"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of `n` weights.
+///
+/// Sampling is O(log n) by binary search over the cumulative weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex<X> {
+    cumulative: Vec<X>,
+}
+
+impl WeightedIndex<f64> {
+    /// Builds the sampler from an iterator of non-negative finite weights.
+    pub fn new<'a, I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator<Item = &'a f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = unit_f64(rng.next_u64()) * total;
+        // First index whose cumulative weight exceeds x. `partition_point`
+        // handles zero-weight entries (their cumulative equals the previous
+        // entry's, so they can never be selected).
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(WeightedIndex::new([].iter()), Err(WeightedError::NoItem));
+        assert_eq!(
+            WeightedIndex::new([1.0, -1.0].iter()),
+            Err(WeightedError::InvalidWeight)
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0].iter()),
+            Err(WeightedError::AllWeightsZero)
+        );
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let dist = WeightedIndex::new([0.0, 1.0, 0.0, 3.0].iter()).unwrap();
+        let mut rng = Lcg(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1], "weight 3 should beat weight 1");
+    }
+}
