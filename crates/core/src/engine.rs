@@ -141,9 +141,11 @@ pub struct EngineConfig {
     /// Serial-phase cost model.
     pub serial: SerialCostModel,
     /// Intra-rank threads (the paper's §VIII *hybrid OpenMP+MPI* direction):
-    /// each rank splits its query batch round-robin across this many
-    /// shared-memory threads; the rank's query time is the slowest thread's.
-    /// 1 = the paper's flat-MPI configuration.
+    /// each rank dispatches its query batch through the shared
+    /// work-stealing pool across this many threads (and builds its partial
+    /// index with them); the rank's virtual query time is its slowest
+    /// thread's under greedy least-loaded assignment. 1 = the paper's
+    /// flat-MPI configuration.
     pub threads_per_rank: usize,
     /// Relative speed of each rank (1.0 = nominal), for **heterogeneous**
     /// clusters (§VIII). Compute on rank `m` takes `work / rank_speeds[m]`
@@ -329,9 +331,13 @@ fn rank_program(
 
     // 3. Build the partial SLM index (and the mapping table on the master —
     //    its cost is one pass over N ids, folded into extraction above).
+    //    Hybrid mode builds with its intra-rank threads too (the two-pass
+    //    CSR build is embarrassingly parallel per peptide range); the
+    //    virtual clock still charges the cost model's per-ion total, since
+    //    the figures time the flat-MPI build.
     let t_build0 = comm.now();
     let mut builder = IndexBuilder::new(cfg.slm.clone(), cfg.modspec.clone());
-    let index = builder.build(&local_db);
+    let index = builder.build_parallel(&local_db, cfg.threads_per_rank);
     comm.compute(cfg.cost.build_seconds(index.num_ions()) / speed);
     let build_time = comm.now() - t_build0;
 
@@ -344,22 +350,31 @@ fn rank_program(
     comm.barrier();
 
     // 5. Search every query against the partial index. With
-    //    `threads_per_rank > 1` (hybrid mode), queries are dealt round-robin
-    //    to shared-memory threads; the rank finishes with its slowest
-    //    thread. Multicore nodes are symmetrical, so this simple static
-    //    split is already near-balanced (§VIII).
+    //    `threads_per_rank > 1` (hybrid mode, the paper's §VIII hybrid
+    //    OpenMP+MPI direction), the batch is dispatched through the real
+    //    work-stealing pool — actual OS threads do the searching, and
+    //    results stay bit-identical to the sequential path. The *virtual
+    //    clock* stays cost-model-driven (the cluster sim never reads wall
+    //    clocks): per-query costs are assigned greedily to the
+    //    least-loaded virtual thread, which is what dynamic block
+    //    scheduling converges to, and the rank finishes with its slowest
+    //    thread.
     let t_q0 = comm.now();
     let threads = cfg.threads_per_rank;
+    let (results, totals) = if threads > 1 {
+        lbe_index::search_batch_parallel(&index, queries, threads)
+    } else {
+        Searcher::new(&index).search_batch(queries)
+    };
     let mut thread_times = vec![0.0f64; threads];
-    let mut searcher = Searcher::new(&index);
-    let mut totals = QueryStats::default();
-    let mut local_psms: Vec<Vec<Psm>> = Vec::with_capacity(queries.len());
-    for (qi, q) in queries.iter().enumerate() {
-        let r = searcher.search(q);
-        thread_times[qi % threads] += cfg.cost.query_seconds(&r.stats) / speed;
-        totals.accumulate(&r.stats);
-        local_psms.push(r.psms);
+    for r in &results {
+        let slot = thread_times
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+            .expect("threads >= 1");
+        *slot += cfg.cost.query_seconds(&r.stats) / speed;
     }
+    let local_psms: Vec<Vec<Psm>> = results.into_iter().map(|r| r.psms).collect();
     comm.compute(thread_times.iter().copied().fold(0.0, f64::max));
     let query_time = comm.now() - t_q0;
 
@@ -622,6 +637,19 @@ mod tests {
         assert!(r_hyb.query_time() < r_flat.query_time());
         // With 12 queries over 4 threads the split is near-perfect: ≥2x.
         assert!(r_flat.query_time() / r_hyb.query_time() >= 2.0);
+    }
+
+    #[test]
+    fn hybrid_real_pool_results_bit_identical_to_flat() {
+        let flat = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        let mut hybrid = flat.clone();
+        hybrid.threads_per_rank = 3;
+        let r_flat = run_with_cfg(&flat, 2);
+        let r_hyb = run_with_cfg(&hybrid, 2);
+        // The real pool must never change what is found — per-query PSMs
+        // (ids, scores, ranks) identical to the sequential per-rank path.
+        assert_eq!(r_flat.psms, r_hyb.psms);
+        assert_eq!(r_flat.per_rank_stats, r_hyb.per_rank_stats);
     }
 
     #[test]

@@ -105,7 +105,39 @@ impl ChunkedIndex {
 
     /// Searches one query across the relevant chunks, translating PSM
     /// peptide ids back to the input database's ids.
+    ///
+    /// Allocates fresh per-chunk scratch; batch callers should prefer
+    /// [`ChunkedIndex::search_batch`], which reuses it across queries.
     pub fn search(&self, query: &Spectrum) -> SearchResult {
+        let mut searchers = self.empty_searchers();
+        self.search_with(&mut searchers, query)
+    }
+
+    /// Searches a batch of queries, reusing one lazily created [`Searcher`]
+    /// (O(chunk) scratch state) per touched chunk across the whole batch
+    /// instead of reallocating it for every chunk of every query.
+    ///
+    /// Results are identical to calling [`ChunkedIndex::search`] per query.
+    pub fn search_batch(&self, queries: &[Spectrum]) -> Vec<SearchResult> {
+        let mut searchers = self.empty_searchers();
+        queries
+            .iter()
+            .map(|q| self.search_with(&mut searchers, q))
+            .collect()
+    }
+
+    /// One not-yet-allocated searcher slot per chunk.
+    fn empty_searchers(&self) -> Vec<Option<Searcher<'_>>> {
+        (0..self.chunks.len()).map(|_| None).collect()
+    }
+
+    /// The search body: chunk selection, per-chunk shared-peak search with
+    /// memoized scratch, id translation, merge.
+    fn search_with<'a>(
+        &'a self,
+        searchers: &mut [Option<Searcher<'a>>],
+        query: &Spectrum,
+    ) -> SearchResult {
         let tol = self
             .chunks
             .first()
@@ -115,7 +147,7 @@ impl ChunkedIndex {
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
         for ci in self.chunks_for_query(query.precursor_neutral_mass(), tol) {
-            let mut s = Searcher::new(&self.chunks[ci]);
+            let s = searchers[ci].get_or_insert_with(|| Searcher::new(&self.chunks[ci]));
             let r = s.search(query);
             stats.accumulate(&r.stats);
             for mut p in r.psms {
@@ -282,5 +314,34 @@ mod tests {
     fn heap_bytes_positive() {
         let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
         assert!(c.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_search_equals_per_query_search() {
+        // The batch entry point reuses per-chunk scratch across queries;
+        // scratch reuse must be invisible in the results.
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let queries: Vec<Spectrum> = [
+            &b"PEPTIDEK"[..],
+            b"ELVISLIVESK",
+            b"PEPTIDEK",
+            b"GGGGGK",
+            b"SAMPLERK",
+            b"WWWWWWK",
+        ]
+        .iter()
+        .map(|s| perfect_query(s))
+        .collect();
+        let batch = c.search_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            assert_eq!(&c.search(q), r);
+        }
+    }
+
+    #[test]
+    fn batch_search_empty() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        assert!(c.search_batch(&[]).is_empty());
     }
 }

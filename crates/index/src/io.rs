@@ -64,12 +64,39 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Cap on bytes preallocated per array before any of its elements have been
+/// read. Counts come from the (untrusted) header: a corrupt or malicious
+/// file claiming 10^12 entries must fail on its first short read, not OOM
+/// the process in `Vec::with_capacity`. Legitimate arrays larger than the
+/// cap grow geometrically while reading, which is amortized-free.
+const MAX_PREALLOC_BYTES: usize = 1 << 20;
+
+/// A capacity bounded by [`MAX_PREALLOC_BYTES`] for `count` elements of
+/// `elem_bytes` each.
+fn bounded_capacity(count: usize, elem_bytes: usize) -> usize {
+    count.min(MAX_PREALLOC_BYTES / elem_bytes.max(1))
+}
+
 /// Serializes an index to a writer.
+///
+/// Fails with [`io::ErrorKind::InvalidInput`] if the configuration cannot
+/// be represented in the format (more than 255 charge states — the header
+/// stores the count in one byte).
 pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
+    // Validate before the first byte goes out: an InvalidInput error must
+    // not leave a magic-only stub behind on disk.
+    let cfg = index.config();
+    if cfg.theo.charges.len() > u8::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "cannot serialize {} charge states (format header holds at most 255)",
+                cfg.theo.charges.len()
+            ),
+        ));
+    }
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
-
-    let cfg = index.config();
     w_f64(&mut w, cfg.resolution)?;
     w_f64(&mut w, cfg.fragment_tolerance)?;
     w_f64(&mut w, cfg.precursor_tolerance)?;
@@ -149,7 +176,10 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
     };
 
     let n_entries = r_u64(&mut r)? as usize;
-    let mut entries = Vec::with_capacity(n_entries);
+    let mut entries = Vec::with_capacity(bounded_capacity(
+        n_entries,
+        std::mem::size_of::<SpectrumEntry>(),
+    ));
     for _ in 0..n_entries {
         entries.push(SpectrumEntry {
             peptide: r_u32(&mut r)?,
@@ -163,7 +193,7 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
     if n_offsets != config.num_bins() + 1 {
         return Err(bad("offset table does not match configuration"));
     }
-    let mut bin_offsets = Vec::with_capacity(n_offsets);
+    let mut bin_offsets = Vec::with_capacity(bounded_capacity(n_offsets, 8));
     for _ in 0..n_offsets {
         bin_offsets.push(r_u64(&mut r)?);
     }
@@ -172,7 +202,7 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
     if *bin_offsets.last().unwrap_or(&0) as usize != n_postings {
         return Err(bad("posting count does not match offsets"));
     }
-    let mut postings = Vec::with_capacity(n_postings);
+    let mut postings = Vec::with_capacity(bounded_capacity(n_postings, 4));
     for _ in 0..n_postings {
         postings.push(r_u32(&mut r)?);
     }
@@ -308,6 +338,80 @@ mod tests {
         let back = read_index(&buf[..]).unwrap();
         assert!(back.is_empty());
         assert_eq!(back, idx);
+    }
+
+    /// Truncates a serialized index right after its entry-count word and
+    /// replaces that count with `claimed`.
+    fn forge_entry_count(claimed: u64) -> Vec<u8> {
+        let idx = sample_index(false);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        // Header: magic(8) + 3×f64 + u16 + f64 + 2×u8 + count u8 + charges
+        // + top_k u64, then the u64 entry count.
+        let ncharges = idx.config().theo.charges.len();
+        let count_pos = 8 + 8 * 3 + 2 + 8 + 2 + 1 + ncharges + 8;
+        buf.truncate(count_pos);
+        buf.extend_from_slice(&claimed.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn forged_huge_entry_count_fails_fast_without_preallocating() {
+        // A corrupt/malicious header claiming 10^12 entries (≈12 TB) must
+        // fail on the first short read; the bounded preallocation keeps the
+        // up-front reservation at ≤ MAX_PREALLOC_BYTES instead of asking
+        // the allocator for terabytes before any entry is read.
+        let buf = forge_entry_count(1_000_000_000_000);
+        let t0 = std::time::Instant::now();
+        let err = read_index(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn forged_moderate_entry_count_still_rejected() {
+        // A count above the cap but below address-space limits exercises
+        // the geometric-growth path: reads still fail at EOF.
+        assert!(read_index(&forge_entry_count(1 << 24)[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_charge_list_rejected_not_truncated() {
+        // 300 charge states cannot round-trip through the one-byte header
+        // count; writing must fail loudly instead of truncating to 300 %
+        // 256 = 44 and corrupting every later read.
+        let cfg = SlmConfig {
+            theo: lbe_spectra::theo::TheoParams {
+                charges: (0..300).map(|c| (c % 250) as u8 + 1).collect(),
+                ..Default::default()
+            },
+            ..SlmConfig::default()
+        };
+        let db = PeptideDb::from_vec(vec![Peptide::new(b"PEPTIDEK", 0, 0).unwrap()]);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&db);
+        let mut buf = Vec::new();
+        let err = write_index(&mut buf, &idx).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("300 charge states"));
+        // Validation happens before the first byte: no magic-only stub is
+        // left behind for a later read to trip over.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn max_charge_list_still_round_trips() {
+        let cfg = SlmConfig {
+            theo: lbe_spectra::theo::TheoParams {
+                charges: (0..255).map(|c| (c % 250) as u8 + 1).collect(),
+                ..Default::default()
+            },
+            ..SlmConfig::default()
+        };
+        let db = PeptideDb::from_vec(vec![Peptide::new(b"PEPTIDEK", 0, 0).unwrap()]);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&db);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        assert_eq!(read_index(&buf[..]).unwrap(), idx);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use chunked::ChunkedIndex;
 pub use config::SlmConfig;
 pub use footprint::MemoryFootprint;
 pub use io::{read_index, read_index_path, write_index, write_index_path};
-pub use parallel::search_batch_parallel;
+pub use parallel::{search_batch_chunked, search_batch_parallel};
 pub use precursor::{PrecursorIndex, PrecursorQueryStats};
 pub use query::{Psm, QueryStats, SearchResult, Searcher};
 pub use seqtag::{extract_tags, TagIndex, TagQueryStats};

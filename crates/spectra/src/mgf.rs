@@ -17,6 +17,11 @@ use lbe_bio::error::BioError;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Reads spectra from an MGF stream.
+///
+/// Blocks with an explicit `SCANS=` keep that id; blocks without one are
+/// auto-assigned ids *after* the whole file is parsed, skipping every
+/// explicit id in the file — mixed files can never collide an auto id with
+/// an explicit one, regardless of which comes first.
 pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
     let reader = BufReader::new(reader);
     let mut out = Vec::new();
@@ -24,9 +29,13 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
     let mut title = String::new();
     let mut pepmass: f64 = 0.0;
     let mut charge: u8 = 1;
-    let mut scan: u32 = 0;
+    // An explicit `SCANS=` id, when the current block has one.
+    let mut explicit_scan: Option<u32> = None;
     let mut peaks: Vec<Peak> = Vec::new();
-    let mut next_scan: u32 = 0;
+    // Indices into `out` of blocks awaiting an auto-assigned id, and the
+    // set of ids taken explicitly somewhere in the file.
+    let mut pending_auto: Vec<usize> = Vec::new();
+    let mut explicit_ids: std::collections::HashSet<u32> = std::collections::HashSet::new();
 
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
@@ -46,8 +55,7 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
             title.clear();
             pepmass = 0.0;
             charge = 1;
-            scan = next_scan;
-            next_scan += 1;
+            explicit_scan = None;
             peaks.clear();
             continue;
         }
@@ -58,7 +66,20 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
                     line: lineno,
                 });
             }
-            let mut s = Spectrum::new(scan, pepmass, charge, std::mem::take(&mut peaks));
+            // Blocks without an explicit SCANS= get their id in the
+            // post-parse pass below, once every explicit id is known.
+            match explicit_scan {
+                Some(id) => {
+                    explicit_ids.insert(id);
+                }
+                None => pending_auto.push(out.len()),
+            }
+            let mut s = Spectrum::new(
+                explicit_scan.unwrap_or(0),
+                pepmass,
+                charge,
+                std::mem::take(&mut peaks),
+            );
             s.title = std::mem::take(&mut title);
             out.push(s);
             in_ions = false;
@@ -85,17 +106,32 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
                     })?;
                 }
                 "CHARGE" => {
-                    let v = value.trim().trim_end_matches(['+', '-']);
+                    let v = value.trim();
+                    // `2-` (or `-2`) is negative polarity, not charge 2:
+                    // Spectrum has no polarity representation, so silently
+                    // flipping the sign would corrupt downstream m/z → mass
+                    // arithmetic. Reject it explicitly.
+                    if v.contains('-') {
+                        return Err(BioError::FastaParse {
+                            msg: format!(
+                                "negative-polarity CHARGE {value:?} is not supported \
+                                 (only positive charge states can be represented)"
+                            ),
+                            line: lineno,
+                        });
+                    }
+                    let v = v.trim_end_matches('+');
                     charge = v.parse().map_err(|_| BioError::FastaParse {
                         msg: format!("bad CHARGE {value:?}"),
                         line: lineno,
                     })?;
                 }
                 "SCANS" => {
-                    scan = value.trim().parse().map_err(|_| BioError::FastaParse {
+                    let scan: u32 = value.trim().parse().map_err(|_| BioError::FastaParse {
                         msg: format!("bad SCANS {value:?}"),
                         line: lineno,
                     })?;
+                    explicit_scan = Some(scan);
                 }
                 _ => {} // RTINSECONDS etc.: ignored
             }
@@ -130,6 +166,24 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
             msg: "unterminated BEGIN IONS".into(),
             line: 0,
         });
+    }
+
+    // Post-parse pass: hand out auto ids from 0 upward, skipping every
+    // explicit id anywhere in the file (earlier *or later* than the auto
+    // block).
+    let mut next: u64 = 0;
+    for i in pending_auto {
+        while next <= u64::from(u32::MAX) && explicit_ids.contains(&(next as u32)) {
+            next += 1;
+        }
+        if next > u64::from(u32::MAX) {
+            return Err(BioError::FastaParse {
+                msg: "scan id space exhausted while auto-numbering".into(),
+                line: 0,
+            });
+        }
+        out[i].scan = next as u32;
+        next += 1;
     }
     Ok(out)
 }
@@ -229,5 +283,55 @@ mod tests {
         let input = "BEGIN IONS\nPEPMASS=1\nEND IONS\nBEGIN IONS\nPEPMASS=2\nEND IONS\n";
         let s = read_mgf(input.as_bytes()).unwrap();
         assert_eq!((s[0].scan, s[1].scan), (0, 1));
+    }
+
+    #[test]
+    fn mixed_explicit_and_auto_ids_never_collide() {
+        // Mixed file: explicit ids 7 and 2; the auto-numbered blocks take
+        // the lowest free ids (the old parser handed out ids from a counter
+        // SCANS= never touched, colliding with explicit ids).
+        let input = "BEGIN IONS\nPEPMASS=1\nSCANS=7\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=2\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=3\nSCANS=2\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=4\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        let scans: Vec<u32> = s.iter().map(|x| x.scan).collect();
+        assert_eq!(scans, vec![7, 0, 2, 1]);
+        let mut dedup = scans.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), scans.len(), "scan ids must be unique");
+    }
+
+    #[test]
+    fn auto_block_before_explicit_zero_does_not_collide() {
+        // The explicit id arrives *after* the auto block — auto assignment
+        // must still avoid it (it happens in a post-parse pass).
+        let input = "BEGIN IONS\nPEPMASS=1\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=2\nSCANS=0\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        assert_eq!((s[0].scan, s[1].scan), (1, 0));
+    }
+
+    #[test]
+    fn auto_ids_not_wasted_on_explicit_blocks() {
+        // An explicit low id does not burn an auto id: autos fill the
+        // lowest ids not taken explicitly.
+        let input = "BEGIN IONS\nPEPMASS=1\nSCANS=0\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=2\nEND IONS\n";
+        let s = read_mgf(input.as_bytes()).unwrap();
+        assert_eq!((s[0].scan, s[1].scan), (0, 1));
+    }
+
+    #[test]
+    fn negative_polarity_charge_rejected() {
+        for text in ["2-", "-2", "1-"] {
+            let input = format!("BEGIN IONS\nPEPMASS=400\nCHARGE={text}\n100 1\nEND IONS\n");
+            let err = read_mgf(input.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains("negative-polarity"),
+                "{text}: {err}"
+            );
+        }
     }
 }

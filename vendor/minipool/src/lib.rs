@@ -1,0 +1,621 @@
+//! Offline shim of the [`rayon` 1.x](https://docs.rs/rayon/1) core API
+//! surface used by this workspace: a **work-stealing thread pool** with
+//! scoped task spawning.
+//!
+//! Implemented subset, signature-compatible with the real crate so the
+//! workspace pin can be swapped back to crates.io `rayon`:
+//!
+//! * [`scope`] / [`Scope::spawn`] — structured fork-join on a lazily
+//!   created global pool;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — explicitly sized pools with
+//!   [`ThreadPool::scope`] and [`ThreadPool::install`];
+//! * [`join`] — two-way fork-join;
+//! * [`current_num_threads`].
+//!
+//! Scheduling is genuine work stealing: every worker owns a deque (newest
+//! spawns run first locally — LIFO), steals the *oldest* task from a victim
+//! when its own deque runs dry (FIFO steals, the classic Cilk/rayon
+//! discipline that moves the largest unstarted subtrees), and parks on a
+//! condvar when the whole pool is dry. Tasks spawned from outside the pool
+//! enter a shared injector queue. A thread blocked in [`scope`] does not
+//! sleep: it *helps*, executing pending tasks until its scope drains, so
+//! nested scopes cannot deadlock and a 1-thread pool still makes progress.
+//!
+//! Differences from the real crate, by design: no parallel iterators (the
+//! workspace's parallel-for loops are expressed with `scope`/`spawn` over
+//! blocks, which rayon also accepts verbatim), and [`ThreadPool::install`]
+//! runs its closure on the calling thread rather than migrating it into the
+//! pool (observable only through thread-local state, which this workspace
+//! does not use in pool tasks).
+
+#![deny(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A unit of work: an erased, boxed closure run once on any thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, ignoring poisoning: pool state stays consistent because
+/// job panics are caught inside the job wrapper, never while a lock is held.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// `(registry address, worker index)` when the current thread is a pool
+    /// worker — routes spawns from inside tasks to the worker's own deque.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Shared pool state: injector, per-worker deques, and the sleep gate.
+struct Registry {
+    /// Queue for tasks injected from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker; owners pop the back, thieves steal the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Total queued (not yet started) jobs across all queues.
+    queued: AtomicUsize,
+    /// Set once at shutdown; workers exit their loops.
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Registry {
+    fn new(num_threads: usize) -> Arc<Self> {
+        Arc::new(Registry {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Address used to recognise "this" registry from worker TLS.
+    fn addr(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Enqueues a job — onto the current worker's own deque when called
+    /// from inside this pool, onto the injector otherwise — and wakes a
+    /// sleeper.
+    fn push(self: &Arc<Self>, job: Job) {
+        let local = WORKER.with(|w| match w.get() {
+            Some((addr, idx)) if addr == self.addr() => Some(idx),
+            _ => None,
+        });
+        match local {
+            Some(idx) => lock(&self.deques[idx]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        // One job, one wakeup: a woken worker drains jobs until the pool is
+        // dry before re-parking, and the park path re-checks `queued` under
+        // the gate, so notify_one cannot lose a wakeup. notify_all is
+        // reserved for shutdown.
+        let _gate = lock(&self.sleep);
+        self.wake.notify_one();
+    }
+
+    /// Takes one job: own deque back (when a worker), then injector front,
+    /// then steal the front of another deque. Returns `None` when every
+    /// queue is dry.
+    fn pop(&self, me: Option<usize>) -> Option<Job> {
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Some(idx) = me {
+            if let Some(job) = lock(&self.deques[idx]).pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map(|i| i + 1).unwrap_or(0);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = lock(&self.deques[victim]).pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The worker main loop for worker `idx`.
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        WORKER.with(|w| w.set(Some((self.addr(), idx))));
+        loop {
+            if let Some(job) = self.pop(Some(idx)) {
+                job();
+                continue;
+            }
+            let gate = lock(&self.sleep);
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.queued.load(Ordering::SeqCst) > 0 {
+                continue; // work arrived between pop and park
+            }
+            // Any push bumps `queued` and signals `wake` under `sleep`, so
+            // this cannot miss a wakeup.
+            drop(self.wake.wait(gate));
+        }
+    }
+}
+
+/// Outstanding-task latch and panic slot of one [`scope`] invocation.
+struct ScopeLatch {
+    registry: Arc<Registry>,
+    /// Tasks spawned but not yet finished.
+    outstanding: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload from any task of this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeLatch {
+    fn new(registry: Arc<Registry>) -> Arc<Self> {
+        Arc::new(ScopeLatch {
+            registry,
+            outstanding: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = lock(&self.panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Blocks until every task of this scope has finished, executing
+    /// pending pool tasks (this scope's or any other's) while waiting.
+    fn wait_helping(&self) {
+        let me = WORKER.with(|w| match w.get() {
+            Some((addr, idx)) if addr == Arc::as_ptr(&self.registry) as usize => Some(idx),
+            _ => None,
+        });
+        loop {
+            if *lock(&self.outstanding) == 0 {
+                return;
+            }
+            if let Some(job) = self.registry.pop(me) {
+                job();
+                continue;
+            }
+            let guard = lock(&self.outstanding);
+            if *guard == 0 {
+                return;
+            }
+            // Re-check the queues shortly even without a completion signal:
+            // a running task may spawn new work without finishing itself.
+            drop(self.done.wait_timeout(guard, Duration::from_micros(200)));
+        }
+    }
+}
+
+/// A scope in which tasks borrowing stack data for `'scope` can be spawned.
+/// Mirrors `rayon::Scope`.
+pub struct Scope<'scope> {
+    latch: Arc<ScopeLatch>,
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task onto the pool. The task may itself spawn onto the same
+    /// scope; the enclosing [`scope`] call returns only after all of them
+    /// finish. Mirrors `rayon::Scope::spawn`.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        {
+            let mut n = lock(&self.latch.outstanding);
+            *n += 1;
+        }
+        let latch = Arc::clone(&self.latch);
+        let wrapper: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                latch: Arc::clone(&latch),
+                marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&scope))) {
+                latch.store_panic(payload);
+            }
+            let mut n = lock(&latch.outstanding);
+            *n -= 1;
+            latch.done.notify_all();
+        });
+        // SAFETY: only the lifetime is erased. `scope()` blocks until
+        // `outstanding` drains back to zero before returning, so everything
+        // the task borrows (with lifetime `'scope`, which encloses the
+        // `scope()` call) strictly outlives the task's execution.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                wrapper,
+            )
+        };
+        self.latch.registry.push(job);
+    }
+}
+
+/// Error building a pool (thread spawn failure). Mirrors
+/// `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]. Mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (worker count = available
+    /// parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means the
+    /// machine's available parallelism.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        let registry = Registry::new(n);
+        let mut handles = Vec::with_capacity(n);
+        for idx in 0..n {
+            let reg = Arc::clone(&registry);
+            match std::thread::Builder::new()
+                .name(format!("minipool-{idx}"))
+                .spawn(move || reg.worker_loop(idx))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Don't leak the workers already parked on the condvar:
+                    // shut the registry down and reap them before failing.
+                    registry.shutdown.store(true, Ordering::SeqCst);
+                    {
+                        let _gate = lock(&registry.sleep);
+                        registry.wake.notify_all();
+                    }
+                    for handle in handles {
+                        drop(handle.join());
+                    }
+                    return Err(ThreadPoolBuildError { msg: e.to_string() });
+                }
+            }
+        }
+        Ok(ThreadPool { registry, handles })
+    }
+}
+
+/// A work-stealing thread pool. Mirrors `rayon::ThreadPool`.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `op` with a [`Scope`] on this pool and waits (helping to
+    /// execute tasks) until every task spawned into the scope finishes.
+    /// Panics from `op` or any task are propagated after the scope drains.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        let latch = ScopeLatch::new(Arc::clone(&self.registry));
+        let scope = Scope {
+            latch: Arc::clone(&latch),
+            marker: PhantomData,
+        };
+        // Even if `op` panics, already-spawned tasks still borrow the
+        // caller's stack: drain them before unwinding.
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        latch.wait_helping();
+        if let Some(payload) = lock(&latch.panic).take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Executes `op` in the context of this pool. The shim runs it on the
+    /// calling thread (see the crate docs for why that is equivalent here).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _gate = lock(&self.registry.sleep);
+            self.registry.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            drop(handle.join());
+        }
+    }
+}
+
+/// The lazily created global pool backing the free functions, sized to the
+/// machine's available parallelism (like rayon's global registry).
+fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build global minipool")
+    })
+}
+
+/// Creates a scope on the global pool. Mirrors `rayon::scope`.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    global().scope(op)
+}
+
+/// Number of threads of the global pool. Mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    global().current_num_threads()
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(oper_b()));
+        oper_a()
+    });
+    (ra, rb.expect("join: spawned closure did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let mut outputs = vec![0usize; 64];
+        scope(|s| {
+            for (i, slot) in outputs.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * i);
+            }
+        });
+        for (i, &v) in outputs.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        scope(|s| {
+            for _ in 0..8 {
+                let hits = Arc::clone(&hits);
+                s.spawn(move |inner| {
+                    for _ in 0..4 {
+                        let hits = Arc::clone(&hits);
+                        inner.spawn(move |_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn dedicated_pool_runs_scope() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let sum = AtomicU64::new(0);
+        let sum_ref = &sum;
+        pool.scope(|s| {
+            for i in 0..1000u64 {
+                s.spawn(move |_| {
+                    sum_ref.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn one_thread_pool_makes_progress() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn skewed_tasks_are_balanced() {
+        // One task sleeps; the other 63 must not wait behind it.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let t0 = std::time::Instant::now();
+        pool.scope(|s| {
+            s.spawn(|_| std::thread::sleep(Duration::from_millis(100)));
+            for _ in 0..63 {
+                s.spawn(|_| std::hint::black_box(()));
+            }
+        });
+        // Makespan ≈ the one heavy task, not 64 × heavy.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let v = scope(|s| {
+            s.spawn(|_| {});
+            42usize
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task boom");
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("first"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool keeps working afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads() {
+        std::thread::scope(|ts| {
+            for t in 0..4 {
+                ts.spawn(move || {
+                    let sum = AtomicUsize::new(0);
+                    let sum_ref = &sum;
+                    scope(|s| {
+                        for i in 0..50 {
+                            s.spawn(move |_| {
+                                sum_ref.fetch_add(i + t, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                    assert_eq!(sum.load(Ordering::SeqCst), (0..50).sum::<usize>() + 50 * t);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn install_runs_closure() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn global_thread_count_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
