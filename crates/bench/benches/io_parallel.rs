@@ -1,11 +1,17 @@
-//! Criterion: index (de)serialization throughput and real multi-threaded
-//! batch-search scaling (the shared-memory level of the hybrid mode).
+//! Criterion: index (de)serialization throughput — the v1 element-streamed
+//! reader versus the v2 single-arena reader on the same index, cold-vs-warm
+//! chunk residency of the disk-backed [`ChunkStore`] — and real
+//! multi-threaded batch-search scaling (the shared-memory level of the
+//! hybrid mode).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbe_bench::build_workload;
 use lbe_bio::mods::ModSpec;
 use lbe_index::parallel::search_batch_parallel;
-use lbe_index::{read_index, write_index, IndexBuilder, SlmConfig};
+use lbe_index::{
+    read_index_bytes, read_index_path_with, read_index_with, write_index, write_index_v1,
+    ChunkStore, ChunkedIndex, IndexBuilder, ReadOptions, SlmConfig,
+};
 
 fn bench_io_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("io_parallel");
@@ -13,8 +19,14 @@ fn bench_io_parallel(c: &mut Criterion) {
 
     let w = build_workload(2_000, ModSpec::none(), 200, 31);
     let index = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&w.db);
+    // A postings-heavy index for the load comparison: with variable mods
+    // the posting array dominates the fixed 4 MB offset table, as in any
+    // production-size partition (the paper's are ~10^8–10^9 ions).
+    let heavy_w = build_workload(8_000, ModSpec::paper_default(), 1, 32);
+    let heavy =
+        IndexBuilder::new(SlmConfig::default(), ModSpec::paper_default()).build(&heavy_w.db);
 
-    group.bench_function("serialize_index", |b| {
+    group.bench_function("serialize_index_v2", |b| {
         b.iter(|| {
             let mut buf = Vec::new();
             write_index(&mut buf, black_box(&index)).unwrap();
@@ -22,10 +34,70 @@ fn bench_io_parallel(c: &mut Criterion) {
         })
     });
 
-    let mut serialized = Vec::new();
-    write_index(&mut serialized, &index).unwrap();
-    group.bench_function("deserialize_index", |b| {
-        b.iter(|| black_box(read_index(&serialized[..]).unwrap().num_ions()))
+    // v1 vs v2 load on the same index. The v1 reader streams elements
+    // (per-element call overhead); the v2 reader does one sequential read
+    // into an aligned arena plus a checksum pass — the acceptance
+    // comparison of the format migration.
+    let mut v1 = Vec::new();
+    write_index_v1(&mut v1, &heavy).unwrap();
+    let mut v2 = Vec::new();
+    write_index(&mut v2, &heavy).unwrap();
+    println!(
+        "  (load corpus: {} spectra, {} ions; v1 {:.1} MB, v2 {:.1} MB)",
+        heavy.num_spectra(),
+        heavy.num_ions(),
+        v1.len() as f64 / 1e6,
+        v2.len() as f64 / 1e6
+    );
+    // Both readers get the same options (cheap validation) so the numbers
+    // isolate deserialization cost; the full O(ions) scan — the default —
+    // would add an identical constant to each side.
+    let trusted = ReadOptions::trusted();
+    group.bench_function("load_v1_element_stream", |b| {
+        b.iter(|| black_box(read_index_with(&v1[..], &trusted).unwrap().num_ions()))
+    });
+    group.bench_function("load_v2_single_arena", |b| {
+        b.iter(|| black_box(read_index_bytes(&v2[..], &trusted).unwrap().num_ions()))
+    });
+
+    // File-backed variants: the v2 path stats the file and issues one
+    // read_exact into the arena.
+    let dir = std::env::temp_dir().join("lbe_bench_io_parallel");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join("bench.slm1");
+    let v2_path = dir.join("bench.slm2");
+    std::fs::write(&v1_path, &v1).unwrap();
+    std::fs::write(&v2_path, &v2).unwrap();
+    group.bench_function("load_v1_file", |b| {
+        b.iter(|| black_box(read_index_path_with(&v1_path, &trusted).unwrap().num_ions()))
+    });
+    group.bench_function("load_v2_file", |b| {
+        b.iter(|| black_box(read_index_path_with(&v2_path, &trusted).unwrap().num_ions()))
+    });
+
+    // Chunk residency: the same chunked container searched with every
+    // chunk resident (warm — chunks fault once, then hit) versus a
+    // one-chunk budget (cold — open-search queries thrash the LRU, paying
+    // a disk fault per chunk per query). The gap is the price of running
+    // below the index's working set, which is what `--max-resident-chunks`
+    // trades memory for.
+    let per_chunk = (w.db.len() / 6).max(1);
+    let chunked = ChunkedIndex::build(&w.db, SlmConfig::default(), ModSpec::none(), per_chunk);
+    let chunk_path = dir.join("bench.lbe");
+    chunked.write_path(&chunk_path).unwrap();
+    println!(
+        "  (residency corpus: {} chunks, container {:.1} MB)",
+        chunked.num_chunks(),
+        std::fs::metadata(&chunk_path).unwrap().len() as f64 / 1e6
+    );
+    let queries = &w.queries[..20.min(w.queries.len())];
+    group.bench_function("chunked_warm_all_resident", |b| {
+        let mut store = ChunkStore::open_path(&chunk_path, usize::MAX).unwrap();
+        b.iter(|| black_box(store.search_batch(black_box(queries)).unwrap().len()))
+    });
+    group.bench_function("chunked_cold_resident1", |b| {
+        let mut store = ChunkStore::open_path(&chunk_path, 1).unwrap();
+        b.iter(|| black_box(store.search_batch(black_box(queries)).unwrap().len()))
     });
 
     for threads in [1usize, 2, 4] {
@@ -42,6 +114,10 @@ fn bench_io_parallel(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&v2_path).ok();
+    std::fs::remove_file(&chunk_path).ok();
 }
 
 criterion_group!(benches, bench_io_parallel);

@@ -1,4 +1,5 @@
-//! Shared-memory chunking (the paper's Fig. 1 scheme).
+//! Shared-memory chunking (the paper's Fig. 1 scheme) with an on-disk
+//! container and lazy chunk residency.
 //!
 //! Within one machine, SLM-style engines sort peptides by precursor mass and
 //! split the index into mass-contiguous chunks so that (for closed searches)
@@ -7,15 +8,98 @@
 //! LBE exists to fix that — but per-node it remains useful, and the paper's
 //! Fig. 3 notes "the data may be further partitioned at each node according
 //! to the scheme shown in Fig. 1". This module implements that per-node
-//! scheme.
+//! scheme, and — via [`ChunkedIndex::write_path`] / [`ChunkStore`] — the
+//! §II-B observation that chunks "may be stored on disks when not in use":
+//! a [`ChunkStore`] holds at most a configured number of chunks resident,
+//! faulting them in from the container on demand and evicting
+//! least-recently-used ones.
+//!
+//! # Container layout (`LBECHK2`)
+//!
+//! A [`crate::format`] container whose sections are the chunk-level
+//! metadata plus one embedded single-index v2 blob per chunk:
+//!
+//! ```text
+//! section      payload
+//! "config"     the shared SlmConfig (same encoding as a v2 index file)
+//! "bounds"     f64×(num_chunks+1) mass boundaries (last = +∞)
+//! "gidoffs"    u64×(num_chunks+1) CSR offsets into "gids"
+//! "gids"       u32×total_peptides local→global peptide id table
+//! "chk00000"…  one complete LBESLM2 container per chunk, 64-byte aligned
+//! ```
+//!
+//! Because each blob is itself a v2 container at an aligned offset, an
+//! eager [`ChunkedIndex::open_path`] reads the whole file once and backs
+//! every chunk with views into one shared arena, while a lazy
+//! [`ChunkStore::open_path`] reads only the header, table, and metadata
+//! sections (a few KB) and leaves the blobs on disk.
 
 use crate::builder::IndexBuilder;
 use crate::config::SlmConfig;
+use crate::format::{
+    section_name, AlignedBuf, FileContainer, ParsedContainer, Section, SectionPlan,
+};
+use crate::io::{self, ReadOptions, MAGIC_CHUNKED, MAGIC_V2};
 use crate::query::{QueryStats, SearchResult, Searcher};
 use crate::slm::SlmIndex;
 use lbe_bio::mods::ModSpec;
 use lbe_bio::peptide::{Peptide, PeptideDb};
 use lbe_spectra::spectrum::Spectrum;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+const SEC_CONFIG: [u8; 8] = section_name("config");
+const SEC_BOUNDS: [u8; 8] = section_name("bounds");
+const SEC_GIDOFFS: [u8; 8] = section_name("gidoffs");
+const SEC_GIDS: [u8; 8] = section_name("gids");
+
+/// Largest chunk count the `chk%05d` section naming supports.
+const MAX_CHUNKS: usize = 100_000;
+
+fn chunk_section_name(i: usize) -> [u8; 8] {
+    assert!(i < MAX_CHUNKS, "chunk count exceeds the section name space");
+    let mut name = *b"chk00000";
+    let digits = format!("{i:05}");
+    name[3..8].copy_from_slice(digits.as_bytes());
+    name
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Chunk indices whose mass range intersects `[mass − tol, mass + tol]`,
+/// ascending. For an open search (infinite `tol`) this is all of them.
+fn chunks_overlapping(boundaries: &[f64], num_chunks: usize, mass: f64, tol: f64) -> Vec<usize> {
+    if tol.is_infinite() {
+        return (0..num_chunks).collect();
+    }
+    let lo = mass - tol;
+    let hi = mass + tol;
+    (0..num_chunks)
+        .filter(|&i| {
+            // chunk i spans (boundaries[i] exclusive-ish, boundaries[i+1]]
+            // — use closed overlap to be conservative at boundaries.
+            boundaries[i] <= hi && lo <= boundaries[i + 1]
+        })
+        .collect()
+}
+
+/// Merge helper shared by the in-memory and disk-backed search paths:
+/// sorts candidate PSMs best-first (deterministic tie-break by global
+/// peptide id) and truncates to `top_k`. Chunk iteration is ascending in
+/// both paths, so the stable sort makes results bit-identical between
+/// them.
+fn finalize_psms(psms: &mut Vec<crate::query::Psm>, top_k: usize) {
+    psms.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.peptide.cmp(&b.peptide))
+    });
+    psms.truncate(top_k);
+}
 
 /// A mass-partitioned sequence of SLM indices.
 ///
@@ -23,7 +107,7 @@ use lbe_spectra::spectrum::Spectrum;
 /// peptide ids are *local to each chunk*, with `global_ids` mapping back to
 /// the input database's ids (the same virtual-index trick LBE uses across
 /// machines).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChunkedIndex {
     chunks: Vec<SlmIndex>,
     /// `chunks.len() + 1` mass boundaries (first = 0, last = +∞).
@@ -81,6 +165,11 @@ impl ChunkedIndex {
         &self.chunks
     }
 
+    /// The `num_chunks + 1` mass boundaries (first = 0, last = +∞).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
     /// Total indexed spectra across chunks.
     pub fn num_spectra(&self) -> usize {
         self.chunks.iter().map(SlmIndex::num_spectra).sum()
@@ -89,18 +178,12 @@ impl ChunkedIndex {
     /// Chunks whose mass range intersects `[query_mass − ΔM, query_mass + ΔM]`.
     /// For an open search this is all of them.
     pub fn chunks_for_query(&self, query_mass: f64, precursor_tolerance: f64) -> Vec<usize> {
-        if precursor_tolerance.is_infinite() {
-            return (0..self.chunks.len()).collect();
-        }
-        let lo = query_mass - precursor_tolerance;
-        let hi = query_mass + precursor_tolerance;
-        (0..self.chunks.len())
-            .filter(|&i| {
-                // chunk i spans (boundaries[i] exclusive-ish, boundaries[i+1]]
-                // — use closed overlap to be conservative at boundaries.
-                self.boundaries[i] <= hi && lo <= self.boundaries[i + 1]
-            })
-            .collect()
+        chunks_overlapping(
+            &self.boundaries,
+            self.chunks.len(),
+            query_mass,
+            precursor_tolerance,
+        )
     }
 
     /// Searches one query across the relevant chunks, translating PSM
@@ -155,13 +238,7 @@ impl ChunkedIndex {
                 psms.push(p);
             }
         }
-        psms.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
-                .then(a.peptide.cmp(&b.peptide))
-        });
-        psms.truncate(top_k);
+        finalize_psms(&mut psms, top_k);
         SearchResult { psms, stats }
     }
 
@@ -174,6 +251,488 @@ impl ChunkedIndex {
                 .iter()
                 .map(|v| v.capacity() * std::mem::size_of::<u32>())
                 .sum::<usize>()
+    }
+
+    /// The configuration shared by every chunk (the default configuration
+    /// for an empty index — an empty index searches nothing either way).
+    fn shared_config(&self) -> SlmConfig {
+        self.chunks
+            .first()
+            .map(|c| c.config().clone())
+            .unwrap_or_default()
+    }
+
+    // -----------------------------------------------------------------------
+    // On-disk container.
+    // -----------------------------------------------------------------------
+
+    /// Writes the chunked container (`LBECHK2`) to `path`.
+    ///
+    /// Deterministic: the same logical index produces the same bytes
+    /// whether its chunks are owned or arena-backed, so
+    /// `write → open → write` round-trips byte-identically.
+    ///
+    /// Fails with [`std::io::ErrorKind::InvalidInput`] — before touching
+    /// the file — if the index has more chunks than the `chk%05d` section
+    /// name space can address.
+    pub fn write_path(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if self.chunks.len() > MAX_CHUNKS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "{} chunks exceed the container's {MAX_CHUNKS}-chunk limit; \
+                     rebuild with a larger chunk size",
+                    self.chunks.len()
+                ),
+            ));
+        }
+        let cfg_bytes = io::config_bytes(&self.shared_config())?;
+        let gid_offs: Vec<u64> = std::iter::once(0u64)
+            .chain(self.global_ids.iter().scan(0u64, |acc, v| {
+                *acc += v.len() as u64;
+                Some(*acc)
+            }))
+            .collect();
+        let gids_flat: Vec<u32> = self.global_ids.iter().flatten().copied().collect();
+
+        let mut plans = vec![
+            SectionPlan {
+                name: SEC_CONFIG,
+                len: cfg_bytes.len() as u64,
+                crc: crate::format::crc32(&cfg_bytes),
+            },
+            SectionPlan {
+                name: SEC_BOUNDS,
+                len: (self.boundaries.len() * 8) as u64,
+                crc: io::plan_section(|s| io::emit_f64s(s, &self.boundaries))?.1,
+            },
+            SectionPlan {
+                name: SEC_GIDOFFS,
+                len: (gid_offs.len() * 8) as u64,
+                crc: io::plan_section(|s| io::emit_u64s(s, &gid_offs))?.1,
+            },
+            SectionPlan {
+                name: SEC_GIDS,
+                len: (gids_flat.len() * 4) as u64,
+                crc: io::plan_section(|s| io::emit_u32s(s, &gids_flat))?.1,
+            },
+        ];
+        // Plan each chunk blob: its four inner sections are checksummed
+        // once (`plan_index_sections`), then the planned container is
+        // streamed once into a checksumming sink for the outer blob CRC —
+        // the emit pass below reuses the cached plans, so each chunk's
+        // arrays are serialized exactly twice (CRC pass + write pass) and
+        // never materialized as a second copy.
+        let mut chunk_parts = Vec::with_capacity(self.chunks.len());
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            let ccfg = io::config_bytes(chunk.config())?;
+            let inner_plans = io::plan_index_sections(chunk, &ccfg)?;
+            let (len, crc) =
+                io::plan_section(|s| io::write_index_sections(s, chunk, &ccfg, &inner_plans))?;
+            plans.push(SectionPlan {
+                name: chunk_section_name(i),
+                len,
+                crc,
+            });
+            chunk_parts.push((ccfg, inner_plans));
+        }
+
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        crate::format::write_container(&mut w, MAGIC_CHUNKED, &plans, |i, w| match i {
+            0 => w.write_all(&cfg_bytes),
+            1 => io::emit_f64s(w, &self.boundaries),
+            2 => io::emit_u64s(w, &gid_offs),
+            3 => io::emit_u32s(w, &gids_flat),
+            _ => {
+                let (ccfg, inner_plans) = &chunk_parts[i - 4];
+                io::write_index_sections(w, &self.chunks[i - 4], ccfg, inner_plans)
+            }
+        })?;
+        w.flush()
+    }
+
+    /// Opens a chunked container **eagerly**: the whole file is loaded with
+    /// one sequential read into a single aligned arena shared by every
+    /// chunk (zero-copy views). Use [`ChunkStore::open_path`] instead when
+    /// the index must not be fully resident.
+    pub fn open_path(path: impl AsRef<Path>) -> std::io::Result<ChunkedIndex> {
+        Self::open_path_with(path, &ReadOptions::default())
+    }
+
+    /// [`ChunkedIndex::open_path`] with explicit [`ReadOptions`].
+    pub fn open_path_with(
+        path: impl AsRef<Path>,
+        opts: &ReadOptions,
+    ) -> std::io::Result<ChunkedIndex> {
+        use std::io::{Read, Seek};
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut buf = AlignedBuf::zeroed(len as usize);
+        file.seek(std::io::SeekFrom::Start(0))?;
+        file.read_exact(buf.as_mut_slice())?;
+        drop(file);
+        let arena = Arc::new(buf);
+        let container = ParsedContainer::parse(arena.as_slice(), 0, None, MAGIC_CHUNKED)?;
+        let directory = chunk_directory(container.sections())?;
+        let meta = ChunkMeta::parse(arena.as_slice(), &container, directory.len())?;
+
+        let mut chunks = Vec::with_capacity(directory.len());
+        for (i, s) in directory.iter().enumerate() {
+            // The outer blob CRC is deliberately NOT verified here: the
+            // blob is itself a v2 container whose table checksum and
+            // per-section CRCs cover every data byte, and read_v2_parsed
+            // verifies those — checking the outer CRC too would checksum
+            // the same bytes twice on the load path.
+            let off = container.base + s.offset as usize;
+            let inner = ParsedContainer::parse(arena.as_slice(), off, Some(s.len), MAGIC_V2)?;
+            let chunk = io::read_v2_parsed(arena.clone(), &inner, opts)?;
+            check_gid_cover(&chunk, &meta.global_ids[i])?;
+            chunks.push(chunk);
+        }
+        Ok(ChunkedIndex {
+            chunks,
+            boundaries: meta.boundaries,
+            global_ids: meta.global_ids,
+        })
+    }
+}
+
+/// Collects the `chk%05d` blob sections into ordinal order in one pass
+/// over the section table — a linear `find` per chunk would make opening a
+/// container near the 100k-chunk limit quadratic. Rejects malformed,
+/// duplicate, or non-contiguous chunk names.
+fn chunk_directory(sections: &[Section]) -> std::io::Result<Vec<Section>> {
+    let mut dir: Vec<Option<Section>> = Vec::new();
+    let mut count = 0usize;
+    for s in sections {
+        if !s.name.starts_with(b"chk") {
+            continue;
+        }
+        let ordinal = std::str::from_utf8(&s.name[3..])
+            .ok()
+            .and_then(|d| d.parse::<usize>().ok())
+            .ok_or_else(|| bad("malformed chunk section name"))?;
+        if ordinal >= MAX_CHUNKS {
+            return Err(bad("container claims more chunks than the format allows"));
+        }
+        if dir.len() <= ordinal {
+            dir.resize(ordinal + 1, None);
+        }
+        if dir[ordinal].replace(*s).is_some() {
+            return Err(bad("duplicate chunk section"));
+        }
+        count += 1;
+    }
+    if count != dir.len() {
+        return Err(bad("chunk sections are not a contiguous 0..n run"));
+    }
+    Ok(dir.into_iter().flatten().collect())
+}
+
+/// Every local peptide id in the chunk's entries must map through its
+/// global-id table — checked at load so a corrupt container cannot panic
+/// the id translation in the search path.
+fn check_gid_cover(chunk: &SlmIndex, gids: &[u32]) -> std::io::Result<()> {
+    if chunk
+        .entries()
+        .iter()
+        .any(|e| e.peptide as usize >= gids.len())
+    {
+        return Err(bad("chunk entry references a peptide outside its id table"));
+    }
+    Ok(())
+}
+
+/// The chunk-level metadata sections, shared by the eager and lazy open
+/// paths.
+struct ChunkMeta {
+    config: SlmConfig,
+    boundaries: Vec<f64>,
+    global_ids: Vec<Vec<u32>>,
+}
+
+impl ChunkMeta {
+    /// Parses the metadata from an eagerly loaded container image.
+    fn parse(
+        bytes: &[u8],
+        container: &ParsedContainer,
+        num_chunks: usize,
+    ) -> std::io::Result<Self> {
+        let section = |name: &[u8; 8]| -> std::io::Result<&[u8]> {
+            let (off, len) = container.section_checked(bytes, name)?;
+            Ok(&bytes[off..off + len])
+        };
+        Self::from_sections(
+            section(&SEC_CONFIG)?,
+            section(&SEC_BOUNDS)?,
+            section(&SEC_GIDOFFS)?,
+            section(&SEC_GIDS)?,
+            num_chunks,
+        )
+    }
+
+    /// Parses the metadata from the raw (already CRC-verified) payload
+    /// bytes of the four metadata sections.
+    fn from_sections(
+        config_bytes: &[u8],
+        bounds: &[u8],
+        gidoffs: &[u8],
+        gids: &[u8],
+        num_chunks: usize,
+    ) -> std::io::Result<Self> {
+        let config = io::config_from_bytes(config_bytes)?;
+
+        if !bounds.len().is_multiple_of(8) || bounds.len() / 8 != num_chunks + 1 {
+            return Err(bad("bounds section does not match the chunk count"));
+        }
+        let boundaries: Vec<f64> = bounds
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if boundaries.iter().any(|b| b.is_nan()) || boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("chunk boundaries are not monotone"));
+        }
+
+        if !gidoffs.len().is_multiple_of(8) || gidoffs.len() / 8 != num_chunks + 1 {
+            return Err(bad("gidoffs section does not match the chunk count"));
+        }
+        let gid_offs: Vec<u64> = gidoffs
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+
+        if !gids.len().is_multiple_of(4) {
+            return Err(bad("gids section length is not a whole u32 count"));
+        }
+        let total = (gids.len() / 4) as u64;
+        if gid_offs.windows(2).any(|w| w[0] > w[1])
+            || gid_offs.first() != Some(&0)
+            || gid_offs.last() != Some(&total)
+        {
+            return Err(bad("gid offsets are not a valid CSR over the id table"));
+        }
+        let gids_all: Vec<u32> = gids
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let global_ids: Vec<Vec<u32>> = gid_offs
+            .windows(2)
+            .map(|w| gids_all[w[0] as usize..w[1] as usize].to_vec())
+            .collect();
+
+        Ok(ChunkMeta {
+            config,
+            boundaries,
+            global_ids,
+        })
+    }
+}
+
+/// Cumulative counters of a [`ChunkStore`]'s residency layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Chunk accesses satisfied by an already-resident chunk.
+    pub hits: u64,
+    /// Chunks faulted in from disk.
+    pub faults: u64,
+    /// Chunks evicted to stay within the resident budget.
+    pub evictions: u64,
+}
+
+/// A disk-backed chunked index with **lazy chunk residency**: at most
+/// `max_resident` chunks are held in memory; [`ChunkStore::search`] faults
+/// the chunks a query needs from the container on demand and evicts the
+/// least-recently-used resident chunk when over budget — the paper's
+/// "stored on disks when not in use" made real.
+///
+/// Search results are bit-identical to the fully-resident
+/// [`ChunkedIndex`] for any budget (tested down to `max_resident = 1`).
+#[derive(Debug)]
+pub struct ChunkStore {
+    container: FileContainer,
+    config: SlmConfig,
+    boundaries: Vec<f64>,
+    global_ids: Vec<Vec<u32>>,
+    /// Per-chunk blob descriptors, in chunk order.
+    directory: Vec<Section>,
+    resident: Vec<Option<SlmIndex>>,
+    /// Last-access tick per chunk (0 = never).
+    last_used: Vec<u64>,
+    tick: u64,
+    max_resident: usize,
+    read_opts: ReadOptions,
+    stats: ResidencyStats,
+    /// Searcher scratch recycled across chunks and queries (O(largest
+    /// chunk) once, instead of a fresh zeroed allocation per chunk visit).
+    scratch: crate::query::SearchScratch,
+}
+
+impl ChunkStore {
+    /// Opens a chunked container lazily, keeping at most `max_resident`
+    /// chunks in memory (≥ 1). Only the header, section table, and
+    /// metadata sections are read here; chunk blobs stay on disk until a
+    /// query faults them in.
+    pub fn open_path(path: impl AsRef<Path>, max_resident: usize) -> std::io::Result<Self> {
+        Self::open_path_with(path, max_resident, &ReadOptions::default())
+    }
+
+    /// [`ChunkStore::open_path`] with explicit [`ReadOptions`] applied to
+    /// every faulted chunk.
+    pub fn open_path_with(
+        path: impl AsRef<Path>,
+        max_resident: usize,
+        opts: &ReadOptions,
+    ) -> std::io::Result<Self> {
+        assert!(max_resident >= 1, "resident budget must be at least 1");
+        let mut container = FileContainer::open(path, MAGIC_CHUNKED)?;
+        // Metadata sections are a few KB — read (and CRC-verify) only
+        // those; chunk blobs stay on disk.
+        let directory = chunk_directory(container.sections())?;
+        let cfg_bytes = container.read_section(&SEC_CONFIG)?;
+        let bounds = container.read_section(&SEC_BOUNDS)?;
+        let gidoffs = container.read_section(&SEC_GIDOFFS)?;
+        let gids = container.read_section(&SEC_GIDS)?;
+        let meta = ChunkMeta::from_sections(
+            cfg_bytes.as_slice(),
+            bounds.as_slice(),
+            gidoffs.as_slice(),
+            gids.as_slice(),
+            directory.len(),
+        )?;
+        let n = directory.len();
+        Ok(ChunkStore {
+            container,
+            config: meta.config,
+            boundaries: meta.boundaries,
+            global_ids: meta.global_ids,
+            directory,
+            resident: (0..n).map(|_| None).collect(),
+            last_used: vec![0; n],
+            tick: 0,
+            max_resident,
+            read_opts: *opts,
+            stats: ResidencyStats::default(),
+            scratch: crate::query::SearchScratch::default(),
+        })
+    }
+
+    /// Number of chunks in the container.
+    pub fn num_chunks(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Number of chunks currently resident in memory.
+    pub fn num_resident(&self) -> usize {
+        self.resident.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The resident-chunk budget.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Cumulative hit/fault/eviction counters.
+    pub fn stats(&self) -> ResidencyStats {
+        self.stats
+    }
+
+    /// The configuration shared by every chunk.
+    pub fn config(&self) -> &SlmConfig {
+        &self.config
+    }
+
+    /// The `num_chunks + 1` mass boundaries.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Heap bytes of the currently resident chunks (the disk-backed
+    /// footprint the resident budget bounds).
+    pub fn resident_heap_bytes(&self) -> usize {
+        self.resident
+            .iter()
+            .flatten()
+            .map(SlmIndex::heap_bytes)
+            .sum()
+    }
+
+    /// Chunks a query of this precursor mass must visit (ascending).
+    pub fn chunks_for_query(&self, query_mass: f64) -> Vec<usize> {
+        chunks_overlapping(
+            &self.boundaries,
+            self.directory.len(),
+            query_mass,
+            self.config.precursor_tolerance,
+        )
+    }
+
+    /// Makes chunk `ci` resident, faulting it from disk (and evicting the
+    /// least-recently-used resident chunk if over budget).
+    fn ensure_resident(&mut self, ci: usize) -> std::io::Result<()> {
+        self.tick += 1;
+        if self.resident[ci].is_some() {
+            self.stats.hits += 1;
+            self.last_used[ci] = self.tick;
+            return Ok(());
+        }
+        while self.num_resident() >= self.max_resident {
+            let lru = self
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_some())
+                .min_by_key(|&(i, _)| self.last_used[i])
+                .map(|(i, _)| i)
+                .expect("resident count >= budget >= 1");
+            self.resident[lru] = None;
+            self.stats.evictions += 1;
+        }
+        // The blob's inner container self-verifies (table checksum +
+        // per-section CRCs), so the outer section CRC is not re-checked.
+        let blob = self
+            .container
+            .read_section_desc_unverified(&self.directory[ci])?;
+        let arena = Arc::new(blob);
+        let inner = ParsedContainer::parse(arena.as_slice(), 0, None, MAGIC_V2)?;
+        let chunk = io::read_v2_parsed(arena, &inner, &self.read_opts)?;
+        check_gid_cover(&chunk, &self.global_ids[ci])?;
+        self.resident[ci] = Some(chunk);
+        self.last_used[ci] = self.tick;
+        self.stats.faults += 1;
+        Ok(())
+    }
+
+    /// Searches one query, faulting in the chunks its precursor window
+    /// touches. Results are identical to [`ChunkedIndex::search`] on the
+    /// fully-resident index.
+    pub fn search(&mut self, query: &Spectrum) -> std::io::Result<SearchResult> {
+        let top_k = self.config.top_k;
+        let mut psms = Vec::new();
+        let mut stats = QueryStats::default();
+        for ci in self.chunks_for_query(query.precursor_neutral_mass()) {
+            self.ensure_resident(ci)?;
+            let chunk = self.resident[ci].as_ref().expect("just made resident");
+            // Recycle one scratch across chunks and queries: sized once to
+            // the largest chunk instead of zero-allocated per visit (the
+            // same reuse ChunkedIndex::search_batch gets from memoized
+            // searchers). Scratch reuse is invisible in results (tested).
+            let mut searcher = Searcher::with_scratch(chunk, std::mem::take(&mut self.scratch));
+            let r = searcher.search(query);
+            self.scratch = searcher.into_scratch();
+            stats.accumulate(&r.stats);
+            for mut p in r.psms {
+                p.peptide = self.global_ids[ci][p.peptide as usize];
+                psms.push(p);
+            }
+        }
+        finalize_psms(&mut psms, top_k);
+        Ok(SearchResult { psms, stats })
+    }
+
+    /// Searches a batch of queries in order.
+    pub fn search_batch(&mut self, queries: &[Spectrum]) -> std::io::Result<Vec<SearchResult>> {
+        queries.iter().map(|q| self.search(q)).collect()
     }
 }
 
@@ -218,6 +777,12 @@ mod tests {
             2,
             peaks,
         )
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("lbe_chunked_tests");
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
     }
 
     #[test]
@@ -343,5 +908,183 @@ mod tests {
     fn batch_search_empty() {
         let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
         assert!(c.search_batch(&[]).is_empty());
+    }
+
+    // -----------------------------------------------------------------------
+    // Container + residency tests.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn container_round_trips_byte_identically() {
+        // The acceptance criterion: write → open → write produces identical
+        // bytes, including the arena-backed reopened form.
+        for (name, mods) in [("rt_plain.lbe", false), ("rt_mods.lbe", true)] {
+            let spec = if mods {
+                ModSpec::paper_default()
+            } else {
+                ModSpec::none()
+            };
+            let c = ChunkedIndex::build(&db(), SlmConfig::default(), spec, 2);
+            let p1 = tmpfile(name);
+            let p2 = tmpfile(&format!("again_{name}"));
+            c.write_path(&p1).unwrap();
+            let reopened = ChunkedIndex::open_path(&p1).unwrap();
+            assert!(reopened.chunks().iter().all(SlmIndex::is_arena_backed));
+            assert_eq!(reopened, c);
+            reopened.write_path(&p2).unwrap();
+            assert_eq!(
+                std::fs::read(&p1).unwrap(),
+                std::fs::read(&p2).unwrap(),
+                "byte-identical round trip ({name})"
+            );
+            std::fs::remove_file(&p1).ok();
+            std::fs::remove_file(&p2).ok();
+        }
+    }
+
+    #[test]
+    fn store_with_budget_one_is_bit_identical_to_resident_index() {
+        // The other acceptance criterion: a disk-backed store allowed one
+        // resident chunk returns bit-identical results to the fully
+        // resident in-memory index.
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let p = tmpfile("budget1.lbe");
+        c.write_path(&p).unwrap();
+        let queries: Vec<Spectrum> = [
+            &b"PEPTIDEK"[..],
+            b"ELVISLIVESK",
+            b"GGGGGK",
+            b"SAMPLERK",
+            b"WWWWWWK",
+            b"AAAGGK",
+        ]
+        .iter()
+        .map(|s| perfect_query(s))
+        .collect();
+        let expect = c.search_batch(&queries);
+        for budget in [1usize, 2, 16] {
+            let mut store = ChunkStore::open_path(&p, budget).unwrap();
+            let got = store.search_batch(&queries).unwrap();
+            assert_eq!(got, expect, "budget {budget}");
+            assert!(store.num_resident() <= budget);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn store_respects_budget_and_counts_residency_events() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let p = tmpfile("budget_stats.lbe");
+        c.write_path(&p).unwrap();
+        // Open search: every query touches all 3 chunks.
+        let mut store = ChunkStore::open_path(&p, 1).unwrap();
+        assert_eq!(store.num_chunks(), 3);
+        assert_eq!(store.num_resident(), 0);
+        store.search(&perfect_query(b"PEPTIDEK")).unwrap();
+        let s1 = store.stats();
+        assert_eq!((s1.faults, s1.evictions, s1.hits), (3, 2, 0));
+        assert_eq!(store.num_resident(), 1);
+        // A second query re-faults everything (thrash at budget 1)...
+        store.search(&perfect_query(b"GGGGGK")).unwrap();
+        let s2 = store.stats();
+        assert_eq!((s2.faults, s2.evictions), (6, 5));
+        assert!(store.resident_heap_bytes() > 0);
+
+        // ...while an all-resident store faults each chunk exactly once.
+        let mut warm = ChunkStore::open_path(&p, usize::MAX).unwrap();
+        warm.search(&perfect_query(b"PEPTIDEK")).unwrap();
+        warm.search(&perfect_query(b"GGGGGK")).unwrap();
+        let sw = warm.stats();
+        assert_eq!((sw.faults, sw.evictions, sw.hits), (3, 0, 3));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn store_lru_evicts_least_recently_used() {
+        // Closed search with budget 2: touching chunks {0,1}, then {2},
+        // must evict chunk 0 (least recent), keeping chunk 1... then
+        // touching {1} is a hit.
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let c = ChunkedIndex::build(&db(), cfg, ModSpec::none(), 2);
+        let p = tmpfile("lru.lbe");
+        c.write_path(&p).unwrap();
+        let mut store = ChunkStore::open_path(&p, 2).unwrap();
+        // Fault 0 then 1 directly through the public search path.
+        let m0 = lbe_bio::aa::peptide_neutral_mass(b"GGGGGK").unwrap();
+        let chunks0 = store.chunks_for_query(m0);
+        assert!(chunks0.contains(&0));
+        store.search(&perfect_query(b"GGGGGK")).unwrap();
+        store.search(&perfect_query(b"PEPTIDEK")).unwrap();
+        store.search(&perfect_query(b"ELVISLIVESK")).unwrap();
+        // Budget respected throughout.
+        assert!(store.num_resident() <= 2);
+        assert!(store.stats().evictions >= 1);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_database_container_round_trips() {
+        let c = ChunkedIndex::build(&PeptideDb::new(), SlmConfig::default(), ModSpec::none(), 4);
+        assert_eq!(c.num_chunks(), 0);
+        let p = tmpfile("empty.lbe");
+        c.write_path(&p).unwrap();
+        let reopened = ChunkedIndex::open_path(&p).unwrap();
+        assert_eq!(reopened.num_chunks(), 0);
+        assert_eq!(reopened, c);
+        let mut store = ChunkStore::open_path(&p, 1).unwrap();
+        let r = store.search(&perfect_query(b"PEPTIDEK")).unwrap();
+        assert!(r.psms.is_empty());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_blob_fails_on_fault_not_open() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let p = tmpfile("corrupt_blob.lbe");
+        c.write_path(&p).unwrap();
+        // Flip a byte in the last chunk blob (near the end of the file).
+        let mut bytes = std::fs::read(&p).unwrap();
+        let pos = bytes.len() - 16;
+        bytes[pos] ^= 0x20;
+        std::fs::write(&p, &bytes).unwrap();
+        // Lazy open succeeds — the blob has not been touched yet.
+        let mut store = ChunkStore::open_path(&p, 4).unwrap();
+        // An open search eventually faults the corrupt chunk and fails
+        // cleanly.
+        let err = store.search(&perfect_query(b"PEPTIDEK")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The eager open touches every blob and fails immediately.
+        assert!(ChunkedIndex::open_path(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncated_container_rejected_at_open() {
+        let c = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let p = tmpfile("truncated.lbe");
+        c.write_path(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(ChunkStore::open_path(&p, 1).is_err());
+        assert!(ChunkedIndex::open_path(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn closed_search_store_skips_nonoverlapping_chunks() {
+        // With a tight precursor window the store must not fault chunks
+        // the query cannot match — disk traffic tracks the mass window.
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let c = ChunkedIndex::build(&db(), cfg, ModSpec::none(), 2);
+        let p = tmpfile("closed.lbe");
+        c.write_path(&p).unwrap();
+        let mut store = ChunkStore::open_path(&p, 8).unwrap();
+        store.search(&perfect_query(b"GGGGGK")).unwrap();
+        assert!(
+            store.stats().faults < 3,
+            "a 1 Da window must not fault every chunk: {:?}",
+            store.stats()
+        );
+        std::fs::remove_file(&p).ok();
     }
 }

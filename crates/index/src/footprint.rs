@@ -102,6 +102,25 @@ mod tests {
     }
 
     #[test]
+    fn footprint_is_storage_backend_invariant() {
+        // Fig. 5's measurement must not change when an index is reloaded
+        // as zero-copy views into a v2 arena: the logical arrays are the
+        // same, so the accounted bytes are the same.
+        let owned = idx(20);
+        let mut buf = Vec::new();
+        crate::io::write_index(&mut buf, &owned).unwrap();
+        let arena = crate::io::read_index(&buf[..]).unwrap();
+        assert!(arena.is_arena_backed());
+        assert_eq!(
+            MemoryFootprint::of_index(&arena),
+            MemoryFootprint::of_index(&owned)
+        );
+        // heap_bytes agrees too: the arena variant counts the bytes its
+        // views span, which equals the exact-length owned accounting.
+        assert_eq!(arena.heap_bytes(), owned.heap_bytes());
+    }
+
+    #[test]
     fn postings_dominate_for_large_indices() {
         let i = idx(50);
         let f = MemoryFootprint::of_index(&i);

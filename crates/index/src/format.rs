@@ -1,0 +1,912 @@
+//! The `LBESLM2` container primitives: CRC32, aligned arenas, and the
+//! versioned section-table layout shared by single-index files and chunked
+//! containers.
+//!
+//! A *container* is a self-contained byte range (a whole file, or one chunk
+//! blob embedded in a larger file) laid out as:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic (b"LBESLM2\0" or b"LBECHK2\0")
+//! 8       4     format version, u32 LE (currently 2)
+//! 12      4     section count S, u32 LE
+//! 16      8     container length in bytes, u64 LE (truncation check)
+//! 24      4     CRC-32 of the section table bytes, u32 LE
+//! 28      4     reserved (0)
+//! 32      32*S  section table, one 32-byte record per section:
+//!                 +0   name, 8 bytes, NUL-padded
+//!                 +8   payload offset from container start, u64 LE
+//!                 +16  payload length in bytes, u64 LE
+//!                 +24  CRC-32 of the payload, u32 LE
+//!                 +28  reserved (0)
+//! ...           payloads, each at a 64-byte-aligned offset, zero padding
+//!               in the gaps; the container ends where the last payload ends
+//! ```
+//!
+//! All integers are little-endian. Payload offsets are multiples of
+//! [`ALIGNMENT`] so that a container loaded into an [`AlignedBuf`] (itself
+//! 64-byte aligned) can hand out **zero-copy typed views** of each payload:
+//! a `u64` CSR offset array or a `SpectrumEntry` table is a pointer cast,
+//! not an element-by-element parse. Checksums make bit rot and truncation a
+//! clean [`std::io::ErrorKind::InvalidData`] error instead of a corrupt
+//! search result.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Alignment (bytes) of every section payload, chosen ≥ any element type's
+/// alignment and a whole cache line.
+pub const ALIGNMENT: usize = 64;
+
+/// Container format version written and accepted by this build.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Header bytes before the section table.
+pub const HEADER_LEN: usize = 32;
+
+/// Bytes per section-table record.
+pub const SECTION_RECORD_LEN: usize = 32;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), vendored.
+//
+// Checksums are verified on every load, so they sit on the critical path
+// the v2 format exists to shorten — a byte-at-a-time table walk (~0.4 GB/s)
+// would cost more than the load itself. This is the standard
+// "slicing-by-16" formulation (16 derived tables, 16 input bytes folded
+// per iteration), which runs near memory bandwidth.
+// ---------------------------------------------------------------------------
+
+const CRC_POLY: u32 = 0xEDB8_8320;
+
+const fn crc32_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                CRC_POLY ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 16 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static CRC_TABLES: [[u32; 256]; 16] = crc32_tables();
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32 { state: !0 }
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC_TABLES;
+        let mut c = self.state;
+        let mut chunks = bytes.chunks_exact(16);
+        for chunk in &mut chunks {
+            let a = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+            let b = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            let d = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+            let e = u32::from_le_bytes(chunk[12..16].try_into().unwrap());
+            c = t[15][(a & 0xFF) as usize]
+                ^ t[14][((a >> 8) & 0xFF) as usize]
+                ^ t[13][((a >> 16) & 0xFF) as usize]
+                ^ t[12][(a >> 24) as usize]
+                ^ t[11][(b & 0xFF) as usize]
+                ^ t[10][((b >> 8) & 0xFF) as usize]
+                ^ t[9][((b >> 16) & 0xFF) as usize]
+                ^ t[8][(b >> 24) as usize]
+                ^ t[7][(d & 0xFF) as usize]
+                ^ t[6][((d >> 8) & 0xFF) as usize]
+                ^ t[5][((d >> 16) & 0xFF) as usize]
+                ^ t[4][(d >> 24) as usize]
+                ^ t[3][(e & 0xFF) as usize]
+                ^ t[2][((e >> 8) & 0xFF) as usize]
+                ^ t[1][((e >> 16) & 0xFF) as usize]
+                ^ t[0][(e >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC-32 of one contiguous byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A [`Write`] sink that counts bytes and checksums them without storing
+/// anything — used to plan a section (length + CRC) before emitting it, so
+/// writers never materialize a second copy of large payloads.
+#[derive(Debug, Default)]
+pub struct CrcSink {
+    hasher: Crc32,
+    count: u64,
+}
+
+impl CrcSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        CrcSink {
+            hasher: Crc32::new(),
+            count: 0,
+        }
+    }
+
+    /// `(bytes_written, crc32)` of everything written so far.
+    pub fn finish(&self) -> (u64, u32) {
+        (self.count, self.hasher.finish())
+    }
+}
+
+impl Write for CrcSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.hasher.update(buf);
+        self.count += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aligned arena buffer.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct AlignBlock([u8; ALIGNMENT]);
+
+/// A heap buffer whose start is [`ALIGNMENT`]-aligned, so section payloads
+/// at aligned container offsets stay aligned in memory and can back typed
+/// slices directly.
+pub struct AlignedBuf {
+    blocks: Vec<AlignBlock>,
+    len: usize,
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl AlignedBuf {
+    /// A zero-filled buffer of `len` bytes.
+    ///
+    /// Goes through `alloc_zeroed` (kernel zero pages) rather than
+    /// `vec![zeroed_block; n]`, which memsets: an explicit zeroing pass
+    /// over a multi-GB arena would cost more than the read that fills it.
+    pub fn zeroed(len: usize) -> Self {
+        let nblocks = len.div_ceil(ALIGNMENT);
+        if nblocks == 0 {
+            return AlignedBuf {
+                blocks: Vec::new(),
+                len,
+            };
+        }
+        let layout = std::alloc::Layout::array::<AlignBlock>(nblocks).expect("arena size overflow");
+        // SAFETY: `layout` is the exact layout of a `Vec<AlignBlock>`
+        // allocation of capacity `nblocks` and is non-zero-sized;
+        // `alloc_zeroed` hands back that many zero bytes, and all-zero is
+        // a valid `AlignBlock`, so every element is initialized.
+        let blocks = unsafe {
+            let ptr = std::alloc::alloc_zeroed(layout) as *mut AlignBlock;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            Vec::from_raw_parts(ptr, nblocks, nblocks)
+        };
+        AlignedBuf { blocks, len }
+    }
+
+    /// A buffer holding a copy of `bytes` — one copy, no up-front zero
+    /// fill (this sits on the load path the format exists to shorten).
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let len = bytes.len();
+        let nblocks = len.div_ceil(ALIGNMENT);
+        let mut blocks: Vec<AlignBlock> = Vec::with_capacity(nblocks);
+        // SAFETY: the reserved capacity holds `nblocks * ALIGNMENT` bytes;
+        // we initialize all of them (payload copy + zeroed tail) through
+        // raw pointers before `set_len` exposes the blocks as values.
+        unsafe {
+            let dst = blocks.as_mut_ptr() as *mut u8;
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst, len);
+            std::ptr::write_bytes(dst.add(len), 0, nblocks * ALIGNMENT - len);
+            blocks.set_len(nblocks);
+        }
+        AlignedBuf { blocks, len }
+    }
+
+    /// Number of addressable bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `blocks` owns at least `len` initialized bytes (zeroed at
+        // construction) laid out contiguously.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr() as *const u8, self.len) }
+    }
+
+    /// The bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as `as_slice`, and `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed zero-copy views.
+// ---------------------------------------------------------------------------
+
+/// Types that may back a zero-copy view of a section payload.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(C)]` with no padding bytes, valid for every
+/// bit pattern, and have alignment dividing [`ALIGNMENT`].
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitive integers and floats satisfy all three requirements
+// (floats accept any bit pattern, NaNs included).
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// A checked typed view of `count` `T`s at `byte_off` in `bytes`.
+///
+/// Fails (never panics) if the range is out of bounds or misaligned for
+/// `T`. Only meaningful on little-endian targets — callers on big-endian
+/// must parse element-wise instead.
+pub fn view_checked<T: Pod>(bytes: &[u8], byte_off: usize, count: usize) -> io::Result<&[T]> {
+    let size = std::mem::size_of::<T>();
+    let byte_len = count
+        .checked_mul(size)
+        .ok_or_else(|| bad("section length overflows"))?;
+    let end = byte_off
+        .checked_add(byte_len)
+        .ok_or_else(|| bad("section range overflows"))?;
+    if end > bytes.len() {
+        return Err(bad("section extends past the buffer"));
+    }
+    let ptr = bytes[byte_off..].as_ptr();
+    if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(bad("section payload is misaligned"));
+    }
+    // SAFETY: range checked in-bounds, pointer alignment checked, and `T:
+    // Pod` accepts any bit pattern.
+    Ok(unsafe { std::slice::from_raw_parts(ptr as *const T, count) })
+}
+
+/// Rounds `off` up to the next multiple of [`ALIGNMENT`].
+pub fn align_up(off: u64) -> u64 {
+    off.div_ceil(ALIGNMENT as u64) * ALIGNMENT as u64
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Section descriptors.
+// ---------------------------------------------------------------------------
+
+/// One planned or parsed section: name, payload offset/length (offset is
+/// relative to the container start), payload CRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// NUL-padded section name.
+    pub name: [u8; 8],
+    /// Payload offset from the container start (multiple of [`ALIGNMENT`]).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+}
+
+/// A section a writer intends to emit: its name, length, and CRC. Offsets
+/// are assigned by [`write_container`].
+#[derive(Debug, Clone, Copy)]
+pub struct SectionPlan {
+    /// NUL-padded section name.
+    pub name: [u8; 8],
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload bytes (see [`CrcSink`]).
+    pub crc: u32,
+}
+
+/// Computes the total container length for the given section lengths
+/// (header + table + aligned payloads, no trailing padding).
+pub fn container_len(section_lens: &[u64]) -> u64 {
+    let mut cursor = (HEADER_LEN + SECTION_RECORD_LEN * section_lens.len()) as u64;
+    let mut end = cursor;
+    for &len in section_lens {
+        cursor = align_up(cursor);
+        cursor += len;
+        end = cursor;
+    }
+    end
+}
+
+fn assign_offsets(plans: &[SectionPlan]) -> (Vec<Section>, u64) {
+    let mut cursor = (HEADER_LEN + SECTION_RECORD_LEN * plans.len()) as u64;
+    let mut sections = Vec::with_capacity(plans.len());
+    let mut end = cursor;
+    for p in plans {
+        cursor = align_up(cursor);
+        sections.push(Section {
+            name: p.name,
+            offset: cursor,
+            len: p.len,
+            crc: p.crc,
+        });
+        cursor += p.len;
+        end = cursor;
+    }
+    (sections, end)
+}
+
+fn table_bytes(sections: &[Section]) -> Vec<u8> {
+    let mut t = Vec::with_capacity(sections.len() * SECTION_RECORD_LEN);
+    for s in sections {
+        t.extend_from_slice(&s.name);
+        t.extend_from_slice(&s.offset.to_le_bytes());
+        t.extend_from_slice(&s.len.to_le_bytes());
+        t.extend_from_slice(&s.crc.to_le_bytes());
+        t.extend_from_slice(&0u32.to_le_bytes());
+    }
+    t
+}
+
+/// Writes a container: header, section table, then each payload produced by
+/// `emit(section_index, writer)` at its aligned offset.
+///
+/// `emit` must write exactly `plans[i].len` bytes for section `i`; a
+/// mismatch is an [`io::ErrorKind::Other`] error (the file is then
+/// malformed — callers writing to a real file should treat it as fatal).
+pub fn write_container<W: Write, F>(
+    writer: &mut W,
+    magic: &[u8; 8],
+    plans: &[SectionPlan],
+    mut emit: F,
+) -> io::Result<()>
+where
+    F: FnMut(usize, &mut dyn Write) -> io::Result<()>,
+{
+    let (sections, file_len) = assign_offsets(plans);
+    let table = table_bytes(&sections);
+
+    writer.write_all(magic)?;
+    writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    writer.write_all(&(sections.len() as u32).to_le_bytes())?;
+    writer.write_all(&file_len.to_le_bytes())?;
+    writer.write_all(&crc32(&table).to_le_bytes())?;
+    writer.write_all(&0u32.to_le_bytes())?;
+    writer.write_all(&table)?;
+
+    let mut cursor = (HEADER_LEN + SECTION_RECORD_LEN * sections.len()) as u64;
+    const PAD: [u8; ALIGNMENT] = [0; ALIGNMENT];
+    for (i, s) in sections.iter().enumerate() {
+        let pad = (s.offset - cursor) as usize;
+        writer.write_all(&PAD[..pad])?;
+        let mut counting = CountingWriter {
+            inner: writer,
+            count: 0,
+        };
+        emit(i, &mut counting)?;
+        if counting.count != s.len {
+            return Err(io::Error::other(format!(
+                "section {:?} emitted {} bytes, planned {}",
+                String::from_utf8_lossy(&s.name),
+                counting.count,
+                s.len
+            )));
+        }
+        cursor = s.offset + s.len;
+    }
+    Ok(())
+}
+
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    count: u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_header(bytes: &[u8], magic: &[u8; 8]) -> io::Result<(u32, u64, u32)> {
+    if bytes.len() < HEADER_LEN {
+        return Err(bad("container shorter than its header"));
+    }
+    if &bytes[0..8] != magic {
+        return Err(bad("container magic mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(bad(&format!(
+            "unsupported container version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let file_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let table_crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    Ok((count, file_len, table_crc))
+}
+
+fn parse_table(table: &[u8], expected_crc: u32, container_len: u64) -> io::Result<Vec<Section>> {
+    if crc32(table) != expected_crc {
+        return Err(bad("section table checksum mismatch"));
+    }
+    let mut sections = Vec::with_capacity(table.len() / SECTION_RECORD_LEN);
+    for rec in table.chunks_exact(SECTION_RECORD_LEN) {
+        let s = Section {
+            name: rec[0..8].try_into().unwrap(),
+            offset: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            len: u64::from_le_bytes(rec[16..24].try_into().unwrap()),
+            crc: u32::from_le_bytes(rec[24..28].try_into().unwrap()),
+        };
+        if !s.offset.is_multiple_of(ALIGNMENT as u64) {
+            return Err(bad("section payload offset not aligned"));
+        }
+        let end = s
+            .offset
+            .checked_add(s.len)
+            .ok_or_else(|| bad("section range overflows"))?;
+        if end > container_len {
+            return Err(bad("section extends past the container"));
+        }
+        sections.push(s);
+    }
+    Ok(sections)
+}
+
+/// A container parsed from an in-memory byte range (`bytes[base..]` holds
+/// the container). Section offsets in the returned [`Section`]s stay
+/// relative to the container start (`base`).
+#[derive(Debug)]
+pub struct ParsedContainer {
+    /// Offset of the container within the enclosing buffer.
+    pub base: usize,
+    /// Container length in bytes (from the verified header).
+    pub len: u64,
+    sections: Vec<Section>,
+}
+
+impl ParsedContainer {
+    /// Parses and verifies the container starting at `bytes[base]` and
+    /// spanning `len` bytes (the whole remaining buffer when `len` is
+    /// `None`). Verifies the header, the declared length, and the section
+    /// table checksum — payload checksums are verified per section by
+    /// [`ParsedContainer::section_checked`].
+    pub fn parse(bytes: &[u8], base: usize, len: Option<u64>, magic: &[u8; 8]) -> io::Result<Self> {
+        let avail = bytes
+            .len()
+            .checked_sub(base)
+            .ok_or_else(|| bad("container base past the buffer"))? as u64;
+        let span = len.unwrap_or(avail);
+        if span > avail {
+            return Err(bad("container length exceeds the buffer"));
+        }
+        let body = &bytes[base..base + span as usize];
+        let (count, file_len, table_crc) = parse_header(body, magic)?;
+        if file_len != span {
+            return Err(bad(&format!(
+                "container declares {file_len} bytes but {span} are present (truncated or padded?)"
+            )));
+        }
+        let table_end = HEADER_LEN + SECTION_RECORD_LEN * count as usize;
+        if body.len() < table_end {
+            return Err(bad("container truncated inside its section table"));
+        }
+        let sections = parse_table(&body[HEADER_LEN..table_end], table_crc, span)?;
+        Ok(ParsedContainer {
+            base,
+            len: span,
+            sections,
+        })
+    }
+
+    /// All sections, in file order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Looks up a section by name without verifying its payload.
+    pub fn find(&self, name: &[u8; 8]) -> Option<&Section> {
+        self.sections.iter().find(|s| &s.name == name)
+    }
+
+    /// Returns a section's payload (verifying its CRC) as a byte range
+    /// *absolute in the enclosing buffer*: `(byte_offset, byte_len)`.
+    pub fn section_checked(&self, bytes: &[u8], name: &[u8; 8]) -> io::Result<(usize, usize)> {
+        let s = self.find(name).ok_or_else(|| {
+            bad(&format!(
+                "missing section {:?}",
+                String::from_utf8_lossy(name)
+            ))
+        })?;
+        let off = self.base + s.offset as usize;
+        let payload = &bytes[off..off + s.len as usize];
+        if crc32(payload) != s.crc {
+            return Err(bad(&format!(
+                "section {:?} checksum mismatch (corrupt file)",
+                String::from_utf8_lossy(&s.name)
+            )));
+        }
+        Ok((off, s.len as usize))
+    }
+}
+
+/// A container opened *on disk*: only the header and section table are
+/// read eagerly; payloads are fetched on demand with [`FileContainer::read_section`].
+/// This is what makes lazy chunk residency possible — opening a 100-chunk
+/// index reads a few KB, not the whole file.
+#[derive(Debug)]
+pub struct FileContainer {
+    file: std::fs::File,
+    file_len: u64,
+    sections: Vec<Section>,
+}
+
+impl FileContainer {
+    /// Opens `path`, verifying magic, version, declared length against the
+    /// on-disk size, and the section-table checksum.
+    pub fn open(path: impl AsRef<Path>, magic: &[u8; 8]) -> io::Result<Self> {
+        let mut file = std::fs::File::open(path)?;
+        let disk_len = file.metadata()?.len();
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        let (count, file_len, table_crc) = parse_header(&header, magic)?;
+        if file_len != disk_len {
+            return Err(bad(&format!(
+                "container declares {file_len} bytes but the file holds {disk_len} (truncated?)"
+            )));
+        }
+        let table_len = SECTION_RECORD_LEN
+            .checked_mul(count as usize)
+            .filter(|&l| (HEADER_LEN + l) as u64 <= disk_len)
+            .ok_or_else(|| bad("container truncated inside its section table"))?;
+        let mut table = vec![0u8; table_len];
+        file.read_exact(&mut table)?;
+        let sections = parse_table(&table, table_crc, file_len)?;
+        Ok(FileContainer {
+            file,
+            file_len,
+            sections,
+        })
+    }
+
+    /// All sections, in file order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Looks up a section by name.
+    pub fn find(&self, name: &[u8; 8]) -> Option<&Section> {
+        self.sections.iter().find(|s| &s.name == name)
+    }
+
+    /// Total container length in bytes.
+    pub fn len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// `true` if the container holds no bytes beyond its header.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Reads one section's payload into a fresh aligned buffer (a single
+    /// `seek` + `read_exact`), verifying its CRC.
+    pub fn read_section(&mut self, name: &[u8; 8]) -> io::Result<AlignedBuf> {
+        let s = *self.find(name).ok_or_else(|| {
+            bad(&format!(
+                "missing section {:?}",
+                String::from_utf8_lossy(name)
+            ))
+        })?;
+        self.read_section_desc(&s)
+    }
+
+    /// Like [`FileContainer::read_section`], for an already-located section
+    /// descriptor (lazy chunk faults keep the directory around).
+    pub fn read_section_desc(&mut self, s: &Section) -> io::Result<AlignedBuf> {
+        let buf = self.read_section_desc_unverified(s)?;
+        if crc32(buf.as_slice()) != s.crc {
+            return Err(bad(&format!(
+                "section {:?} checksum mismatch (corrupt file)",
+                String::from_utf8_lossy(&s.name)
+            )));
+        }
+        Ok(buf)
+    }
+
+    /// Reads a section's payload **without** checking its CRC. Only for
+    /// payloads that carry their own verification — chunk blobs are
+    /// complete inner containers whose table checksum and per-section CRCs
+    /// cover every data byte, so checking the outer CRC too would checksum
+    /// the same bytes twice on every fault.
+    pub fn read_section_desc_unverified(&mut self, s: &Section) -> io::Result<AlignedBuf> {
+        let mut buf = AlignedBuf::zeroed(s.len as usize);
+        self.file.seek(SeekFrom::Start(s.offset))?;
+        self.file.read_exact(buf.as_mut_slice())?;
+        Ok(buf)
+    }
+}
+
+/// Builds a NUL-padded 8-byte section name from an ASCII string of ≤ 8
+/// bytes.
+pub const fn section_name(name: &str) -> [u8; 8] {
+    let b = name.as_bytes();
+    assert!(b.len() <= 8, "section names are at most 8 bytes");
+    let mut out = [0u8; 8];
+    let mut i = 0;
+    while i < b.len() {
+        out[i] = b[i];
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        h.update(b"56789");
+        assert_eq!(h.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc_sink_counts_and_checksums() {
+        let mut sink = CrcSink::new();
+        sink.write_all(b"123456789").unwrap();
+        assert_eq!(sink.finish(), (9, 0xCBF4_3926));
+    }
+
+    #[test]
+    fn aligned_buf_is_aligned_and_round_trips() {
+        for len in [0usize, 1, 63, 64, 65, 1000] {
+            let mut b = AlignedBuf::zeroed(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.as_slice().as_ptr() as usize % ALIGNMENT, 0);
+            assert!(b.as_slice().iter().all(|&x| x == 0));
+            if len > 0 {
+                b.as_mut_slice()[len - 1] = 7;
+                assert_eq!(b.as_slice()[len - 1], 7);
+            }
+        }
+        let c = AlignedBuf::from_slice(b"hello");
+        assert_eq!(c.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn view_checked_rejects_bad_ranges() {
+        let buf = AlignedBuf::zeroed(64);
+        assert!(view_checked::<u64>(buf.as_slice(), 0, 8).is_ok());
+        assert!(view_checked::<u64>(buf.as_slice(), 0, 9).is_err()); // past end
+        assert!(view_checked::<u64>(buf.as_slice(), 4, 1).is_err()); // misaligned
+        assert!(view_checked::<u64>(buf.as_slice(), usize::MAX, 2).is_err()); // overflow
+    }
+
+    fn sample_container() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let a: Vec<u8> = (0..100u8).collect();
+        let b: Vec<u8> = vec![0xAB; 64];
+        let plans = [
+            SectionPlan {
+                name: section_name("alpha"),
+                len: a.len() as u64,
+                crc: crc32(&a),
+            },
+            SectionPlan {
+                name: section_name("beta"),
+                len: b.len() as u64,
+                crc: crc32(&b),
+            },
+        ];
+        let mut out = Vec::new();
+        write_container(&mut out, b"LBESLM2\0", &plans, |i, w| {
+            w.write_all(if i == 0 { &a } else { &b })
+        })
+        .unwrap();
+        (out, a, b)
+    }
+
+    #[test]
+    fn container_round_trips_with_aligned_sections() {
+        let (out, a, b) = sample_container();
+        assert_eq!(
+            out.len() as u64,
+            container_len(&[a.len() as u64, b.len() as u64])
+        );
+        let buf = AlignedBuf::from_slice(&out);
+        let c = ParsedContainer::parse(buf.as_slice(), 0, None, b"LBESLM2\0").unwrap();
+        assert_eq!(c.sections().len(), 2);
+        let (off_a, len_a) = c
+            .section_checked(buf.as_slice(), &section_name("alpha"))
+            .unwrap();
+        assert_eq!(&buf.as_slice()[off_a..off_a + len_a], &a[..]);
+        assert_eq!(off_a % ALIGNMENT, 0);
+        let (off_b, len_b) = c
+            .section_checked(buf.as_slice(), &section_name("beta"))
+            .unwrap();
+        assert_eq!(&buf.as_slice()[off_b..off_b + len_b], &b[..]);
+        assert_eq!(off_b % ALIGNMENT, 0);
+        assert!(c.find(&section_name("gamma")).is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_section_crc() {
+        let (mut out, a, _) = sample_container();
+        let buf0 = AlignedBuf::from_slice(&out);
+        let c = ParsedContainer::parse(buf0.as_slice(), 0, None, b"LBESLM2\0").unwrap();
+        let (off, _) = c
+            .section_checked(buf0.as_slice(), &section_name("alpha"))
+            .unwrap();
+        out[off + 3] ^= 0x40;
+        let buf = AlignedBuf::from_slice(&out);
+        let c = ParsedContainer::parse(buf.as_slice(), 0, None, b"LBESLM2\0").unwrap();
+        let err = c
+            .section_checked(buf.as_slice(), &section_name("alpha"))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+        // The other section is untouched and still verifies.
+        assert!(c
+            .section_checked(buf.as_slice(), &section_name("beta"))
+            .is_ok());
+        let _ = a;
+    }
+
+    #[test]
+    fn corrupt_table_and_truncation_detected() {
+        let (out, _, _) = sample_container();
+        // Bit flip inside the table.
+        let mut t = out.clone();
+        t[HEADER_LEN + 9] ^= 1;
+        let buf = AlignedBuf::from_slice(&t);
+        assert!(ParsedContainer::parse(buf.as_slice(), 0, None, b"LBESLM2\0").is_err());
+        // Truncation at every prefix length fails cleanly.
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN + 5, out.len() - 1] {
+            let buf = AlignedBuf::from_slice(&out[..cut]);
+            assert!(
+                ParsedContainer::parse(buf.as_slice(), 0, None, b"LBESLM2\0").is_err(),
+                "cut {cut}"
+            );
+        }
+        // Wrong magic.
+        let mut m = out.clone();
+        m[0] = b'X';
+        let buf = AlignedBuf::from_slice(&m);
+        assert!(ParsedContainer::parse(buf.as_slice(), 0, None, b"LBESLM2\0").is_err());
+    }
+
+    #[test]
+    fn emit_length_mismatch_is_an_error() {
+        let plans = [SectionPlan {
+            name: section_name("short"),
+            len: 10,
+            crc: 0,
+        }];
+        let mut out = Vec::new();
+        let err = write_container(&mut out, b"LBESLM2\0", &plans, |_, w| w.write_all(b"abc"))
+            .unwrap_err();
+        assert!(err.to_string().contains("planned"));
+    }
+
+    #[test]
+    fn file_container_reads_sections_lazily() {
+        let (out, a, b) = sample_container();
+        let dir = std::env::temp_dir().join("lbe_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.bin");
+        std::fs::write(&path, &out).unwrap();
+        let mut fc = FileContainer::open(&path, b"LBESLM2\0").unwrap();
+        assert_eq!(fc.len(), out.len() as u64);
+        assert!(!fc.is_empty());
+        assert_eq!(
+            fc.read_section(&section_name("beta")).unwrap().as_slice(),
+            &b[..]
+        );
+        assert_eq!(
+            fc.read_section(&section_name("alpha")).unwrap().as_slice(),
+            &a[..]
+        );
+        assert!(fc.read_section(&section_name("nope")).is_err());
+        // A truncated file is rejected at open.
+        std::fs::write(&path, &out[..out.len() - 1]).unwrap();
+        assert!(FileContainer::open(&path, b"LBESLM2\0").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn section_name_pads_with_nuls() {
+        assert_eq!(&section_name("abc"), b"abc\0\0\0\0\0");
+        assert_eq!(&section_name("postings"), b"postings");
+    }
+
+    #[test]
+    fn empty_container_round_trips() {
+        let mut out = Vec::new();
+        write_container(&mut out, b"LBECHK2\0", &[], |_, _| unreachable!()).unwrap();
+        assert_eq!(out.len(), HEADER_LEN);
+        let buf = AlignedBuf::from_slice(&out);
+        let c = ParsedContainer::parse(buf.as_slice(), 0, None, b"LBECHK2\0").unwrap();
+        assert!(c.sections().is_empty());
+    }
+}

@@ -2,40 +2,117 @@
 //!
 //! The paper notes index chunks "may be stored on disks when not in use"
 //! (§II-B) — at 49.45 M spectra even the partitioned index competes with the
-//! OS for RAM. The format is a straightforward little-endian dump of the
-//! flat arrays, so loading is one contiguous read per array (the access
-//! pattern disks and page caches like):
+//! OS for RAM, so load time must track disk bandwidth, not per-element call
+//! overhead.
+//!
+//! # The v2 format (`LBESLM2`) — written by this build
+//!
+//! A [`crate::format`] container (fixed header, checksummed section table,
+//! 64-byte-aligned little-endian payloads — see that module for the exact
+//! header/table byte layout) with four sections:
 //!
 //! ```text
-//! magic   b"LBESLM1\0"
-//! config  resolution f64 | ΔF f64 | ΔM f64 | shpeak u16 | max_mz f64
-//!         | b_ions u8 | y_ions u8 | n_charges u8 | charges u8×n | top_k u64
-//! entries u64 count | (peptide u32, modform u16, nfrag u16, mass f32)×count
-//! offsets u64 count | u64×count
-//! postings u64 count | u32×count
+//! section     payload
+//! "config"    resolution f64 | ΔF f64 | ΔM f64 | shpeak u16 | max_mz f64
+//!             | b_ions u8 | y_ions u8 | n_charges u8 | charges u8×n
+//!             | top_k u64
+//! "entries"   SpectrumEntry×n — the repr(C) record: peptide u32,
+//!             modform u16, nfrag u16, mass f32 (12 bytes each)
+//! "binoffs"   u64×(num_bins+1) CSR row pointers
+//! "postings"  u32×total_ions entry ids, grouped by bin
 //! ```
+//!
+//! Each array is one contiguous aligned region, so the reader performs one
+//! sequential read of the whole container into an aligned arena and hands
+//! the [`SlmIndex`] zero-copy views — load cost is O(sections) parsing plus
+//! one memory-bandwidth pass (CRC verification), instead of the v1 reader's
+//! per-element `read_exact` calls. Element counts are derived from the
+//! verified section lengths, never from untrusted claims, so a corrupt file
+//! cannot force a large allocation.
+//!
+//! # The v1 format (`LBESLM1`) — still read, never written
+//!
+//! The legacy element-streamed dump: magic, config fields, then
+//! `count`-prefixed entry/offset/posting arrays, all little-endian, no
+//! checksums. [`read_index`] dispatches on the magic so v1 files keep
+//! loading (into owned storage); [`write_index_v1`] is retained for
+//! round-trip pinning and load-time comparison benchmarks.
+//!
+//! # Migration
+//!
+//! Re-write any v1 file by loading and saving it:
+//! `write_index_path(p, &read_index_path(p)?)` upgrades in place; the v2
+//! file adds per-section CRC32 corruption detection and loads via a single
+//! sequential read.
 
 use crate::config::SlmConfig;
+use crate::format::{
+    section_name, view_checked, AlignedBuf, CrcSink, ParsedContainer, SectionPlan,
+};
 use crate::slm::{SlmIndex, SpectrumEntry};
 use lbe_spectra::theo::TheoParams;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"LBESLM1\0";
+/// Magic of the legacy element-streamed format (read-only).
+pub const MAGIC_V1: &[u8; 8] = b"LBESLM1\0";
+/// Magic of the v2 single-index container (read and written).
+pub const MAGIC_V2: &[u8; 8] = b"LBESLM2\0";
+/// Magic of the v2 *chunked* container (see [`crate::chunked`]).
+pub const MAGIC_CHUNKED: &[u8; 8] = b"LBECHK2\0";
 
-fn w_u16<W: Write>(w: &mut W, v: u16) -> io::Result<()> {
+pub(crate) const SEC_CONFIG: [u8; 8] = section_name("config");
+pub(crate) const SEC_ENTRIES: [u8; 8] = section_name("entries");
+pub(crate) const SEC_BINOFFS: [u8; 8] = section_name("binoffs");
+pub(crate) const SEC_POSTINGS: [u8; 8] = section_name("postings");
+
+/// Options of the read path.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions {
+    /// Run the full O(ions) [`SlmIndex::validate`] scan after loading
+    /// (postings reference real entries, per-entry fragment counts sum to
+    /// the posting count). The cheap O(bins) structural invariants are
+    /// always checked regardless of this flag, as are the v2 per-section
+    /// checksums.
+    ///
+    /// **On by default** — a file that loads must be safe to search
+    /// (an out-of-range posting id would otherwise panic mid-query).
+    /// Disable it only for trusted files, e.g. a spill file this process
+    /// just wrote, where the O(ions) pass is pure overhead.
+    pub full_validation: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            full_validation: true,
+        }
+    }
+}
+
+impl ReadOptions {
+    /// Cheap structural checks only — for files this process wrote itself.
+    pub fn trusted() -> Self {
+        ReadOptions {
+            full_validation: false,
+        }
+    }
+}
+
+fn w_u16<W: Write + ?Sized>(w: &mut W, v: u16) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+fn w_u32<W: Write + ?Sized>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+fn w_u64<W: Write + ?Sized>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+fn w_f32<W: Write + ?Sized>(w: &mut W, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+fn w_f64<W: Write + ?Sized>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
@@ -65,10 +142,11 @@ fn bad(msg: &str) -> io::Error {
 }
 
 /// Cap on bytes preallocated per array before any of its elements have been
-/// read. Counts come from the (untrusted) header: a corrupt or malicious
-/// file claiming 10^12 entries must fail on its first short read, not OOM
-/// the process in `Vec::with_capacity`. Legitimate arrays larger than the
-/// cap grow geometrically while reading, which is amortized-free.
+/// read (v1 path only — v2 counts come from verified section lengths).
+/// Counts come from the (untrusted) header: a corrupt or malicious file
+/// claiming 10^12 entries must fail on its first short read, not OOM the
+/// process in `Vec::with_capacity`. Legitimate arrays larger than the cap
+/// grow geometrically while reading, which is amortized-free.
 const MAX_PREALLOC_BYTES: usize = 1 << 20;
 
 /// A capacity bounded by [`MAX_PREALLOC_BYTES`] for `count` elements of
@@ -77,15 +155,12 @@ fn bounded_capacity(count: usize, elem_bytes: usize) -> usize {
     count.min(MAX_PREALLOC_BYTES / elem_bytes.max(1))
 }
 
-/// Serializes an index to a writer.
-///
-/// Fails with [`io::ErrorKind::InvalidInput`] if the configuration cannot
-/// be represented in the format (more than 255 charge states — the header
-/// stores the count in one byte).
-pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
-    // Validate before the first byte goes out: an InvalidInput error must
-    // not leave a magic-only stub behind on disk.
-    let cfg = index.config();
+// ---------------------------------------------------------------------------
+// Config encoding (shared by v1 and v2 — the v2 "config" section payload is
+// exactly the v1 header's config field run).
+// ---------------------------------------------------------------------------
+
+fn check_config_serializable(cfg: &SlmConfig) -> io::Result<()> {
     if cfg.theo.charges.len() > u8::MAX as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -95,59 +170,27 @@ pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
             ),
         ));
     }
-    let mut w = BufWriter::new(writer);
-    w.write_all(MAGIC)?;
-    w_f64(&mut w, cfg.resolution)?;
-    w_f64(&mut w, cfg.fragment_tolerance)?;
-    w_f64(&mut w, cfg.precursor_tolerance)?;
-    w_u16(&mut w, cfg.shared_peak_threshold)?;
-    w_f64(&mut w, cfg.max_fragment_mz)?;
+    Ok(())
+}
+
+fn write_config<W: Write + ?Sized>(w: &mut W, cfg: &SlmConfig) -> io::Result<()> {
+    w_f64(w, cfg.resolution)?;
+    w_f64(w, cfg.fragment_tolerance)?;
+    w_f64(w, cfg.precursor_tolerance)?;
+    w_u16(w, cfg.shared_peak_threshold)?;
+    w_f64(w, cfg.max_fragment_mz)?;
     w.write_all(&[cfg.theo.b_ions as u8, cfg.theo.y_ions as u8])?;
     w.write_all(&[cfg.theo.charges.len() as u8])?;
     w.write_all(&cfg.theo.charges)?;
-    w_u64(&mut w, cfg.top_k as u64)?;
-
-    w_u64(&mut w, index.num_spectra() as u64)?;
-    for e in index.entries() {
-        w_u32(&mut w, e.peptide)?;
-        w_u16(&mut w, e.modform)?;
-        w_u16(&mut w, e.num_fragments)?;
-        w_f32(&mut w, e.precursor_mass)?;
-    }
-
-    // Offsets are reconstructed from per-bin posting lengths via the public
-    // API (one pass) rather than exposing the internal array.
-    let nbins = cfg.num_bins() + 1;
-    w_u64(&mut w, nbins as u64)?;
-    let mut acc = 0u64;
-    w_u64(&mut w, acc)?;
-    for bin in 0..cfg.num_bins() as u32 {
-        acc += index.bin_postings(bin).len() as u64;
-        w_u64(&mut w, acc)?;
-    }
-
-    w_u64(&mut w, index.num_ions() as u64)?;
-    for bin in 0..cfg.num_bins() as u32 {
-        for &p in index.bin_postings(bin) {
-            w_u32(&mut w, p)?;
-        }
-    }
-    w.flush()
+    w_u64(w, cfg.top_k as u64)
 }
 
-/// Deserializes an index from a reader, validating structure.
-pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
-    let mut r = BufReader::new(reader);
-    let magic: [u8; 8] = r_exact(&mut r)?;
-    if &magic != MAGIC {
-        return Err(bad("not an LBE SLM index file (bad magic)"));
-    }
-
-    let resolution = r_f64(&mut r)?;
-    let fragment_tolerance = r_f64(&mut r)?;
-    let precursor_tolerance = r_f64(&mut r)?;
-    let shared_peak_threshold = r_u16(&mut r)?;
-    let max_fragment_mz = r_f64(&mut r)?;
+fn read_config<R: Read>(r: &mut R) -> io::Result<SlmConfig> {
+    let resolution = r_f64(r)?;
+    let fragment_tolerance = r_f64(r)?;
+    let precursor_tolerance = r_f64(r)?;
+    let shared_peak_threshold = r_u16(r)?;
+    let max_fragment_mz = r_f64(r)?;
     if resolution.is_nan()
         || resolution <= 0.0
         || max_fragment_mz.is_nan()
@@ -155,13 +198,12 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
     {
         return Err(bad("invalid config values"));
     }
-    let flags: [u8; 2] = r_exact(&mut r)?;
-    let ncharges: [u8; 1] = r_exact(&mut r)?;
+    let flags: [u8; 2] = r_exact(r)?;
+    let ncharges: [u8; 1] = r_exact(r)?;
     let mut charges = vec![0u8; ncharges[0] as usize];
     r.read_exact(&mut charges)?;
-    let top_k = r_u64(&mut r)? as usize;
-
-    let config = SlmConfig {
+    let top_k = r_u64(r)? as usize;
+    Ok(SlmConfig {
         resolution,
         fragment_tolerance,
         precursor_tolerance,
@@ -173,53 +215,418 @@ pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
             charges,
         },
         top_k,
-    };
+    })
+}
 
-    let n_entries = r_u64(&mut r)? as usize;
+pub(crate) fn config_bytes(cfg: &SlmConfig) -> io::Result<Vec<u8>> {
+    check_config_serializable(cfg)?;
+    let mut v = Vec::with_capacity(64);
+    write_config(&mut v, cfg)?;
+    Ok(v)
+}
+
+pub(crate) fn config_from_bytes(bytes: &[u8]) -> io::Result<SlmConfig> {
+    let mut r = bytes;
+    let cfg = read_config(&mut r)?;
+    if !r.is_empty() {
+        return Err(bad("trailing bytes after config section"));
+    }
+    Ok(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Array payload emitters: zero-copy casts on little-endian targets, an
+// element-wise little-endian encode elsewhere. Both branches always
+// compile; the cast branch is taken on every tier-1 platform.
+// ---------------------------------------------------------------------------
+
+/// `true` when in-memory representation == on-disk representation, so
+/// slices can be reinterpreted instead of converted.
+const NATIVE_LE: bool = cfg!(target_endian = "little");
+
+fn emit_entries<W: Write + ?Sized>(w: &mut W, entries: &[SpectrumEntry]) -> io::Result<()> {
+    if NATIVE_LE {
+        // SAFETY: SpectrumEntry is repr(C), 12 bytes, no padding (asserted
+        // in slm.rs); reinterpreting as bytes is always valid.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(
+                entries.as_ptr() as *const u8,
+                std::mem::size_of_val(entries),
+            )
+        };
+        w.write_all(bytes)
+    } else {
+        for e in entries {
+            w_u32(w, e.peptide)?;
+            w_u16(w, e.modform)?;
+            w_u16(w, e.num_fragments)?;
+            w_f32(w, e.precursor_mass)?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn emit_u64s<W: Write + ?Sized>(w: &mut W, values: &[u64]) -> io::Result<()> {
+    if NATIVE_LE {
+        // SAFETY: plain integers, any bit pattern valid as bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr() as *const u8, std::mem::size_of_val(values))
+        };
+        w.write_all(bytes)
+    } else {
+        values.iter().try_for_each(|&v| w_u64(w, v))
+    }
+}
+
+pub(crate) fn emit_u32s<W: Write + ?Sized>(w: &mut W, values: &[u32]) -> io::Result<()> {
+    if NATIVE_LE {
+        // SAFETY: plain integers, any bit pattern valid as bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr() as *const u8, std::mem::size_of_val(values))
+        };
+        w.write_all(bytes)
+    } else {
+        values.iter().try_for_each(|&v| w_u32(w, v))
+    }
+}
+
+pub(crate) fn emit_f64s<W: Write + ?Sized>(w: &mut W, values: &[f64]) -> io::Result<()> {
+    if NATIVE_LE {
+        // SAFETY: plain floats, any bit pattern valid as bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr() as *const u8, std::mem::size_of_val(values))
+        };
+        w.write_all(bytes)
+    } else {
+        values.iter().try_for_each(|&v| w_f64(w, v))
+    }
+}
+
+/// Runs `emit` into a [`CrcSink`] to plan a section: `(len, crc)`.
+pub(crate) fn plan_section<F>(emit: F) -> io::Result<(u64, u32)>
+where
+    F: FnOnce(&mut CrcSink) -> io::Result<()>,
+{
+    let mut sink = CrcSink::new();
+    emit(&mut sink)?;
+    Ok(sink.finish())
+}
+
+// ---------------------------------------------------------------------------
+// v2 write.
+// ---------------------------------------------------------------------------
+
+/// Serializes an index to a writer in the v2 (`LBESLM2`) container format.
+///
+/// Fails with [`io::ErrorKind::InvalidInput`] — before the first byte goes
+/// out — if the configuration cannot be represented (more than 255 charge
+/// states: the config encoding stores the count in one byte).
+pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
+    let cfg_bytes = config_bytes(index.config())?;
+    let plans = plan_index_sections(index, &cfg_bytes)?;
+    let mut w = BufWriter::new(writer);
+    write_index_sections(&mut w, index, &cfg_bytes, &plans)?;
+    w.flush()
+}
+
+/// Plans the four v2 sections of one index: one checksum pass over each
+/// array, no serialization. The chunked container writer caches the result
+/// so each chunk's arrays are checksummed exactly once.
+pub(crate) fn plan_index_sections(
+    index: &SlmIndex,
+    cfg_bytes: &[u8],
+) -> io::Result<[SectionPlan; 4]> {
+    let (e_len, e_crc) = plan_section(|s| emit_entries(s, index.entries()))?;
+    let (o_len, o_crc) = plan_section(|s| emit_u64s(s, index.bin_offsets()))?;
+    let (p_len, p_crc) = plan_section(|s| emit_u32s(s, index.postings()))?;
+    Ok([
+        SectionPlan {
+            name: SEC_CONFIG,
+            len: cfg_bytes.len() as u64,
+            crc: crate::format::crc32(cfg_bytes),
+        },
+        SectionPlan {
+            name: SEC_ENTRIES,
+            len: e_len,
+            crc: e_crc,
+        },
+        SectionPlan {
+            name: SEC_BINOFFS,
+            len: o_len,
+            crc: o_crc,
+        },
+        SectionPlan {
+            name: SEC_POSTINGS,
+            len: p_len,
+            crc: p_crc,
+        },
+    ])
+}
+
+/// Writes the v2 container body for already-planned sections (one
+/// serialization pass).
+pub(crate) fn write_index_sections(
+    mut w: &mut dyn Write,
+    index: &SlmIndex,
+    cfg_bytes: &[u8],
+    plans: &[SectionPlan; 4],
+) -> io::Result<()> {
+    crate::format::write_container(&mut w, MAGIC_V2, plans, |i, w| match i {
+        0 => w.write_all(cfg_bytes),
+        1 => emit_entries(w, index.entries()),
+        2 => emit_u64s(w, index.bin_offsets()),
+        _ => emit_u32s(w, index.postings()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// v1 write (legacy, kept for compatibility pinning and load benchmarks).
+// ---------------------------------------------------------------------------
+
+/// Serializes an index in the **legacy v1** (`LBESLM1`) element-streamed
+/// format. New files should use [`write_index`]; this writer exists so
+/// tests can pin v1 → read compatibility and benchmarks can compare the
+/// two readers on identical indexes.
+pub fn write_index_v1<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
+    // Validate before the first byte goes out: an InvalidInput error must
+    // not leave a magic-only stub behind on disk.
+    let cfg = index.config();
+    check_config_serializable(cfg)?;
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC_V1)?;
+    write_config(&mut w, cfg)?;
+
+    w_u64(&mut w, index.num_spectra() as u64)?;
+    for e in index.entries() {
+        w_u32(&mut w, e.peptide)?;
+        w_u16(&mut w, e.modform)?;
+        w_u16(&mut w, e.num_fragments)?;
+        w_f32(&mut w, e.precursor_mass)?;
+    }
+
+    let bin_offsets = index.bin_offsets();
+    w_u64(&mut w, bin_offsets.len() as u64)?;
+    for &o in bin_offsets {
+        w_u64(&mut w, o)?;
+    }
+
+    w_u64(&mut w, index.num_ions() as u64)?;
+    for &p in index.postings() {
+        w_u32(&mut w, p)?;
+    }
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Read: magic dispatch.
+// ---------------------------------------------------------------------------
+
+fn validate_loaded(index: SlmIndex, opts: &ReadOptions) -> io::Result<SlmIndex> {
+    index.validate_cheap().map_err(|e| bad(&e))?;
+    if opts.full_validation {
+        index.validate().map_err(|e| bad(&e))?;
+    }
+    Ok(index)
+}
+
+/// Deserializes an index from a reader, dispatching on the magic: v1
+/// (`LBESLM1`) loads element-by-element into owned storage, v2 (`LBESLM2`)
+/// loads the remaining bytes into one aligned arena and hands out zero-copy
+/// views. Cheap structural validation always runs; pass
+/// [`ReadOptions::full_validation`] via [`read_index_with`] for the full
+/// O(ions) scan.
+pub fn read_index<R: Read>(reader: R) -> io::Result<SlmIndex> {
+    read_index_with(reader, &ReadOptions::default())
+}
+
+/// [`read_index`] with explicit [`ReadOptions`].
+pub fn read_index_with<R: Read>(reader: R, opts: &ReadOptions) -> io::Result<SlmIndex> {
+    let mut r = reader;
+    let magic: [u8; 8] = r_exact(&mut r)?;
+    match &magic {
+        // Only the v1 element streamer benefits from buffering; the v2
+        // branch drains the reader in one `read_to_end`, which a BufReader
+        // would slow down by chunking through its internal buffer.
+        m if m == MAGIC_V1 => validate_loaded(read_v1_body(&mut BufReader::new(r))?, opts),
+        m if m == MAGIC_V2 => {
+            // Generic readers can't be stat'ed: drain into a Vec (geometric
+            // growth bounded by the actual bytes present — a corrupt length
+            // claim cannot force an allocation), then move into an aligned
+            // arena. `read_index_path` avoids the extra copy.
+            let mut whole = magic.to_vec();
+            r.read_to_end(&mut whole)?;
+            read_v2_arena(Arc::new(AlignedBuf::from_slice(&whole)), opts)
+        }
+        m if m == MAGIC_CHUNKED => Err(bad(
+            "this is a chunked index container; open it with ChunkedIndex::open_path \
+             or ChunkStore::open_path",
+        )),
+        _ => Err(bad("not an LBE SLM index file (bad magic)")),
+    }
+}
+
+/// Deserializes an index from an in-memory byte image. Unlike
+/// [`read_index`] over a slice, the v2 path copies the image straight into
+/// its aligned arena (no intermediate `Vec`), which matters at
+/// memory-bandwidth-bound sizes.
+pub fn read_index_bytes(bytes: &[u8], opts: &ReadOptions) -> io::Result<SlmIndex> {
+    if bytes.len() >= 8 && &bytes[..8] == MAGIC_V2 {
+        read_v2_arena(Arc::new(AlignedBuf::from_slice(bytes)), opts)
+    } else {
+        read_index_with(bytes, opts)
+    }
+}
+
+/// Reads an index from a file. For v2 files the whole container is loaded
+/// with a single sequential read into an aligned arena sized from the
+/// file's actual length.
+pub fn read_index_path(path: impl AsRef<Path>) -> io::Result<SlmIndex> {
+    read_index_path_with(path, &ReadOptions::default())
+}
+
+/// [`read_index_path`] with explicit [`ReadOptions`].
+pub fn read_index_path_with(path: impl AsRef<Path>, opts: &ReadOptions) -> io::Result<SlmIndex> {
+    let mut file = std::fs::File::open(path)?;
+    let magic: [u8; 8] = r_exact(&mut file)?;
+    if &magic == MAGIC_V2 {
+        let len = file.metadata()?.len();
+        let mut buf = AlignedBuf::zeroed(len as usize);
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(buf.as_mut_slice())?;
+        read_v2_arena(Arc::new(buf), opts)
+    } else {
+        file.seek(SeekFrom::Start(0))?;
+        read_index_with(file, opts)
+    }
+}
+
+/// Parses a v2 single-index container occupying all of `arena`.
+fn read_v2_arena(arena: Arc<AlignedBuf>, opts: &ReadOptions) -> io::Result<SlmIndex> {
+    let container = ParsedContainer::parse(arena.as_slice(), 0, None, MAGIC_V2)?;
+    read_v2_parsed(arena, &container, opts)
+}
+
+/// Parses a v2 single-index container already located inside `arena`
+/// (`container.base` may be nonzero for blobs embedded in a chunked
+/// container). Verifies section checksums, derives element counts from the
+/// verified section lengths, and — on little-endian hosts — backs the index
+/// with zero-copy views into `arena`.
+pub(crate) fn read_v2_parsed(
+    arena: Arc<AlignedBuf>,
+    container: &ParsedContainer,
+    opts: &ReadOptions,
+) -> io::Result<SlmIndex> {
+    let bytes = arena.as_slice();
+    let (cfg_off, cfg_len) = container.section_checked(bytes, &SEC_CONFIG)?;
+    let config = config_from_bytes(&bytes[cfg_off..cfg_off + cfg_len])?;
+
+    let (e_off, e_bytes) = container.section_checked(bytes, &SEC_ENTRIES)?;
+    let esz = std::mem::size_of::<SpectrumEntry>();
+    if e_bytes % esz != 0 {
+        return Err(bad("entries section length is not a whole record count"));
+    }
+    let n_entries = e_bytes / esz;
+
+    let (o_off, o_bytes) = container.section_checked(bytes, &SEC_BINOFFS)?;
+    if o_bytes % 8 != 0 {
+        return Err(bad("binoffs section length is not a whole u64 count"));
+    }
+    let n_offsets = o_bytes / 8;
+
+    let (p_off, p_bytes) = container.section_checked(bytes, &SEC_POSTINGS)?;
+    if p_bytes % 4 != 0 {
+        return Err(bad("postings section length is not a whole u32 count"));
+    }
+    let n_postings = p_bytes / 4;
+
+    let index = if NATIVE_LE {
+        // Validate bounds + alignment once; the index's accessors then cast
+        // unchecked.
+        view_checked::<SpectrumEntry>(bytes, e_off, n_entries)?;
+        view_checked::<u64>(bytes, o_off, n_offsets)?;
+        view_checked::<u32>(bytes, p_off, n_postings)?;
+        SlmIndex::from_arena(
+            config,
+            arena.clone(),
+            (e_off, n_entries),
+            (o_off, n_offsets),
+            (p_off, n_postings),
+        )
+    } else {
+        // Big-endian host: views of little-endian data are impossible;
+        // decode element-wise into owned storage.
+        let mut er = &bytes[e_off..e_off + e_bytes];
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entries.push(SpectrumEntry {
+                peptide: r_u32(&mut er)?,
+                modform: r_u16(&mut er)?,
+                num_fragments: r_u16(&mut er)?,
+                precursor_mass: r_f32(&mut er)?,
+            });
+        }
+        let mut or = &bytes[o_off..o_off + o_bytes];
+        let mut bin_offsets = Vec::with_capacity(n_offsets);
+        for _ in 0..n_offsets {
+            bin_offsets.push(r_u64(&mut or)?);
+        }
+        let mut pr = &bytes[p_off..p_off + p_bytes];
+        let mut postings = Vec::with_capacity(n_postings);
+        for _ in 0..n_postings {
+            postings.push(r_u32(&mut pr)?);
+        }
+        SlmIndex::from_owned_unchecked(config, entries, bin_offsets, postings)
+    };
+    validate_loaded(index, opts)
+}
+
+/// The v1 body after its magic has been consumed.
+fn read_v1_body<R: Read>(r: &mut R) -> io::Result<SlmIndex> {
+    let config = read_config(r)?;
+
+    let n_entries = r_u64(r)? as usize;
     let mut entries = Vec::with_capacity(bounded_capacity(
         n_entries,
         std::mem::size_of::<SpectrumEntry>(),
     ));
     for _ in 0..n_entries {
         entries.push(SpectrumEntry {
-            peptide: r_u32(&mut r)?,
-            modform: r_u16(&mut r)?,
-            num_fragments: r_u16(&mut r)?,
-            precursor_mass: r_f32(&mut r)?,
+            peptide: r_u32(r)?,
+            modform: r_u16(r)?,
+            num_fragments: r_u16(r)?,
+            precursor_mass: r_f32(r)?,
         });
     }
 
-    let n_offsets = r_u64(&mut r)? as usize;
+    let n_offsets = r_u64(r)? as usize;
     if n_offsets != config.num_bins() + 1 {
         return Err(bad("offset table does not match configuration"));
     }
     let mut bin_offsets = Vec::with_capacity(bounded_capacity(n_offsets, 8));
     for _ in 0..n_offsets {
-        bin_offsets.push(r_u64(&mut r)?);
+        bin_offsets.push(r_u64(r)?);
     }
 
-    let n_postings = r_u64(&mut r)? as usize;
+    let n_postings = r_u64(r)? as usize;
     if *bin_offsets.last().unwrap_or(&0) as usize != n_postings {
         return Err(bad("posting count does not match offsets"));
     }
     let mut postings = Vec::with_capacity(bounded_capacity(n_postings, 4));
     for _ in 0..n_postings {
-        postings.push(r_u32(&mut r)?);
+        postings.push(r_u32(r)?);
     }
 
-    let index = SlmIndex::from_parts(config, entries, bin_offsets, postings);
-    index.validate().map_err(|e| bad(&e))?;
-    Ok(index)
+    Ok(SlmIndex::from_owned_unchecked(
+        config,
+        entries,
+        bin_offsets,
+        postings,
+    ))
 }
 
-/// Writes an index to a file.
+/// Writes an index to a file (v2 format).
 pub fn write_index_path(path: impl AsRef<Path>, index: &SlmIndex) -> io::Result<()> {
     write_index(std::fs::File::create(path)?, index)
-}
-
-/// Reads an index from a file.
-pub fn read_index_path(path: impl AsRef<Path>) -> io::Result<SlmIndex> {
-    read_index(std::fs::File::open(path)?)
 }
 
 #[cfg(test)]
@@ -245,15 +652,54 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_in_memory() {
+    fn v2_round_trip_in_memory_is_arena_backed() {
         for mods in [false, true] {
             let idx = sample_index(mods);
             let mut buf = Vec::new();
             write_index(&mut buf, &idx).unwrap();
+            assert_eq!(&buf[..8], MAGIC_V2);
             let back = read_index(&buf[..]).unwrap();
+            assert!(back.is_arena_backed());
             assert_eq!(back, idx);
             back.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn v1_still_loads_and_both_versions_pin_the_same_index() {
+        // Backward compatibility: the legacy writer's output loads (into
+        // owned storage) and equals the same index written as v2.
+        let idx = sample_index(true);
+        let mut v1 = Vec::new();
+        write_index_v1(&mut v1, &idx).unwrap();
+        assert_eq!(&v1[..8], MAGIC_V1);
+        let from_v1 = read_index(&v1[..]).unwrap();
+        assert!(!from_v1.is_arena_backed());
+        assert_eq!(from_v1, idx);
+
+        let mut v2 = Vec::new();
+        write_index(&mut v2, &from_v1).unwrap();
+        let from_v2 = read_index(&v2[..]).unwrap();
+        assert_eq!(from_v2, idx);
+    }
+
+    #[test]
+    fn v2_write_is_deterministic_across_storage_backends() {
+        // Owned and arena-backed copies of the same index serialize to
+        // identical bytes — the property the chunked round-trip relies on.
+        let idx = sample_index(false);
+        let mut a = Vec::new();
+        write_index(&mut a, &idx).unwrap();
+        let loaded = read_index(&a[..]).unwrap();
+        assert!(loaded.is_arena_backed());
+        let mut b = Vec::new();
+        write_index(&mut b, &loaded).unwrap();
+        assert_eq!(a, b);
+        // The planned section lengths predict the container size exactly.
+        let cfg = config_bytes(idx.config()).unwrap();
+        let plans = plan_index_sections(&idx, &cfg).unwrap();
+        let lens: Vec<u64> = plans.iter().map(|p| p.len).collect();
+        assert_eq!(a.len() as u64, crate::format::container_len(&lens));
     }
 
     #[test]
@@ -264,6 +710,7 @@ mod tests {
         let idx = sample_index(false);
         write_index_path(&path, &idx).unwrap();
         let back = read_index_path(&path).unwrap();
+        assert!(back.is_arena_backed());
         assert_eq!(back, idx);
         std::fs::remove_file(&path).ok();
     }
@@ -306,28 +753,112 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_rejected() {
+    fn chunked_magic_points_at_the_right_api() {
+        let err = read_index(&b"LBECHK2\0........."[..]).unwrap_err();
+        assert!(err.to_string().contains("ChunkedIndex"));
+    }
+
+    #[test]
+    fn truncated_files_rejected_both_versions() {
         let idx = sample_index(false);
-        let mut buf = Vec::new();
-        write_index(&mut buf, &idx).unwrap();
-        for cut in [10, buf.len() / 2, buf.len() - 3] {
-            assert!(read_index(&buf[..cut]).is_err(), "cut at {cut}");
+        for (version, buf) in [
+            ("v1", {
+                let mut b = Vec::new();
+                write_index_v1(&mut b, &idx).unwrap();
+                b
+            }),
+            ("v2", {
+                let mut b = Vec::new();
+                write_index(&mut b, &idx).unwrap();
+                b
+            }),
+        ] {
+            for cut in [10, buf.len() / 2, buf.len() - 3] {
+                assert!(read_index(&buf[..cut]).is_err(), "{version} cut at {cut}");
+            }
         }
     }
 
     #[test]
-    fn corrupted_offsets_rejected() {
+    fn v2_bit_flip_in_postings_is_a_checksum_error() {
         let idx = sample_index(false);
         let mut buf = Vec::new();
         write_index(&mut buf, &idx).unwrap();
-        // Flip a byte deep in the offsets region.
-        let mid = buf.len() / 2;
-        buf[mid] ^= 0xFF;
-        // Either a structural error or a validation failure — never a
-        // silently corrupt index.
-        if let Ok(loaded) = read_index(&buf[..]) {
-            assert_eq!(loaded, idx, "corruption must not pass silently");
-        }
+        // Flip one bit near the end (inside the postings payload).
+        let pos = buf.len() - 16;
+        buf[pos] ^= 0x10;
+        let err = read_index(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn cheap_validation_rejects_non_monotone_offsets() {
+        // A well-formed v2 file (valid checksums) whose CSR offsets are
+        // structurally inconsistent: the always-on cheap invariants catch
+        // it at load.
+        let idx = sample_index(false);
+        let mut offsets = idx.bin_offsets().to_vec();
+        let mid = offsets.len() / 2;
+        offsets[mid] = offsets[mid].wrapping_add(1_000_000);
+        let broken = SlmIndex::from_owned_unchecked(
+            idx.config().clone(),
+            idx.entries().to_vec(),
+            offsets,
+            idx.postings().to_vec(),
+        );
+        let mut buf = Vec::new();
+        write_index(&mut buf, &broken).unwrap();
+        let err = read_index(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn full_validation_flag_catches_deep_inconsistency() {
+        // Structurally consistent at the CSR level (cheap checks pass) but
+        // the entry fragment counts no longer sum to the posting count —
+        // only the full O(ions) scan sees it.
+        let idx = sample_index(false);
+        let mut entries = idx.entries().to_vec();
+        entries[0].num_fragments += 1;
+        let broken = SlmIndex::from_owned_unchecked(
+            idx.config().clone(),
+            entries,
+            idx.bin_offsets().to_vec(),
+            idx.postings().to_vec(),
+        );
+        let mut buf = Vec::new();
+        write_index(&mut buf, &broken).unwrap();
+        // Trusted read: cheap invariants only — loads.
+        assert!(read_index_with(&buf[..], &ReadOptions::trusted()).is_ok());
+        // Default read runs the full scan and rejects it.
+        let err = read_index(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("fragment counts"), "{err}");
+    }
+
+    #[test]
+    fn full_validation_catches_dangling_posting() {
+        let idx = sample_index(false);
+        // Drop the last entry but keep its postings: every posting that
+        // referenced it now dangles.
+        let mut entries = idx.entries().to_vec();
+        entries.pop().unwrap();
+        let broken = SlmIndex::from_owned_unchecked(
+            idx.config().clone(),
+            entries,
+            idx.bin_offsets().to_vec(),
+            idx.postings().to_vec(),
+        );
+        let mut buf = Vec::new();
+        write_index(&mut buf, &broken).unwrap();
+        let err = read_index_with(
+            &buf[..],
+            &ReadOptions {
+                full_validation: true,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nonexistent entry"), "{err}");
     }
 
     #[test]
@@ -340,12 +871,12 @@ mod tests {
         assert_eq!(back, idx);
     }
 
-    /// Truncates a serialized index right after its entry-count word and
+    /// Truncates a v1-serialized index right after its entry-count word and
     /// replaces that count with `claimed`.
     fn forge_entry_count(claimed: u64) -> Vec<u8> {
         let idx = sample_index(false);
         let mut buf = Vec::new();
-        write_index(&mut buf, &idx).unwrap();
+        write_index_v1(&mut buf, &idx).unwrap();
         // Header: magic(8) + 3×f64 + u16 + f64 + 2×u8 + count u8 + charges
         // + top_k u64, then the u64 entry count.
         let ncharges = idx.config().theo.charges.len();
@@ -357,10 +888,10 @@ mod tests {
 
     #[test]
     fn forged_huge_entry_count_fails_fast_without_preallocating() {
-        // A corrupt/malicious header claiming 10^12 entries (≈12 TB) must
-        // fail on the first short read; the bounded preallocation keeps the
-        // up-front reservation at ≤ MAX_PREALLOC_BYTES instead of asking
-        // the allocator for terabytes before any entry is read.
+        // A corrupt/malicious v1 header claiming 10^12 entries (≈12 TB)
+        // must fail on the first short read; the bounded preallocation
+        // keeps the up-front reservation at ≤ MAX_PREALLOC_BYTES instead of
+        // asking the allocator for terabytes before any entry is read.
         let buf = forge_entry_count(1_000_000_000_000);
         let t0 = std::time::Instant::now();
         let err = read_index(&buf[..]).unwrap_err();
@@ -376,8 +907,8 @@ mod tests {
     }
 
     #[test]
-    fn oversized_charge_list_rejected_not_truncated() {
-        // 300 charge states cannot round-trip through the one-byte header
+    fn oversized_charge_list_rejected_not_truncated_by_both_writers() {
+        // 300 charge states cannot round-trip through the one-byte config
         // count; writing must fail loudly instead of truncating to 300 %
         // 256 = 44 and corrupting every later read.
         let cfg = SlmConfig {
@@ -389,13 +920,17 @@ mod tests {
         };
         let db = PeptideDb::from_vec(vec![Peptide::new(b"PEPTIDEK", 0, 0).unwrap()]);
         let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&db);
-        let mut buf = Vec::new();
-        let err = write_index(&mut buf, &idx).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
-        assert!(err.to_string().contains("300 charge states"));
-        // Validation happens before the first byte: no magic-only stub is
-        // left behind for a later read to trip over.
-        assert!(buf.is_empty());
+        type WriterFn = fn(&mut Vec<u8>, &SlmIndex) -> io::Result<()>;
+        let writers: [WriterFn; 2] = [|b, i| write_index(b, i), |b, i| write_index_v1(b, i)];
+        for write in writers {
+            let mut buf = Vec::new();
+            let err = write(&mut buf, &idx).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+            assert!(err.to_string().contains("300 charge states"));
+            // Validation happens before the first byte: no magic-only stub
+            // is left behind for a later read to trip over.
+            assert!(buf.is_empty());
+        }
     }
 
     #[test]
@@ -422,5 +957,93 @@ mod tests {
         write_index(&mut buf, &idx).unwrap();
         let back = read_index(&buf[..]).unwrap();
         assert!(back.config().is_open_search());
+    }
+
+    mod corruption_properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Shared fixture: the reference index plus one serialized buffer
+        /// per format version (building an index per case would dominate
+        /// the run).
+        fn fixture() -> &'static (SlmIndex, Vec<u8>, Vec<u8>) {
+            static FIXTURE: OnceLock<(SlmIndex, Vec<u8>, Vec<u8>)> = OnceLock::new();
+            FIXTURE.get_or_init(|| {
+                let idx = sample_index(true);
+                let mut v1 = Vec::new();
+                write_index_v1(&mut v1, &idx).unwrap();
+                let mut v2 = Vec::new();
+                write_index(&mut v2, &idx).unwrap();
+                (idx, v1, v2)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Truncating a valid file at any length must fail with a clean
+            /// error — no panic, no OOM-scale preallocation (both readers
+            /// bound allocations by bytes actually present). The draw
+            /// domain exceeds any fixture size so `% len` reaches every
+            /// byte of the file.
+            #[test]
+            fn truncation_fails_cleanly(cut in 0usize..(1 << 30), v2 in proptest::arbitrary::any::<bool>()) {
+                let (_, v1_buf, v2_buf) = fixture();
+                let buf = if v2 { v2_buf } else { v1_buf };
+                let cut = cut % buf.len(); // strictly shorter than the file
+                let err = read_index_with(
+                    &buf[..cut],
+                    &ReadOptions { full_validation: true },
+                );
+                prop_assert!(err.is_err(), "cut at {} accepted", cut);
+            }
+
+            /// Flipping any single bit of a **v2** file must either fail
+            /// with InvalidData or load an index identical to the original
+            /// (flips in alignment padding are invisible — they are
+            /// outside every checksummed payload).
+            #[test]
+            fn v2_bit_flips_fail_cleanly_or_change_nothing(
+                pos in 0usize..(1 << 30),
+                bit in 0u32..8,
+            ) {
+                let (idx, _, v2_buf) = fixture();
+                let mut buf = v2_buf.clone();
+                let pos = pos % buf.len();
+                buf[pos] ^= 1 << bit;
+                match read_index_with(&buf[..], &ReadOptions { full_validation: true }) {
+                    Err(e) => prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData,
+                        "unexpected error kind at byte {}: {}", pos, e),
+                    Ok(loaded) => prop_assert!(
+                        &loaded == idx,
+                        "corruption at byte {} bit {} passed silently", pos, bit
+                    ),
+                }
+            }
+
+            /// v1 has no checksums, so a flip can load "successfully" with
+            /// silently different payload values (e.g. a precursor mass) —
+            /// the property v1 CAN promise is weaker: the reader never
+            /// panics, never over-allocates, and any failure is a clean
+            /// InvalidData/UnexpectedEof (a flipped count field streams off
+            /// the end of the buffer, hence EOF).
+            #[test]
+            fn v1_bit_flips_never_panic(
+                pos in 0usize..(1 << 30),
+                bit in 0u32..8,
+            ) {
+                let (_, v1_buf, _) = fixture();
+                let mut buf = v1_buf.clone();
+                let pos = pos % buf.len();
+                buf[pos] ^= 1 << bit;
+                if let Err(e) = read_index_with(&buf[..], &ReadOptions { full_validation: true }) {
+                    prop_assert!(
+                        matches!(e.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                        "unexpected error kind at byte {}: {}", pos, e
+                    );
+                }
+            }
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod builder;
 pub mod chunked;
 pub mod config;
 pub mod footprint;
+pub mod format;
 pub mod io;
 pub mod parallel;
 pub mod precursor;
@@ -49,12 +50,15 @@ pub mod seqtag;
 pub mod slm;
 
 pub use builder::{BuildStats, IndexBuilder};
-pub use chunked::ChunkedIndex;
+pub use chunked::{ChunkStore, ChunkedIndex, ResidencyStats};
 pub use config::SlmConfig;
 pub use footprint::MemoryFootprint;
-pub use io::{read_index, read_index_path, write_index, write_index_path};
+pub use io::{
+    read_index, read_index_bytes, read_index_path, read_index_path_with, read_index_with,
+    write_index, write_index_path, write_index_v1, ReadOptions,
+};
 pub use parallel::{search_batch_chunked, search_batch_parallel};
 pub use precursor::{PrecursorIndex, PrecursorQueryStats};
-pub use query::{Psm, QueryStats, SearchResult, Searcher};
+pub use query::{Psm, QueryStats, SearchResult, SearchScratch, Searcher};
 pub use seqtag::{extract_tags, TagIndex, TagQueryStats};
 pub use slm::{SlmIndex, SpectrumEntry};

@@ -64,6 +64,20 @@ pub struct SearchResult {
     pub stats: QueryStats,
 }
 
+/// Detached searcher scratch, reusable across [`Searcher`]s (and across
+/// *different* indexes — disk-backed chunk stores hand one scratch from
+/// chunk to chunk instead of reallocating per query).
+///
+/// Invariant: between searches every counter is zero (the searcher resets
+/// the entries it touched), so re-sizing for another index only needs to
+/// extend with zeroes.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    counts: Vec<u16>,
+    intensity: Vec<f32>,
+    touched: Vec<u32>,
+}
+
 /// A reusable searcher over one index. Holds scratch state; create one per
 /// thread (it is `Send` but deliberately not shared).
 pub struct Searcher<'a> {
@@ -79,11 +93,34 @@ pub struct Searcher<'a> {
 impl<'a> Searcher<'a> {
     /// Creates a searcher (allocates O(index entries) scratch once).
     pub fn new(index: &'a SlmIndex) -> Self {
+        Self::with_scratch(index, SearchScratch::default())
+    }
+
+    /// Creates a searcher around recycled scratch, resizing it to this
+    /// index (new slots are zeroed; surviving slots are already zero by
+    /// [`SearchScratch`]'s invariant).
+    pub fn with_scratch(index: &'a SlmIndex, mut scratch: SearchScratch) -> Self {
+        let n = index.num_spectra();
+        scratch.counts.resize(n, 0);
+        scratch.intensity.resize(n, 0.0);
+        scratch.touched.clear();
+        if scratch.touched.capacity() == 0 {
+            scratch.touched.reserve(1024);
+        }
         Searcher {
             index,
-            counts: vec![0; index.num_spectra()],
-            intensity: vec![0.0; index.num_spectra()],
-            touched: Vec::with_capacity(1024),
+            counts: scratch.counts,
+            intensity: scratch.intensity,
+            touched: scratch.touched,
+        }
+    }
+
+    /// Releases the scratch for reuse by a later searcher.
+    pub fn into_scratch(self) -> SearchScratch {
+        SearchScratch {
+            counts: self.counts,
+            intensity: self.intensity,
+            touched: self.touched,
         }
     }
 

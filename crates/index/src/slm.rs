@@ -16,11 +16,17 @@
 //! sizing still matters for RAM).
 
 use crate::config::SlmConfig;
+use crate::format::AlignedBuf;
+use std::sync::Arc;
 
 /// One indexed theoretical spectrum: a (peptide, modform) pair.
 ///
-/// 16 bytes: the bulk per-spectrum cost besides postings.
+/// `#[repr(C)]`, 12 bytes, no padding — this exact layout (little-endian)
+/// is also the on-disk record of the `entries` section in both index
+/// formats, which is what lets a v2 arena hand out the entry table as a
+/// zero-copy slice.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct SpectrumEntry {
     /// Peptide id in the *local* peptide table of the index partition.
     /// The LBE mapping table translates local → global ids on the master.
@@ -29,18 +35,94 @@ pub struct SpectrumEntry {
     pub modform: u16,
     /// Number of theoretical fragments this spectrum contributed.
     pub num_fragments: u16,
-    /// Neutral precursor mass (f32 keeps the entry at 16 bytes; 0.5 ppm
+    /// Neutral precursor mass (f32 keeps the entry at 12 bytes; 0.5 ppm
     /// rounding at 5 kDa is far below any precursor tolerance in use).
     pub precursor_mass: f32,
 }
 
+// The on-disk format depends on this layout; a field change must bump the
+// format version.
+const _: () = assert!(std::mem::size_of::<SpectrumEntry>() == 12);
+const _: () = assert!(std::mem::align_of::<SpectrumEntry>() == 4);
+
+// SAFETY: `SpectrumEntry` is `#[repr(C)]` with no padding (asserted above),
+// every field accepts any bit pattern, and its alignment (4) divides the
+// arena alignment.
+unsafe impl crate::format::Pod for SpectrumEntry {}
+
+/// A typed slice location inside an arena: byte offset + element count.
+#[derive(Debug, Clone, Copy)]
+struct ArenaSlice {
+    byte_off: usize,
+    len: usize,
+}
+
+impl ArenaSlice {
+    /// Materializes the slice. The constructor validated bounds and
+    /// alignment against the arena, so this is a pointer cast.
+    #[inline]
+    fn get<T: crate::format::Pod>(&self, arena: &AlignedBuf) -> &[T] {
+        debug_assert!(self.byte_off + self.len * std::mem::size_of::<T>() <= arena.len());
+        debug_assert_eq!(
+            arena.as_slice()[self.byte_off..].as_ptr() as usize % std::mem::align_of::<T>(),
+            0
+        );
+        // SAFETY: bounds and alignment were checked with
+        // `format::view_checked` when the storage was constructed, and `T:
+        // Pod` accepts any bit pattern.
+        unsafe {
+            std::slice::from_raw_parts(
+                arena.as_slice().as_ptr().add(self.byte_off) as *const T,
+                self.len,
+            )
+        }
+    }
+}
+
+/// Where the index's flat arrays live.
+///
+/// Freshly built indexes own their `Vec`s; indexes deserialized from a v2
+/// container are *views into one aligned arena* loaded with a single
+/// sequential read (O(sections) parsing instead of O(elements)) — the
+/// refactor that makes load time track disk bandwidth. A v1 file, whose
+/// element-streamed layout cannot back views, always loads into `Owned`.
+#[derive(Debug, Clone)]
+enum IndexStorage {
+    /// Heap-owned arrays (built in memory, or deserialized on a
+    /// big-endian host where zero-copy views of little-endian data are
+    /// impossible).
+    Owned {
+        entries: Vec<SpectrumEntry>,
+        bin_offsets: Vec<u64>,
+        postings: Vec<u32>,
+    },
+    /// Zero-copy views into a shared arena (one buffer per container; the
+    /// chunks of an eagerly opened chunked container share a single
+    /// arena).
+    Arena {
+        arena: Arc<AlignedBuf>,
+        entries: ArenaSlice,
+        bin_offsets: ArenaSlice,
+        postings: ArenaSlice,
+    },
+}
+
 /// The fragment-ion index over a set of theoretical spectra.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SlmIndex {
     config: SlmConfig,
-    entries: Vec<SpectrumEntry>,
-    bin_offsets: Vec<u64>,
-    postings: Vec<u32>,
+    storage: IndexStorage,
+}
+
+impl PartialEq for SlmIndex {
+    /// Logical equality: same configuration and same flat arrays,
+    /// regardless of whether they are owned or arena-backed.
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.entries() == other.entries()
+            && self.bin_offsets() == other.bin_offsets()
+            && self.postings() == other.postings()
+    }
 }
 
 impl SlmIndex {
@@ -55,10 +137,61 @@ impl SlmIndex {
         debug_assert_eq!(*bin_offsets.last().unwrap() as usize, postings.len());
         SlmIndex {
             config,
-            entries,
-            bin_offsets,
-            postings,
+            storage: IndexStorage::Owned {
+                entries,
+                bin_offsets,
+                postings,
+            },
         }
+    }
+
+    /// Assembles an owned-storage index from possibly-inconsistent parts
+    /// (used by [`crate::io`]'s deserializers, which validate *after*
+    /// construction so corrupt files surface as clean errors rather than
+    /// debug-assert panics).
+    pub(crate) fn from_owned_unchecked(
+        config: SlmConfig,
+        entries: Vec<SpectrumEntry>,
+        bin_offsets: Vec<u64>,
+        postings: Vec<u32>,
+    ) -> Self {
+        SlmIndex {
+            config,
+            storage: IndexStorage::Owned {
+                entries,
+                bin_offsets,
+                postings,
+            },
+        }
+    }
+
+    /// Assembles an arena-backed index whose arrays are views into `arena`
+    /// (used by [`crate::io`]'s v2 reader). Each `(byte_off, len)` pair must
+    /// have been validated in-bounds and aligned via
+    /// [`crate::format::view_checked`].
+    pub(crate) fn from_arena(
+        config: SlmConfig,
+        arena: Arc<AlignedBuf>,
+        entries: (usize, usize),
+        bin_offsets: (usize, usize),
+        postings: (usize, usize),
+    ) -> Self {
+        let slice = |(byte_off, len): (usize, usize)| ArenaSlice { byte_off, len };
+        SlmIndex {
+            config,
+            storage: IndexStorage::Arena {
+                arena,
+                entries: slice(entries),
+                bin_offsets: slice(bin_offsets),
+                postings: slice(postings),
+            },
+        }
+    }
+
+    /// `true` if this index's arrays are zero-copy views into a loaded
+    /// arena (deserialized from a v2 container) rather than owned `Vec`s.
+    pub fn is_arena_backed(&self) -> bool {
+        matches!(self.storage, IndexStorage::Arena { .. })
     }
 
     /// The configuration this index was built with.
@@ -70,43 +203,69 @@ impl SlmIndex {
     /// Number of indexed theoretical spectra (the paper's "index size").
     #[inline]
     pub fn num_spectra(&self) -> usize {
-        self.entries.len()
+        self.entries().len()
     }
 
     /// Number of indexed ions (postings).
     #[inline]
     pub fn num_ions(&self) -> usize {
-        self.postings.len()
+        self.postings().len()
     }
 
     /// `true` if the index holds nothing.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries().is_empty()
     }
 
     /// The entry table.
     #[inline]
     pub fn entries(&self) -> &[SpectrumEntry] {
-        &self.entries
+        match &self.storage {
+            IndexStorage::Owned { entries, .. } => entries,
+            IndexStorage::Arena { arena, entries, .. } => entries.get(arena),
+        }
+    }
+
+    /// The CSR row-pointer array (`num_bins + 1` offsets).
+    #[inline]
+    pub(crate) fn bin_offsets(&self) -> &[u64] {
+        match &self.storage {
+            IndexStorage::Owned { bin_offsets, .. } => bin_offsets,
+            IndexStorage::Arena {
+                arena, bin_offsets, ..
+            } => bin_offsets.get(arena),
+        }
+    }
+
+    /// The flat posting array.
+    #[inline]
+    pub(crate) fn postings(&self) -> &[u32] {
+        match &self.storage {
+            IndexStorage::Owned { postings, .. } => postings,
+            IndexStorage::Arena {
+                arena, postings, ..
+            } => postings.get(arena),
+        }
     }
 
     /// Entry by id.
     #[inline]
     pub fn entry(&self, id: u32) -> &SpectrumEntry {
-        &self.entries[id as usize]
+        &self.entries()[id as usize]
     }
 
     /// The posting list (entry ids) of one ion bin.
     #[inline]
     pub fn bin_postings(&self, bin: u32) -> &[u32] {
+        let bin_offsets = self.bin_offsets();
         let b = bin as usize;
-        if b + 1 >= self.bin_offsets.len() {
+        if b + 1 >= bin_offsets.len() {
             return &[];
         }
-        let lo = self.bin_offsets[b] as usize;
-        let hi = self.bin_offsets[b + 1] as usize;
-        &self.postings[lo..hi]
+        let lo = bin_offsets[b] as usize;
+        let hi = bin_offsets[b + 1] as usize;
+        &self.postings()[lo..hi]
     }
 
     /// All postings within the fragment-tolerance window of `mz`.
@@ -129,35 +288,75 @@ impl SlmIndex {
     }
 
     /// Exact heap bytes of the index structures (Fig. 5's y-axis).
+    ///
+    /// For an arena-backed index this is the bytes its three views span
+    /// (not the whole arena — chunks of a shared arena would otherwise be
+    /// multi-counted when summed).
     pub fn heap_bytes(&self) -> usize {
-        self.entries.capacity() * std::mem::size_of::<SpectrumEntry>()
-            + self.bin_offsets.capacity() * std::mem::size_of::<u64>()
-            + self.postings.capacity() * std::mem::size_of::<u32>()
+        match &self.storage {
+            IndexStorage::Owned {
+                entries,
+                bin_offsets,
+                postings,
+            } => {
+                entries.capacity() * std::mem::size_of::<SpectrumEntry>()
+                    + bin_offsets.capacity() * std::mem::size_of::<u64>()
+                    + postings.capacity() * std::mem::size_of::<u32>()
+            }
+            IndexStorage::Arena {
+                entries,
+                bin_offsets,
+                postings,
+                ..
+            } => {
+                entries.len * std::mem::size_of::<SpectrumEntry>()
+                    + bin_offsets.len * std::mem::size_of::<u64>()
+                    + postings.len * std::mem::size_of::<u32>()
+            }
+        }
     }
 
-    /// Internal consistency check (used by property tests): CSR offsets are
-    /// monotone, postings reference valid entries, and per-entry fragment
-    /// counts sum to the posting count.
+    /// Full consistency check: the cheap structural invariants of
+    /// [`SlmIndex::validate_cheap`] plus the O(ions) scan — postings
+    /// reference valid entries and per-entry fragment counts sum to the
+    /// posting count.
     pub fn validate(&self) -> Result<(), String> {
-        if self.bin_offsets.len() != self.config.num_bins() + 1 {
-            return Err("bin_offsets length mismatch".into());
-        }
-        if self.bin_offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err("bin_offsets not monotone".into());
-        }
-        if *self.bin_offsets.last().unwrap() as usize != self.postings.len() {
-            return Err("final offset != postings length".into());
-        }
-        let n = self.entries.len() as u32;
-        if self.postings.iter().any(|&e| e >= n) {
+        self.validate_cheap()?;
+        let n = self.entries().len() as u32;
+        if self.postings().iter().any(|&e| e >= n) {
             return Err("posting references nonexistent entry".into());
         }
-        let total: usize = self.entries.iter().map(|e| e.num_fragments as usize).sum();
-        if total != self.postings.len() {
+        let total: usize = self
+            .entries()
+            .iter()
+            .map(|e| e.num_fragments as usize)
+            .sum();
+        if total != self.postings().len() {
             return Err(format!(
                 "entry fragment counts ({total}) != postings ({})",
-                self.postings.len()
+                self.postings().len()
             ));
+        }
+        Ok(())
+    }
+
+    /// Cheap structural invariants — O(bins), no posting scan: the CSR
+    /// offset array has the configured length, is monotone, and its final
+    /// offset equals the posting count. Always run by the deserializers;
+    /// the full [`SlmIndex::validate`] scan sits behind a read option.
+    pub fn validate_cheap(&self) -> Result<(), String> {
+        let bin_offsets = self.bin_offsets();
+        if bin_offsets.len() != self.config.num_bins() + 1 {
+            return Err("bin_offsets length mismatch".into());
+        }
+        if bin_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("bin_offsets not monotone".into());
+        }
+        if *bin_offsets.last().unwrap() as usize != self.postings().len() {
+            return Err("final offset != postings length".into());
+        }
+        if self.entries().len() > u32::MAX as usize {
+            return Err("more entries than u32 ids".into());
         }
         Ok(())
     }

@@ -14,7 +14,9 @@ use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
 use lbe_core::engine::{run_distributed_search, EngineConfig};
 use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
 use lbe_core::partition::PartitionPolicy;
-use lbe_index::{read_index_path, write_index_path, IndexBuilder, Searcher, SlmConfig};
+use lbe_index::{
+    read_index_path_with, ChunkStore, ChunkedIndex, ReadOptions, SearchResult, Searcher, SlmConfig,
+};
 use lbe_spectra::mgf::read_mgf;
 use lbe_spectra::ms2::{read_ms2_path, write_ms2_path};
 use lbe_spectra::mzml::{read_mzml_path, write_mzml_path};
@@ -65,16 +67,24 @@ COMMANDS:
   synth-queries   --db peptides.fasta --out q.ms2 [--n 100] [--seed 7]
                   [--mods none|oxidation|paper] [--format ms2|mzml]
                   generate query spectra with ground truth in the MS2 scan
-  index           --db peptides.fasta --out index.slm
-                  [--mods none|oxidation|paper]
-                  build an SLM fragment-ion index partition
-  search          --index index.slm --queries q.{ms2|mgf|mzML} --out results.tsv
-                  [--top-k 10]
-                  search an index, write a TSV of PSMs
+  index           --db peptides.fasta --out index.lbe
+                  [--mods none|oxidation|paper] [--chunk-size 50000]
+                  build a mass-chunked SLM fragment-ion index and write a
+                  v2 (LBECHK2) container
+  search          --index index.lbe --queries q.{ms2|mgf|mzML} --out results.tsv
+                  [--top-k 10] [--max-resident-chunks 0] [--csv]
+                  search an index (chunked v2 container, or a single-index
+                  LBESLM1/LBESLM2 file), write a TSV (or CSV) of PSMs;
+                  --max-resident-chunks N > 0 caps how many chunks are held
+                  in memory at once (0 = all resident)
   simulate        --db peptides.fasta --queries q.ms2
                   [--ranks 16] [--policy chunk|cyclic|random]
                   [--mods none|oxidation|paper] [--threads-per-rank 1]
-                  run the distributed engine, report times and imbalance
+                  [--spill-dir DIR] [--csv]
+                  run the distributed engine, report times and imbalance;
+                  --spill-dir stores each rank's index on disk (v2) instead
+                  of holding every partition in memory, --csv emits the
+                  report as one machine-readable CSV row
   help            this text
 "
     .to_string()
@@ -272,32 +282,80 @@ fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
 }
 
 fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
-    args.reject_unknown(&["db", "out", "mods"])?;
+    args.reject_unknown(&["db", "out", "mods", "chunk-size"])?;
     let db_path = args.require("db")?;
     let output = args.require("out")?;
+    let chunk_size = args.get_parsed("chunk-size", 50_000usize)?;
+    if chunk_size == 0 {
+        return Err(Box::new(ArgError("--chunk-size must be at least 1".into())));
+    }
     let db = read_peptide_fasta(db_path)?;
     let modspec = parse_mods(args)?;
-    let mut builder = IndexBuilder::new(SlmConfig::default(), modspec);
-    let index = builder.build(&db);
-    write_index_path(output, &index)?;
-    let stats = builder.stats();
+    let index = ChunkedIndex::build(&db, SlmConfig::default(), modspec, chunk_size);
+    index.write_path(output)?;
     writeln!(
         out,
-        "indexed {} peptides -> {} spectra, {} ions ({:.2} MB), wrote {output}",
-        stats.peptides,
-        stats.spectra,
-        stats.ions,
+        "indexed {} peptides -> {} spectra in {} chunk(s) ({:.2} MB), wrote {output}",
+        db.len(),
+        index.num_spectra(),
+        index.num_chunks(),
         index.heap_bytes() as f64 / 1e6
     )?;
     Ok(())
 }
 
+/// Sniffs the 8-byte magic of an index file to pick the open path.
+fn index_file_magic(path: &str) -> Result<[u8; 8], CmdError> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    Ok(magic)
+}
+
+/// Writes the PSM table of one query to the results file.
+fn write_result_rows<W: Write>(
+    sink: &mut W,
+    scan: u32,
+    result: &SearchResult,
+    top_k: usize,
+    sep: char,
+) -> Result<usize, CmdError> {
+    let mut rows = 0;
+    for (rank, p) in result.psms.iter().take(top_k).enumerate() {
+        writeln!(
+            sink,
+            "{scan}{sep}{}{sep}{}{sep}{}{sep}{}{sep}{:.4}",
+            rank + 1,
+            p.peptide,
+            p.modform,
+            p.shared_peaks,
+            p.score
+        )?;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
 fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
-    args.reject_unknown(&["index", "queries", "out", "top-k"])?;
+    args.reject_unknown(&[
+        "index",
+        "queries",
+        "out",
+        "top-k",
+        "max-resident-chunks",
+        "csv",
+    ])?;
     let index_path = args.require("index")?;
     let queries_path = args.require("queries")?;
     let output = args.require("out")?;
-    let index = read_index_path(index_path)?;
+    let csv = args.has("csv");
+    let sep = if csv { ',' } else { '\t' };
+    // 0 = no budget (all chunks resident); N > 0 caps residency.
+    let max_resident = match args.get_parsed("max-resident-chunks", 0usize)? {
+        0 => usize::MAX,
+        n => n,
+    };
     let queries = read_queries(queries_path)?;
     let pre = PreprocessParams::default();
     let queries: Vec<Spectrum> = queries
@@ -308,33 +366,80 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     // The index's own top_k is fixed at build time; the CLI flag clamps
     // the emitted rows.
     let top_k = args.get_parsed("top-k", 10usize)?;
-    let mut searcher = Searcher::new(&index);
-    let mut tsv = std::io::BufWriter::new(std::fs::File::create(output)?);
-    writeln!(tsv, "scan\trank\tpeptide\tmodform\tshared_peaks\tscore")?;
-    let mut total_psms = 0usize;
-    for q in &queries {
-        let r = searcher.search(q);
-        for (rank, p) in r.psms.iter().take(top_k).enumerate() {
-            writeln!(
-                tsv,
-                "{}\t{}\t{}\t{}\t{}\t{:.4}",
-                q.scan,
-                rank + 1,
-                p.peptide,
-                p.modform,
-                p.shared_peaks,
-                p.score
-            )?;
-            total_psms += 1;
-        }
+
+    // Open the index BEFORE creating/truncating the results file: a typo'd
+    // --index must not destroy a previous run's output. The CLI always
+    // runs the full validation scan — index files handed to it are
+    // untrusted input.
+    let opts = ReadOptions {
+        full_validation: true,
+    };
+    enum Backend {
+        Chunked(Box<ChunkStore>),
+        Single(Box<lbe_index::SlmIndex>),
     }
-    tsv.flush()?;
-    writeln!(
-        out,
-        "searched {} spectra against {} indexed spectra, wrote {total_psms} PSMs to {output}",
-        queries.len(),
-        index.num_spectra()
-    )?;
+    let mut backend = if &index_file_magic(index_path)? == lbe_index::io::MAGIC_CHUNKED {
+        Backend::Chunked(Box::new(ChunkStore::open_path_with(
+            index_path,
+            max_resident,
+            &opts,
+        )?))
+    } else {
+        Backend::Single(Box::new(read_index_path_with(index_path, &opts)?))
+    };
+
+    let mut sink = std::io::BufWriter::new(std::fs::File::create(output)?);
+    let header = [
+        "scan",
+        "rank",
+        "peptide",
+        "modform",
+        "shared_peaks",
+        "score",
+    ]
+    .join(&sep.to_string());
+    writeln!(sink, "{header}")?;
+
+    let mut total_psms = 0usize;
+    let (num_indexed, backend) = match &mut backend {
+        Backend::Chunked(store) => {
+            for q in &queries {
+                let r = store.search(q)?;
+                total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
+            }
+            let s = store.stats();
+            (
+                None,
+                format!(
+                    "chunked container ({} chunks, {} faults, {} evictions)",
+                    store.num_chunks(),
+                    s.faults,
+                    s.evictions
+                ),
+            )
+        }
+        Backend::Single(index) => {
+            let mut searcher = Searcher::new(index);
+            for q in &queries {
+                let r = searcher.search(q);
+                total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
+            }
+            (Some(index.num_spectra()), "single index".to_string())
+        }
+    };
+    sink.flush()?;
+    match num_indexed {
+        Some(n) => writeln!(
+            out,
+            "searched {} spectra against {n} indexed spectra ({backend}), wrote {total_psms} PSMs to {output}",
+            queries.len(),
+        )?,
+        None => writeln!(
+            out,
+            "searched {} spectra ({backend}), wrote {total_psms} PSMs to {output}",
+            queries.len(),
+        )?,
+    }
     Ok(())
 }
 
@@ -349,6 +454,8 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "threads-per-rank",
         "gsize",
         "cost-scale",
+        "spill-dir",
+        "csv",
     ])?;
     let db_path = args.require("db")?;
     let queries_path = args.require("queries")?;
@@ -375,7 +482,47 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     cfg.cost = cfg
         .cost
         .scaled_for_index(args.get_parsed("cost-scale", 1.0f64)?);
+    cfg.spill_dir = match args.get("spill-dir") {
+        Some("") => return Err(Box::new(ArgError("--spill-dir needs a directory".into()))),
+        other => other.map(std::path::PathBuf::from),
+    };
+    // Validate the spill directory up front: an unwritable path must be an
+    // ordinary CLI error here, not a panic from inside a rank thread.
+    if let Some(dir) = &cfg.spill_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArgError(format!("--spill-dir {}: {e}", dir.display())))?;
+        let probe = dir.join(".lbe-spill-probe");
+        std::fs::write(&probe, b"").map_err(|e| {
+            ArgError(format!(
+                "--spill-dir {} is not writable: {e}",
+                dir.display()
+            ))
+        })?;
+        std::fs::remove_file(&probe).ok();
+    }
     let report = run_distributed_search(&db, &grouping, &queries, &cfg, ranks);
+
+    if args.has("csv") {
+        // One machine-readable row for the figure harnesses.
+        writeln!(
+            out,
+            "policy,ranks,peptides,indexed_spectra,queries,candidate_psms,\
+             query_time_s,execution_time_s,load_imbalance_pct,wasted_cpu_s"
+        )?;
+        writeln!(
+            out,
+            "{policy},{ranks},{},{},{},{},{:.6},{:.6},{:.3},{:.6}",
+            db.len(),
+            report.index_spectra.iter().sum::<usize>(),
+            queries.len(),
+            report.total_candidates,
+            report.query_time(),
+            report.execution_time(),
+            report.imbalance.load_imbalance_pct(),
+            report.imbalance.wasted_cpu_time(ranks)
+        )?;
+        return Ok(());
+    }
 
     writeln!(out, "policy            : {policy}")?;
     writeln!(out, "ranks             : {ranks}")?;
@@ -471,14 +618,20 @@ mod tests {
         let msg = run(&format!(
             "index --db {} --out {}",
             p("clustered.fasta"),
-            p("idx.slm")
+            p("idx.lbe")
         ))
         .unwrap();
         assert!(msg.contains("indexed"));
+        assert!(msg.contains("chunk(s)"));
+        // The file on disk is a v2 chunked container.
+        assert_eq!(
+            &std::fs::read(p("idx.lbe")).unwrap()[..8],
+            lbe_index::io::MAGIC_CHUNKED
+        );
 
         let msg = run(&format!(
             "search --index {} --queries {} --out {} --top-k 3",
-            p("idx.slm"),
+            p("idx.lbe"),
             p("q.ms2"),
             p("results.tsv")
         ))
@@ -676,6 +829,173 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("none|oxidation|paper"));
+    }
+
+    /// Builds the proteome → peptides → queries → index fixture shared by
+    /// the disk-backed search tests.
+    fn search_fixture(dir: &str) -> impl Fn(&str) -> String {
+        let d = tmpdir(dir);
+        let p = move |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 12 --seed 11",
+            p("p.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("p.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 8 --seed 12",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn search_with_resident_budget_matches_unbounded() {
+        let p = search_fixture("resident_budget");
+        // Small chunks so the container really has several.
+        let msg = run(&format!(
+            "index --db {} --out {} --chunk-size 25",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        assert!(msg.contains("chunk(s)"));
+        run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.lbe"),
+            p("q.ms2"),
+            p("all.tsv")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {} --max-resident-chunks 1",
+            p("i.lbe"),
+            p("q.ms2"),
+            p("one.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("faults"));
+        // Identical result files: residency is invisible in the output.
+        assert_eq!(
+            std::fs::read_to_string(p("all.tsv")).unwrap(),
+            std::fs::read_to_string(p("one.tsv")).unwrap()
+        );
+        assert!(run(&format!(
+            "search --index {} --queries {} --out {} --max-resident-chunks -1",
+            p("i.lbe"),
+            p("q.ms2"),
+            p("bad.tsv")
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn search_csv_output_shape() {
+        let p = search_fixture("csv_search");
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        run(&format!(
+            "search --index {} --queries {} --out {} --csv --top-k 2",
+            p("i.lbe"),
+            p("q.ms2"),
+            p("r.csv")
+        ))
+        .unwrap();
+        let csv = std::fs::read_to_string(p("r.csv")).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "scan,rank,peptide,modform,shared_peaks,score"
+        );
+        let first = lines.next().expect("at least one PSM row");
+        assert_eq!(first.split(',').count(), 6, "row: {first}");
+        // Every data row parses: scan, rank, peptide, modform, shared as
+        // integers; score as a float.
+        for row in csv.lines().skip(1) {
+            let cols: Vec<&str> = row.split(',').collect();
+            assert_eq!(cols.len(), 6, "row: {row}");
+            for c in &cols[..5] {
+                c.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad int {c} in {row}"));
+            }
+            cols[5].parse::<f64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn search_reads_legacy_v1_single_index_files() {
+        let p = search_fixture("legacy_v1");
+        // Write a v1 file directly through the legacy writer.
+        let db = super::read_peptide_fasta(&p("pep.fasta")).unwrap();
+        let idx = lbe_index::IndexBuilder::new(
+            lbe_index::SlmConfig::default(),
+            lbe_bio::mods::ModSpec::none(),
+        )
+        .build(&db);
+        let f = std::fs::File::create(p("old.slm")).unwrap();
+        lbe_index::write_index_v1(f, &idx).unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("old.slm"),
+            p("q.ms2"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("single index"));
+        assert!(std::fs::read_to_string(p("r.tsv")).unwrap().lines().count() > 1);
+    }
+
+    #[test]
+    fn simulate_csv_output_shape_and_spill_dir() {
+        let p = search_fixture("sim_csv");
+        let spill = tmpdir("sim_csv_spill");
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 3 --csv --spill-dir {}",
+            p("pep.fasta"),
+            p("q.ms2"),
+            spill.to_string_lossy()
+        ))
+        .unwrap();
+        let mut lines = msg.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("policy,ranks,peptides,"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), header.split(',').count());
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[0], "cyclic");
+        assert_eq!(cols[1], "3");
+        assert!(cols[6].parse::<f64>().unwrap() > 0.0); // query_time_s
+        assert!(lines.next().is_none(), "csv mode prints exactly two lines");
+        // The spill directory holds one v2 container per rank.
+        for rank in 0..3 {
+            let f = spill.join(format!("rank{rank:04}.slm2"));
+            assert!(f.exists(), "{f:?} missing");
+            assert_eq!(&std::fs::read(&f).unwrap()[..8], lbe_index::io::MAGIC_V2);
+        }
+        std::fs::remove_dir_all(&spill).ok();
+    }
+
+    #[test]
+    fn index_rejects_zero_chunk_size() {
+        let p = search_fixture("zero_chunk");
+        let err = run(&format!(
+            "index --db {} --out {} --chunk-size 0",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("chunk-size"));
     }
 
     #[test]

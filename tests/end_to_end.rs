@@ -200,3 +200,50 @@ fn footprint_overhead_master_only() {
     assert!(total > 0);
     assert!(report.search.mapping_table_bytes > 0);
 }
+
+#[test]
+fn disk_backed_index_is_transparent_end_to_end() {
+    // The full pipeline's database, written as a v2 chunked container and
+    // searched disk-backed with a one-chunk residency budget, must produce
+    // the same results as the in-memory chunked index — across the facade
+    // crate, the storage layer, and the residency layer.
+    let report = demo();
+    let db = &report.db;
+    let dataset = SyntheticDataset::generate(
+        db,
+        &ModSpec::none(),
+        &SyntheticDatasetParams {
+            num_spectra: 12,
+            ..Default::default()
+        },
+        991,
+    );
+    let pre = PreprocessParams::default();
+    let queries: Vec<_> = dataset
+        .spectra
+        .iter()
+        .map(|s| preprocess_spectrum(s, &pre))
+        .collect();
+
+    let chunked = ChunkedIndex::build(db, SlmConfig::default(), ModSpec::none(), 40);
+    assert!(chunked.num_chunks() > 1, "fixture must exercise chunking");
+    let dir = std::env::temp_dir().join("lbe_e2e_disk_backed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e.lbe");
+    chunked.write_path(&path).unwrap();
+
+    let in_memory = chunked.search_batch(&queries);
+
+    // Eagerly reopened (single shared arena) and lazily opened with the
+    // tightest budget: both must be bit-identical to the built index.
+    let reopened = lbe::index::ChunkedIndex::open_path(&path).unwrap();
+    assert_eq!(reopened.search_batch(&queries), in_memory);
+
+    let mut store = lbe::index::ChunkStore::open_path(&path, 1).unwrap();
+    let disk_backed = store.search_batch(&queries).unwrap();
+    assert_eq!(disk_backed, in_memory);
+    assert!(store.num_resident() <= 1);
+    assert!(store.stats().faults > 0);
+
+    std::fs::remove_file(&path).ok();
+}
