@@ -200,6 +200,91 @@ pub fn digest_proteome(proteins: &[Protein], params: &DigestParams) -> Result<Pe
     Ok(PeptideDb::from_vec(out))
 }
 
+/// Streaming digestion: pulls proteins from an iterator one at a time and
+/// yields their peptides, so the protein records are never all resident —
+/// peak memory is one protein plus its digest. Protein indices are assigned
+/// in iteration order, matching [`digest_proteome`] over the same records.
+/// Iteration fuses after the first upstream error.
+pub struct DigestStream<I> {
+    proteins: I,
+    params: DigestParams,
+    /// Peptides of the protein currently being drained.
+    buf: std::vec::IntoIter<Peptide>,
+    next_protein_idx: u32,
+    finished: bool,
+}
+
+/// Starts a streaming digest over `proteins` (typically a
+/// [`crate::fasta::FastaReader`]). Validates `params` up front.
+pub fn digest_stream<I>(
+    proteins: I,
+    params: &DigestParams,
+) -> Result<DigestStream<I::IntoIter>, BioError>
+where
+    I: IntoIterator<Item = Result<Protein, BioError>>,
+{
+    params.validate()?;
+    Ok(DigestStream {
+        proteins: proteins.into_iter(),
+        params: params.clone(),
+        buf: Vec::new().into_iter(),
+        next_protein_idx: 0,
+        finished: false,
+    })
+}
+
+impl<I: Iterator<Item = Result<Protein, BioError>>> Iterator for DigestStream<I> {
+    type Item = Result<Peptide, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(p) = self.buf.next() {
+                return Some(Ok(p));
+            }
+            if self.finished {
+                return None;
+            }
+            let protein = match self.proteins.next() {
+                None => {
+                    self.finished = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(p)) => p,
+            };
+            let idx = self.next_protein_idx;
+            self.next_protein_idx = match idx.checked_add(1) {
+                Some(n) => n,
+                None => {
+                    self.finished = true;
+                    return Some(Err(BioError::InvalidParams(
+                        "proteome exceeds u32 protein indices".into(),
+                    )));
+                }
+            };
+            let mut out = Vec::new();
+            digest_protein_into(&protein, idx, &self.params, &mut out);
+            self.buf = out.into_iter();
+        }
+    }
+}
+
+/// Streams a proteome FASTA file from disk through digestion into a
+/// [`PeptideDb`], without ever holding the protein records (duplicates
+/// *not* removed — see [`crate::dedup`]). Produces a database identical to
+/// `digest_proteome(&read_fasta_path(path)?, params)`.
+pub fn digest_fasta_path(
+    path: impl AsRef<std::path::Path>,
+    params: &DigestParams,
+) -> Result<PeptideDb, BioError> {
+    let stream = digest_stream(crate::fasta::FastaReader::open(path)?, params)?;
+    let peptides: Vec<Peptide> = stream.collect::<Result<_, _>>()?;
+    Ok(PeptideDb::from_vec(peptides))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +497,67 @@ mod tests {
         let one: Vec<_> = db.peptides().iter().filter(|p| p.protein() == 1).collect();
         assert_eq!(zero.len(), 2);
         assert_eq!(one.len(), 2);
+    }
+
+    #[test]
+    fn digest_stream_matches_digest_proteome() {
+        let proteins = vec![
+            Protein::new("a", "MKWVTFISLLFLFSSAYSRK"),
+            Protein::new("b", "AAKCCRDDEEFFK"),
+            Protein::new("c", ""),
+            Protein::new("d", "PEPTIDEKPEPTIDER"),
+        ];
+        let params = DigestParams::default();
+        let eager = digest_proteome(&proteins, &params).unwrap();
+        let streamed: Vec<Peptide> =
+            super::digest_stream(proteins.iter().cloned().map(Ok), &params)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+        assert_eq!(streamed, eager.peptides().to_vec());
+    }
+
+    #[test]
+    fn digest_fasta_path_matches_eager_pipeline() {
+        let dir = std::env::temp_dir().join("lbe_bio_digest_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.fasta");
+        let proteins = vec![
+            Protein::new("sp|P1|A", "MKWVTFISLLFLFSSAYSRK"),
+            Protein::new("sp|P2|B", "AAKCCRDDEEFFKGGHHKLLMMK"),
+        ];
+        crate::fasta::write_fasta_path(&path, &proteins).unwrap();
+        let params = DigestParams::default();
+        let eager =
+            digest_proteome(&crate::fasta::read_fasta_path(&path).unwrap(), &params).unwrap();
+        let streamed = super::digest_fasta_path(&path, &params).unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_stream_validates_params_and_propagates_errors() {
+        let bad = DigestParams {
+            min_len: 0,
+            ..DigestParams::default()
+        };
+        assert!(super::digest_stream(std::iter::empty(), &bad).is_err());
+        // An upstream error surfaces and fuses the stream.
+        let upstream = vec![
+            Ok(Protein::new("a", "AAKCCR")),
+            Err(BioError::InvalidParams("boom".into())),
+            Ok(Protein::new("b", "DDKEER")),
+        ];
+        let mut s = super::digest_stream(upstream, &no_window()).unwrap();
+        let mut saw_err = false;
+        for item in &mut s {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(s.next().is_none());
     }
 
     #[test]

@@ -49,62 +49,110 @@ impl Protein {
     }
 }
 
+/// Streaming FASTA reader: yields one [`Protein`] record at a time,
+/// buffering only the record under construction — a whole-proteome file is
+/// never held in memory. Iteration fuses after the first error.
+pub struct FastaReader<B: BufRead> {
+    src: B,
+    lineno: usize,
+    line: String,
+    current: Option<Protein>,
+    finished: bool,
+}
+
+impl FastaReader<BufReader<std::fs::File>> {
+    /// Opens a FASTA file for streaming.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        Ok(Self::new(BufReader::new(std::fs::File::open(path)?)))
+    }
+}
+
+impl<B: BufRead> FastaReader<B> {
+    /// Streams from an arbitrary buffered reader.
+    pub fn new(src: B) -> Self {
+        FastaReader {
+            src,
+            lineno: 0,
+            line: String::new(),
+            current: None,
+            finished: false,
+        }
+    }
+
+    /// Finalizes a record: strip a single trailing stop codon, common in
+    /// translated databases.
+    fn finish(mut p: Protein) -> Protein {
+        if p.sequence.last() == Some(&b'*') {
+            p.sequence.pop();
+        }
+        p
+    }
+}
+
+impl<B: BufRead> Iterator for FastaReader<B> {
+    type Item = Result<Protein, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.src.read_line(&mut self.line) {
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(0) => {
+                    self.finished = true;
+                    return self.current.take().map(|p| Ok(Self::finish(p)));
+                }
+                Ok(_) => {}
+            }
+            self.lineno += 1;
+            let line = self.line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('>') {
+                let next = Protein {
+                    header: rest.trim().to_string(),
+                    sequence: Vec::new(),
+                };
+                if let Some(p) = self.current.replace(next) {
+                    return Some(Ok(Self::finish(p)));
+                }
+            } else {
+                match self.current.as_mut() {
+                    Some(p) => {
+                        p.sequence.extend(
+                            line.bytes()
+                                .filter(|b| !b.is_ascii_whitespace())
+                                .map(|b| b.to_ascii_uppercase()),
+                        );
+                    }
+                    None => {
+                        self.finished = true;
+                        return Some(Err(BioError::FastaParse {
+                            msg: "sequence data before first '>' header".into(),
+                            line: self.lineno,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Reads all protein records from a FASTA stream.
 ///
 /// Returns an error if the stream contains sequence data before the first
 /// header, or a header with an empty sequence would be silently dropped
-/// (empty-sequence records are kept — callers can filter).
+/// (empty-sequence records are kept — callers can filter). For files too
+/// large to hold, stream with [`FastaReader`] instead — both share one
+/// parsing implementation.
 pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Protein>, BioError> {
-    let reader = BufReader::new(reader);
-    let mut proteins: Vec<Protein> = Vec::new();
-    let mut current: Option<Protein> = None;
-
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('>') {
-            if let Some(p) = current.take() {
-                proteins.push(p);
-            }
-            current = Some(Protein {
-                header: rest.trim().to_string(),
-                sequence: Vec::new(),
-            });
-        } else {
-            match current.as_mut() {
-                Some(p) => {
-                    p.sequence.extend(
-                        line.bytes()
-                            .filter(|b| !b.is_ascii_whitespace())
-                            .map(|b| b.to_ascii_uppercase()),
-                    );
-                }
-                None => {
-                    return Err(BioError::FastaParse {
-                        msg: "sequence data before first '>' header".into(),
-                        line: idx + 1,
-                    })
-                }
-            }
-        }
-    }
-    if let Some(mut p) = current.take() {
-        // Strip a single trailing stop codon, common in translated databases.
-        if p.sequence.last() == Some(&b'*') {
-            p.sequence.pop();
-        }
-        proteins.push(p);
-    }
-    // Strip stop codons on all earlier records too.
-    for p in &mut proteins {
-        if p.sequence.last() == Some(&b'*') {
-            p.sequence.pop();
-        }
-    }
-    Ok(proteins)
+    FastaReader::new(BufReader::new(reader)).collect()
 }
 
 /// Reads a FASTA file from disk.
@@ -223,6 +271,41 @@ mod tests {
         write_fasta_wrapped(&mut buf, &proteins, 0).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let input = ">sp|P1|A desc\nmkwv\nTFIS*\n\n>sp|P2|B\nACDE\n>sp|P3|C\n";
+        let eager = read_fasta(input.as_bytes()).unwrap();
+        let streamed: Vec<Protein> = FastaReader::new(std::io::BufReader::new(input.as_bytes()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[0].sequence, b"MKWVTFIS");
+    }
+
+    #[test]
+    fn streaming_open_reads_from_disk() {
+        let dir = std::env::temp_dir().join("lbe_bio_fasta_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fasta");
+        let proteins = vec![Protein::new("x", "PEPTIDEK"), Protein::new("y", "AAAK")];
+        write_fasta_path(&path, &proteins).unwrap();
+        let streamed: Vec<Protein> = FastaReader::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, proteins);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_error_fuses_iteration() {
+        let input = "MKWV\n>p\nACDE\n";
+        let mut r = FastaReader::new(std::io::BufReader::new(input.as_bytes()));
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
     }
 
     #[test]

@@ -165,6 +165,18 @@ pub struct EngineConfig {
     /// simultaneously. Results are bit-identical to the in-memory run
     /// (tested); spill files are left behind for inspection/reuse.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// When set, each rank **streams its peptide partition** from this
+    /// peptide-per-record FASTA file (record `i` = peptide id `i`, the
+    /// layout of every `lbe digest`/`cluster-db` artifact) instead of
+    /// cloning it out of the shared in-memory database — closing ROADMAP's
+    /// "the FASTA/db pass is still whole-file per rank": a rank's resident
+    /// peptide storage is its own partition, not a second copy carved from
+    /// a whole-proteome pass. The file must contain the same records the
+    /// `db` passed to [`run_distributed_search`] was loaded from; results
+    /// are bit-identical to the in-memory extraction (tested). Mismatched
+    /// files are environment errors and panic with context, like
+    /// [`EngineConfig::spill_dir`].
+    pub stream_db_from: Option<std::path::PathBuf>,
 }
 
 impl EngineConfig {
@@ -180,6 +192,7 @@ impl EngineConfig {
             rank_speeds: None,
             weight_partition_by_speed: false,
             spill_dir: None,
+            stream_db_from: None,
         }
     }
 
@@ -328,15 +341,22 @@ fn rank_program(
     //    and preprocesses the query file (does not scale with p).
     comm.compute(serial_seconds / speed);
 
-    // 2. Extract this rank's partition from the clustered database.
+    // 2. Extract this rank's partition from the clustered database: one
+    //    pass over all N peptides either way (the virtual clock charges
+    //    it), but with `stream_db_from` the pass is a streaming read of
+    //    the on-disk FASTA that keeps only this rank's records — no second
+    //    in-memory copy of peptides that belong to other ranks.
     comm.compute(cfg.cost.per_peptide_extract_s * db.len() as f64 / speed);
-    let local_db: PeptideDb = partition
-        .rank(me)
-        .iter()
-        .map(|&gid| db.get(gid).clone())
-        .collect::<Vec<Peptide>>()
-        .into_iter()
-        .collect();
+    let local_db: PeptideDb = match &cfg.stream_db_from {
+        None => partition
+            .rank(me)
+            .iter()
+            .map(|&gid| db.get(gid).clone())
+            .collect::<Vec<Peptide>>()
+            .into_iter()
+            .collect(),
+        Some(path) => stream_partition_db(path, partition.rank(me), me),
+    };
 
     // 3. Build the partial SLM index (and the mapping table on the master —
     //    its cost is one pass over N ids, folded into extraction above).
@@ -435,6 +455,61 @@ fn rank_program(
         },
         merged,
     )
+}
+
+/// Streams one rank's peptide partition out of a peptide-per-record FASTA
+/// file: record `gid` holds peptide id `gid` (the `lbe` CLI artifact
+/// layout). Only this rank's `|partition|` peptides are ever resident; the
+/// rest of the file flows through the streaming reader one record at a
+/// time. The result preserves partition order, so local ids (and with them
+/// the mapping table) are identical to the in-memory extraction.
+///
+/// I/O or content mismatches here are environment errors (wrong/modified
+/// file), not data-dependent conditions, so — like `spill_dir` failures —
+/// they panic with context rather than silently degrading.
+fn stream_partition_db(path: &std::path::Path, rank_gids: &[u32], me: usize) -> PeptideDb {
+    use std::collections::HashMap;
+    let slot_of: HashMap<u32, usize> = rank_gids
+        .iter()
+        .enumerate()
+        .map(|(slot, &gid)| (gid, slot))
+        .collect();
+    let mut slots: Vec<Option<Peptide>> = vec![None; rank_gids.len()];
+    let reader = lbe_bio::fasta::FastaReader::open(path)
+        .unwrap_or_else(|e| panic!("rank {me}: cannot stream db from {}: {e}", path.display()));
+    let mut filled = 0usize;
+    for (gid, record) in reader.enumerate() {
+        let record = record
+            .unwrap_or_else(|e| panic!("rank {me}: cannot stream db from {}: {e}", path.display()));
+        let Some(&slot) = (gid <= u32::MAX as usize)
+            .then(|| slot_of.get(&(gid as u32)))
+            .flatten()
+        else {
+            continue; // another rank's peptide: never materialized
+        };
+        let p = Peptide::new(&record.sequence, gid as u32, 0).unwrap_or_else(|| {
+            panic!(
+                "rank {me}: record {gid} ({}) in {} contains non-standard residues",
+                record.accession(),
+                path.display()
+            )
+        });
+        slots[slot] = Some(p);
+        filled += 1;
+    }
+    assert_eq!(
+        filled,
+        rank_gids.len(),
+        "rank {me}: {} does not cover this rank's partition ({filled} of {} peptide ids found)",
+        path.display(),
+        rank_gids.len()
+    );
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect::<Vec<Peptide>>()
+        .into_iter()
+        .collect()
 }
 
 /// Master-side merge: translate local ids to global, combine ranks, keep
@@ -750,6 +825,67 @@ mod tests {
             assert_eq!(idx.num_spectra(), r_spill.index_spectra[rank]);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes `db` as the peptide-per-record FASTA the streaming path
+    /// expects (record `i` = peptide id `i`), then reloads it so the
+    /// in-memory db matches the file byte for byte.
+    fn db_on_disk(name: &str) -> (PeptideDb, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("lbe_engine_stream_db_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let records: Vec<lbe_bio::fasta::Protein> = small_db()
+            .iter()
+            .map(|(id, p)| lbe_bio::fasta::Protein::new(format!("pep{id:07}"), p.sequence()))
+            .collect();
+        lbe_bio::fasta::write_fasta_path(&path, &records).unwrap();
+        (crate::ingest::load_peptide_db(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn streamed_partition_db_matches_in_memory_run_exactly() {
+        let (db, path) = db_on_disk("db.fasta");
+        let grouping = group_peptides(&db, &GroupingParams::default());
+        let queries = SyntheticDataset::generate(
+            &db,
+            &ModSpec::none(),
+            &SyntheticDatasetParams {
+                num_spectra: 12,
+                ..Default::default()
+            },
+            5,
+        );
+        let in_mem = EngineConfig::with_policy(PartitionPolicy::Cyclic);
+        let mut streamed = in_mem.clone();
+        streamed.stream_db_from = Some(path.clone());
+        let r_mem = run_distributed_search(&db, &grouping, &queries.spectra, &in_mem, 3);
+        let r_stream = run_distributed_search(&db, &grouping, &queries.spectra, &streamed, 3);
+        // Streaming each rank's partition off disk must be invisible in
+        // the results: same PSMs, counters, and virtual times.
+        assert_eq!(r_mem.psms, r_stream.psms);
+        assert_eq!(r_mem.per_rank_stats, r_stream.per_rank_stats);
+        assert_eq!(r_mem.total_candidates, r_stream.total_candidates);
+        assert_eq!(r_mem.rank_query_times, r_stream.rank_query_times);
+        assert_eq!(r_mem.partition_sizes, r_stream.partition_sizes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover this rank's partition")]
+    fn streamed_partition_db_rejects_truncated_file() {
+        let (db, path) = db_on_disk("truncated.fasta");
+        // Rewrite the file with the last record missing: a partition that
+        // references it can no longer be satisfied. (Exercised directly —
+        // inside a cluster run the panic surfaces as the failing rank's
+        // thread dying, which the barrier turns into a timeout.)
+        let records: Vec<lbe_bio::fasta::Protein> = db
+            .iter()
+            .take(db.len() - 1)
+            .map(|(id, p)| lbe_bio::fasta::Protein::new(format!("pep{id:07}"), p.sequence()))
+            .collect();
+        lbe_bio::fasta::write_fasta_path(&path, &records).unwrap();
+        let all_ids: Vec<u32> = (0..db.len() as u32).collect();
+        stream_partition_db(&path, &all_ids, 0);
     }
 
     #[test]

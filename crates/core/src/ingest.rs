@@ -1,0 +1,186 @@
+//! Streaming ingest of real data files — the bridge between the on-disk
+//! formats (`.fasta` proteomes/peptide databases, `.mgf`/`.ms2`/`.mzML`
+//! query files) and the engine's in-memory inputs.
+//!
+//! Everything here streams: query spectra are preprocessed one at a time as
+//! they come off a [`SpectrumReader`]; peptide databases are built record
+//! by record from a [`FastaReader`]; raw proteomes go through the bounded-
+//! memory [`lbe_bio::digest::digest_stream`] path. Only the outputs that
+//! must be resident (the preprocessed query batch, the peptide database)
+//! are ever held whole.
+
+use lbe_bio::dedup::{dedup_peptides, DedupStats};
+use lbe_bio::digest::DigestParams;
+use lbe_bio::error::BioError;
+use lbe_bio::fasta::FastaReader;
+use lbe_bio::peptide::{Peptide, PeptideDb};
+use lbe_spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe_spectra::reader::{SpectrumFormat, SpectrumReader};
+use lbe_spectra::spectrum::Spectrum;
+use std::path::Path;
+
+fn ingest_err(msg: impl Into<String>) -> BioError {
+    BioError::FastaParse {
+        msg: msg.into(),
+        line: 0,
+    }
+}
+
+/// Counters from one query-file ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Detected file format.
+    pub format: SpectrumFormat,
+    /// Spectra returned (after MS1 skipping, before any downstream filter).
+    pub spectra: usize,
+    /// mzML spectra skipped because their `ms level` cvParam was not 2.
+    pub skipped_non_ms2: usize,
+}
+
+/// Streams a query file of any supported format (autodetected), applying
+/// `preprocess` to each spectrum as it is read — the raw spectrum is
+/// dropped immediately, so peak memory is the *preprocessed* batch plus
+/// one in-flight spectrum.
+pub fn load_queries(
+    path: impl AsRef<Path>,
+    preprocess: &PreprocessParams,
+) -> Result<(Vec<Spectrum>, IngestStats), BioError> {
+    let mut reader = SpectrumReader::open(path)?;
+    let format = reader.format();
+    let mut out = Vec::new();
+    for s in reader.by_ref() {
+        out.push(preprocess_spectrum(&s?, preprocess));
+    }
+    let stats = IngestStats {
+        format,
+        spectra: out.len(),
+        skipped_non_ms2: reader.skipped_non_ms2(),
+    };
+    Ok((out, stats))
+}
+
+/// Builds a peptide per FASTA record, streaming the file: record `i`
+/// becomes peptide id `i` (the convention of every `lbe` CLI artifact —
+/// `digest`/`cluster-db` outputs). Errors on records with non-standard
+/// residues.
+pub fn load_peptide_db(path: impl AsRef<Path>) -> Result<PeptideDb, BioError> {
+    let path = path.as_ref();
+    let mut peptides: Vec<Peptide> = Vec::new();
+    for record in FastaReader::open(path)? {
+        let record = record?;
+        let i = peptides.len();
+        let p = Peptide::new(&record.sequence, i as u32, 0).ok_or_else(|| {
+            ingest_err(format!(
+                "record {} ({}) contains non-standard residues",
+                i,
+                record.accession()
+            ))
+        })?;
+        peptides.push(p);
+    }
+    Ok(PeptideDb::from_vec(peptides))
+}
+
+/// Streams a *raw proteome* FASTA through in-silico digestion and duplicate
+/// removal, producing the same database `digest` + `dedup` build eagerly —
+/// without ever holding the protein records.
+pub fn load_proteome_digested(
+    path: impl AsRef<Path>,
+    params: &DigestParams,
+) -> Result<(PeptideDb, DedupStats), BioError> {
+    let digested = lbe_bio::digest::digest_fasta_path(path, params)?;
+    Ok(dedup_peptides(digested))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbe_bio::fasta::{write_fasta_path, Protein};
+    use lbe_spectra::spectrum::Peak;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lbe_core_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn load_queries_preprocesses_each_format() {
+        let spectra: Vec<Spectrum> = (0..5)
+            .map(|i| {
+                Spectrum::new(
+                    i,
+                    400.0 + f64::from(i),
+                    2,
+                    (0..150)
+                        .map(|k| Peak::new(100.0 + f64::from(k), f32::from(k as u16)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let pre = PreprocessParams::default();
+        let ms2 = tmp("q.ms2");
+        lbe_spectra::write_ms2_path(&ms2, &spectra).unwrap();
+        let mzml = tmp("q.mzML");
+        lbe_spectra::write_mzml_path(&mzml, &spectra).unwrap();
+        for path in [&ms2, &mzml] {
+            let (qs, stats) = load_queries(path, &pre).unwrap();
+            assert_eq!(qs.len(), 5);
+            assert_eq!(stats.spectra, 5);
+            assert_eq!(stats.skipped_non_ms2, 0);
+            // top-100 preprocessing applied.
+            assert!(qs.iter().all(|q| q.peak_count() <= 100));
+        }
+        std::fs::remove_file(&ms2).ok();
+        std::fs::remove_file(&mzml).ok();
+    }
+
+    #[test]
+    fn load_peptide_db_assigns_record_ids() {
+        let path = tmp("pep.fasta");
+        write_fasta_path(
+            &path,
+            &[
+                Protein::new("pep0", "PEPTIDEK"),
+                Protein::new("pep1", "AAAK"),
+            ],
+        )
+        .unwrap();
+        let db = load_peptide_db(&path).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(0).sequence(), b"PEPTIDEK");
+        assert_eq!(db.get(1).protein(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_peptide_db_rejects_nonstandard_residues() {
+        let path = tmp("bad.fasta");
+        write_fasta_path(&path, &[Protein::new("x", "PEPXK")]).unwrap();
+        let err = load_peptide_db(&path).unwrap_err();
+        assert!(err.to_string().contains("non-standard"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_proteome_digested_matches_eager_pipeline() {
+        let path = tmp("prot.fasta");
+        write_fasta_path(
+            &path,
+            &[
+                Protein::new("sp|P1|A", "MKWVTFISLLFLFSSAYSRKAAKCCRDDEEFFK"),
+                Protein::new("sp|P2|B", "PEPTIDEKPEPTIDERSAMPLEK"),
+            ],
+        )
+        .unwrap();
+        let params = DigestParams::default();
+        let eager = {
+            let proteins = lbe_bio::fasta::read_fasta_path(&path).unwrap();
+            let digested = lbe_bio::digest::digest_proteome(&proteins, &params).unwrap();
+            dedup_peptides(digested).0
+        };
+        let (streamed, _) = load_proteome_digested(&path, &params).unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -13,6 +13,8 @@
 //!   table (§III-D, Fig. 4);
 //! * [`engine`] — the distributed build + query orchestration on top of
 //!   `lbe-cluster` (§III-E);
+//! * [`ingest`] — streaming ingest of real data files (FASTA proteomes and
+//!   MGF/MS2/mzML query sets) into the engine's in-memory inputs;
 //! * [`metrics`] — Load Imbalance, wasted CPU time, speedup and efficiency
 //!   calculations used by the paper's evaluation;
 //! * [`pipeline`] — one-call end-to-end runs for examples and the figure
@@ -34,6 +36,7 @@ pub mod distance;
 pub mod engine;
 pub mod fdr;
 pub mod grouping;
+pub mod ingest;
 pub mod mapping;
 pub mod metrics;
 pub mod partition;
@@ -48,6 +51,7 @@ pub use fdr::{accepted_at, compute_q_values, QValued, ScoredId};
 pub use grouping::{
     group_peptides, group_peptides_by_mass, Grouping, GroupingCriterion, GroupingParams,
 };
+pub use ingest::{load_peptide_db, load_proteome_digested, load_queries, IngestStats};
 pub use mapping::MappingTable;
 pub use metrics::{amdahl_speedup, efficiency, lb_speedup_over_chunk, speedup};
 pub use partition::{partition_groups, partition_weighted_cyclic, Partition, PartitionPolicy};

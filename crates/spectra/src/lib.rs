@@ -22,23 +22,51 @@ pub mod mgf;
 pub mod ms2;
 pub mod mzml;
 pub mod preprocess;
+pub mod reader;
 pub mod spectrum;
 pub mod synthetic;
 pub mod theo;
 
-pub use mgf::{read_mgf, write_mgf};
-pub use ms2::{read_ms2, read_ms2_path, write_ms2, write_ms2_path};
-pub use mzml::{read_mzml, read_mzml_path, write_mzml, write_mzml_path};
+pub use mgf::{read_mgf, write_mgf, MgfReader};
+pub use ms2::{read_ms2, read_ms2_path, write_ms2, write_ms2_path, Ms2Reader};
+pub use mzml::{
+    read_mzml, read_mzml_path, read_mzml_with_stats, write_mzml, write_mzml_path, MzmlReadStats,
+    MzmlReader,
+};
 pub use preprocess::{preprocess_spectrum, PreprocessParams};
+pub use reader::{SpectrumFormat, SpectrumReader};
 pub use spectrum::{Peak, Spectrum};
 pub use synthetic::{SyntheticDataset, SyntheticDatasetParams};
 pub use theo::{TheoParams, TheoSpectrum};
+
+/// Shared scan-id auto-allocation: hand out the lowest ids not taken
+/// explicitly anywhere in a file (the MGF `SCANS=` collision fix of PR 2,
+/// reused by the mzML fallback-id path).
+pub(crate) mod scanid {
+    use std::collections::HashSet;
+
+    /// The next free id at or above `*next`, skipping every member of
+    /// `taken`; advances `*next` past the returned id. `None` when the u32
+    /// id space is exhausted.
+    pub fn next_free(next: &mut u64, taken: &HashSet<u32>) -> Option<u32> {
+        while *next <= u64::from(u32::MAX) && taken.contains(&(*next as u32)) {
+            *next += 1;
+        }
+        if *next > u64::from(u32::MAX) {
+            return None;
+        }
+        let id = *next as u32;
+        *next += 1;
+        Some(id)
+    }
+}
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::mgf::{read_mgf, write_mgf};
     pub use crate::ms2::{read_ms2, write_ms2};
     pub use crate::preprocess::{preprocess_spectrum, PreprocessParams};
+    pub use crate::reader::{SpectrumFormat, SpectrumReader};
     pub use crate::spectrum::{Peak, Spectrum};
     pub use crate::synthetic::{SyntheticDataset, SyntheticDatasetParams};
     pub use crate::theo::{TheoParams, TheoSpectrum};

@@ -14,7 +14,178 @@
 
 use crate::spectrum::{Peak, Spectrum};
 use lbe_bio::error::BioError;
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// One parsed `BEGIN IONS` … `END IONS` block: the explicit `SCANS=` id,
+/// if any, and the spectrum (its `scan` field is a placeholder when no
+/// explicit id was present — callers assign the final id).
+type MgfBlock = (Option<u32>, Spectrum);
+
+/// Streaming block-level MGF parser: the single parsing implementation
+/// behind both [`read_mgf`] (eager) and [`MgfReader`] (streaming).
+struct MgfBlocks<B: BufRead> {
+    src: B,
+    lineno: usize,
+    line: String,
+    finished: bool,
+}
+
+impl<B: BufRead> MgfBlocks<B> {
+    fn new(src: B) -> Self {
+        MgfBlocks {
+            src,
+            lineno: 0,
+            line: String::new(),
+            finished: false,
+        }
+    }
+
+    fn err(&mut self, msg: impl Into<String>, line: usize) -> Option<Result<MgfBlock, BioError>> {
+        self.finished = true;
+        Some(Err(BioError::FastaParse {
+            msg: msg.into(),
+            line,
+        }))
+    }
+}
+
+impl<B: BufRead> Iterator for MgfBlocks<B> {
+    type Item = Result<MgfBlock, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let mut in_ions = false;
+        let mut title = String::new();
+        let mut pepmass: f64 = 0.0;
+        let mut charge: u8 = 1;
+        let mut explicit_scan: Option<u32> = None;
+        let mut peaks: Vec<Peak> = Vec::new();
+        loop {
+            self.line.clear();
+            match self.src.read_line(&mut self.line) {
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(0) => {
+                    self.finished = true;
+                    if in_ions {
+                        return self.err("unterminated BEGIN IONS", 0);
+                    }
+                    return None;
+                }
+                Ok(_) => {}
+            }
+            self.lineno += 1;
+            let lineno = self.lineno;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.eq_ignore_ascii_case("BEGIN IONS") {
+                if in_ions {
+                    return self.err("nested BEGIN IONS", lineno);
+                }
+                in_ions = true;
+                continue;
+            }
+            if line.eq_ignore_ascii_case("END IONS") {
+                if !in_ions {
+                    return self.err("END IONS without BEGIN IONS", lineno);
+                }
+                let mut s = Spectrum::new(explicit_scan.unwrap_or(0), pepmass, charge, peaks);
+                s.title = title;
+                return Some(Ok((explicit_scan, s)));
+            }
+            if !in_ions {
+                // Global parameter lines (e.g. COM=, ITOL=) are legal; skip.
+                if line.contains('=') {
+                    continue;
+                }
+                return self.err(
+                    format!("unexpected line outside BEGIN/END IONS: {line:?}"),
+                    lineno,
+                );
+            }
+            if let Some((key, value)) = line.split_once('=') {
+                match key.to_ascii_uppercase().as_str() {
+                    "TITLE" => title = value.trim().to_string(),
+                    "PEPMASS" => {
+                        let first = value.split_whitespace().next().unwrap_or("");
+                        pepmass = match first.parse() {
+                            Ok(v) => v,
+                            Err(_) => return self.err(format!("bad PEPMASS {value:?}"), lineno),
+                        };
+                    }
+                    "CHARGE" => {
+                        // Mascot's multi-charge syntax ("2+ and 3+") lists
+                        // alternatives; take the first (Spectrum carries one
+                        // charge — the MS2 format expresses ambiguity as
+                        // multiple Z lines instead).
+                        let v = value.split_whitespace().next().unwrap_or("");
+                        // `2-` (or `-2`) is negative polarity, not charge 2:
+                        // Spectrum has no polarity representation, so
+                        // silently flipping the sign would corrupt
+                        // downstream m/z → mass arithmetic. Reject it.
+                        if v.contains('-') {
+                            return self.err(
+                                format!(
+                                    "negative-polarity CHARGE {value:?} is not supported \
+                                     (only positive charge states can be represented)"
+                                ),
+                                lineno,
+                            );
+                        }
+                        let v = v.trim_end_matches('+');
+                        charge = match v.parse() {
+                            Ok(c) => c,
+                            Err(_) => return self.err(format!("bad CHARGE {value:?}"), lineno),
+                        };
+                    }
+                    "SCANS" => {
+                        explicit_scan = match value.trim().parse() {
+                            Ok(id) => Some(id),
+                            Err(_) => return self.err(format!("bad SCANS {value:?}"), lineno),
+                        };
+                    }
+                    _ => {} // RTINSECONDS etc.: ignored
+                }
+            } else {
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next()) {
+                    (Some(mz), Some(inten)) => {
+                        let mz: f64 = match mz.parse() {
+                            Ok(v) => v,
+                            Err(_) => return self.err(format!("bad peak m/z {mz:?}"), lineno),
+                        };
+                        let inten: f32 = match inten.parse() {
+                            Ok(v) => v,
+                            Err(_) => {
+                                return self.err(format!("bad peak intensity {inten:?}"), lineno)
+                            }
+                        };
+                        peaks.push(Peak::new(mz, inten));
+                    }
+                    (Some(mz), None) => {
+                        // Intensity-less peaks are legal MGF; assume 1.0.
+                        let mz: f64 = match mz.parse() {
+                            Ok(v) => v,
+                            Err(_) => return self.err(format!("bad peak m/z {mz:?}"), lineno),
+                        };
+                        peaks.push(Peak::new(mz, 1.0));
+                    }
+                    _ => {
+                        unreachable!("split_whitespace on non-empty line yields at least one token")
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Reads spectra from an MGF stream.
 ///
@@ -23,149 +194,20 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// explicit id in the file — mixed files can never collide an auto id with
 /// an explicit one, regardless of which comes first.
 pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
-    let reader = BufReader::new(reader);
     let mut out = Vec::new();
-    let mut in_ions = false;
-    let mut title = String::new();
-    let mut pepmass: f64 = 0.0;
-    let mut charge: u8 = 1;
-    // An explicit `SCANS=` id, when the current block has one.
-    let mut explicit_scan: Option<u32> = None;
-    let mut peaks: Vec<Peak> = Vec::new();
     // Indices into `out` of blocks awaiting an auto-assigned id, and the
     // set of ids taken explicitly somewhere in the file.
     let mut pending_auto: Vec<usize> = Vec::new();
-    let mut explicit_ids: std::collections::HashSet<u32> = std::collections::HashSet::new();
-
-    for (idx, line) in reader.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    let mut explicit_ids: HashSet<u32> = HashSet::new();
+    for block in MgfBlocks::new(BufReader::new(reader)) {
+        let (explicit_scan, s) = block?;
+        match explicit_scan {
+            Some(id) => {
+                explicit_ids.insert(id);
+            }
+            None => pending_auto.push(out.len()),
         }
-        if line.eq_ignore_ascii_case("BEGIN IONS") {
-            if in_ions {
-                return Err(BioError::FastaParse {
-                    msg: "nested BEGIN IONS".into(),
-                    line: lineno,
-                });
-            }
-            in_ions = true;
-            title.clear();
-            pepmass = 0.0;
-            charge = 1;
-            explicit_scan = None;
-            peaks.clear();
-            continue;
-        }
-        if line.eq_ignore_ascii_case("END IONS") {
-            if !in_ions {
-                return Err(BioError::FastaParse {
-                    msg: "END IONS without BEGIN IONS".into(),
-                    line: lineno,
-                });
-            }
-            // Blocks without an explicit SCANS= get their id in the
-            // post-parse pass below, once every explicit id is known.
-            match explicit_scan {
-                Some(id) => {
-                    explicit_ids.insert(id);
-                }
-                None => pending_auto.push(out.len()),
-            }
-            let mut s = Spectrum::new(
-                explicit_scan.unwrap_or(0),
-                pepmass,
-                charge,
-                std::mem::take(&mut peaks),
-            );
-            s.title = std::mem::take(&mut title);
-            out.push(s);
-            in_ions = false;
-            continue;
-        }
-        if !in_ions {
-            // Global parameter lines (e.g. COM=, ITOL=) are legal; skip them.
-            if line.contains('=') {
-                continue;
-            }
-            return Err(BioError::FastaParse {
-                msg: format!("unexpected line outside BEGIN/END IONS: {line:?}"),
-                line: lineno,
-            });
-        }
-        if let Some((key, value)) = line.split_once('=') {
-            match key.to_ascii_uppercase().as_str() {
-                "TITLE" => title = value.trim().to_string(),
-                "PEPMASS" => {
-                    let first = value.split_whitespace().next().unwrap_or("");
-                    pepmass = first.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad PEPMASS {value:?}"),
-                        line: lineno,
-                    })?;
-                }
-                "CHARGE" => {
-                    let v = value.trim();
-                    // `2-` (or `-2`) is negative polarity, not charge 2:
-                    // Spectrum has no polarity representation, so silently
-                    // flipping the sign would corrupt downstream m/z → mass
-                    // arithmetic. Reject it explicitly.
-                    if v.contains('-') {
-                        return Err(BioError::FastaParse {
-                            msg: format!(
-                                "negative-polarity CHARGE {value:?} is not supported \
-                                 (only positive charge states can be represented)"
-                            ),
-                            line: lineno,
-                        });
-                    }
-                    let v = v.trim_end_matches('+');
-                    charge = v.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad CHARGE {value:?}"),
-                        line: lineno,
-                    })?;
-                }
-                "SCANS" => {
-                    let scan: u32 = value.trim().parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad SCANS {value:?}"),
-                        line: lineno,
-                    })?;
-                    explicit_scan = Some(scan);
-                }
-                _ => {} // RTINSECONDS etc.: ignored
-            }
-        } else {
-            let mut it = line.split_whitespace();
-            match (it.next(), it.next()) {
-                (Some(mz), Some(inten)) => {
-                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad peak m/z {mz:?}"),
-                        line: lineno,
-                    })?;
-                    let inten: f32 = inten.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad peak intensity {inten:?}"),
-                        line: lineno,
-                    })?;
-                    peaks.push(Peak::new(mz, inten));
-                }
-                (Some(mz), None) => {
-                    // Intensity-less peaks are legal MGF; assume 1.0.
-                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad peak m/z {mz:?}"),
-                        line: lineno,
-                    })?;
-                    peaks.push(Peak::new(mz, 1.0));
-                }
-                _ => unreachable!("split_whitespace on non-empty line yields at least one token"),
-            }
-        }
-    }
-    if in_ions {
-        return Err(BioError::FastaParse {
-            msg: "unterminated BEGIN IONS".into(),
-            line: 0,
-        });
+        out.push(s);
     }
 
     // Post-parse pass: hand out auto ids from 0 upward, skipping every
@@ -173,19 +215,144 @@ pub fn read_mgf<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
     // block).
     let mut next: u64 = 0;
     for i in pending_auto {
-        while next <= u64::from(u32::MAX) && explicit_ids.contains(&(next as u32)) {
-            next += 1;
-        }
-        if next > u64::from(u32::MAX) {
-            return Err(BioError::FastaParse {
+        let id = crate::scanid::next_free(&mut next, &explicit_ids).ok_or_else(|| {
+            BioError::FastaParse {
                 msg: "scan id space exhausted while auto-numbering".into(),
                 line: 0,
-            });
-        }
-        out[i].scan = next as u32;
-        next += 1;
+            }
+        })?;
+        out[i].scan = id;
     }
     Ok(out)
+}
+
+/// Pre-scan pass of [`MgfReader`]: the explicit `SCANS=` ids of the file.
+/// Mirrors the parser's semantics — a block with several `SCANS=` lines
+/// keeps only the **last** one, so only that id is "taken". Structure is
+/// not validated here; the parsing pass reports errors with line numbers.
+fn prescan_scan_ids<B: BufRead>(src: B) -> Result<HashSet<u32>, BioError> {
+    let mut ids = HashSet::new();
+    let mut in_ions = false;
+    // The last parseable SCANS= of the current block (last-wins, like the
+    // parser); committed at END IONS.
+    let mut current: Option<u32> = None;
+    for line in src.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.eq_ignore_ascii_case("BEGIN IONS") {
+            in_ions = true;
+            current = None;
+        } else if line.eq_ignore_ascii_case("END IONS") {
+            if let Some(id) = current.take() {
+                ids.insert(id);
+            }
+            in_ions = false;
+        } else if in_ions {
+            if let Some((key, value)) = line.split_once('=') {
+                if key.eq_ignore_ascii_case("SCANS") {
+                    if let Ok(id) = value.trim().parse::<u32>() {
+                        current = Some(id);
+                    }
+                }
+            }
+        }
+    }
+    Ok(ids)
+}
+
+/// Streaming MGF reader: yields one [`Spectrum`] at a time, buffering only
+/// the current block. Iteration fuses after the first error.
+pub struct MgfReader<B: BufRead> {
+    blocks: MgfBlocks<B>,
+    taken_ids: HashSet<u32>,
+    next_auto: u64,
+    /// Deferred pre-scan source ([`MgfReader::open`] only): consumed by a
+    /// whole-file id scan the first time a block without `SCANS=` needs an
+    /// auto id. Files where every block carries an id stream in a single
+    /// pass.
+    prescan_path: Option<std::path::PathBuf>,
+    finished: bool,
+}
+
+impl MgfReader<BufReader<std::fs::File>> {
+    /// Opens an MGF file for streaming. Blocks without an explicit
+    /// `SCANS=` get exactly the ids the eager [`read_mgf`] assigns (lowest
+    /// free, avoiding every explicit id anywhere in the file) — gathered
+    /// by a lazy pre-scan pass that only runs if such a block is actually
+    /// encountered, so the common all-ids file is read once.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        let path = path.as_ref();
+        let mut reader =
+            Self::from_reader(BufReader::new(std::fs::File::open(path)?), HashSet::new());
+        reader.prescan_path = Some(path.to_path_buf());
+        Ok(reader)
+    }
+}
+
+impl<B: BufRead> MgfReader<B> {
+    /// Streams from an arbitrary reader. `known_ids` seeds the set of ids
+    /// that auto-assignment must avoid; pass the file's full explicit-id
+    /// set for eager-identical numbering (what [`MgfReader::open`] gathers
+    /// with its lazy pre-scan).
+    pub fn from_reader(src: B, known_ids: HashSet<u32>) -> Self {
+        MgfReader {
+            blocks: MgfBlocks::new(src),
+            taken_ids: known_ids,
+            next_auto: 0,
+            prescan_path: None,
+            finished: false,
+        }
+    }
+}
+
+impl<B: BufRead> Iterator for MgfReader<B> {
+    type Item = Result<Spectrum, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let (explicit_scan, mut s) = match self.blocks.next()? {
+            Ok(b) => b,
+            Err(e) => {
+                self.finished = true;
+                return Some(Err(e));
+            }
+        };
+        match explicit_scan {
+            Some(id) => {
+                self.taken_ids.insert(id);
+                s.scan = id;
+            }
+            None => {
+                // First auto id needed: collect the file's explicit ids so
+                // autos can never collide with one appearing later.
+                if let Some(path) = self.prescan_path.take() {
+                    let scanned = std::fs::File::open(&path)
+                        .map_err(BioError::from)
+                        .and_then(|f| prescan_scan_ids(BufReader::new(f)));
+                    match scanned {
+                        Ok(ids) => self.taken_ids.extend(ids),
+                        Err(e) => {
+                            self.finished = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                match crate::scanid::next_free(&mut self.next_auto, &self.taken_ids) {
+                    Some(id) => s.scan = id,
+                    None => {
+                        self.finished = true;
+                        return Some(Err(BioError::FastaParse {
+                            msg: "scan id space exhausted while auto-numbering".into(),
+                            line: 0,
+                        }));
+                    }
+                }
+            }
+        }
+        Some(Ok(s))
+    }
 }
 
 /// Writes spectra as MGF.
@@ -243,7 +410,8 @@ mod tests {
 
     #[test]
     fn charge_suffix_variants() {
-        for (text, expect) in [("2+", 2u8), ("3", 3), ("1+", 1)] {
+        // Includes Mascot's multi-charge list syntax: first charge wins.
+        for (text, expect) in [("2+", 2u8), ("3", 3), ("1+", 1), ("2+ and 3+", 2)] {
             let input = format!("BEGIN IONS\nPEPMASS=400\nCHARGE={text}\n100 1\nEND IONS\n");
             let s = read_mgf(input.as_bytes()).unwrap();
             assert_eq!(s[0].charge, expect, "{text}");
@@ -321,6 +489,61 @@ mod tests {
                      BEGIN IONS\nPEPMASS=2\nEND IONS\n";
         let s = read_mgf(input.as_bytes()).unwrap();
         assert_eq!((s[0].scan, s[1].scan), (0, 1));
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_mixed_ids() {
+        // Explicit ids 7 and 2 interleaved with auto blocks: the streaming
+        // reader's pre-scan must reproduce the eager assignment exactly.
+        let input = "BEGIN IONS\nPEPMASS=1\nSCANS=7\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=2\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=3\nSCANS=2\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=4\nEND IONS\n";
+        let dir = std::env::temp_dir().join("lbe_mgf_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.mgf");
+        std::fs::write(&path, input).unwrap();
+        let eager = read_mgf(input.as_bytes()).unwrap();
+        let streamed: Vec<Spectrum> = MgfReader::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_matches_eager_when_block_overrides_scans() {
+        // Two SCANS= lines in one block: the parser keeps the LAST (7), so
+        // only 7 is taken and the auto block gets 0. The pre-scan must use
+        // the same last-wins rule — treating the overridden 0 as taken
+        // would shift the auto id to 1 and diverge from the eager reader.
+        let input = "BEGIN IONS\nPEPMASS=1\nSCANS=0\nSCANS=7\nEND IONS\n\
+                     BEGIN IONS\nPEPMASS=2\nEND IONS\n";
+        let dir = std::env::temp_dir().join("lbe_mgf_override_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("override.mgf");
+        std::fs::write(&path, input).unwrap();
+        let eager = read_mgf(input.as_bytes()).unwrap();
+        assert_eq!(eager.iter().map(|s| s.scan).collect::<Vec<_>>(), vec![7, 0]);
+        let streamed: Vec<Spectrum> = MgfReader::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_error_fuses_iteration() {
+        let input = "BEGIN IONS\nPEPMASS=1\nEND IONS\nstray\n";
+        let mut r = MgfReader::from_reader(
+            std::io::BufReader::new(input.as_bytes()),
+            std::collections::HashSet::new(),
+        );
+        assert!(r.next().unwrap().is_ok());
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
     }
 
     #[test]

@@ -20,108 +20,174 @@ use lbe_bio::error::BioError;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Streaming MS2 reader: yields one [`Spectrum`] at a time, buffering only
+/// the current `S` record (plus its pending multi-`Z` expansion).
+/// Iteration fuses after the first error.
+pub struct Ms2Reader<B: BufRead> {
+    src: B,
+    lineno: usize,
+    line: String,
+    // Current S record state.
+    scan: u32,
+    precursor_mz: f64,
+    charges: Vec<u8>,
+    peaks: Vec<Peak>,
+    have_scan: bool,
+    /// Spectra flushed from a completed S record, not yet yielded (one per
+    /// `Z` line).
+    pending: std::collections::VecDeque<Spectrum>,
+    finished: bool,
+}
+
+impl Ms2Reader<BufReader<std::fs::File>> {
+    /// Opens an MS2 file for streaming.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        Ok(Self::new(BufReader::new(std::fs::File::open(path)?)))
+    }
+}
+
+impl<B: BufRead> Ms2Reader<B> {
+    /// Streams from an arbitrary buffered reader.
+    pub fn new(src: B) -> Self {
+        Ms2Reader {
+            src,
+            lineno: 0,
+            line: String::new(),
+            scan: 0,
+            precursor_mz: 0.0,
+            charges: Vec::new(),
+            peaks: Vec::new(),
+            have_scan: false,
+            pending: std::collections::VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    fn err(&mut self, msg: impl Into<String>, line: usize) -> Option<Result<Spectrum, BioError>> {
+        self.finished = true;
+        Some(Err(BioError::FastaParse {
+            msg: msg.into(),
+            line,
+        }))
+    }
+
+    /// Completes the current S record into `pending`.
+    fn flush(&mut self) {
+        if self.charges.is_empty() {
+            // No Z line: assume 1+ (rare, but files exist).
+            self.charges.push(1);
+        }
+        for &z in &self.charges {
+            self.pending.push_back(Spectrum::new(
+                self.scan,
+                self.precursor_mz,
+                z,
+                self.peaks.clone(),
+            ));
+        }
+        self.charges.clear();
+        self.peaks.clear();
+    }
+}
+
+impl<B: BufRead> Iterator for Ms2Reader<B> {
+    type Item = Result<Spectrum, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(s) = self.pending.pop_front() {
+                return Some(Ok(s));
+            }
+            if self.finished {
+                return None;
+            }
+            self.line.clear();
+            match self.src.read_line(&mut self.line) {
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(0) => {
+                    self.finished = true;
+                    if self.have_scan {
+                        self.have_scan = false;
+                        self.flush();
+                    }
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            self.lineno += 1;
+            let lineno = self.lineno;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('H') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('S') {
+                let mut it = rest.split_whitespace();
+                let first = match it.next() {
+                    Some(f) => f,
+                    None => return self.err("S line missing scan number", lineno),
+                };
+                let scan: u32 = match first.parse() {
+                    Ok(s) => s,
+                    Err(_) => return self.err(format!("bad scan number {first:?}"), lineno),
+                };
+                let _scan_end = it.next();
+                let mz = match it.next() {
+                    Some(m) => m,
+                    None => return self.err("S line missing precursor m/z", lineno),
+                };
+                let precursor_mz: f64 = match mz.parse() {
+                    Ok(m) => m,
+                    Err(_) => return self.err(format!("bad precursor m/z {mz:?}"), lineno),
+                };
+                if self.have_scan {
+                    self.flush();
+                }
+                self.scan = scan;
+                self.precursor_mz = precursor_mz;
+                self.have_scan = true;
+            } else if let Some(rest) = line.strip_prefix('Z') {
+                let mut it = rest.split_whitespace();
+                let z = match it.next() {
+                    Some(z) => z,
+                    None => return self.err("Z line missing charge", lineno),
+                };
+                let z: u8 = match z.parse() {
+                    Ok(z) => z,
+                    Err(_) => return self.err(format!("bad charge {z:?}"), lineno),
+                };
+                self.charges.push(z);
+            } else {
+                if !self.have_scan {
+                    return self.err("peak line before first S record", lineno);
+                }
+                let mut it = line.split_whitespace();
+                match (it.next(), it.next()) {
+                    (Some(mz), Some(inten)) => {
+                        let mz: f64 = match mz.parse() {
+                            Ok(v) => v,
+                            Err(_) => return self.err(format!("bad peak m/z {mz:?}"), lineno),
+                        };
+                        let inten: f32 = match inten.parse() {
+                            Ok(v) => v,
+                            Err(_) => {
+                                return self.err(format!("bad peak intensity {inten:?}"), lineno)
+                            }
+                        };
+                        self.peaks.push(Peak::new(mz, inten));
+                    }
+                    _ => return self.err(format!("malformed peak line {line:?}"), lineno),
+                }
+            }
+        }
+    }
+}
+
 /// Reads spectra from an MS2 stream.
 pub fn read_ms2<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
-    let reader = BufReader::new(reader);
-    let mut out: Vec<Spectrum> = Vec::new();
-    // Current S record state.
-    let mut scan: u32 = 0;
-    let mut precursor_mz: f64 = 0.0;
-    let mut charges: Vec<u8> = Vec::new();
-    let mut peaks: Vec<Peak> = Vec::new();
-    let mut have_scan = false;
-
-    let flush = |scan: u32,
-                 precursor_mz: f64,
-                 charges: &mut Vec<u8>,
-                 peaks: &mut Vec<Peak>,
-                 out: &mut Vec<Spectrum>| {
-        if charges.is_empty() {
-            // No Z line: assume 1+ (rare, but files exist).
-            charges.push(1);
-        }
-        for &z in charges.iter() {
-            out.push(Spectrum::new(scan, precursor_mz, z, peaks.clone()));
-        }
-        charges.clear();
-        peaks.clear();
-    };
-
-    for (idx, line) in reader.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('H') {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('S') {
-            if have_scan {
-                flush(scan, precursor_mz, &mut charges, &mut peaks, &mut out);
-            }
-            let mut it = rest.split_whitespace();
-            let first = it.next().ok_or_else(|| BioError::FastaParse {
-                msg: "S line missing scan number".into(),
-                line: lineno,
-            })?;
-            scan = first.parse().map_err(|_| BioError::FastaParse {
-                msg: format!("bad scan number {first:?}"),
-                line: lineno,
-            })?;
-            let _scan_end = it.next();
-            let mz = it.next().ok_or_else(|| BioError::FastaParse {
-                msg: "S line missing precursor m/z".into(),
-                line: lineno,
-            })?;
-            precursor_mz = mz.parse().map_err(|_| BioError::FastaParse {
-                msg: format!("bad precursor m/z {mz:?}"),
-                line: lineno,
-            })?;
-            have_scan = true;
-        } else if let Some(rest) = line.strip_prefix('Z') {
-            let mut it = rest.split_whitespace();
-            let z = it.next().ok_or_else(|| BioError::FastaParse {
-                msg: "Z line missing charge".into(),
-                line: lineno,
-            })?;
-            let z: u8 = z.parse().map_err(|_| BioError::FastaParse {
-                msg: format!("bad charge {z:?}"),
-                line: lineno,
-            })?;
-            charges.push(z);
-        } else {
-            if !have_scan {
-                return Err(BioError::FastaParse {
-                    msg: "peak line before first S record".into(),
-                    line: lineno,
-                });
-            }
-            let mut it = line.split_whitespace();
-            let (mz, inten) = (it.next(), it.next());
-            match (mz, inten) {
-                (Some(mz), Some(inten)) => {
-                    let mz: f64 = mz.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad peak m/z {mz:?}"),
-                        line: lineno,
-                    })?;
-                    let inten: f32 = inten.parse().map_err(|_| BioError::FastaParse {
-                        msg: format!("bad peak intensity {inten:?}"),
-                        line: lineno,
-                    })?;
-                    peaks.push(Peak::new(mz, inten));
-                }
-                _ => {
-                    return Err(BioError::FastaParse {
-                        msg: format!("malformed peak line {line:?}"),
-                        line: lineno,
-                    })
-                }
-            }
-        }
-    }
-    if have_scan {
-        flush(scan, precursor_mz, &mut charges, &mut peaks, &mut out);
-    }
-    Ok(out)
+    Ms2Reader::new(BufReader::new(reader)).collect()
 }
 
 /// Reads an MS2 file from disk.
@@ -223,6 +289,39 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         assert!(read_ms2("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let dir = std::env::temp_dir().join("lbe_ms2_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.ms2");
+        write_ms2_path(&path, &sample()).unwrap();
+        let eager = read_ms2_path(&path).unwrap();
+        let streamed: Vec<Spectrum> = Ms2Reader::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_expands_multi_z_records() {
+        let input = "S\t3\t3\t450.5\nZ\t2\t900.0\nZ\t3\t1350.0\n100.0 1.0\n";
+        let streamed: Vec<Spectrum> = Ms2Reader::new(std::io::BufReader::new(input.as_bytes()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, read_ms2(input.as_bytes()).unwrap());
+        assert_eq!(streamed.len(), 2);
+    }
+
+    #[test]
+    fn streaming_error_fuses_iteration() {
+        let input = "S\t1\t1\t450.5\n100.0 1.0\nS\tbad\t2\t500.0\n";
+        let mut r = Ms2Reader::new(std::io::BufReader::new(input.as_bytes()));
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
     }
 
     #[test]

@@ -6,14 +6,29 @@
 //! m/z, 32-bit intensity). The reader is a tolerant scanning parser that
 //! extracts exactly what a search engine needs — precursor m/z, charge,
 //! scan id, and the two binary arrays — from files produced by this writer
-//! or by msconvert with default (no-compression) settings.
+//! or by msconvert with default (no-compression) settings:
+//!
+//! - binary precision is taken from each array's cvParam (`MS:1000523` =
+//!   64-bit float, `MS:1000521` = 32-bit float), defaulting to msconvert's
+//!   64-bit m/z + 32-bit intensity when neither is declared;
+//! - spectra whose `ms level` cvParam (`MS:1000511`) is not 2 — MS1 survey
+//!   scans in a default msconvert conversion — are skipped and counted,
+//!   not treated as file-level errors;
+//! - spectra without a parseable scan id get the lowest ids not taken
+//!   explicitly anywhere in the file (never colliding with explicit ids).
+//!
+//! Two entry points: the eager [`read_mzml`] / [`read_mzml_with_stats`]
+//! (whole file in memory), and the streaming [`MzmlReader`] — a
+//! bounded-memory pull parser whose peak buffering is one `<spectrum>`
+//! block plus one I/O chunk, for files that do not fit in RAM.
 //!
 //! Not supported (by design, documented): zlib-compressed arrays, numpress,
-//! chromatograms, MS1 spectra filtering (everything with arrays is read).
+//! chromatograms.
 
 use crate::base64;
 use crate::spectrum::{Peak, Spectrum};
 use lbe_bio::error::BioError;
+use std::collections::HashSet;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
@@ -67,10 +82,13 @@ pub fn write_mzml<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioEr
             ("MS:1000514", "m/z array", "MS:1000523", &mz_bytes),
             ("MS:1000515", "intensity array", "MS:1000521", &int_bytes),
         ] {
+            // Encode once; `encodedLength` and the payload are the same
+            // string (the old code base64-encoded every array twice).
+            let payload = base64::encode(data);
             writeln!(
                 w,
                 r#"          <binaryDataArray encodedLength="{}">"#,
-                base64::encode(data).len()
+                payload.len()
             )?;
             writeln!(
                 w,
@@ -84,11 +102,7 @@ pub fn write_mzml<W: Write>(writer: W, spectra: &[Spectrum]) -> Result<(), BioEr
                 w,
                 r#"            <cvParam cvRef="MS" accession="{accession}" name="{name}"/>"#
             )?;
-            writeln!(
-                w,
-                r#"            <binary>{}</binary>"#,
-                base64::encode(data)
-            )?;
+            writeln!(w, r#"            <binary>{payload}</binary>"#)?;
             writeln!(w, r#"          </binaryDataArray>"#)?;
         }
         writeln!(w, r#"        </binaryDataArrayList>"#)?;
@@ -134,95 +148,481 @@ fn attr<'a>(tag: &'a str, name: &str) -> Option<&'a str> {
     Some(&tag[pos..end])
 }
 
-/// Reads spectra from an mzML stream (this crate's subset — see module docs).
-pub fn read_mzml<R: Read>(mut reader: R) -> Result<Vec<Spectrum>, BioError> {
+/// Scan id from a `<spectrum ...>` open tag: `id="scan=N"` (ours /
+/// msconvert, possibly with leading controller fields) or the `index`
+/// attribute. `None` when neither parses — the block then gets an
+/// auto-assigned id that avoids every explicit id in the file.
+fn scan_of_tag(tag: &str) -> Option<u32> {
+    attr(tag, "id")
+        .and_then(|id| id.rsplit('=').next())
+        .and_then(|n| n.parse().ok())
+        .or_else(|| attr(tag, "index").and_then(|n| n.parse().ok()))
+}
+
+/// Decodes an uncompressed little-endian float array at the declared
+/// precision, widening 32-bit values to `f64`.
+fn decode_float_array(
+    bytes: &[u8],
+    f64bit: bool,
+    what: &str,
+    scan_desc: &str,
+) -> Result<Vec<f64>, BioError> {
+    if f64bit {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(parse_err(format!(
+                "spectrum {scan_desc}: 64-bit {what} array not a multiple of 8 bytes"
+            )));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    } else {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(parse_err(format!(
+                "spectrum {scan_desc}: 32-bit {what} array not a multiple of 4 bytes"
+            )));
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f64::from(f32::from_le_bytes(c.try_into().expect("chunk of 4"))))
+            .collect())
+    }
+}
+
+/// One parsed `<spectrum>` block.
+struct ParsedBlock {
+    /// Scan id parsed from the open tag, when present.
+    explicit_scan: Option<u32>,
+    /// The spectrum, or `None` when the block was skipped (non-MS2 scan).
+    /// The spectrum's `scan` field is a placeholder; callers assign it.
+    spectrum: Option<Spectrum>,
+}
+
+/// Parses one spectrum block: the text from `<spectrum ` up to (not
+/// including) `</spectrum>`. Shared by the eager and streaming readers so
+/// both decode byte-identically.
+fn parse_spectrum_block(block: &str) -> Result<ParsedBlock, BioError> {
+    let tag_end = block
+        .find('>')
+        .ok_or_else(|| parse_err("unterminated <spectrum> tag"))?;
+    let spec_tag = &block[..tag_end];
+    let explicit_scan = scan_of_tag(spec_tag);
+    let scan_desc = match explicit_scan {
+        Some(s) => format!("scan={s}"),
+        None => "scan=?".to_string(),
+    };
+
+    // MS1 survey scans (and MS3+) carry no usable selected-ion precursor;
+    // a default msconvert conversion interleaves them with the MS2 scans a
+    // search engine wants. Skip them instead of failing the whole file.
+    // A missing `ms level` cvParam is treated as MS2 (tolerant).
+    if let Some(level) = cv_value(block, "MS:1000511") {
+        if level.trim() != "2" {
+            return Ok(ParsedBlock {
+                explicit_scan,
+                spectrum: None,
+            });
+        }
+    }
+
+    let precursor_mz: f64 = cv_value(block, "MS:1000744")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| parse_err(format!("spectrum {scan_desc}: no selected ion m/z")))?;
+    let charge: u8 = cv_value(block, "MS:1000041")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // The two binary arrays: identify each by its array-type accession and
+    // honor its declared precision (MS:1000523 = 64-bit, MS:1000521 =
+    // 32-bit). A 64-bit intensity array also passes a `% 4` length check,
+    // so precision must come from the cvParams, never be assumed.
+    let mut mzs: Option<Vec<f64>> = None;
+    let mut intensities: Option<Vec<f32>> = None;
+    let mut arr_cursor = tag_end;
+    while let Some((arr_block, next)) =
+        between(block, "<binaryDataArray", "</binaryDataArray>", arr_cursor)
+    {
+        arr_cursor = next;
+        let (payload, _) = between(arr_block, "<binary>", "</binary>", 0)
+            .ok_or_else(|| parse_err("binaryDataArray without <binary>"))?;
+        let bytes =
+            base64::decode(payload).ok_or_else(|| parse_err("invalid base64 in binary array"))?;
+        let is_mz = arr_block.contains(r#"accession="MS:1000514""#);
+        let is_intensity = arr_block.contains(r#"accession="MS:1000515""#);
+        if !is_mz && !is_intensity {
+            continue; // charge/noise arrays etc.: ignored
+        }
+        let wide = arr_block.contains(r#"accession="MS:1000523""#);
+        let narrow = arr_block.contains(r#"accession="MS:1000521""#);
+        let what = if is_mz { "m/z" } else { "intensity" };
+        let f64bit = match (wide, narrow) {
+            (true, true) => {
+                return Err(parse_err(format!(
+                    "spectrum {scan_desc}: {what} array declares both 64-bit and 32-bit precision"
+                )))
+            }
+            (true, false) => true,
+            (false, true) => false,
+            // No precision cvParam: msconvert's defaults.
+            (false, false) => is_mz,
+        };
+        let values = decode_float_array(&bytes, f64bit, what, &scan_desc)?;
+        if is_mz {
+            mzs = Some(values);
+        } else {
+            intensities = Some(values.into_iter().map(|v| v as f32).collect());
+        }
+    }
+    let mzs = mzs.ok_or_else(|| parse_err(format!("spectrum {scan_desc}: no m/z array")))?;
+    let intensities = intensities
+        .ok_or_else(|| parse_err(format!("spectrum {scan_desc}: no intensity array")))?;
+    if mzs.len() != intensities.len() {
+        return Err(parse_err(format!(
+            "spectrum {scan_desc}: array length mismatch ({} vs {})",
+            mzs.len(),
+            intensities.len()
+        )));
+    }
+    let peaks: Vec<Peak> = mzs
+        .into_iter()
+        .zip(intensities)
+        .map(|(m, i)| Peak::new(m, i))
+        .collect();
+    Ok(ParsedBlock {
+        explicit_scan,
+        spectrum: Some(Spectrum::new(
+            explicit_scan.unwrap_or(0),
+            precursor_mz,
+            charge,
+            peaks,
+        )),
+    })
+}
+
+/// Counters from one mzML read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MzmlReadStats {
+    /// MS2 spectra returned.
+    pub spectra: usize,
+    /// Spectra skipped because their `ms level` cvParam was not 2.
+    pub skipped_non_ms2: usize,
+}
+
+/// Reads spectra from an mzML stream (this crate's subset — see module
+/// docs), returning skip counters alongside the spectra.
+pub fn read_mzml_with_stats<R: Read>(
+    mut reader: R,
+) -> Result<(Vec<Spectrum>, MzmlReadStats), BioError> {
     let mut text = String::new();
     reader.read_to_string(&mut text)?;
     let mut out = Vec::new();
+    let mut explicit_ids: HashSet<u32> = HashSet::new();
+    let mut pending_auto: Vec<usize> = Vec::new();
+    let mut skipped = 0usize;
     let mut cursor = 0usize;
 
     while let Some(spec_open) = text[cursor..].find("<spectrum ") {
         let spec_start = cursor + spec_open;
-        let tag_end = text[spec_start..]
-            .find('>')
-            .ok_or_else(|| parse_err("unterminated <spectrum> tag"))?
-            + spec_start;
-        let spec_tag = &text[spec_start..tag_end];
-        let close = text[tag_end..]
+        let close = text[spec_start..]
             .find("</spectrum>")
             .ok_or_else(|| parse_err("missing </spectrum>"))?
-            + tag_end;
+            + spec_start;
         let block = &text[spec_start..close];
         cursor = close + "</spectrum>".len();
 
-        // Scan id: from id="scan=N" (ours / msconvert) or index attr.
-        let scan: u32 = attr(spec_tag, "id")
-            .and_then(|id| id.rsplit('=').next())
-            .and_then(|n| n.parse().ok())
-            .or_else(|| attr(spec_tag, "index").and_then(|n| n.parse().ok()))
-            .unwrap_or(out.len() as u32);
-
-        let precursor_mz: f64 = cv_value(block, "MS:1000744")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| parse_err(format!("spectrum scan={scan}: no selected ion m/z")))?;
-        let charge: u8 = cv_value(block, "MS:1000041")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1);
-
-        // The two binary arrays: identify each by its array-type accession.
-        let mut mzs: Option<Vec<f64>> = None;
-        let mut intensities: Option<Vec<f32>> = None;
-        let mut arr_cursor = 0usize;
-        while let Some((arr_block, next)) =
-            between(block, "<binaryDataArray", "</binaryDataArray>", arr_cursor)
-        {
-            arr_cursor = next;
-            let (payload, _) = between(arr_block, "<binary>", "</binary>", 0)
-                .ok_or_else(|| parse_err("binaryDataArray without <binary>"))?;
-            let bytes = base64::decode(payload)
-                .ok_or_else(|| parse_err("invalid base64 in binary array"))?;
-            if arr_block.contains(r#"accession="MS:1000514""#) {
-                // m/z: 64-bit little-endian floats.
-                if bytes.len() % 8 != 0 {
-                    return Err(parse_err("m/z array not a multiple of 8 bytes"));
+        let parsed = parse_spectrum_block(block)?;
+        // Every explicit id in the file — including skipped MS1 scans' —
+        // is off-limits to auto-assignment.
+        if let Some(id) = parsed.explicit_scan {
+            explicit_ids.insert(id);
+        }
+        match parsed.spectrum {
+            None => skipped += 1,
+            Some(mut s) => {
+                match parsed.explicit_scan {
+                    Some(id) => s.scan = id,
+                    None => pending_auto.push(out.len()),
                 }
-                mzs = Some(
-                    bytes
-                        .chunks_exact(8)
-                        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-                        .collect(),
-                );
-            } else if arr_block.contains(r#"accession="MS:1000515""#) {
-                // intensity: 32-bit little-endian floats.
-                if bytes.len() % 4 != 0 {
-                    return Err(parse_err("intensity array not a multiple of 4 bytes"));
-                }
-                intensities = Some(
-                    bytes
-                        .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-                        .collect(),
-                );
+                out.push(s);
             }
         }
-        let mzs = mzs.ok_or_else(|| parse_err(format!("spectrum scan={scan}: no m/z array")))?;
-        let intensities = intensities
-            .ok_or_else(|| parse_err(format!("spectrum scan={scan}: no intensity array")))?;
-        if mzs.len() != intensities.len() {
-            return Err(parse_err(format!(
-                "spectrum scan={scan}: array length mismatch ({} vs {})",
-                mzs.len(),
-                intensities.len()
-            )));
-        }
-        let peaks: Vec<Peak> = mzs
-            .into_iter()
-            .zip(intensities)
-            .map(|(m, i)| Peak::new(m, i))
-            .collect();
-        out.push(Spectrum::new(scan, precursor_mz, charge, peaks));
     }
-    Ok(out)
+
+    // Post-parse pass (mirrors the MGF `SCANS=` fix): blocks without a
+    // parseable id get the lowest ids not taken explicitly anywhere in the
+    // file, so fallback ids can never collide with explicit ones.
+    let mut next: u64 = 0;
+    for i in pending_auto {
+        let id = crate::scanid::next_free(&mut next, &explicit_ids)
+            .ok_or_else(|| parse_err("scan id space exhausted while auto-numbering"))?;
+        out[i].scan = id;
+    }
+    let stats = MzmlReadStats {
+        spectra: out.len(),
+        skipped_non_ms2: skipped,
+    };
+    Ok((out, stats))
+}
+
+/// Reads spectra from an mzML stream (this crate's subset — see module
+/// docs). Non-MS2 spectra are skipped; use [`read_mzml_with_stats`] to
+/// observe how many.
+pub fn read_mzml<R: Read>(reader: R) -> Result<Vec<Spectrum>, BioError> {
+    read_mzml_with_stats(reader).map(|(v, _)| v)
+}
+
+/// I/O chunk size of the streaming reader.
+const CHUNK: usize = 64 * 1024;
+
+/// Naive substring search (needles here are ≤ 11 bytes).
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Incremental byte scanner over a [`Read`]: skips to / takes through byte
+/// patterns while buffering only what the caller still needs.
+struct ByteStream<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    /// Reusable I/O chunk (zeroed once here, not per `fill` call).
+    chunk: Box<[u8; CHUNK]>,
+    eof: bool,
+    high_water: usize,
+}
+
+impl<R: Read> ByteStream<R> {
+    fn new(src: R) -> Self {
+        ByteStream {
+            src,
+            buf: Vec::new(),
+            chunk: Box::new([0u8; CHUNK]),
+            eof: false,
+            high_water: 0,
+        }
+    }
+
+    /// Appends one chunk from the source; returns bytes read (0 = EOF).
+    fn fill(&mut self) -> std::io::Result<usize> {
+        loop {
+            match self.src.read(&mut self.chunk[..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(0);
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&self.chunk[..n]);
+                    self.high_water = self.high_water.max(self.buf.len());
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Discards input until the buffer starts with `pat`. Returns `false`
+    /// at EOF without a match. Keeps at most one chunk plus a pattern
+    /// overlap buffered.
+    fn skip_until(&mut self, pat: &[u8]) -> std::io::Result<bool> {
+        loop {
+            if let Some(i) = find_sub(&self.buf, pat) {
+                self.buf.drain(..i);
+                return Ok(true);
+            }
+            if self.eof {
+                self.buf.clear();
+                return Ok(false);
+            }
+            // Keep a pattern-length overlap so a match spanning two chunks
+            // is still found.
+            let keep_from = self.buf.len().saturating_sub(pat.len() - 1);
+            self.buf.drain(..keep_from);
+            self.fill()?;
+        }
+    }
+
+    /// Buffers until `pat` appears, then returns (and consumes) everything
+    /// through the end of `pat`. `None` at EOF without a match. Buffering
+    /// grows to the match distance — for mzML, one spectrum block.
+    fn take_through(&mut self, pat: &[u8]) -> std::io::Result<Option<Vec<u8>>> {
+        let mut searched = 0usize;
+        loop {
+            let from = searched.saturating_sub(pat.len() - 1);
+            if let Some(i) = find_sub(&self.buf[from..], pat) {
+                let end = from + i + pat.len();
+                let taken: Vec<u8> = self.buf.drain(..end).collect();
+                return Ok(Some(taken));
+            }
+            searched = self.buf.len();
+            if self.eof {
+                return Ok(None);
+            }
+            self.fill()?;
+        }
+    }
+}
+
+/// Pre-scan pass of [`MzmlReader`]: collects every explicit scan id,
+/// buffering only spectrum open tags.
+fn prescan_scan_ids<R: Read>(src: R) -> Result<HashSet<u32>, BioError> {
+    let mut stream = ByteStream::new(src);
+    let mut ids = HashSet::new();
+    loop {
+        if !stream.skip_until(b"<spectrum ")? {
+            return Ok(ids);
+        }
+        let tag = stream
+            .take_through(b">")?
+            .ok_or_else(|| parse_err("unterminated <spectrum> tag"))?;
+        if let Some(id) = scan_of_tag(&String::from_utf8_lossy(&tag)) {
+            ids.insert(id);
+        }
+    }
+}
+
+/// Streaming mzML reader: yields one [`Spectrum`] at a time with peak
+/// memory bounded by one `<spectrum>` block plus one I/O chunk — never the
+/// whole file (the eager reader's `read_to_string`).
+///
+/// Non-MS2 spectra are skipped and counted ([`MzmlReader::skipped_non_ms2`]).
+/// Iteration fuses after the first error.
+pub struct MzmlReader<R: Read> {
+    stream: ByteStream<R>,
+    /// Ids auto-assignment must avoid. [`MzmlReader::open`] gathers the
+    /// file's full set with a lazy pre-scan; [`MzmlReader::from_reader`]
+    /// starts from the caller's set and also learns ids as they stream
+    /// past.
+    taken_ids: HashSet<u32>,
+    next_auto: u64,
+    /// Deferred pre-scan source ([`MzmlReader::open`] only): consumed by a
+    /// tags-only whole-file id scan (no base64 decoding) the first time a
+    /// spectrum without a parseable id needs an auto id. msconvert-style
+    /// files, where every spectrum carries an id, stream in a single pass.
+    prescan_path: Option<std::path::PathBuf>,
+    skipped_non_ms2: usize,
+    finished: bool,
+}
+
+impl MzmlReader<std::fs::File> {
+    /// Opens an mzML file for streaming. Spectra without a parseable scan
+    /// id get exactly the ids the eager reader assigns (lowest free,
+    /// avoiding every explicit id anywhere in the file) — gathered by a
+    /// lazy pre-scan pass that only runs if such a spectrum is actually
+    /// encountered.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        let path = path.as_ref();
+        let mut reader = Self::from_reader(std::fs::File::open(path)?, HashSet::new());
+        reader.prescan_path = Some(path.to_path_buf());
+        Ok(reader)
+    }
+}
+
+impl<R: Read> MzmlReader<R> {
+    /// Streams from an arbitrary reader. `known_ids` seeds the set of scan
+    /// ids that fallback auto-assignment must avoid; pass the file's full
+    /// explicit-id set for eager-identical numbering (what
+    /// [`MzmlReader::open`] gathers with its pre-scan), or an empty set
+    /// when every spectrum is known to carry an id.
+    pub fn from_reader(src: R, known_ids: HashSet<u32>) -> Self {
+        MzmlReader {
+            stream: ByteStream::new(src),
+            taken_ids: known_ids,
+            next_auto: 0,
+            prescan_path: None,
+            skipped_non_ms2: 0,
+            finished: false,
+        }
+    }
+
+    /// Spectra skipped so far because their `ms level` was not 2.
+    pub fn skipped_non_ms2(&self) -> usize {
+        self.skipped_non_ms2
+    }
+
+    /// Largest number of bytes ever buffered — in practice one spectrum
+    /// block plus up to two I/O chunks, independent of file size.
+    pub fn buffer_high_water(&self) -> usize {
+        self.stream.high_water
+    }
+
+    fn fail(&mut self, e: BioError) -> Option<Result<Spectrum, BioError>> {
+        self.finished = true;
+        Some(Err(e))
+    }
+}
+
+impl<R: Read> Iterator for MzmlReader<R> {
+    type Item = Result<Spectrum, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            match self.stream.skip_until(b"<spectrum ") {
+                Err(e) => return self.fail(e.into()),
+                Ok(false) => {
+                    self.finished = true;
+                    return None;
+                }
+                Ok(true) => {}
+            }
+            let block_bytes = match self.stream.take_through(b"</spectrum>") {
+                Err(e) => return self.fail(e.into()),
+                Ok(None) => return self.fail(parse_err("missing </spectrum>")),
+                Ok(Some(b)) => b,
+            };
+            let block = match std::str::from_utf8(&block_bytes) {
+                Err(_) => return self.fail(parse_err("spectrum block is not valid UTF-8")),
+                Ok(s) => &s[..s.len() - "</spectrum>".len()],
+            };
+            let parsed = match parse_spectrum_block(block) {
+                Err(e) => return self.fail(e),
+                Ok(p) => p,
+            };
+            if let Some(id) = parsed.explicit_scan {
+                self.taken_ids.insert(id);
+            }
+            match parsed.spectrum {
+                None => {
+                    self.skipped_non_ms2 += 1;
+                    continue;
+                }
+                Some(mut s) => {
+                    match parsed.explicit_scan {
+                        Some(id) => s.scan = id,
+                        None => {
+                            // First auto id needed: collect the file's
+                            // explicit ids so autos can never collide with
+                            // one appearing later.
+                            if let Some(path) = self.prescan_path.take() {
+                                let scanned = std::fs::File::open(&path)
+                                    .map_err(BioError::from)
+                                    .and_then(prescan_scan_ids);
+                                match scanned {
+                                    Ok(ids) => self.taken_ids.extend(ids),
+                                    Err(e) => return self.fail(e),
+                                }
+                            }
+                            match crate::scanid::next_free(&mut self.next_auto, &self.taken_ids) {
+                                Some(id) => s.scan = id,
+                                None => {
+                                    return self.fail(parse_err(
+                                        "scan id space exhausted while auto-numbering",
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    return Some(Ok(s));
+                }
+            }
+        }
+    }
 }
 
 /// Writes an mzML file to disk.
@@ -284,6 +684,25 @@ mod tests {
     }
 
     #[test]
+    fn encoded_length_matches_payload() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()[..1]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut cursor = 0usize;
+        let mut arrays = 0;
+        while let Some((arr, next)) =
+            between(&text, "<binaryDataArray", "</binaryDataArray>", cursor)
+        {
+            cursor = next;
+            arrays += 1;
+            let declared: usize = attr(arr, "encodedLength").unwrap().parse().unwrap();
+            let (payload, _) = between(arr, "<binary>", "</binary>", 0).unwrap();
+            assert_eq!(declared, payload.len());
+        }
+        assert_eq!(arrays, 2);
+    }
+
+    #[test]
     fn empty_list() {
         let mut buf = Vec::new();
         write_mzml(&mut buf, &[]).unwrap();
@@ -338,6 +757,233 @@ mod tests {
         assert_eq!(s[0].charge, 1);
         assert_eq!(s[0].scan, 4);
         assert_eq!(s[0].peaks[0].mz, 250.5);
+    }
+
+    /// A spectrum block with explicit per-array precision cvParams.
+    fn block_with_precision(
+        scan: u32,
+        mz_accession_bits: &str,
+        mz_bytes: &[u8],
+        int_accession_bits: &str,
+        int_bytes: &[u8],
+    ) -> String {
+        format!(
+            r#"<spectrum id="scan={scan}">
+            <cvParam accession="MS:1000511" name="ms level" value="2"/>
+            <cvParam accession="MS:1000744" name="selected ion m/z" value="500.0"/>
+            <binaryDataArray><cvParam accession="{mz_accession_bits}" name="float"/><cvParam accession="MS:1000514" name="m/z array"/><binary>{}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="{int_accession_bits}" name="float"/><cvParam accession="MS:1000515" name="intensity array"/><binary>{}</binary></binaryDataArray>
+            </spectrum>"#,
+            crate::base64::encode(mz_bytes),
+            crate::base64::encode(int_bytes),
+        )
+    }
+
+    #[test]
+    fn honors_64bit_intensity_precision() {
+        // Two 64-bit intensities = 16 bytes: the old reader's `% 4` check
+        // passed and decoded them as four garbage f32s. The precision
+        // cvParam must win.
+        let mzs: Vec<u8> = [100.25f64, 200.5]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let ints: Vec<u8> = [1234.5f64, 77.125]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let input = format!(
+            "<mzML>{}</mzML>",
+            block_with_precision(3, "MS:1000523", &mzs, "MS:1000523", &ints)
+        );
+        let s = read_mzml(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].peak_count(), 2);
+        assert_eq!(s[0].peaks[0].mz, 100.25);
+        assert_eq!(s[0].peaks[0].intensity, 1234.5);
+        assert_eq!(s[0].peaks[1].intensity, 77.125);
+    }
+
+    #[test]
+    fn honors_32bit_mz_precision() {
+        let mzs: Vec<u8> = [150.5f32, 300.75]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let ints: Vec<u8> = [9.0f32, 8.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let input = format!(
+            "<mzML>{}</mzML>",
+            block_with_precision(5, "MS:1000521", &mzs, "MS:1000521", &ints)
+        );
+        let s = read_mzml(input.as_bytes()).unwrap();
+        assert_eq!(s[0].peaks[0].mz, 150.5);
+        assert_eq!(s[0].peaks[1].mz, 300.75);
+    }
+
+    #[test]
+    fn conflicting_precision_is_error() {
+        let mzs: Vec<u8> = 1.0f64.to_le_bytes().to_vec();
+        let input = format!(
+            r#"<mzML><spectrum id="scan=1">
+            <cvParam accession="MS:1000744" name="selected ion m/z" value="500.0"/>
+            <binaryDataArray><cvParam accession="MS:1000523"/><cvParam accession="MS:1000521"/><cvParam accession="MS:1000514"/><binary>{}</binary></binaryDataArray>
+            </spectrum></mzML>"#,
+            crate::base64::encode(&mzs),
+        );
+        let err = read_mzml(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("both 64-bit and 32-bit"));
+    }
+
+    /// An MS1 survey block: ms level 1, no precursor, both arrays present.
+    fn ms1_block(scan: u32) -> String {
+        format!(
+            r#"<spectrum id="scan={scan}">
+            <cvParam accession="MS:1000511" name="ms level" value="1"/>
+            <binaryDataArray><cvParam accession="MS:1000514" name="m/z array"/><binary>{}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515" name="intensity array"/><binary>{}</binary></binaryDataArray>
+            </spectrum>"#,
+            crate::base64::encode(&400.0f64.to_le_bytes()),
+            crate::base64::encode(&1.0f32.to_le_bytes()),
+        )
+    }
+
+    #[test]
+    fn ms1_scans_skipped_and_counted() {
+        // An MS1 survey scan has no selected ion: the old reader failed the
+        // entire file on it. It must be skipped and counted instead.
+        let mut body = String::new();
+        body.push_str(&ms1_block(1));
+        let mut ms2 = Vec::new();
+        write_mzml(&mut ms2, &sample()[..2]).unwrap();
+        let ms2 = String::from_utf8(ms2).unwrap();
+        let ms2_blocks: Vec<&str> = ms2
+            .split_inclusive("</spectrum>")
+            .filter(|b| b.contains("<spectrum "))
+            .collect();
+        body.push_str(ms2_blocks[0]);
+        body.push_str(&ms1_block(8));
+        body.push_str(ms2_blocks[1]);
+        let input = format!("<mzML>{body}</mzML>");
+        let (s, stats) = read_mzml_with_stats(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(stats.spectra, 2);
+        assert_eq!(stats.skipped_non_ms2, 2);
+        assert_eq!(s[0].scan, 7);
+        assert_eq!(s[1].scan, 9);
+    }
+
+    #[test]
+    fn fallback_ids_avoid_explicit_ids() {
+        // First spectrum has no parseable id, second explicitly takes
+        // scan 0: the fallback must not collide (the old reader assigned
+        // `out.len()` = 0 to the first).
+        let arrays = format!(
+            r#"<binaryDataArray><cvParam accession="MS:1000514"/><binary>{}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515"/><binary>{}</binary></binaryDataArray>"#,
+            crate::base64::encode(&200.0f64.to_le_bytes()),
+            crate::base64::encode(&5.0f32.to_le_bytes()),
+        );
+        let input = format!(
+            r#"<mzML><spectrum nonsense="true">
+            <cvParam accession="MS:1000744" value="400.0"/>{arrays}
+            </spectrum><spectrum id="scan=0">
+            <cvParam accession="MS:1000744" value="401.0"/>{arrays}
+            </spectrum></mzML>"#
+        );
+        let s = read_mzml(input.as_bytes()).unwrap();
+        let scans: Vec<u32> = s.iter().map(|x| x.scan).collect();
+        assert_eq!(scans, vec![1, 0]);
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let dir = std::env::temp_dir().join("lbe_mzml_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.mzML");
+        write_mzml_path(&path, &sample()).unwrap();
+        let eager = read_mzml_path(&path).unwrap();
+        let streamed: Vec<Spectrum> = MzmlReader::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, eager);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_matches_eager_with_fallback_ids_and_ms1() {
+        // Mixed file: MS1 scans, an id-less spectrum, and an explicit
+        // scan=0 later — streaming (with its pre-scan) must reproduce the
+        // eager reader's ids exactly.
+        let arrays = format!(
+            r#"<binaryDataArray><cvParam accession="MS:1000514"/><binary>{}</binary></binaryDataArray>
+            <binaryDataArray><cvParam accession="MS:1000515"/><binary>{}</binary></binaryDataArray>"#,
+            crate::base64::encode(&200.0f64.to_le_bytes()),
+            crate::base64::encode(&5.0f32.to_le_bytes()),
+        );
+        let input = format!(
+            r#"<mzML>{}<spectrum nonsense="true">
+            <cvParam accession="MS:1000744" value="400.0"/>{arrays}
+            </spectrum><spectrum id="scan=0">
+            <cvParam accession="MS:1000744" value="401.0"/>{arrays}
+            </spectrum></mzML>"#,
+            ms1_block(42),
+        );
+        let dir = std::env::temp_dir().join("lbe_mzml_stream_fallback_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fallback.mzML");
+        std::fs::write(&path, &input).unwrap();
+        let (eager, stats) = read_mzml_with_stats(input.as_bytes()).unwrap();
+        let mut reader = MzmlReader::open(&path).unwrap();
+        let streamed: Vec<Spectrum> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+        assert_eq!(streamed, eager);
+        assert_eq!(reader.skipped_non_ms2(), stats.skipped_non_ms2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_buffer_bounded_by_one_spectrum() {
+        // Many small spectra: the streaming reader's buffer high-water mark
+        // must stay near one block + one chunk, far below the file size.
+        let spectra: Vec<Spectrum> = (0..2000)
+            .map(|i| {
+                Spectrum::new(
+                    i,
+                    400.0 + i as f64,
+                    2,
+                    (0..20)
+                        .map(|k| Peak::new(100.0 + k as f64, 1.0 + k as f32))
+                        .collect(),
+                )
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("lbe_mzml_bounded_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.mzML");
+        write_mzml_path(&path, &spectra).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(file_len > 1_000_000, "fixture too small: {file_len}");
+        let mut reader = MzmlReader::open(&path).unwrap();
+        let n = reader.by_ref().inspect(|r| assert!(r.is_ok())).count();
+        assert_eq!(n, 2000);
+        assert!(
+            reader.buffer_high_water() < file_len / 4,
+            "buffered {} of a {file_len}-byte file",
+            reader.buffer_high_water()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_error_fuses_iteration() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()[..1]).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("<binary>", "<binary>!!");
+        let mut reader = MzmlReader::from_reader(text.as_bytes(), HashSet::new());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
     }
 
     #[test]

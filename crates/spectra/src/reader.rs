@@ -1,0 +1,301 @@
+//! Unified streaming spectrum ingest: one iterator over MGF, MS2, and mzML
+//! files with format autodetection (extension first, content sniff as the
+//! fallback), so pipelines accept whatever `msconvert` produced without
+//! per-format plumbing.
+//!
+//! ```no_run
+//! use lbe_spectra::reader::SpectrumReader;
+//!
+//! let mut reader = SpectrumReader::open("queries.mzML")?;
+//! for spectrum in reader.by_ref() {
+//!     let spectrum = spectrum?;
+//!     // one spectrum resident at a time — files larger than RAM are fine
+//! }
+//! println!("skipped {} non-MS2 scans", reader.skipped_non_ms2());
+//! # Ok::<(), lbe_bio::error::BioError>(())
+//! ```
+
+use crate::mgf::MgfReader;
+use crate::ms2::Ms2Reader;
+use crate::mzml::MzmlReader;
+use crate::spectrum::Spectrum;
+use lbe_bio::error::BioError;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+fn detect_err(msg: impl Into<String>) -> BioError {
+    BioError::FastaParse {
+        msg: msg.into(),
+        line: 0,
+    }
+}
+
+/// A spectrum file format this crate can stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpectrumFormat {
+    /// Mascot Generic Format (`.mgf`).
+    Mgf,
+    /// MS2 text format (`.ms2`).
+    Ms2,
+    /// mzML, the HUPO-PSI XML format (`.mzML`).
+    MzMl,
+}
+
+impl SpectrumFormat {
+    /// Format implied by a file extension, case-insensitively.
+    pub fn from_extension(path: impl AsRef<Path>) -> Option<Self> {
+        let ext = path.as_ref().extension()?.to_str()?.to_ascii_lowercase();
+        match ext.as_str() {
+            "mgf" => Some(SpectrumFormat::Mgf),
+            "ms2" => Some(SpectrumFormat::Ms2),
+            "mzml" => Some(SpectrumFormat::MzMl),
+            _ => None,
+        }
+    }
+
+    /// Format sniffed from the leading bytes of a file.
+    ///
+    /// XML prologue or an `<mzML` element → mzML; a `BEGIN IONS` line in
+    /// the window → MGF (global `KEY=value` parameter lines may precede
+    /// it); otherwise a leading `H`/`S`/`Z` record line → MS2.
+    pub fn sniff(head: &[u8]) -> Option<Self> {
+        let text = String::from_utf8_lossy(head);
+        let trimmed = text.trim_start();
+        if trimmed.starts_with("<?xml") || trimmed.starts_with("<mzML") || text.contains("<mzML") {
+            return Some(SpectrumFormat::MzMl);
+        }
+        if text.contains("BEGIN IONS") {
+            return Some(SpectrumFormat::Mgf);
+        }
+        let first = trimmed.lines().next()?;
+        if matches!(first.as_bytes().first(), Some(b'H' | b'S' | b'Z'))
+            && matches!(first.as_bytes().get(1), Some(b'\t' | b' ') | None)
+        {
+            return Some(SpectrumFormat::Ms2);
+        }
+        None
+    }
+
+    /// Detects the format of a file: extension first, then a content sniff
+    /// over the first 8 KiB.
+    pub fn detect(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        let path = path.as_ref();
+        if let Some(fmt) = Self::from_extension(path) {
+            return Ok(fmt);
+        }
+        let mut head = vec![0u8; 8192];
+        let mut file = std::fs::File::open(path)?;
+        let mut filled = 0usize;
+        loop {
+            match file.read(&mut head[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+            if filled == head.len() {
+                break;
+            }
+        }
+        Self::sniff(&head[..filled]).ok_or_else(|| {
+            detect_err(format!(
+                "cannot detect spectrum format of {} (no .mgf/.ms2/.mzML extension, \
+                 content matches no known format)",
+                path.display()
+            ))
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpectrumFormat::Mgf => "MGF",
+            SpectrumFormat::Ms2 => "MS2",
+            SpectrumFormat::MzMl => "mzML",
+        }
+    }
+}
+
+impl std::fmt::Display for SpectrumFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+enum Inner {
+    Mgf(MgfReader<BufReader<std::fs::File>>),
+    Ms2(Ms2Reader<BufReader<std::fs::File>>),
+    MzMl(MzmlReader<std::fs::File>),
+}
+
+/// Streaming reader over any supported spectrum file format.
+///
+/// Yields one [`Spectrum`] at a time; for mzML this is a bounded-memory
+/// pull parse (the file is never loaded whole). Results are identical to
+/// the eager per-format readers ([`crate::read_mgf`], [`crate::read_ms2`],
+/// [`crate::read_mzml`]) — including auto-assigned scan ids, which the
+/// file-level pre-scans reproduce exactly. Iteration fuses after the first
+/// error.
+pub struct SpectrumReader {
+    inner: Inner,
+    format: SpectrumFormat,
+}
+
+impl SpectrumReader {
+    /// Opens a spectrum file, autodetecting its format
+    /// ([`SpectrumFormat::detect`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, BioError> {
+        let path = path.as_ref();
+        let format = SpectrumFormat::detect(path)?;
+        Self::open_format(path, format)
+    }
+
+    /// Opens a spectrum file as an explicit format.
+    pub fn open_format(path: impl AsRef<Path>, format: SpectrumFormat) -> Result<Self, BioError> {
+        let inner = match format {
+            SpectrumFormat::Mgf => Inner::Mgf(MgfReader::open(path)?),
+            SpectrumFormat::Ms2 => Inner::Ms2(Ms2Reader::open(path)?),
+            SpectrumFormat::MzMl => Inner::MzMl(MzmlReader::open(path)?),
+        };
+        Ok(SpectrumReader { inner, format })
+    }
+
+    /// The format being read.
+    pub fn format(&self) -> SpectrumFormat {
+        self.format
+    }
+
+    /// Spectra skipped so far because their mzML `ms level` was not 2
+    /// (always 0 for MGF/MS2).
+    pub fn skipped_non_ms2(&self) -> usize {
+        match &self.inner {
+            Inner::MzMl(r) => r.skipped_non_ms2(),
+            _ => 0,
+        }
+    }
+
+    /// Convenience: streams the whole file into a vector.
+    pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<Spectrum>, BioError> {
+        Self::open(path)?.collect()
+    }
+}
+
+impl Iterator for SpectrumReader {
+    type Item = Result<Spectrum, BioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            Inner::Mgf(r) => r.next(),
+            Inner::Ms2(r) => r.next(),
+            Inner::MzMl(r) => r.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::Peak;
+    use crate::{write_mgf, write_ms2, write_mzml};
+
+    fn sample() -> Vec<Spectrum> {
+        vec![
+            Spectrum::new(
+                3,
+                503.1234,
+                2,
+                vec![Peak::new(112.0872, 231.5), Peak::new(358.91, 80.25)],
+            ),
+            Spectrum::new(9, 611.5, 3, vec![Peak::new(201.1, 55.0)]),
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lbe_spectrum_reader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert_eq!(
+            SpectrumFormat::from_extension("a/b/q.mgf"),
+            Some(SpectrumFormat::Mgf)
+        );
+        assert_eq!(
+            SpectrumFormat::from_extension("q.MS2"),
+            Some(SpectrumFormat::Ms2)
+        );
+        assert_eq!(
+            SpectrumFormat::from_extension("q.mzML"),
+            Some(SpectrumFormat::MzMl)
+        );
+        assert_eq!(SpectrumFormat::from_extension("q.raw"), None);
+        assert_eq!(SpectrumFormat::from_extension("noext"), None);
+    }
+
+    #[test]
+    fn content_sniffing() {
+        assert_eq!(
+            SpectrumFormat::sniff(b"<?xml version=\"1.0\"?>\n<mzML>"),
+            Some(SpectrumFormat::MzMl)
+        );
+        assert_eq!(
+            SpectrumFormat::sniff(b"COM=run\nBEGIN IONS\nPEPMASS=1\n"),
+            Some(SpectrumFormat::Mgf)
+        );
+        assert_eq!(
+            SpectrumFormat::sniff(b"H\tCreationDate\tx\nS\t1\t1\t500.0\n"),
+            Some(SpectrumFormat::Ms2)
+        );
+        assert_eq!(SpectrumFormat::sniff(b"random bytes"), None);
+    }
+
+    #[test]
+    fn open_autodetects_all_three_formats_by_extension() {
+        let spectra = sample();
+        let mut files: Vec<(&str, Vec<u8>)> = Vec::new();
+        let mut buf = Vec::new();
+        write_mgf(&mut buf, &spectra).unwrap();
+        files.push(("q.mgf", std::mem::take(&mut buf)));
+        write_ms2(&mut buf, &spectra).unwrap();
+        files.push(("q.ms2", std::mem::take(&mut buf)));
+        write_mzml(&mut buf, &spectra).unwrap();
+        files.push(("q.mzML", std::mem::take(&mut buf)));
+        for (name, bytes) in files {
+            let path = tmp(name);
+            std::fs::write(&path, &bytes).unwrap();
+            let got: Vec<Spectrum> = SpectrumReader::open(&path)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(got.len(), spectra.len(), "{name}");
+            assert_eq!(got[0].scan, 3, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn open_sniffs_extensionless_files() {
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &sample()).unwrap();
+        let path = tmp("extensionless_queries");
+        std::fs::write(&path, &buf).unwrap();
+        let reader = SpectrumReader::open(&path).unwrap();
+        assert_eq!(reader.format(), SpectrumFormat::MzMl);
+        assert_eq!(reader.count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn undetectable_format_is_clean_error() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"\x01\x02\x03not a spectrum file").unwrap();
+        let err = match SpectrumReader::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage file must not open"),
+        };
+        assert!(err.to_string().contains("cannot detect"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -5,22 +5,22 @@
 //! without spawning processes.
 
 use crate::cli::args::{ArgError, Args};
-use lbe_bio::dedup::dedup_peptides;
-use lbe_bio::digest::{digest_proteome, DigestParams};
-use lbe_bio::fasta::{read_fasta_path, write_fasta_path, Protein};
+use lbe_bio::digest::DigestParams;
+use lbe_bio::fasta::{write_fasta_path, Protein};
 use lbe_bio::mods::ModSpec;
-use lbe_bio::peptide::{Peptide, PeptideDb};
+use lbe_bio::peptide::PeptideDb;
 use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
 use lbe_core::engine::{run_distributed_search, EngineConfig};
 use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
+use lbe_core::ingest::{load_peptide_db, load_proteome_digested, load_queries, IngestStats};
 use lbe_core::partition::PartitionPolicy;
 use lbe_index::{
     read_index_path_with, ChunkStore, ChunkedIndex, ReadOptions, SearchResult, Searcher, SlmConfig,
 };
-use lbe_spectra::mgf::read_mgf;
-use lbe_spectra::ms2::{read_ms2_path, write_ms2_path};
-use lbe_spectra::mzml::{read_mzml_path, write_mzml_path};
-use lbe_spectra::preprocess::{preprocess_spectrum, PreprocessParams};
+use lbe_spectra::mgf::write_mgf;
+use lbe_spectra::ms2::write_ms2_path;
+use lbe_spectra::mzml::write_mzml_path;
+use lbe_spectra::preprocess::PreprocessParams;
 use lbe_spectra::spectrum::Spectrum;
 use lbe_spectra::synthetic::{SyntheticDataset, SyntheticDatasetParams};
 use std::io::Write;
@@ -65,26 +65,32 @@ COMMANDS:
                   [--criterion 1|2] [--d 2] [--d-prime 0.86] [--gsize 20]
                   Algorithm 1: sort + group, emit the clustered database
   synth-queries   --db peptides.fasta --out q.ms2 [--n 100] [--seed 7]
-                  [--mods none|oxidation|paper] [--format ms2|mzml]
+                  [--mods none|oxidation|paper] [--format ms2|mzml|mgf]
                   generate query spectra with ground truth in the MS2 scan
-  index           --db peptides.fasta --out index.lbe
+  index           --db peptides.fasta --out index.lbe [--digest]
                   [--mods none|oxidation|paper] [--chunk-size 50000]
                   build a mass-chunked SLM fragment-ion index and write a
-                  v2 (LBECHK2) container
+                  v2 (LBECHK2) container; --digest accepts a raw proteome
+                  FASTA and streams it through tryptic digestion first
   search          --index index.lbe --queries q.{ms2|mgf|mzML} --out results.tsv
                   [--top-k 10] [--max-resident-chunks 0] [--csv]
                   search an index (chunked v2 container, or a single-index
                   LBESLM1/LBESLM2 file), write a TSV (or CSV) of PSMs;
-                  --max-resident-chunks N > 0 caps how many chunks are held
-                  in memory at once (0 = all resident)
-  simulate        --db peptides.fasta --queries q.ms2
+                  queries may be MS2, MGF, or mzML (autodetected; mzML MS1
+                  survey scans are skipped and counted, msconvert 32/64-bit
+                  uncompressed arrays supported); --max-resident-chunks
+                  N > 0 caps how many chunks are held in memory (0 = all)
+  simulate        --db peptides.fasta --queries q.{ms2|mgf|mzML}
                   [--ranks 16] [--policy chunk|cyclic|random]
                   [--mods none|oxidation|paper] [--threads-per-rank 1]
-                  [--spill-dir DIR] [--csv]
+                  [--spill-dir DIR] [--stream-db] [--digest] [--csv]
                   run the distributed engine, report times and imbalance;
                   --spill-dir stores each rank's index on disk (v2) instead
-                  of holding every partition in memory, --csv emits the
-                  report as one machine-readable CSV row
+                  of holding every partition in memory, --stream-db makes
+                  each rank stream its peptide partition from the --db file
+                  (no per-rank copy of the whole database), --digest accepts
+                  a raw proteome FASTA, --csv emits the report as one
+                  machine-readable CSV row
   help            this text
 "
     .to_string()
@@ -113,35 +119,40 @@ fn parse_policy(args: &Args) -> Result<PartitionPolicy, CmdError> {
     }
 }
 
-/// Reads query spectra, dispatching on file extension (.ms2/.mgf/.mzML).
-fn read_queries(path: &str) -> Result<Vec<Spectrum>, CmdError> {
-    let lower = path.to_ascii_lowercase();
-    if lower.ends_with(".mzml") {
-        Ok(read_mzml_path(path)?)
-    } else if lower.ends_with(".mgf") {
-        Ok(read_mgf(
-            std::fs::File::open(path).map_err(lbe_bio::error::BioError::Io)?,
-        )?)
-    } else {
-        Ok(read_ms2_path(path)?)
+/// Streams query spectra of any supported format — `.ms2`/`.mgf`/`.mzML`
+/// by extension, content-sniffed otherwise — preprocessing each spectrum
+/// as it is read. Prints a note when non-MS2 (survey) scans were skipped.
+fn read_queries<W: Write>(
+    path: &str,
+    out: &mut W,
+) -> Result<(Vec<Spectrum>, IngestStats), CmdError> {
+    let (queries, stats) = load_queries(path, &PreprocessParams::default())?;
+    if stats.skipped_non_ms2 > 0 {
+        writeln!(
+            out,
+            "note: skipped {} non-MS2 spectra in {path} ({} input)",
+            stats.skipped_non_ms2, stats.format
+        )?;
     }
+    Ok((queries, stats))
 }
 
-/// Reads a peptide-per-record FASTA into a [`PeptideDb`].
-fn read_peptide_fasta(path: &str) -> Result<PeptideDb, CmdError> {
-    let records = read_fasta_path(path)?;
-    let mut peptides = Vec::with_capacity(records.len());
-    for (i, r) in records.iter().enumerate() {
-        let p = Peptide::new(&r.sequence, i as u32, 0).ok_or_else(|| {
-            ArgError(format!(
-                "record {} ({}) contains non-standard residues",
-                i,
-                r.accession()
-            ))
-        })?;
-        peptides.push(p);
+/// Streams a peptide-per-record FASTA into a [`PeptideDb`]; with
+/// `--digest`, treats the file as a raw proteome and streams it through
+/// tryptic digestion + duplicate removal first (paper-default settings).
+fn read_db<W: Write>(args: &Args, path: &str, out: &mut W) -> Result<PeptideDb, CmdError> {
+    if args.has("digest") {
+        let (db, stats) = load_proteome_digested(path, &DigestParams::default())?;
+        writeln!(
+            out,
+            "digested {path} -> {} unique peptides ({:.1}% redundant)",
+            db.len(),
+            stats.redundancy() * 100.0
+        )?;
+        Ok(db)
+    } else {
+        Ok(load_peptide_db(path)?)
     }
-    Ok(PeptideDb::from_vec(peptides))
 }
 
 fn write_peptide_fasta(
@@ -188,16 +199,22 @@ fn digest<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         max_len: args.get_parsed("max-len", 40usize)?,
         ..Default::default()
     };
-    let proteins = read_fasta_path(input)?;
-    let digested = digest_proteome(&proteins, &params)?;
+    // Stream the proteome: one protein resident at a time, counted as
+    // records flow through the digest.
+    let mut proteins = 0usize;
+    let counted = lbe_bio::fasta::FastaReader::open(input)?.inspect(|r| {
+        if r.is_ok() {
+            proteins += 1;
+        }
+    });
+    let digested: Vec<lbe_bio::peptide::Peptide> =
+        lbe_bio::digest::digest_stream(counted, &params)?.collect::<Result<_, _>>()?;
     let before = digested.len();
-    let (db, stats) = dedup_peptides(digested);
+    let (db, stats) = lbe_bio::dedup::dedup_peptides(PeptideDb::from_vec(digested));
     write_peptide_fasta(output, &db, |id| format!("pep{:07}", id))?;
     writeln!(
         out,
-        "digested {} proteins -> {} peptides -> {} unique ({:.1}% redundant), wrote {output}",
-        proteins.len(),
-        before,
+        "digested {proteins} proteins -> {before} peptides -> {} unique ({:.1}% redundant), wrote {output}",
         db.len(),
         stats.redundancy() * 100.0
     )?;
@@ -225,7 +242,7 @@ fn cluster_db<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         criterion,
         gsize: args.get_parsed("gsize", 20usize)?,
     };
-    let db = read_peptide_fasta(input)?;
+    let db = load_peptide_db(input)?;
     let grouping = group_peptides(&db, &params);
     // Emit the clustered database: groups concatenated in grouped order
     // (§III-C.2), group id recorded in each header.
@@ -255,7 +272,7 @@ fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     args.reject_unknown(&["db", "out", "n", "seed", "mods", "skew", "format"])?;
     let db_path = args.require("db")?;
     let output = args.require("out")?;
-    let db = read_peptide_fasta(db_path)?;
+    let db = load_peptide_db(db_path)?;
     let modspec = parse_mods(args)?;
     let params = SyntheticDatasetParams {
         num_spectra: args.get_parsed("n", 100usize)?,
@@ -267,9 +284,13 @@ fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     match args.get("format").unwrap_or("ms2") {
         "ms2" => write_ms2_path(output, &dataset.spectra)?,
         "mzml" => write_mzml_path(output, &dataset.spectra)?,
+        "mgf" => write_mgf(
+            std::fs::File::create(output).map_err(lbe_bio::error::BioError::Io)?,
+            &dataset.spectra,
+        )?,
         other => {
             return Err(Box::new(ArgError(format!(
-                "unknown --format {other:?} (ms2|mzml)"
+                "unknown --format {other:?} (ms2|mzml|mgf)"
             ))))
         }
     }
@@ -282,14 +303,14 @@ fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
 }
 
 fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
-    args.reject_unknown(&["db", "out", "mods", "chunk-size"])?;
+    args.reject_unknown(&["db", "out", "mods", "chunk-size", "digest"])?;
     let db_path = args.require("db")?;
     let output = args.require("out")?;
     let chunk_size = args.get_parsed("chunk-size", 50_000usize)?;
     if chunk_size == 0 {
         return Err(Box::new(ArgError("--chunk-size must be at least 1".into())));
     }
-    let db = read_peptide_fasta(db_path)?;
+    let db = read_db(args, db_path, out)?;
     let modspec = parse_mods(args)?;
     let index = ChunkedIndex::build(&db, SlmConfig::default(), modspec, chunk_size);
     index.write_path(output)?;
@@ -356,12 +377,7 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         0 => usize::MAX,
         n => n,
     };
-    let queries = read_queries(queries_path)?;
-    let pre = PreprocessParams::default();
-    let queries: Vec<Spectrum> = queries
-        .iter()
-        .map(|s| preprocess_spectrum(s, &pre))
-        .collect();
+    let (queries, _stats) = read_queries(queries_path, out)?;
 
     // The index's own top_k is fixed at build time; the CLI flag clamps
     // the emitted rows.
@@ -455,19 +471,33 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "gsize",
         "cost-scale",
         "spill-dir",
+        "stream-db",
+        "digest",
         "csv",
     ])?;
     let db_path = args.require("db")?;
     let queries_path = args.require("queries")?;
     let ranks = args.get_parsed("ranks", 16usize)?;
     let policy = parse_policy(args)?;
-    let db = read_peptide_fasta(db_path)?;
-    let queries = read_queries(queries_path)?;
-    let pre = PreprocessParams::default();
-    let queries: Vec<Spectrum> = queries
-        .iter()
-        .map(|s| preprocess_spectrum(s, &pre))
-        .collect();
+    if args.has("stream-db") && args.has("digest") {
+        return Err(Box::new(ArgError(
+            "--stream-db requires a peptide-per-record --db file and cannot \
+             be combined with --digest (the digested ids have no on-disk \
+             record alignment)"
+                .into(),
+        )));
+    }
+    // In --csv mode stdout is one machine-readable header + row; the
+    // human-readable ingest notes (skipped-MS1 counts, --digest summary)
+    // must not contaminate it.
+    let mut discarded_notes = Vec::new();
+    let mut notes: &mut dyn Write = if args.has("csv") {
+        &mut discarded_notes
+    } else {
+        out
+    };
+    let db = read_db(args, db_path, &mut notes)?;
+    let (queries, _stats) = read_queries(queries_path, &mut notes)?;
 
     let grouping = group_peptides(
         &db,
@@ -499,6 +529,11 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
             ))
         })?;
         std::fs::remove_file(&probe).ok();
+    }
+    // --stream-db: ranks stream their peptide partition straight from the
+    // --db file instead of cloning it out of the shared in-memory database.
+    if args.has("stream-db") {
+        cfg.stream_db_from = Some(std::path::PathBuf::from(db_path));
     }
     let report = run_distributed_search(&db, &grouping, &queries, &cfg, ranks);
 
@@ -937,7 +972,7 @@ mod tests {
     fn search_reads_legacy_v1_single_index_files() {
         let p = search_fixture("legacy_v1");
         // Write a v1 file directly through the legacy writer.
-        let db = super::read_peptide_fasta(&p("pep.fasta")).unwrap();
+        let db = lbe_core::ingest::load_peptide_db(p("pep.fasta")).unwrap();
         let idx = lbe_index::IndexBuilder::new(
             lbe_index::SlmConfig::default(),
             lbe_bio::mods::ModSpec::none(),
@@ -1027,5 +1062,207 @@ mod tests {
             p("i.slm")
         ))
         .is_err());
+    }
+
+    #[test]
+    fn index_and_simulate_accept_raw_proteome_with_digest_flag() {
+        let d = tmpdir("digest_flag");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 10 --seed 4",
+            p("prot.fasta")
+        ))
+        .unwrap();
+        // `index --digest` takes the raw proteome directly...
+        let msg = run(&format!(
+            "index --db {} --out {} --digest",
+            p("prot.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        assert!(msg.contains("unique peptides"));
+        assert!(msg.contains("indexed"));
+        // ...and produces the same index file as the two-step path.
+        run(&format!(
+            "digest --in {} --out {}",
+            p("prot.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i2.lbe")
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(p("i.lbe")).unwrap(),
+            std::fs::read(p("i2.lbe")).unwrap(),
+            "--digest index differs from digest-then-index"
+        );
+        // `simulate --digest` runs end-to-end on the raw proteome too.
+        run(&format!(
+            "synth-queries --db {} --out {} --n 4",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 2 --digest",
+            p("prot.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        assert!(msg.contains("load imbalance"));
+    }
+
+    #[test]
+    fn simulate_stream_db_matches_in_memory_run() {
+        let p = search_fixture("stream_db");
+        let base = format!(
+            "simulate --db {} --queries {} --ranks 3 --csv",
+            p("pep.fasta"),
+            p("q.ms2")
+        );
+        let in_mem = run(&base).unwrap();
+        let streamed = run(&format!("{base} --stream-db")).unwrap();
+        assert_eq!(in_mem, streamed, "--stream-db changed the report");
+        // --stream-db needs record/id alignment, which --digest destroys.
+        let err = run(&format!("{base} --stream-db --digest")).unwrap_err();
+        assert!(err.to_string().contains("--stream-db"));
+    }
+
+    #[test]
+    fn synth_queries_mgf_format_searchable() {
+        let p = search_fixture("mgf_format");
+        run(&format!(
+            "synth-queries --db {} --out {} --n 6 --seed 12 --format mgf",
+            p("pep.fasta"),
+            p("q.mgf")
+        ))
+        .unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.lbe"),
+            p("q.mgf"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("searched 6 spectra"));
+    }
+
+    #[test]
+    fn search_sniffs_extensionless_query_files() {
+        let p = search_fixture("sniff");
+        // Same spectra, no extension: content sniffing must kick in.
+        std::fs::copy(p("q.ms2"), p("queries_noext")).unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.lbe"),
+            p("queries_noext"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("searched 8 spectra"));
+    }
+
+    #[test]
+    fn simulate_csv_stays_machine_readable_with_ms1_and_digest() {
+        // Ingest notes (skipped-MS1 count, --digest summary) must not
+        // precede the CSV header: csv mode prints exactly two lines even
+        // when both note sources fire.
+        let d = tmpdir("csv_notes");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        run(&format!(
+            "synth-proteome --out {} --proteins 10 --seed 6",
+            p("prot.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("prot.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 3 --format mzml",
+            p("pep.fasta"),
+            p("q.mzML")
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(p("q.mzML")).unwrap();
+        let ms1 = "<spectrum id=\"scan=9999\"><cvParam accession=\"MS:1000511\" name=\"ms level\" value=\"1\"/></spectrum>\n";
+        std::fs::write(
+            p("q.mzML"),
+            text.replacen("      <spectrum ", &format!("{ms1}      <spectrum "), 1),
+        )
+        .unwrap();
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 2 --csv --digest",
+            p("prot.fasta"),
+            p("q.mzML")
+        ))
+        .unwrap();
+        let lines: Vec<&str> = msg.lines().collect();
+        assert_eq!(
+            lines.len(),
+            2,
+            "csv mode must print exactly two lines: {msg}"
+        );
+        assert!(lines[0].starts_with("policy,ranks,"), "{msg}");
+        // Without --csv the notes do appear.
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 2 --digest",
+            p("prot.fasta"),
+            p("q.mzML")
+        ))
+        .unwrap();
+        assert!(msg.contains("skipped 1 non-MS2 spectra"), "{msg}");
+        assert!(msg.contains("unique peptides"), "{msg}");
+    }
+
+    #[test]
+    fn search_reports_skipped_ms1_scans() {
+        let p = search_fixture("ms1_note");
+        run(&format!(
+            "synth-queries --db {} --out {} --n 3 --seed 12 --format mzml",
+            p("pep.fasta"),
+            p("q.mzML")
+        ))
+        .unwrap();
+        // Interleave an MS1 survey scan (no precursor) like a default
+        // msconvert conversion would contain.
+        let text = std::fs::read_to_string(p("q.mzML")).unwrap();
+        let ms1 = r#"<spectrum id="scan=9999"><cvParam accession="MS:1000511" name="ms level" value="1"/></spectrum>
+"#;
+        let text = text.replacen("      <spectrum ", &format!("{ms1}      <spectrum "), 1);
+        std::fs::write(p("q.mzML"), text).unwrap();
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("i.lbe")
+        ))
+        .unwrap();
+        let msg = run(&format!(
+            "search --index {} --queries {} --out {}",
+            p("i.lbe"),
+            p("q.mzML"),
+            p("r.tsv")
+        ))
+        .unwrap();
+        assert!(msg.contains("skipped 1 non-MS2 spectra"), "message: {msg}");
+        assert!(msg.contains("searched 3 spectra"));
     }
 }

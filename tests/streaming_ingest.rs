@@ -1,0 +1,238 @@
+//! Streaming real-data ingest: golden-file regression tests over the
+//! checked-in `tests/data/` corpus, streamed == eager reader equivalence,
+//! proptest round trips through every format, and the hand-built msconvert
+//! regression file pinning the two former mzML reader bugs (hardcoded
+//! binary precision; whole-file failure on MS1 survey scans).
+
+use lbe::cli::args::Args;
+use lbe::cli::commands::dispatch;
+use lbe::spectra::reader::{SpectrumFormat, SpectrumReader};
+use lbe::spectra::spectrum::{Peak, Spectrum};
+use lbe::spectra::{read_mgf, read_ms2, read_mzml_with_stats, write_mgf, write_ms2, write_mzml};
+use proptest::prelude::*;
+
+fn data(name: &str) -> String {
+    format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join("lbe_streaming_ingest").join(name);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cli(cmdline: &str) -> String {
+    let args = Args::parse(cmdline.split_whitespace().map(String::from)).unwrap();
+    let mut out = Vec::new();
+    dispatch(&args, &mut out).unwrap_or_else(|e| panic!("{cmdline}: {e}"));
+    String::from_utf8(out).unwrap()
+}
+
+/// The full CLI pipeline over the checked-in corpus must reproduce the
+/// committed reports byte for byte — the in-process twin of the CI job's
+/// `diff` step.
+#[test]
+fn golden_corpus_cli_reports_match_committed() {
+    let d = tmpdir("golden");
+    let p = |n: &str| d.join(n).to_string_lossy().to_string();
+    let msg = cli(&format!(
+        "digest --in {} --out {}",
+        data("corpus.fasta"),
+        p("pep.fasta")
+    ));
+    assert!(msg.contains("6 proteins"), "{msg}");
+    cli(&format!(
+        "index --db {} --out {}",
+        p("pep.fasta"),
+        p("c.lbe")
+    ));
+    for (queries, expected) in [
+        ("corpus.ms2", "expected_search_text.tsv"),
+        ("corpus.mgf", "expected_search_text.tsv"),
+        ("corpus.mzML", "expected_search_mzml.tsv"),
+    ] {
+        cli(&format!(
+            "search --index {} --queries {} --out {}",
+            p("c.lbe"),
+            data(queries),
+            p("report.tsv")
+        ));
+        let got = std::fs::read_to_string(p("report.tsv")).unwrap();
+        let want = std::fs::read_to_string(data(expected)).unwrap();
+        assert_eq!(got, want, "{queries} report drifted from {expected}");
+    }
+}
+
+/// Every corpus file reads identically through the streaming reader and
+/// the eager per-format reader.
+#[test]
+fn corpus_streamed_equals_eager_in_all_formats() {
+    for (file, format) in [
+        ("corpus.ms2", SpectrumFormat::Ms2),
+        ("corpus.mgf", SpectrumFormat::Mgf),
+        ("corpus.mzML", SpectrumFormat::MzMl),
+    ] {
+        let path = data(file);
+        let reader = SpectrumReader::open(&path).unwrap();
+        assert_eq!(reader.format(), format, "{file}");
+        let streamed: Vec<Spectrum> = reader.collect::<Result<_, _>>().unwrap();
+        let bytes = std::fs::File::open(&path).unwrap();
+        let eager = match format {
+            SpectrumFormat::Ms2 => read_ms2(bytes).unwrap(),
+            SpectrumFormat::Mgf => read_mgf(bytes).unwrap(),
+            SpectrumFormat::MzMl => read_mzml_with_stats(bytes).unwrap().0,
+        };
+        assert_eq!(streamed, eager, "{file}: streamed != eager");
+        assert_eq!(streamed.len(), 24, "{file}");
+    }
+}
+
+/// The three formats carry the same 24 spectra (same scans, charges, peak
+/// counts; peak values agree to text-format precision).
+#[test]
+fn corpus_formats_agree() {
+    let ms2: Vec<Spectrum> = SpectrumReader::read_all(data("corpus.ms2")).unwrap();
+    let mgf: Vec<Spectrum> = SpectrumReader::read_all(data("corpus.mgf")).unwrap();
+    let mzml: Vec<Spectrum> = SpectrumReader::read_all(data("corpus.mzML")).unwrap();
+    for other in [&mgf, &mzml] {
+        assert_eq!(ms2.len(), other.len());
+        for (a, b) in ms2.iter().zip(other.iter()) {
+            assert_eq!(a.scan, b.scan);
+            assert_eq!(a.charge, b.charge);
+            assert_eq!(a.peak_count(), b.peak_count());
+            assert!((a.precursor_mz - b.precursor_mz).abs() < 1e-4);
+            for (pa, pb) in a.peaks.iter().zip(&b.peaks) {
+                assert!((pa.mz - pb.mz).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+/// The hand-built msconvert regression file: interleaved MS1 survey scans
+/// are skipped (and counted), a 64-bit intensity array decodes to its real
+/// values (not garbage f32 pairs), and a 32-bit m/z array is honored.
+#[test]
+fn msconvert_regression_file_parses_correctly() {
+    let path = data("msconvert_64bit_ms1.mzML");
+    let bytes = std::fs::File::open(&path).unwrap();
+    let (eager, stats) = read_mzml_with_stats(bytes).unwrap();
+    assert_eq!(stats.skipped_non_ms2, 2, "two MS1 survey scans");
+    assert_eq!(stats.spectra, 2);
+    assert_eq!(eager.len(), 2);
+
+    // Spectrum scan=2: 64-bit m/z AND 64-bit intensity arrays.
+    assert_eq!(eager[0].scan, 2);
+    assert_eq!(eager[0].charge, 2);
+    let mzs: Vec<f64> = eager[0].peaks.iter().map(|p| p.mz).collect();
+    let ints: Vec<f32> = eager[0].peaks.iter().map(|p| p.intensity).collect();
+    assert_eq!(mzs, vec![175.118952, 276.166631, 389.250695]);
+    assert_eq!(ints, vec![1234.5, 77.125, 3001.25]);
+
+    // Spectrum scan=4: 32-bit m/z and 32-bit intensity arrays.
+    assert_eq!(eager[1].scan, 4);
+    let mzs: Vec<f64> = eager[1].peaks.iter().map(|p| p.mz).collect();
+    let ints: Vec<f32> = eager[1].peaks.iter().map(|p| p.intensity).collect();
+    assert_eq!(mzs, vec![147.125, 260.1875]); // exactly representable in f32
+    assert_eq!(ints, vec![55.5, 44.25]);
+
+    // The streaming reader agrees bit for bit, including the skip counter.
+    let mut reader = SpectrumReader::open(&path).unwrap();
+    let streamed: Vec<Spectrum> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+    assert_eq!(streamed, eager);
+    assert_eq!(reader.skipped_non_ms2(), 2);
+}
+
+/// `simulate --stream-db` over the corpus produces the identical report to
+/// the in-memory run (the engine's streamed partition extraction is
+/// invisible end to end).
+#[test]
+fn corpus_simulate_stream_db_is_invisible() {
+    let d = tmpdir("stream_db");
+    let p = |n: &str| d.join(n).to_string_lossy().to_string();
+    cli(&format!(
+        "digest --in {} --out {}",
+        data("corpus.fasta"),
+        p("pep.fasta")
+    ));
+    let base = format!(
+        "simulate --db {} --queries {} --ranks 4 --csv",
+        p("pep.fasta"),
+        data("corpus.mzML")
+    );
+    assert_eq!(cli(&base), cli(&format!("{base} --stream-db")));
+}
+
+static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary spectra, written through each format writer and read back
+    /// both eagerly and through the streaming reader: streamed == eager,
+    /// bit-identical, in every format.
+    #[test]
+    fn round_trip_streamed_equals_eager(
+        raw in prop::collection::vec(
+            (
+                0u32..40,
+                100.0f64..2000.0,
+                1u8..=4,
+                prop::collection::vec((50.0f64..2000.0, 0.0f32..100_000.0), 0..30),
+            ),
+            0..10,
+        )
+    ) {
+        let spectra: Vec<Spectrum> = raw
+            .into_iter()
+            .map(|(scan, premz, charge, peaks)| {
+                Spectrum::new(
+                    scan,
+                    premz,
+                    charge,
+                    peaks.into_iter().map(|(m, i)| Peak::new(m, i)).collect(),
+                )
+            })
+            .collect();
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let d = tmpdir("proptest");
+
+        // MS2.
+        let path = d.join(format!("case{case}.ms2"));
+        let mut buf = Vec::new();
+        write_ms2(&mut buf, &spectra).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let eager = read_ms2(&buf[..]).unwrap();
+        let streamed: Vec<Spectrum> =
+            SpectrumReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(&streamed, &eager, "ms2");
+        std::fs::remove_file(&path).ok();
+
+        // MGF (duplicate scan ids are legal input; both readers must agree).
+        let path = d.join(format!("case{case}.mgf"));
+        let mut buf = Vec::new();
+        write_mgf(&mut buf, &spectra).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let eager = read_mgf(&buf[..]).unwrap();
+        let streamed: Vec<Spectrum> =
+            SpectrumReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(&streamed, &eager, "mgf");
+        std::fs::remove_file(&path).ok();
+
+        // mzML (binary arrays: the round trip itself is bit-exact too).
+        let path = d.join(format!("case{case}.mzML"));
+        let mut buf = Vec::new();
+        write_mzml(&mut buf, &spectra).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let eager = read_mzml_with_stats(&buf[..]).unwrap().0;
+        let streamed: Vec<Spectrum> =
+            SpectrumReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(&streamed, &eager, "mzml");
+        for (orig, back) in spectra.iter().zip(&eager) {
+            for (po, pb) in orig.peaks.iter().zip(&back.peaks) {
+                prop_assert_eq!(po.mz.to_bits(), pb.mz.to_bits());
+                prop_assert_eq!(po.intensity.to_bits(), pb.intensity.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
