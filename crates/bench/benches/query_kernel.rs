@@ -1,0 +1,163 @@
+//! Criterion: banded (precursor-filtered) vs full-scan query kernel.
+//!
+//! The PR-5 acceptance bench: on a synthetic paper-profile partition, a
+//! closed search through the banded kernel must scan a small fraction of
+//! the postings the full-bin kernel touches (≥ 5× fewer at 1 Da; orders of
+//! magnitude at ppm-level windows) and win wall clock. Both paths return
+//! identical PSMs (asserted here on every workload before timing anything).
+//!
+//! Besides the criterion timings, a run of this bench records the measured
+//! counters and wall clocks in `BENCH_query.json` at the workspace root —
+//! the numbers quoted in README's "Banded query kernel" table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbe_bench::build_workload;
+use lbe_bio::mods::ModSpec;
+use lbe_index::{IndexBuilder, QueryStats, ScanMode, Searcher, SlmConfig, SlmIndex};
+use lbe_spectra::spectrum::Spectrum;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One tolerance point of the sweep: label + ΔM in Daltons.
+const SWEEP: &[(&str, f64)] = &[
+    // ~10 ppm at 1 kDa — the ppm-style closed search of §II-A.
+    ("closed_10ppm", 0.01),
+    // The acceptance point: a wide-but-closed 1 Da window.
+    ("closed_1da", 1.0),
+    // Open-mod search à la MSFragger: ±500 Da still bands usefully.
+    ("open_500da", 500.0),
+    // Fully open (ΔM = ∞): Auto falls back to the full-bin path.
+    ("open_inf", f64::INFINITY),
+];
+
+fn batch_stats(index: &SlmIndex, queries: &[Spectrum], mode: ScanMode) -> QueryStats {
+    let mut s = Searcher::new(index);
+    s.search_batch_with_mode(queries, mode).1
+}
+
+/// Median-of-`reps` wall clock of one whole-batch search, in seconds.
+fn time_batch(index: &SlmIndex, queries: &[Spectrum], mode: ScanMode, reps: usize) -> f64 {
+    let mut s = Searcher::new(index);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(s.search_batch_with_mode(black_box(queries), mode));
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_query_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_kernel");
+    group.sample_size(10);
+
+    // A paper-profile partition: variable mods multiply the entry table
+    // (the paper grows its 18M→49.45M sweep exactly this way), so the
+    // precursor band is a thin slice of a dense mass axis.
+    let w = build_workload(4_000, ModSpec::paper_default(), 64, 55);
+    let queries = &w.queries;
+
+    let mut json = String::from("{\n  \"bench\": \"query_kernel\",\n");
+    let base = IndexBuilder::new(SlmConfig::default(), ModSpec::paper_default()).build(&w.db);
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"peptides\": {}, \"indexed_spectra\": {}, \"ions\": {}, \"queries\": {}}},",
+        w.db.len(),
+        base.num_spectra(),
+        base.num_ions(),
+        queries.len()
+    );
+    println!(
+        "  (kernel corpus: {} peptides -> {} spectra, {} ions, {} queries)",
+        w.db.len(),
+        base.num_spectra(),
+        base.num_ions(),
+        queries.len()
+    );
+    let _ = writeln!(json, "  \"tolerances\": [");
+
+    for (ti, &(label, tol)) in SWEEP.iter().enumerate() {
+        let cfg = SlmConfig {
+            precursor_tolerance: tol,
+            ..SlmConfig::default()
+        };
+        let index = IndexBuilder::new(cfg, ModSpec::paper_default()).build(&w.db);
+
+        // Semantics first: identical PSMs on every query, both paths.
+        let mut s = Searcher::new(&index);
+        for q in queries {
+            let banded = s.search_with_mode(q, ScanMode::Auto);
+            let full = s.search_with_mode(q, ScanMode::FullScan);
+            assert_eq!(banded.psms, full.psms, "{label}: mode changed findings");
+            assert_eq!(banded.stats.candidates, full.stats.candidates);
+        }
+        drop(s);
+
+        let banded = batch_stats(&index, queries, ScanMode::Auto);
+        let full = batch_stats(&index, queries, ScanMode::FullScan);
+        let t_banded = time_batch(&index, queries, ScanMode::Auto, 5);
+        let t_full = time_batch(&index, queries, ScanMode::FullScan, 5);
+        let reduction = full.postings_scanned as f64 / banded.postings_scanned.max(1) as f64;
+        println!(
+            "  {label:>12}: banded {:>12} scanned (+{} skipped) {:>8.2} ms | full {:>12} scanned {:>8.2} ms | {:.1}x fewer, {:.2}x faster",
+            banded.postings_scanned,
+            banded.postings_skipped_by_band,
+            t_banded * 1e3,
+            full.postings_scanned,
+            t_full * 1e3,
+            reduction,
+            t_full / t_banded
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{label}\", \"precursor_tolerance_da\": {}, \
+             \"banded\": {{\"postings_scanned\": {}, \"postings_skipped_by_band\": {}, \"batch_seconds\": {:.6}}}, \
+             \"full_scan\": {{\"postings_scanned\": {}, \"batch_seconds\": {:.6}}}, \
+             \"scan_reduction_x\": {:.2}, \"wall_clock_speedup_x\": {:.2}}}{}",
+            if tol.is_infinite() {
+                "null".to_string()
+            } else {
+                format!("{tol}")
+            },
+            banded.postings_scanned,
+            banded.postings_skipped_by_band,
+            t_banded,
+            full.postings_scanned,
+            t_full,
+            reduction,
+            t_full / t_banded,
+            if ti + 1 == SWEEP.len() { "" } else { "," }
+        );
+
+        group.bench_with_input(BenchmarkId::new("banded", label), &index, |b, index| {
+            let mut s = Searcher::new(index);
+            b.iter(|| {
+                let (r, stats) = s.search_batch_with_mode(black_box(queries), ScanMode::Auto);
+                black_box((r.len(), stats.postings_scanned))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", label), &index, |b, index| {
+            let mut s = Searcher::new(index);
+            b.iter(|| {
+                let (r, stats) = s.search_batch_with_mode(black_box(queries), ScanMode::FullScan);
+                black_box((r.len(), stats.postings_scanned))
+            })
+        });
+    }
+    let _ = writeln!(json, "  ]\n}}");
+    group.finish();
+
+    // Record the measured numbers for README / regression eyeballing. The
+    // path is the workspace root (this file lives in crates/bench).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("note: could not write {out}: {e}");
+    } else {
+        println!("  wrote {out}");
+    }
+}
+
+criterion_group!(benches, bench_query_kernel);
+criterion_main!(benches);

@@ -38,6 +38,12 @@ use lbe_spectra::spectrum::Spectrum;
 pub struct SearchCostModel {
     /// Per posting scanned during shared-peak counting.
     pub per_posting_s: f64,
+    /// Per posting *skipped* by the banded kernel's precursor filter — the
+    /// amortized binary-search cost of jumping over an out-of-window run
+    /// instead of scanning it. Two orders of magnitude below
+    /// `per_posting_s`: skipping is O(log run) pointer arithmetic per bin,
+    /// spread over the whole run.
+    pub per_posting_skip_s: f64,
     /// Per ion-bin lookup.
     pub per_bin_s: f64,
     /// Per candidate PSM that passes filtration — this is the full
@@ -58,6 +64,7 @@ impl Default for SearchCostModel {
     fn default() -> Self {
         SearchCostModel {
             per_posting_s: 1.5e-9,
+            per_posting_skip_s: 1.5e-11,
             per_bin_s: 2.0e-9,
             per_candidate_s: 1.0e-6,
             per_query_s: 20e-6,
@@ -73,6 +80,7 @@ impl SearchCostModel {
         self.per_query_s
             + stats.bins_touched as f64 * self.per_bin_s
             + stats.postings_scanned as f64 * self.per_posting_s
+            + stats.postings_skipped_by_band as f64 * self.per_posting_skip_s
             + stats.candidates as f64 * self.per_candidate_s
     }
 
@@ -93,6 +101,9 @@ impl SearchCostModel {
     pub fn scaled_for_index(mut self, factor: f64) -> Self {
         assert!(factor > 0.0 && factor.is_finite());
         self.per_posting_s *= factor;
+        // Skipped-posting counts grow with bin occupancy just like scanned
+        // ones, so the skip term scales with index size too.
+        self.per_posting_skip_s *= factor;
         self.per_ion_build_s *= factor;
         // Candidate counts are also ~linear in index size (the paper's
         // 73,723 cPSMs/query on a 49.45M index ≈ a constant ~1,490
@@ -165,6 +176,12 @@ pub struct EngineConfig {
     /// simultaneously. Results are bit-identical to the in-memory run
     /// (tested); spill files are left behind for inspection/reuse.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Posting-scan mode for every rank's query phase:
+    /// [`lbe_index::ScanMode::Auto`] (the default) lets closed searches
+    /// take the banded precursor-filtered kernel on mass-sorted indexes;
+    /// [`lbe_index::ScanMode::FullScan`] forces whole-bin scans (A/B
+    /// comparisons; findings are identical either way).
+    pub scan_mode: lbe_index::ScanMode,
     /// When set, each rank **streams its peptide partition** from this
     /// peptide-per-record FASTA file (record `i` = peptide id `i`, the
     /// layout of every `lbe digest`/`cluster-db` artifact) instead of
@@ -191,6 +208,7 @@ impl EngineConfig {
             threads_per_rank: 1,
             rank_speeds: None,
             weight_partition_by_speed: false,
+            scan_mode: lbe_index::ScanMode::Auto,
             spill_dir: None,
             stream_db_from: None,
         }
@@ -416,9 +434,9 @@ fn rank_program(
     let t_q0 = comm.now();
     let threads = cfg.threads_per_rank;
     let (results, totals) = if threads > 1 {
-        lbe_index::search_batch_parallel(&index, queries, threads)
+        lbe_index::search_batch_parallel_with_mode(&index, queries, threads, cfg.scan_mode)
     } else {
-        Searcher::new(&index).search_batch(queries)
+        Searcher::new(&index).search_batch_with_mode(queries, cfg.scan_mode)
     };
     let mut thread_times = vec![0.0f64; threads];
     for r in &results {
@@ -540,11 +558,15 @@ fn merge_results(
         }
     }
     for q in &mut merged {
+        // The shared ranking order (see lbe_index::query::rank_key_cmp):
+        // total (NaN-proof), tie-broken by (peptide, modform) — never
+        // entry ids, so the builder's mass renumbering is invisible in
+        // merged reports.
         q.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
-                .then(a.peptide.cmp(&b.peptide))
+            lbe_index::query::rank_key_cmp(
+                (a.score, a.peptide, a.modform),
+                (b.score, b.peptide, b.modform),
+            )
         });
         q.truncate(top_k);
     }

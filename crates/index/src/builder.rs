@@ -14,6 +14,16 @@
 //! order and every (range, bin) cursor window is carved from the same
 //! prefix sums, the resulting CSR arrays are **byte-identical for every
 //! thread count** (tested) — including the sequential [`IndexBuilder::build`].
+//!
+//! **Entry ids are assigned in ascending precursor-mass order** (stable
+//! over the peptide-major pass-1 order for equal masses): between the two
+//! passes a permutation renumbers the entries, pass 2 writes the renumbered
+//! ids, and a final per-bin sort restores each posting list's
+//! ascending-by-id invariant. The payoff is the banded query kernel — with
+//! ids ordered by mass, a closed search binary-searches every bin's
+//! posting list down to its precursor window instead of scanning the whole
+//! bin (see [`crate::query`]). Peptide and modform ids are untouched; only
+//! the internal entry numbering changes.
 
 use crate::config::SlmConfig;
 use crate::slm::{SlmIndex, SpectrumEntry};
@@ -164,10 +174,33 @@ impl IndexBuilder {
             "index partition exceeds u32 entry ids; partition the input"
         );
 
+        // Renumber entries into ascending precursor-mass order. The sort is
+        // stable, so equal masses keep the peptide-major modform-minor
+        // pass-1 order — the permutation (and with it the whole index) is
+        // deterministic and thread-count-independent.
+        let mut entries_old: Vec<SpectrumEntry> = Vec::with_capacity(total_entries);
+        for r in &mut pass1 {
+            entries_old.append(&mut r.entries);
+        }
+        let mut order: Vec<u32> = (0..total_entries as u32).collect();
+        order.sort_by(|&a, &b| {
+            entries_old[a as usize]
+                .precursor_mass
+                .total_cmp(&entries_old[b as usize].precursor_mass)
+        });
+        let mut new_of = vec![0u32; total_entries];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            new_of[old_id as usize] = new_id as u32;
+        }
+        let mut entries: Vec<SpectrumEntry> = order
+            .iter()
+            .map(|&old_id| entries_old[old_id as usize])
+            .collect();
+        drop(entries_old);
+        drop(order);
+
         // Exclusive prefix sum → CSR offsets; simultaneously convert each
-        // range's per-bin counts into its disjoint write cursor (ranges
-        // earlier in peptide order write earlier slots of each bin, which
-        // keeps every bin's postings ascending by entry id).
+        // range's per-bin counts into its disjoint write cursor.
         let mut bin_offsets = vec![0u64; num_bins + 1];
         let mut acc = 0u64;
         for (b, offset) in bin_offsets.iter_mut().enumerate().take(num_bins) {
@@ -192,22 +225,24 @@ impl IndexBuilder {
             .collect();
         if pass1.len() == 1 {
             let cursors = cursor_vecs.into_iter().next().expect("one range");
-            self.pass2_range(&pass1[0].spectra, cursors, 0, &shared);
+            self.pass2_range(&pass1[0].spectra, cursors, 0, &new_of, &shared);
         } else {
             minipool::scope(|s| {
                 for ((ri, r), cursors) in pass1.iter().enumerate().zip(cursor_vecs) {
                     let this = &*self;
                     let shared = &shared;
+                    let new_of = &new_of;
                     let base = entry_offsets[ri];
-                    s.spawn(move |_| this.pass2_range(&r.spectra, cursors, base, shared));
+                    s.spawn(move |_| this.pass2_range(&r.spectra, cursors, base, new_of, shared));
                 }
             });
         }
 
-        let mut entries: Vec<SpectrumEntry> = Vec::with_capacity(total_entries);
-        for r in &mut pass1 {
-            entries.append(&mut r.entries);
-        }
+        // Pass 2 writes renumbered ids in range order, which is no longer
+        // ascending within a bin; a per-bin sort restores the invariant the
+        // banded kernel binary-searches on. Sorting is canonical, so the
+        // result stays identical for every thread count.
+        sort_bin_postings(&bin_offsets, &mut postings, num_threads);
 
         self.stats = BuildStats {
             peptides: db.len(),
@@ -264,17 +299,19 @@ impl IndexBuilder {
         }
     }
 
-    /// Pass 2 for one range: writes entry ids (`entry_base` + local index)
-    /// into the range's cursor windows, advancing each bin's cursor.
+    /// Pass 2 for one range: writes the *renumbered* entry id of each
+    /// spectrum (`new_of[entry_base + local index]`) into the range's
+    /// cursor windows, advancing each bin's cursor.
     fn pass2_range(
         &self,
         spectra: &[TheoSpectrum],
         mut cursors: Vec<u64>,
         entry_base: usize,
+        new_of: &[u32],
         postings: &SharedPostings<'_>,
     ) {
         for (local_eid, theo) in spectra.iter().enumerate() {
-            let eid = (entry_base + local_eid) as u32;
+            let eid = new_of[entry_base + local_eid];
             for &mz in &theo.fragment_mzs {
                 if let Some(bin) = self.config.bin_of(mz) {
                     let slot = cursors[bin as usize];
@@ -284,6 +321,62 @@ impl IndexBuilder {
             }
         }
     }
+}
+
+/// Sorts every bin's posting slice ascending (by renumbered entry id),
+/// splitting the bins into up to `parts` contiguous, postings-balanced
+/// groups on the shared pool. Sorting is canonical over each bin's
+/// multiset, so the output is independent of `parts`.
+fn sort_bin_postings(bin_offsets: &[u64], postings: &mut [u32], parts: usize) {
+    let num_bins = bin_offsets.len() - 1;
+    let total = postings.len() as u64;
+    if total == 0 {
+        return;
+    }
+    let parts = parts.clamp(1, num_bins.max(1));
+    if parts == 1 {
+        for b in 0..num_bins {
+            postings[bin_offsets[b] as usize..bin_offsets[b + 1] as usize].sort_unstable();
+        }
+        return;
+    }
+    // Carve bin groups at ~equal posting counts so one dense mass region
+    // does not serialize the sort behind a single task.
+    let mut tasks: Vec<(usize, usize, &mut [u32])> = Vec::with_capacity(parts);
+    let mut rest = postings;
+    let mut lo_bin = 0usize;
+    let mut consumed = 0u64;
+    for p in 0..parts {
+        if lo_bin >= num_bins {
+            break;
+        }
+        let target = total * (p as u64 + 1) / parts as u64;
+        let mut hi_bin = lo_bin + 1;
+        while hi_bin < num_bins && bin_offsets[hi_bin] < target {
+            hi_bin += 1;
+        }
+        if p == parts - 1 {
+            hi_bin = num_bins;
+        }
+        let end = bin_offsets[hi_bin];
+        let (head, tail) = rest.split_at_mut((end - consumed) as usize);
+        tasks.push((lo_bin, hi_bin, head));
+        rest = tail;
+        consumed = end;
+        lo_bin = hi_bin;
+    }
+    minipool::scope(|s| {
+        for (lo_bin, hi_bin, slice) in tasks {
+            let base = bin_offsets[lo_bin];
+            s.spawn(move |_| {
+                for b in lo_bin..hi_bin {
+                    let from = (bin_offsets[b] - base) as usize;
+                    let to = (bin_offsets[b + 1] - base) as usize;
+                    slice[from..to].sort_unstable();
+                }
+            });
+        }
+    });
 }
 
 /// Splits `0..db.len()` into at most `parts` contiguous ranges balanced by
@@ -379,14 +472,31 @@ mod tests {
     }
 
     #[test]
-    fn entries_are_peptide_major_modform_minor() {
+    fn entries_are_ascending_by_precursor_mass() {
         let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::oxidation_only());
         let idx = b.build(&db(&["AMK", "GGR"]));
-        // AMK: unmod + 1 ox; GGR: unmod only.
+        // AMK: unmod + 1 ox; GGR: unmod only — ids follow mass, not input
+        // order: GGR (288 Da) < AMK (348 Da) < AMK+ox (364 Da).
         assert_eq!(idx.num_spectra(), 3);
-        assert_eq!((idx.entry(0).peptide, idx.entry(0).modform), (0, 0));
-        assert_eq!((idx.entry(1).peptide, idx.entry(1).modform), (0, 1));
-        assert_eq!((idx.entry(2).peptide, idx.entry(2).modform), (1, 0));
+        assert!(idx.is_mass_sorted());
+        assert!(idx
+            .entries()
+            .windows(2)
+            .all(|w| w[0].precursor_mass <= w[1].precursor_mass));
+        assert_eq!((idx.entry(0).peptide, idx.entry(0).modform), (1, 0));
+        assert_eq!((idx.entry(1).peptide, idx.entry(1).modform), (0, 0));
+        assert_eq!((idx.entry(2).peptide, idx.entry(2).modform), (0, 1));
+    }
+
+    #[test]
+    fn equal_masses_keep_peptide_major_modform_minor_order() {
+        // The renumbering sort is stable: identical peptides (identical
+        // masses) keep their pass-1 (peptide-major) relative order, so the
+        // permutation is fully deterministic.
+        let mut b = IndexBuilder::new(SlmConfig::default(), ModSpec::none());
+        let idx = b.build(&db(&["SAMPLEK", "SAMPLEK", "SAMPLEK"]));
+        let peptides: Vec<u32> = idx.entries().iter().map(|e| e.peptide).collect();
+        assert_eq!(peptides, vec![0, 1, 2]);
     }
 
     #[test]

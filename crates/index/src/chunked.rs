@@ -87,17 +87,13 @@ fn chunks_overlapping(boundaries: &[f64], num_chunks: usize, mass: f64, tol: f64
 }
 
 /// Merge helper shared by the in-memory and disk-backed search paths:
-/// sorts candidate PSMs best-first (deterministic tie-break by global
-/// peptide id) and truncates to `top_k`. Chunk iteration is ascending in
-/// both paths, so the stable sort makes results bit-identical between
-/// them.
+/// sorts candidate PSMs best-first — score descending (total order, so
+/// crafted NaN-bearing inputs cannot panic the merge) with a deterministic
+/// `(peptide, modform)` tie-break that never mentions entry ids, keeping
+/// merged output invariant under the builder's mass renumbering — and
+/// truncates to `top_k`.
 fn finalize_psms(psms: &mut Vec<crate::query::Psm>, top_k: usize) {
-    psms.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite scores")
-            .then(a.peptide.cmp(&b.peptide))
-    });
+    psms.sort_by(crate::query::rank_cmp);
     psms.truncate(top_k);
 }
 
@@ -707,6 +703,17 @@ impl ChunkStore {
     /// touches. Results are identical to [`ChunkedIndex::search`] on the
     /// fully-resident index.
     pub fn search(&mut self, query: &Spectrum) -> std::io::Result<SearchResult> {
+        self.search_with_mode(query, crate::query::ScanMode::Auto)
+    }
+
+    /// [`ChunkStore::search`] with an explicit [`crate::query::ScanMode`]
+    /// applied to every chunk visit (findings are mode-invariant; only the
+    /// scanned/skipped work counters differ).
+    pub fn search_with_mode(
+        &mut self,
+        query: &Spectrum,
+        mode: crate::query::ScanMode,
+    ) -> std::io::Result<SearchResult> {
         let top_k = self.config.top_k;
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
@@ -714,11 +721,11 @@ impl ChunkStore {
             self.ensure_resident(ci)?;
             let chunk = self.resident[ci].as_ref().expect("just made resident");
             // Recycle one scratch across chunks and queries: sized once to
-            // the largest chunk instead of zero-allocated per visit (the
-            // same reuse ChunkedIndex::search_batch gets from memoized
+            // the largest needed band instead of zero-allocated per visit
+            // (the same reuse ChunkedIndex::search_batch gets from memoized
             // searchers). Scratch reuse is invisible in results (tested).
             let mut searcher = Searcher::with_scratch(chunk, std::mem::take(&mut self.scratch));
-            let r = searcher.search(query);
+            let r = searcher.search_with_mode(query, mode);
             self.scratch = searcher.into_scratch();
             stats.accumulate(&r.stats);
             for mut p in r.psms {

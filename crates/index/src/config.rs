@@ -72,9 +72,18 @@ impl SlmConfig {
 
     /// `true` if `candidate_mass` is admissible for a query of
     /// `query_mass` under ΔM.
+    ///
+    /// Deliberately phrased as interval membership in `[query_mass − ΔM,
+    /// query_mass + ΔM]` — the *same* floating-point expressions the banded
+    /// kernel binary-searches the entry table with — so the banded and
+    /// full-scan paths admit bit-identical candidate sets even at window
+    /// boundaries (a `|q − c| ≤ ΔM` formulation can disagree with the
+    /// interval bounds by one ulp).
     #[inline]
     pub fn precursor_admits(&self, query_mass: f64, candidate_mass: f64) -> bool {
-        self.is_open_search() || (query_mass - candidate_mass).abs() <= self.precursor_tolerance
+        self.is_open_search()
+            || (candidate_mass >= query_mass - self.precursor_tolerance
+                && candidate_mass <= query_mass + self.precursor_tolerance)
     }
 
     /// A closed-search variant (ΔM = `tol` Da) of this configuration.

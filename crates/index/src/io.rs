@@ -9,17 +9,22 @@
 //!
 //! A [`crate::format`] container (fixed header, checksummed section table,
 //! 64-byte-aligned little-endian payloads — see that module for the exact
-//! header/table byte layout) with four sections:
+//! header/table byte layout) with five sections:
 //!
 //! ```text
 //! section     payload
 //! "config"    resolution f64 | ΔF f64 | ΔM f64 | shpeak u16 | max_mz f64
 //!             | b_ions u8 | y_ions u8 | n_charges u8 | charges u8×n
 //!             | top_k u64
+//! "flags"     u64 layout-flags bitfield; bit 0 = MASS_SORTED (entry ids
+//!             ascend by precursor mass → the banded query kernel applies).
+//!             Optional: files written before the section existed load
+//!             with no flags and search via the full-scan path.
 //! "entries"   SpectrumEntry×n — the repr(C) record: peptide u32,
 //!             modform u16, nfrag u16, mass f32 (12 bytes each)
 //! "binoffs"   u64×(num_bins+1) CSR row pointers
-//! "postings"  u32×total_ions entry ids, grouped by bin
+//! "postings"  u32×total_ions entry ids, grouped by bin (each bin's list
+//!             ascending by entry id = ascending by precursor mass)
 //! ```
 //!
 //! Each array is one contiguous aligned region, so the reader performs one
@@ -66,6 +71,14 @@ pub(crate) const SEC_CONFIG: [u8; 8] = section_name("config");
 pub(crate) const SEC_ENTRIES: [u8; 8] = section_name("entries");
 pub(crate) const SEC_BINOFFS: [u8; 8] = section_name("binoffs");
 pub(crate) const SEC_POSTINGS: [u8; 8] = section_name("postings");
+/// Optional layout-flags section (u64 LE bitfield). Files written before
+/// the section existed simply lack it — they load with no flags set and
+/// search via the full-scan path; no format break.
+pub(crate) const SEC_FLAGS: [u8; 8] = section_name("flags");
+
+/// `flags` bit 0: entry ids ascend by precursor mass, so the banded
+/// (precursor-filtered) query kernel may binary-search posting lists.
+pub const FLAG_MASS_SORTED: u64 = 1 << 0;
 
 /// Options of the read path.
 #[derive(Debug, Clone, Copy)]
@@ -329,13 +342,23 @@ pub fn write_index<W: Write>(writer: W, index: &SlmIndex) -> io::Result<()> {
     w.flush()
 }
 
-/// Plans the four v2 sections of one index: one checksum pass over each
+/// The `flags` section payload of one index.
+fn index_flags(index: &SlmIndex) -> [u8; 8] {
+    let mut flags = 0u64;
+    if index.is_mass_sorted() {
+        flags |= FLAG_MASS_SORTED;
+    }
+    flags.to_le_bytes()
+}
+
+/// Plans the five v2 sections of one index: one checksum pass over each
 /// array, no serialization. The chunked container writer caches the result
 /// so each chunk's arrays are checksummed exactly once.
 pub(crate) fn plan_index_sections(
     index: &SlmIndex,
     cfg_bytes: &[u8],
-) -> io::Result<[SectionPlan; 4]> {
+) -> io::Result<[SectionPlan; 5]> {
+    let flags = index_flags(index);
     let (e_len, e_crc) = plan_section(|s| emit_entries(s, index.entries()))?;
     let (o_len, o_crc) = plan_section(|s| emit_u64s(s, index.bin_offsets()))?;
     let (p_len, p_crc) = plan_section(|s| emit_u32s(s, index.postings()))?;
@@ -344,6 +367,11 @@ pub(crate) fn plan_index_sections(
             name: SEC_CONFIG,
             len: cfg_bytes.len() as u64,
             crc: crate::format::crc32(cfg_bytes),
+        },
+        SectionPlan {
+            name: SEC_FLAGS,
+            len: flags.len() as u64,
+            crc: crate::format::crc32(&flags),
         },
         SectionPlan {
             name: SEC_ENTRIES,
@@ -369,12 +397,13 @@ pub(crate) fn write_index_sections(
     mut w: &mut dyn Write,
     index: &SlmIndex,
     cfg_bytes: &[u8],
-    plans: &[SectionPlan; 4],
+    plans: &[SectionPlan; 5],
 ) -> io::Result<()> {
     crate::format::write_container(&mut w, MAGIC_V2, plans, |i, w| match i {
         0 => w.write_all(cfg_bytes),
-        1 => emit_entries(w, index.entries()),
-        2 => emit_u64s(w, index.bin_offsets()),
+        1 => w.write_all(&index_flags(index)),
+        2 => emit_entries(w, index.entries()),
+        3 => emit_u64s(w, index.bin_offsets()),
         _ => emit_u32s(w, index.postings()),
     })
 }
@@ -520,6 +549,22 @@ pub(crate) fn read_v2_parsed(
     let (cfg_off, cfg_len) = container.section_checked(bytes, &SEC_CONFIG)?;
     let config = config_from_bytes(&bytes[cfg_off..cfg_off + cfg_len])?;
 
+    // Layout flags: optional (older files lack the section → no flags, and
+    // with them no banded search). Unknown bits are ignored for forward
+    // compatibility; the MASS_SORTED claim itself is verified by the
+    // always-on cheap validation after construction.
+    let flags = match container.find(&SEC_FLAGS) {
+        None => 0u64,
+        Some(_) => {
+            let (f_off, f_len) = container.section_checked(bytes, &SEC_FLAGS)?;
+            if f_len != 8 {
+                return Err(bad("flags section is not a single u64"));
+            }
+            u64::from_le_bytes(bytes[f_off..f_off + 8].try_into().unwrap())
+        }
+    };
+    let mass_sorted = flags & FLAG_MASS_SORTED != 0;
+
     let (e_off, e_bytes) = container.section_checked(bytes, &SEC_ENTRIES)?;
     let esz = std::mem::size_of::<SpectrumEntry>();
     if e_bytes % esz != 0 {
@@ -551,6 +596,7 @@ pub(crate) fn read_v2_parsed(
             (e_off, n_entries),
             (o_off, n_offsets),
             (p_off, n_postings),
+            mass_sorted,
         )
     } else {
         // Big-endian host: views of little-endian data are impossible;
@@ -575,7 +621,7 @@ pub(crate) fn read_v2_parsed(
         for _ in 0..n_postings {
             postings.push(r_u32(&mut pr)?);
         }
-        SlmIndex::from_owned_unchecked(config, entries, bin_offsets, postings)
+        SlmIndex::from_owned_unchecked_with(config, entries, bin_offsets, postings, mass_sorted)
     };
     validate_loaded(index, opts)
 }
@@ -957,6 +1003,75 @@ mod tests {
         write_index(&mut buf, &idx).unwrap();
         let back = read_index(&buf[..]).unwrap();
         assert!(back.config().is_open_search());
+    }
+
+    #[test]
+    fn mass_sorted_flag_round_trips_v2_but_not_v1() {
+        let idx = sample_index(true);
+        assert!(idx.is_mass_sorted());
+        let mut v2 = Vec::new();
+        write_index(&mut v2, &idx).unwrap();
+        assert!(read_index(&v2[..]).unwrap().is_mass_sorted());
+        // v1 has no flags: the layout survives the bytes but not the
+        // claim, so a v1 round trip searches via the full-scan path.
+        let mut v1 = Vec::new();
+        write_index_v1(&mut v1, &idx).unwrap();
+        let from_v1 = read_index(&v1[..]).unwrap();
+        assert!(!from_v1.is_mass_sorted());
+        // Re-writing the v1-loaded index as v2 keeps the flag off — the
+        // writer records what the in-memory index guarantees, nothing more.
+        let mut again = Vec::new();
+        write_index(&mut again, &from_v1).unwrap();
+        assert!(!read_index(&again[..]).unwrap().is_mass_sorted());
+    }
+
+    #[test]
+    fn v2_file_without_flags_section_still_loads_full_scan() {
+        // Simulate a pre-flag v2 file: same container, no "flags" section.
+        let idx = sample_index(false);
+        let cfg_bytes = config_bytes(idx.config()).unwrap();
+        let all = plan_index_sections(&idx, &cfg_bytes).unwrap();
+        let old: Vec<SectionPlan> = all
+            .iter()
+            .filter(|p| p.name != SEC_FLAGS)
+            .copied()
+            .collect();
+        let mut buf = Vec::new();
+        crate::format::write_container(&mut buf, MAGIC_V2, &old, |i, w| match i {
+            0 => w.write_all(&cfg_bytes),
+            1 => super::emit_entries(w, idx.entries()),
+            2 => emit_u64s(w, idx.bin_offsets()),
+            _ => emit_u32s(w, idx.postings()),
+        })
+        .unwrap();
+        let back = read_index(&buf[..]).unwrap();
+        assert!(!back.is_mass_sorted(), "no flag section → no banded claim");
+        assert_eq!(
+            back, idx,
+            "arrays identical; only the layout claim is absent"
+        );
+    }
+
+    #[test]
+    fn forged_mass_sorted_claim_on_unsorted_entries_is_rejected() {
+        // A file may claim MASS_SORTED only if its entry table really is
+        // sorted — otherwise the banded binary search would silently
+        // mis-filter. Forge the claim over shuffled entries.
+        let idx = sample_index(false);
+        let mut entries = idx.entries().to_vec();
+        entries.reverse();
+        assert!(entries.len() > 1);
+        let forged = SlmIndex::from_owned_unchecked_with(
+            idx.config().clone(),
+            entries,
+            idx.bin_offsets().to_vec(),
+            idx.postings().to_vec(),
+            true, // the forged claim
+        );
+        let mut buf = Vec::new();
+        write_index(&mut buf, &forged).unwrap();
+        let err = read_index_with(&buf[..], &ReadOptions::trusted()).unwrap_err();
+        assert!(err.to_string().contains("mass-sorted"), "{err}");
     }
 
     mod corruption_properties {

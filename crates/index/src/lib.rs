@@ -12,6 +12,10 @@
 //!   counts shared peaks per indexed spectrum, and keeps candidates with
 //!   `shared ≥ shpeak` (paper: 4) inside the precursor window (`ΔM`, paper:
 //!   ∞ — open search);
+//! * entry ids ascend by **precursor mass**, so a *closed* search applies
+//!   the `ΔM` window first: each bin's posting list is binary-searched
+//!   down to the admitted mass band and only in-window postings are
+//!   scanned (see [`query`] — the filtration-first kernel);
 //! * every structure reports its exact heap bytes, which is how the memory
 //!   figure (Fig. 5) is reproduced deterministically.
 //!
@@ -55,10 +59,10 @@ pub use config::SlmConfig;
 pub use footprint::MemoryFootprint;
 pub use io::{
     read_index, read_index_bytes, read_index_path, read_index_path_with, read_index_with,
-    write_index, write_index_path, write_index_v1, ReadOptions,
+    write_index, write_index_path, write_index_v1, ReadOptions, FLAG_MASS_SORTED,
 };
-pub use parallel::{search_batch_chunked, search_batch_parallel};
+pub use parallel::{search_batch_chunked, search_batch_parallel, search_batch_parallel_with_mode};
 pub use precursor::{PrecursorIndex, PrecursorQueryStats};
-pub use query::{Psm, QueryStats, SearchResult, SearchScratch, Searcher};
+pub use query::{Psm, QueryStats, ScanMode, SearchResult, SearchScratch, Searcher};
 pub use seqtag::{extract_tags, TagIndex, TagQueryStats};
 pub use slm::{SlmIndex, SpectrumEntry};

@@ -22,7 +22,7 @@
 //! sequential path — parallelism must never change what is found (tested,
 //! including a proptest over batch size / thread count / skew).
 
-use crate::query::{QueryStats, SearchResult, Searcher};
+use crate::query::{QueryStats, ScanMode, SearchResult, Searcher};
 use crate::slm::SlmIndex;
 use lbe_spectra::spectrum::Spectrum;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,10 +51,21 @@ pub fn search_batch_parallel(
     queries: &[Spectrum],
     num_threads: usize,
 ) -> (Vec<SearchResult>, QueryStats) {
+    search_batch_parallel_with_mode(index, queries, num_threads, ScanMode::Auto)
+}
+
+/// [`search_batch_parallel`] with an explicit [`ScanMode`] (findings are
+/// mode-invariant; only the scanned/skipped work counters differ).
+pub fn search_batch_parallel_with_mode(
+    index: &SlmIndex,
+    queries: &[Spectrum],
+    num_threads: usize,
+    mode: ScanMode,
+) -> (Vec<SearchResult>, QueryStats) {
     assert!(num_threads >= 1, "need at least one thread");
     if num_threads == 1 || queries.len() <= 1 {
         let mut s = Searcher::new(index);
-        return s.search_batch(queries);
+        return s.search_batch_with_mode(queries, mode);
     }
 
     let workers = num_threads.min(queries.len());
@@ -80,7 +91,8 @@ pub fn search_batch_parallel(
                     }
                     let lo = b * block;
                     let hi = (lo + block).min(queries.len());
-                    let (results, block_stats) = searcher.search_batch(&queries[lo..hi]);
+                    let (results, block_stats) =
+                        searcher.search_batch_with_mode(&queries[lo..hi], mode);
                     stats.accumulate(&block_stats);
                     mine.push((b, results));
                 }

@@ -1,25 +1,38 @@
 //! Shared-peak query: filtration + scoring.
 //!
-//! For each query peak, the searcher scans every posting within the
-//! fragment-tolerance window and bumps a per-entry shared-peak counter.
-//! Entries reaching `shpeak` inside the precursor window become *candidate
-//! PSMs* (the paper's cPSMs — 22.5 billion of them in its full-dataset run);
-//! the top-k by score are returned.
+//! The kernel is **filtration-first** (the paper's §II-A ordering): for a
+//! closed search the precursor window is applied *before* the posting scan,
+//! not after it. Entry ids ascend by precursor mass (the builder's
+//! renumbering), so the admitted mass band `[m − ΔM, m + ΔM]` is one
+//! contiguous entry-id range found with two binary searches over the entry
+//! table — and because every bin's posting list is ascending by entry id,
+//! each bin's admitted run is likewise found with two binary searches.
+//! The hot loop then scans only in-window postings; everything outside the
+//! band is counted in [`QueryStats::postings_skipped_by_band`] but never
+//! loaded. An open search (ΔM = ∞), or an index without the mass-sorted
+//! layout (pre-flag files), takes the full-bin path through the same code —
+//! both paths have identical semantics (proptested against
+//! [`brute_force_shared_peaks`]).
 //!
-//! The per-entry counters live in a scratch arena that is O(index) once and
-//! reset per query by walking only the touched entries — the standard trick
-//! that keeps per-query cost proportional to postings scanned, not index
-//! size.
+//! The per-entry counters live in a scratch arena reset per query by
+//! walking only the touched entries — the standard trick that keeps
+//! per-query cost proportional to postings scanned, not index size. In
+//! banded mode the scratch is indexed *band-relative* (`entry − band_lo`),
+//! so a closed search's counter footprint is the admitted band, not the
+//! whole index. Top-k selection is a bounded heap (O(candidates · log k)),
+//! not a full sort.
 
 use crate::config::SlmConfig;
 use crate::slm::SlmIndex;
 use lbe_spectra::spectrum::Spectrum;
 use lbe_spectra::theo::TheoSpectrum;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// One candidate peptide-to-spectrum match.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Psm {
-    /// Index entry id (local to the partition).
+    /// Index entry id (local to the partition; ascending by precursor mass).
     pub entry: u32,
     /// Peptide id (local to the partition's peptide table).
     pub peptide: u32,
@@ -32,6 +45,40 @@ pub struct Psm {
     pub score: f32,
 }
 
+/// Ranking order of PSMs within one query: score descending, ties broken
+/// by ascending `(peptide, modform)` — a *total* order (`f32::total_cmp`),
+/// and one that does not mention entry ids, so the builder's mass
+/// renumbering is invisible in every ranked output.
+#[inline]
+pub fn rank_cmp(a: &Psm, b: &Psm) -> Ordering {
+    rank_key_cmp(
+        (a.score, a.peptide, a.modform),
+        (b.score, b.peptide, b.modform),
+    )
+}
+
+/// The same ranking over bare `(score, peptide, modform)` keys — the one
+/// definition every merge layer (single index, chunk merge, engine master
+/// merge) must share so a ranking change cannot silently diverge between
+/// them.
+#[inline]
+pub fn rank_key_cmp(a: (f32, u32, u16), b: (f32, u32, u16)) -> Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
+/// Which posting path [`Searcher::search_with_mode`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Banded scan when the index is mass-sorted and the search is closed
+    /// (finite ΔM); full-bin scan otherwise. The default everywhere.
+    #[default]
+    Auto,
+    /// Always scan whole bins (the pre-banding kernel). Results are
+    /// identical to `Auto`; kept for A/B benchmarking and as the reference
+    /// path in equivalence tests.
+    FullScan,
+}
+
 /// Work counters for one query — the inputs of the virtual-time cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryStats {
@@ -41,6 +88,10 @@ pub struct QueryStats {
     pub bins_touched: u64,
     /// Postings scanned (the dominant compute term).
     pub postings_scanned: u64,
+    /// Postings in touched bins that the precursor band excluded *without
+    /// scanning them* — the work the banded kernel avoids relative to a
+    /// full-bin scan. Zero on the full-scan path.
+    pub postings_skipped_by_band: u64,
     /// Candidate PSMs passing the shared-peak + precursor filters (cPSMs).
     pub candidates: u64,
 }
@@ -51,6 +102,7 @@ impl QueryStats {
         self.peaks += other.peaks;
         self.bins_touched += other.bins_touched;
         self.postings_scanned += other.postings_scanned;
+        self.postings_skipped_by_band += other.postings_skipped_by_band;
         self.candidates += other.candidates;
     }
 }
@@ -69,8 +121,9 @@ pub struct SearchResult {
 /// chunk to chunk instead of reallocating per query).
 ///
 /// Invariant: between searches every counter is zero (the searcher resets
-/// the entries it touched), so re-sizing for another index only needs to
-/// extend with zeroes.
+/// the entries it touched), so re-sizing for another index or band only
+/// needs to extend with zeroes. [`Searcher::with_scratch`] debug-asserts
+/// the invariant when recycling.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     counts: Vec<u16>,
@@ -78,31 +131,48 @@ pub struct SearchScratch {
     touched: Vec<u32>,
 }
 
+impl SearchScratch {
+    /// `true` if every counter slot is zero — the recycling invariant.
+    fn is_clean(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0) && self.intensity.iter().all(|&i| i == 0.0)
+    }
+}
+
 /// A reusable searcher over one index. Holds scratch state; create one per
 /// thread (it is `Send` but deliberately not shared).
 pub struct Searcher<'a> {
     index: &'a SlmIndex,
-    /// Per-entry shared-peak counters (scratch, reset via `touched`).
+    /// Per-entry shared-peak counters (scratch, reset via `touched`,
+    /// indexed band-relative: slot `entry − band_lo`). Sized lazily per
+    /// query to the admitted band (closed search) or the whole index (open
+    /// search / full scan) — grow-only.
     counts: Vec<u16>,
-    /// Per-entry matched-intensity sums (scratch).
+    /// Per-entry matched-intensity sums (scratch, band-relative).
     intensity: Vec<f32>,
-    /// Entries touched by the current query.
+    /// Entries touched by the current query (absolute ids).
     touched: Vec<u32>,
 }
 
 impl<'a> Searcher<'a> {
-    /// Creates a searcher (allocates O(index entries) scratch once).
+    /// Creates a searcher. Scratch is allocated lazily on first search,
+    /// sized to the admitted band (closed search) or the index (open).
     pub fn new(index: &'a SlmIndex) -> Self {
         Self::with_scratch(index, SearchScratch::default())
     }
 
-    /// Creates a searcher around recycled scratch, resizing it to this
-    /// index (new slots are zeroed; surviving slots are already zero by
-    /// [`SearchScratch`]'s invariant).
+    /// Creates a searcher around recycled scratch. Surviving counter slots
+    /// must be zero ([`SearchScratch`]'s invariant — the previous searcher
+    /// reset every entry it touched); recycling across indexes is safe
+    /// because searches only ever *extend* the arrays with zeroes. The
+    /// invariant is debug-asserted here so a violation fails at the hand-off
+    /// that caused it, not as a silently corrupt count several queries
+    /// later.
     pub fn with_scratch(index: &'a SlmIndex, mut scratch: SearchScratch) -> Self {
-        let n = index.num_spectra();
-        scratch.counts.resize(n, 0);
-        scratch.intensity.resize(n, 0.0);
+        debug_assert!(
+            scratch.is_clean(),
+            "recycled SearchScratch has non-zero counters: the previous \
+             searcher did not reset the entries it touched"
+        );
         scratch.touched.clear();
         if scratch.touched.capacity() == 0 {
             scratch.touched.reserve(1024);
@@ -129,43 +199,78 @@ impl<'a> Searcher<'a> {
         self.index
     }
 
-    /// Searches one (preprocessed) query spectrum.
+    /// Searches one (preprocessed) query spectrum via [`ScanMode::Auto`].
     pub fn search(&mut self, query: &Spectrum) -> SearchResult {
+        self.search_with_mode(query, ScanMode::Auto)
+    }
+
+    /// Searches one query spectrum with an explicit [`ScanMode`]. Both
+    /// modes return identical PSMs and candidate counts; they differ only
+    /// in `postings_scanned` vs `postings_skipped_by_band` (and in wall
+    /// clock).
+    pub fn search_with_mode(&mut self, query: &Spectrum, mode: ScanMode) -> SearchResult {
         let cfg = self.index.config();
         let mut stats = QueryStats {
             peaks: query.peaks.len() as u64,
             ..Default::default()
         };
 
+        let query_mass = query.precursor_neutral_mass();
+        let num_entries = self.index.num_spectra() as u32;
+        // Filtration first: a closed search over a mass-sorted index
+        // restricts every scan to the admitted entry band up front.
+        let banded = mode == ScanMode::Auto && self.index.is_mass_sorted() && !cfg.is_open_search();
+        let (band_lo, band_hi) = if banded {
+            self.index.entry_range_for_mass_band(
+                query_mass - cfg.precursor_tolerance,
+                query_mass + cfg.precursor_tolerance,
+            )
+        } else {
+            (0, num_entries)
+        };
+        let width = (band_hi - band_lo) as usize;
+        if self.counts.len() < width {
+            // Grow-only; new slots are zero, surviving slots are zero by
+            // the scratch invariant.
+            self.counts.resize(width, 0);
+            self.intensity.resize(width, 0.0);
+        }
+
         for peak in &query.peaks {
             let counts = &mut self.counts;
             let intensity = &mut self.intensity;
             let touched = &mut self.touched;
             let mut scanned = 0u64;
-            let bins = self.index.for_postings_near(peak.mz, |entry| {
+            let visit = |entry: u32| {
                 scanned += 1;
-                let e = entry as usize;
+                let e = (entry - band_lo) as usize;
                 if counts[e] == 0 {
                     touched.push(entry);
                 }
                 counts[e] = counts[e].saturating_add(1);
                 intensity[e] += peak.intensity;
-            });
+            };
+            let (bins, skipped) = if banded {
+                self.index
+                    .for_postings_near_in_entry_band(peak.mz, band_lo, band_hi, visit)
+            } else {
+                (self.index.for_postings_near(peak.mz, visit), 0)
+            };
             stats.bins_touched += bins as u64;
             stats.postings_scanned += scanned;
+            stats.postings_skipped_by_band += skipped;
         }
 
-        let query_mass = query.precursor_neutral_mass();
-        let mut psms: Vec<Psm> = Vec::new();
+        let mut topk = TopK::new(cfg.top_k);
         for &entry in &self.touched {
-            let e = entry as usize;
+            let e = (entry - band_lo) as usize;
             let shared = self.counts[e];
             let meta = self.index.entry(entry);
             if shared >= cfg.shared_peak_threshold
                 && cfg.precursor_admits(query_mass, meta.precursor_mass as f64)
             {
                 stats.candidates += 1;
-                psms.push(Psm {
+                topk.push(Psm {
                     entry,
                     peptide: meta.peptide,
                     modform: meta.modform,
@@ -179,29 +284,98 @@ impl<'a> Searcher<'a> {
         }
         self.touched.clear();
 
-        // Best first; deterministic tie-break by entry id.
-        psms.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
-                .then(a.entry.cmp(&b.entry))
-        });
-        psms.truncate(cfg.top_k);
-        SearchResult { psms, stats }
+        SearchResult {
+            psms: topk.into_sorted(),
+            stats,
+        }
     }
 
     /// Searches a batch, returning per-query results plus total work.
     pub fn search_batch(&mut self, queries: &[Spectrum]) -> (Vec<SearchResult>, QueryStats) {
+        self.search_batch_with_mode(queries, ScanMode::Auto)
+    }
+
+    /// [`Searcher::search_batch`] with an explicit [`ScanMode`].
+    pub fn search_batch_with_mode(
+        &mut self,
+        queries: &[Spectrum],
+        mode: ScanMode,
+    ) -> (Vec<SearchResult>, QueryStats) {
         let mut total = QueryStats::default();
         let results: Vec<SearchResult> = queries
             .iter()
             .map(|q| {
-                let r = self.search(q);
+                let r = self.search_with_mode(q, mode);
                 total.accumulate(&r.stats);
                 r
             })
             .collect();
         (results, total)
+    }
+}
+
+/// Bounded top-k selection over [`rank_cmp`]: a size-`k` binary heap whose
+/// top is the *worst* kept PSM, replacing the old collect-all →
+/// `sort_by` → `truncate` path. O(candidates · log k) instead of
+/// O(candidates · log candidates), and memory bounded by `k` instead of by
+/// the candidate count — which for an open search at paper scale is tens
+/// of thousands of cPSMs per query against a `top_k` of 10.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapPsm>,
+}
+
+/// Heap ordering = [`rank_cmp`]: the max element is the worst-ranked PSM,
+/// so `peek` is the eviction candidate and `into_sorted_vec` is best-first.
+struct HeapPsm(Psm);
+
+impl PartialEq for HeapPsm {
+    fn eq(&self, other: &Self) -> bool {
+        rank_cmp(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for HeapPsm {}
+impl PartialOrd for HeapPsm {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapPsm {
+    fn cmp(&self, other: &Self) -> Ordering {
+        rank_cmp(&self.0, &other.0)
+    }
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            // `top_k` can be "unbounded" (usize::MAX in exhaustive tests);
+            // cap the up-front reservation and let the heap grow.
+            heap: BinaryHeap::with_capacity(k.min(1024)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, p: Psm) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapPsm(p));
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if rank_cmp(&p, &worst.0) == Ordering::Less {
+                *worst = HeapPsm(p);
+            }
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Psm> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|h| h.0)
+            .collect()
     }
 }
 
@@ -306,6 +480,75 @@ mod tests {
     }
 
     #[test]
+    fn banded_closed_search_skips_out_of_window_postings() {
+        let d = db(&["PEPTIDEK", "PEPTIDEKGGGGGGK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let q = perfect_query(b"PEPTIDEK");
+        let banded = s.search_with_mode(&q, ScanMode::Auto);
+        let full = s.search_with_mode(&q, ScanMode::FullScan);
+        // Identical findings...
+        assert_eq!(banded.psms, full.psms);
+        assert_eq!(banded.stats.candidates, full.stats.candidates);
+        // ...but the banded path scanned strictly fewer postings (the
+        // heavier peptide shares PEPTIDEK's b-ion bins) and accounted for
+        // every posting it skipped.
+        assert!(banded.stats.postings_scanned < full.stats.postings_scanned);
+        assert!(banded.stats.postings_skipped_by_band > 0);
+        assert_eq!(
+            banded.stats.postings_scanned + banded.stats.postings_skipped_by_band,
+            full.stats.postings_scanned
+        );
+        assert_eq!(full.stats.postings_skipped_by_band, 0);
+    }
+
+    #[test]
+    fn open_search_takes_full_bin_path() {
+        let d = db(&["PEPTIDEK", "ELVISLIVESK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        assert!(idx.config().is_open_search());
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&perfect_query(b"PEPTIDEK"));
+        assert_eq!(r.stats.postings_skipped_by_band, 0);
+    }
+
+    #[test]
+    fn empty_band_matches_nothing_and_scans_nothing() {
+        let d = db(&["PEPTIDEK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(0.1);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        // Fragment peaks overlap PEPTIDEK's bins, but the precursor is
+        // 500 Da off: the band admits zero entries.
+        let theo = TheoSpectrum::from_sequence(
+            b"PEPTIDEK",
+            &ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 100.0))
+            .collect();
+        let q = Spectrum::new(
+            0,
+            lbe_bio::aa::precursor_mz(theo.precursor_mass + 500.0, 2),
+            2,
+            peaks,
+        );
+        let r = s.search(&q);
+        assert!(r.psms.is_empty());
+        assert_eq!(r.stats.postings_scanned, 0);
+        assert!(r.stats.postings_skipped_by_band > 0);
+        // The full-scan path agrees on the findings.
+        let full = s.search_with_mode(&q, ScanMode::FullScan);
+        assert!(full.psms.is_empty());
+        assert!(full.stats.postings_scanned > 0);
+    }
+
+    #[test]
     fn open_search_admits_heavier_candidates() {
         let d = db(&["PEPTIDEK", "PEPTIDEKGGGGGGGGK"]);
         let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
@@ -326,6 +569,50 @@ mod tests {
         let r1 = s.search(&perfect_query(b"PEPTIDEK"));
         let r2 = s.search(&perfect_query(b"PEPTIDEK"));
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn scratch_recycles_across_band_widths() {
+        // Alternating closed (narrow band) and open-ish (whole index)
+        // queries through one scratch: band-relative indexing must never
+        // leak counts between bands.
+        let d = db(&["GGGGGK", "PEPTIDEK", "ELVISLIVESK", "WWWWWWK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let wide_cfg = SlmConfig::default().with_precursor_tolerance(10_000.0);
+        let wide = IndexBuilder::new(wide_cfg, ModSpec::none()).build(&d);
+        let mut scratch = SearchScratch::default();
+        for _ in 0..3 {
+            for seq in [&b"PEPTIDEK"[..], b"GGGGGK", b"ELVISLIVESK"] {
+                let q = perfect_query(seq);
+                let mut s1 = Searcher::with_scratch(&idx, scratch);
+                let narrow1 = s1.search(&q);
+                let narrow2 = s1.search(&q);
+                assert_eq!(narrow1, narrow2, "dirty scratch within searcher");
+                scratch = s1.into_scratch();
+                let mut s2 = Searcher::with_scratch(&wide, scratch);
+                let fresh = Searcher::new(&wide).search(&q);
+                assert_eq!(s2.search(&q), fresh, "dirty scratch across indexes");
+                scratch = s2.into_scratch();
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-zero counters")]
+    fn poisoned_scratch_is_caught_on_recycle() {
+        // Violate the invariant deliberately: a scratch with a leftover
+        // count must be rejected at the hand-off, not silently corrupt the
+        // next query's shared-peak counts.
+        let d = db(&["PEPTIDEK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let poisoned = SearchScratch {
+            counts: vec![0, 3, 0],
+            intensity: vec![0.0; 3],
+            touched: Vec::new(),
+        };
+        let _ = Searcher::with_scratch(&idx, poisoned);
     }
 
     #[test]
@@ -355,6 +642,59 @@ mod tests {
         let r = s.search(&perfect_query(b"PEPTIDEKGK"));
         assert!(r.psms.len() <= 3);
         assert!(r.stats.candidates >= r.psms.len() as u64);
+    }
+
+    #[test]
+    fn bounded_top_k_equals_sort_and_truncate() {
+        // The heap selection must reproduce the reference "sort everything,
+        // truncate" ranking exactly, for every k.
+        let seqs: Vec<String> = (0..30)
+            .map(|i| format!("PEPTIDE{}K", "AG".repeat(i % 5 + 1)))
+            .collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let d = db(&refs);
+        let cfg = SlmConfig {
+            top_k: usize::MAX,
+            shared_peak_threshold: 1,
+            ..Default::default()
+        };
+        let idx = IndexBuilder::new(cfg.clone(), ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let q = perfect_query(b"PEPTIDEAGK");
+        let all = s.search(&q).psms;
+        let mut reference = all.clone();
+        reference.sort_by(rank_cmp);
+        assert_eq!(all, reference, "unbounded path is rank-sorted");
+        for k in [0usize, 1, 2, 3, 7, all.len(), all.len() + 5] {
+            let cfg_k = SlmConfig {
+                top_k: k,
+                ..cfg.clone()
+            };
+            let idx_k = IndexBuilder::new(cfg_k, ModSpec::none()).build(&d);
+            let mut sk = Searcher::new(&idx_k);
+            let got = sk.search(&q).psms;
+            let want: Vec<Psm> = reference.iter().copied().take(k).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn nan_intensity_peaks_cannot_panic_the_sort() {
+        // Crafted/corrupt inputs can carry NaN intensities. Preprocessing
+        // clamps them (see lbe_spectra::preprocess), but the kernel must
+        // also survive a raw spectrum that bypassed preprocessing: the
+        // ranking is a total order, so the search completes.
+        let d = db(&["PEPTIDEK", "ELVISLIVESK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let mut q = perfect_query(b"PEPTIDEK");
+        for p in q.peaks.iter_mut().step_by(2) {
+            p.intensity = f32::NAN;
+        }
+        let mut s = Searcher::new(&idx);
+        let r = s.search(&q); // must not panic
+        assert!(!r.psms.is_empty());
+        // And repeated searches stay deterministic despite the NaNs.
+        assert_eq!(r, s.search(&q));
     }
 
     #[test]

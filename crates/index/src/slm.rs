@@ -112,6 +112,13 @@ enum IndexStorage {
 pub struct SlmIndex {
     config: SlmConfig,
     storage: IndexStorage,
+    /// `true` when entry ids ascend by `precursor_mass` — the invariant the
+    /// banded query kernel needs to binary-search each bin's posting list
+    /// down to a precursor window. Freshly built indexes always have it;
+    /// files written before the `MASS_SORTED` flag existed load without it
+    /// and search via the full-scan path. Not part of logical equality
+    /// (it is a property of the layout, not of what is indexed).
+    mass_sorted: bool,
 }
 
 impl PartialEq for SlmIndex {
@@ -135,6 +142,12 @@ impl SlmIndex {
     ) -> Self {
         debug_assert_eq!(bin_offsets.len(), config.num_bins() + 1);
         debug_assert_eq!(*bin_offsets.last().unwrap() as usize, postings.len());
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| w[0].precursor_mass <= w[1].precursor_mass),
+            "builder must emit entries in ascending precursor-mass order"
+        );
         SlmIndex {
             config,
             storage: IndexStorage::Owned {
@@ -142,6 +155,7 @@ impl SlmIndex {
                 bin_offsets,
                 postings,
             },
+            mass_sorted: true,
         }
     }
 
@@ -155,6 +169,19 @@ impl SlmIndex {
         bin_offsets: Vec<u64>,
         postings: Vec<u32>,
     ) -> Self {
+        Self::from_owned_unchecked_with(config, entries, bin_offsets, postings, false)
+    }
+
+    /// [`SlmIndex::from_owned_unchecked`] with an explicit mass-sorted
+    /// claim (from a container's `MASS_SORTED` flag); the claim is verified
+    /// by [`SlmIndex::validate_cheap`], which every deserializer runs.
+    pub(crate) fn from_owned_unchecked_with(
+        config: SlmConfig,
+        entries: Vec<SpectrumEntry>,
+        bin_offsets: Vec<u64>,
+        postings: Vec<u32>,
+        mass_sorted: bool,
+    ) -> Self {
         SlmIndex {
             config,
             storage: IndexStorage::Owned {
@@ -162,6 +189,7 @@ impl SlmIndex {
                 bin_offsets,
                 postings,
             },
+            mass_sorted,
         }
     }
 
@@ -175,6 +203,7 @@ impl SlmIndex {
         entries: (usize, usize),
         bin_offsets: (usize, usize),
         postings: (usize, usize),
+        mass_sorted: bool,
     ) -> Self {
         let slice = |(byte_off, len): (usize, usize)| ArenaSlice { byte_off, len };
         SlmIndex {
@@ -185,7 +214,17 @@ impl SlmIndex {
                 bin_offsets: slice(bin_offsets),
                 postings: slice(postings),
             },
+            mass_sorted,
         }
+    }
+
+    /// `true` when entry ids ascend by precursor mass, enabling the banded
+    /// (precursor-filtered) query kernel. Always true for freshly built
+    /// indexes; false for files written before the `MASS_SORTED` container
+    /// flag existed, which search via the full-scan path.
+    #[inline]
+    pub fn is_mass_sorted(&self) -> bool {
+        self.mass_sorted
     }
 
     /// `true` if this index's arrays are zero-copy views into a loaded
@@ -287,6 +326,54 @@ impl SlmIndex {
         hi - lo + 1
     }
 
+    /// The contiguous entry-id range `[lo, hi)` whose precursor masses fall
+    /// in `[lo_mass, hi_mass]` (closed interval, matching
+    /// [`SlmConfig::precursor_admits`]). Requires a mass-sorted index —
+    /// entry ids ascend by mass, so two binary searches over the entry
+    /// table bound the whole admitted band.
+    #[inline]
+    pub fn entry_range_for_mass_band(&self, lo_mass: f64, hi_mass: f64) -> (u32, u32) {
+        debug_assert!(self.mass_sorted, "banded lookup on an unsorted index");
+        let entries = self.entries();
+        let lo = entries.partition_point(|e| (e.precursor_mass as f64) < lo_mass) as u32;
+        let hi = entries.partition_point(|e| (e.precursor_mass as f64) <= hi_mass) as u32;
+        (lo, hi.max(lo))
+    }
+
+    /// Like [`SlmIndex::for_postings_near`], but restricted to postings
+    /// whose entry id lies in `[entry_lo, entry_hi)` — the precursor-band
+    /// fast path. Because entry ids ascend by precursor mass and every
+    /// bin's posting list is ascending by entry id, each bin's admitted
+    /// run is found with two binary searches; out-of-band postings are
+    /// counted but never touched. Returns `(bins_touched,
+    /// postings_skipped)`; the callback itself sees only in-band postings.
+    #[inline]
+    pub fn for_postings_near_in_entry_band<F: FnMut(u32)>(
+        &self,
+        mz: f64,
+        entry_lo: u32,
+        entry_hi: u32,
+        mut f: F,
+    ) -> (u32, u64) {
+        let Some(center) = self.config.bin_of(mz) else {
+            return (0, 0);
+        };
+        let tol = self.config.tolerance_bins();
+        let lo = center.saturating_sub(tol);
+        let hi = (center + tol).min(self.config.num_bins() as u32 - 1);
+        let mut skipped = 0u64;
+        for bin in lo..=hi {
+            let postings = self.bin_postings(bin);
+            let start = postings.partition_point(|&e| e < entry_lo);
+            let end = postings.partition_point(|&e| e < entry_hi);
+            for &entry in &postings[start..end] {
+                f(entry);
+            }
+            skipped += (postings.len() - (end - start)) as u64;
+        }
+        (hi - lo + 1, skipped)
+    }
+
     /// Exact heap bytes of the index structures (Fig. 5's y-axis).
     ///
     /// For an arena-backed index this is the bytes its three views span
@@ -358,6 +445,17 @@ impl SlmIndex {
         if self.entries().len() > u32::MAX as usize {
             return Err("more entries than u32 ids".into());
         }
+        // A file claiming MASS_SORTED with an unsorted (or NaN-bearing)
+        // entry table would silently mis-band queries; verify the claim
+        // here (O(entries), far below the O(ions) full scan).
+        if self.mass_sorted
+            && !self
+                .entries()
+                .windows(2)
+                .all(|w| w[0].precursor_mass <= w[1].precursor_mass)
+        {
+            return Err("index claims mass-sorted entries but they are not".into());
+        }
         Ok(())
     }
 }
@@ -394,7 +492,15 @@ mod tests {
     #[test]
     fn postings_point_at_owning_entry() {
         let idx = small_index();
-        // Every fragment of entry 1 ("PEPTIDEK") must be findable near its m/z.
+        // Entry ids are mass-ordered: PEPTIDEK (~899 Da) sorts before
+        // ELVISLIVESK (~1213 Da). Every fragment of PEPTIDEK's entry must
+        // be findable near its m/z.
+        let eid = idx
+            .entries()
+            .iter()
+            .position(|e| e.peptide == 1)
+            .expect("PEPTIDEK indexed") as u32;
+        assert_eq!(eid, 0, "lighter peptide gets the lower entry id");
         let theo = lbe_spectra::theo::TheoSpectrum::from_sequence(
             b"PEPTIDEK",
             &lbe_bio::mods::ModForm::unmodified(),
@@ -403,8 +509,8 @@ mod tests {
         );
         for &mz in &theo.fragment_mzs {
             let mut found = false;
-            idx.for_postings_near(mz, |e| found |= e == 1);
-            assert!(found, "fragment {mz} of entry 1 not indexed");
+            idx.for_postings_near(mz, |e| found |= e == eid);
+            assert!(found, "fragment {mz} of entry {eid} not indexed");
         }
     }
 
@@ -448,7 +554,47 @@ mod tests {
     #[test]
     fn precursor_masses_recorded() {
         let idx = small_index();
-        let m = lbe_bio::aa::peptide_neutral_mass(b"ELVISLIVESK").unwrap();
-        assert!((idx.entry(0).precursor_mass as f64 - m).abs() < 0.01);
+        // Mass-ordered ids: entry 0 is the lighter PEPTIDEK, entry 1 the
+        // heavier ELVISLIVESK.
+        let m0 = lbe_bio::aa::peptide_neutral_mass(b"PEPTIDEK").unwrap();
+        let m1 = lbe_bio::aa::peptide_neutral_mass(b"ELVISLIVESK").unwrap();
+        assert!((idx.entry(0).precursor_mass as f64 - m0).abs() < 0.01);
+        assert!((idx.entry(1).precursor_mass as f64 - m1).abs() < 0.01);
+    }
+
+    #[test]
+    fn entry_range_for_mass_band_bounds_the_window() {
+        let idx = small_index();
+        let m = lbe_bio::aa::peptide_neutral_mass(b"PEPTIDEK").unwrap();
+        // A ±1 Da band around PEPTIDEK admits exactly its entry.
+        assert_eq!(idx.entry_range_for_mass_band(m - 1.0, m + 1.0), (0, 1));
+        // A band over everything admits both.
+        assert_eq!(idx.entry_range_for_mass_band(0.0, 1e6), (0, 2));
+        // A band between the two masses admits nothing.
+        let (lo, hi) = idx.entry_range_for_mass_band(m + 10.0, m + 11.0);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn banded_postings_match_full_scan_filtered() {
+        let idx = small_index();
+        for (elo, ehi) in [(0u32, 2u32), (0, 1), (1, 2), (1, 1)] {
+            for mz in [200.0f64, 500.0, 800.0] {
+                let mut full: Vec<u32> = Vec::new();
+                let bins_full = idx.for_postings_near(mz, |e| {
+                    if (elo..ehi).contains(&e) {
+                        full.push(e)
+                    }
+                });
+                let mut banded: Vec<u32> = Vec::new();
+                let (bins, skipped) =
+                    idx.for_postings_near_in_entry_band(mz, elo, ehi, |e| banded.push(e));
+                assert_eq!(banded, full, "band [{elo},{ehi}) at {mz}");
+                assert_eq!(bins, bins_full);
+                let mut total = 0u64;
+                idx.for_postings_near(mz, |_| total += 1);
+                assert_eq!(skipped, total - banded.len() as u64);
+            }
+        }
     }
 }

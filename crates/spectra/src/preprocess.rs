@@ -33,21 +33,32 @@ impl Default for PreprocessParams {
 ///
 /// Tie-breaking for equal intensities at the top-N boundary is by ascending
 /// m/z (deterministic).
+///
+/// Non-finite peak intensities (NaN/±∞ from a crafted or corrupt input
+/// file) are clamped to zero here, so every downstream score is finite and
+/// every downstream ordering total; peaks with non-finite m/z are dropped
+/// (no bin could hold them). All comparisons use `total_cmp`, so even a
+/// spectrum that bypasses the clamp cannot panic a sort.
 pub fn preprocess_spectrum(s: &Spectrum, params: &PreprocessParams) -> Spectrum {
     let mut peaks: Vec<Peak> = s
         .peaks
         .iter()
         .copied()
-        .filter(|p| p.mz >= params.min_mz)
+        .filter(|p| p.mz.is_finite() && p.mz >= params.min_mz)
+        .map(|mut p| {
+            if !p.intensity.is_finite() {
+                p.intensity = 0.0;
+            }
+            p
+        })
         .collect();
 
     if peaks.len() > params.top_n {
         // Sort by intensity descending, m/z ascending for ties; keep top N.
         peaks.sort_by(|a, b| {
             b.intensity
-                .partial_cmp(&a.intensity)
-                .expect("intensities are finite")
-                .then(a.mz.partial_cmp(&b.mz).expect("m/z are finite"))
+                .total_cmp(&a.intensity)
+                .then(a.mz.total_cmp(&b.mz))
         });
         peaks.truncate(params.top_n);
     }
@@ -216,5 +227,36 @@ mod tests {
     #[test]
     fn paper_default_is_top_100() {
         assert_eq!(PreprocessParams::default().top_n, 100);
+    }
+
+    #[test]
+    fn non_finite_intensities_clamped_and_nan_mz_dropped() {
+        // Regression for the NaN footgun: a crafted input with NaN/∞
+        // intensities must come out of preprocessing finite (so every
+        // later score and sort is total), and NaN m/z peaks — which no
+        // bin could hold — are dropped outright.
+        let peaks = vec![
+            Peak::new(100.0, f32::NAN),
+            Peak::new(200.0, f32::INFINITY),
+            Peak::new(300.0, f32::NEG_INFINITY),
+            Peak::new(f64::NAN, 50.0),
+            Peak::new(400.0, 10.0),
+        ];
+        let s = Spectrum::new(1, 500.0, 2, peaks);
+        let out = preprocess_spectrum(&s, &PreprocessParams::default());
+        assert_eq!(out.peak_count(), 4, "NaN m/z dropped, the rest kept");
+        assert!(out.peaks.iter().all(|p| p.intensity.is_finite()));
+        assert!(out.peaks.iter().all(|p| p.mz.is_finite()));
+        // The clamp zeroes the garbage intensities; the real peak survives.
+        assert!(out.peaks.iter().any(|p| p.intensity == 10.0));
+        // And the top-N sort cannot panic even under heavy ties.
+        let out = preprocess_spectrum(
+            &s,
+            &PreprocessParams {
+                top_n: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.peak_count(), 2);
     }
 }

@@ -37,9 +37,11 @@ pub struct Spectrum {
 }
 
 impl Spectrum {
-    /// Builds a spectrum, sorting peaks by m/z.
+    /// Builds a spectrum, sorting peaks by m/z. The sort is a total order
+    /// (`total_cmp`): a crafted input with NaN m/z values sorts them last
+    /// instead of panicking; preprocessing later drops them.
     pub fn new(scan: u32, precursor_mz: f64, charge: u8, mut peaks: Vec<Peak>) -> Self {
-        peaks.sort_by(|a, b| a.mz.partial_cmp(&b.mz).expect("m/z values are finite"));
+        peaks.sort_by(|a, b| a.mz.total_cmp(&b.mz));
         Spectrum {
             scan,
             precursor_mz,
@@ -69,12 +71,13 @@ impl Spectrum {
         self.peaks.iter().map(|p| p.intensity as f64).sum()
     }
 
-    /// The base peak (most intense), if any.
+    /// The base peak (most intense), if any. Total-ordered, so NaN
+    /// intensities in unpreprocessed input cannot panic it.
     pub fn base_peak(&self) -> Option<Peak> {
         self.peaks
             .iter()
             .copied()
-            .max_by(|a, b| a.intensity.partial_cmp(&b.intensity).expect("finite"))
+            .max_by(|a, b| a.intensity.total_cmp(&b.intensity))
     }
 
     /// Checks the sorted-by-m/z invariant (debug aid / property tests).

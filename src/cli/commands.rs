@@ -15,7 +15,8 @@ use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
 use lbe_core::ingest::{load_peptide_db, load_proteome_digested, load_queries, IngestStats};
 use lbe_core::partition::PartitionPolicy;
 use lbe_index::{
-    read_index_path_with, ChunkStore, ChunkedIndex, ReadOptions, SearchResult, Searcher, SlmConfig,
+    read_index_path_with, ChunkStore, ChunkedIndex, ReadOptions, ScanMode, SearchResult, Searcher,
+    SlmConfig,
 };
 use lbe_spectra::mgf::write_mgf;
 use lbe_spectra::ms2::write_ms2_path;
@@ -73,17 +74,20 @@ COMMANDS:
                   v2 (LBECHK2) container; --digest accepts a raw proteome
                   FASTA and streams it through tryptic digestion first
   search          --index index.lbe --queries q.{ms2|mgf|mzML} --out results.tsv
-                  [--top-k 10] [--max-resident-chunks 0] [--csv]
+                  [--top-k 10] [--max-resident-chunks 0] [--csv] [--full-scan]
                   search an index (chunked v2 container, or a single-index
                   LBESLM1/LBESLM2 file), write a TSV (or CSV) of PSMs;
                   queries may be MS2, MGF, or mzML (autodetected; mzML MS1
                   survey scans are skipped and counted, msconvert 32/64-bit
                   uncompressed arrays supported); --max-resident-chunks
-                  N > 0 caps how many chunks are held in memory (0 = all)
+                  N > 0 caps how many chunks are held in memory (0 = all);
+                  --full-scan disables the banded precursor-filtered
+                  kernel (identical PSMs, more postings scanned — A/B aid)
   simulate        --db peptides.fasta --queries q.{ms2|mgf|mzML}
                   [--ranks 16] [--policy chunk|cyclic|random]
                   [--mods none|oxidation|paper] [--threads-per-rank 1]
                   [--spill-dir DIR] [--stream-db] [--digest] [--csv]
+                  [--full-scan]
                   run the distributed engine, report times and imbalance;
                   --spill-dir stores each rank's index on disk (v2) instead
                   of holding every partition in memory, --stream-db makes
@@ -366,12 +370,18 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "top-k",
         "max-resident-chunks",
         "csv",
+        "full-scan",
     ])?;
     let index_path = args.require("index")?;
     let queries_path = args.require("queries")?;
     let output = args.require("out")?;
     let csv = args.has("csv");
     let sep = if csv { ',' } else { '\t' };
+    let mode = if args.has("full-scan") {
+        ScanMode::FullScan
+    } else {
+        ScanMode::Auto
+    };
     // 0 = no budget (all chunks resident); N > 0 caps residency.
     let max_resident = match args.get_parsed("max-resident-chunks", 0usize)? {
         0 => usize::MAX,
@@ -420,7 +430,7 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     let (num_indexed, backend) = match &mut backend {
         Backend::Chunked(store) => {
             for q in &queries {
-                let r = store.search(q)?;
+                let r = store.search_with_mode(q, mode)?;
                 total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
             }
             let s = store.stats();
@@ -437,7 +447,7 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         Backend::Single(index) => {
             let mut searcher = Searcher::new(index);
             for q in &queries {
-                let r = searcher.search(q);
+                let r = searcher.search_with_mode(q, mode);
                 total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
             }
             (Some(index.num_spectra()), "single index".to_string())
@@ -474,6 +484,7 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "stream-db",
         "digest",
         "csv",
+        "full-scan",
     ])?;
     let db_path = args.require("db")?;
     let queries_path = args.require("queries")?;
@@ -512,6 +523,9 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     cfg.cost = cfg
         .cost
         .scaled_for_index(args.get_parsed("cost-scale", 1.0f64)?);
+    if args.has("full-scan") {
+        cfg.scan_mode = ScanMode::FullScan;
+    }
     cfg.spill_dir = match args.get("spill-dir") {
         Some("") => return Err(Box::new(ArgError("--spill-dir needs a directory".into()))),
         other => other.map(std::path::PathBuf::from),
