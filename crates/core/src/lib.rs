@@ -18,7 +18,9 @@
 //! * [`metrics`] — Load Imbalance, wasted CPU time, speedup and efficiency
 //!   calculations used by the paper's evaluation;
 //! * [`pipeline`] — one-call end-to-end runs for examples and the figure
-//!   harness.
+//!   harness;
+//! * [`serve`] — the long-lived query daemon: a resident engine, a
+//!   length-prefixed wire protocol, and batched query waves.
 //!
 //! ```
 //! use lbe_core::prelude::*;
@@ -41,6 +43,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod partition;
 pub mod pipeline;
+pub mod serve;
 pub mod spectral_grouping;
 
 pub use distance::{edit_distance, edit_distance_bounded};
@@ -56,6 +59,7 @@ pub use mapping::MappingTable;
 pub use metrics::{amdahl_speedup, efficiency, lb_speedup_over_chunk, speedup};
 pub use partition::{partition_groups, partition_weighted_cyclic, Partition, PartitionPolicy};
 pub use pipeline::{PipelineBuilder, PipelineReport};
+pub use serve::{serve_stdin, ResidentEngine, ServeConfig, ServeStats, Server, ShutdownHandle};
 pub use spectral_grouping::{group_spectra, jaccard, SpectralGroupingParams};
 
 /// Commonly used items, for glob import.

@@ -1,0 +1,732 @@
+//! `lbe serve` — a long-lived query daemon over a resident index.
+//!
+//! The paper's motivating deployment ("millions of users" querying one
+//! load-balanced index) amortizes the expensive index build/load across
+//! many queries. This module is that runtime: a [`ResidentEngine`] opened
+//! once, a TCP listener speaking the length-prefixed [`proto`] protocol,
+//! and a dispatcher that batches concurrently-arriving queries into
+//! [`search_wave`] calls on the shared `minipool` runtime.
+//!
+//! Architecture (one process):
+//!
+//! ```text
+//! client ──TCP──▶ reader thread ──bounded job channel──▶ dispatcher ─┐
+//! client ──TCP──▶ reader thread ──────────────┘ (admission control)  │
+//!                      ▲                                  waves on   │
+//!                      │ per-conn reply channel ◀─────── minipool ◀──┘
+//!                 writer thread
+//! ```
+//!
+//! Admission control is two-level: a bounded `sync_channel` caps total
+//! in-flight queries across the server (readers block on `send` when the
+//! backlog is full), and a per-connection gate caps how many queries one
+//! connection may have outstanding (fairness: one greedy client cannot
+//! monopolize the backlog). Shutdown — via [`Request::Shutdown`] or a
+//! [`ShutdownHandle`] — stops admission, drains queries already accepted,
+//! answers them, and joins every thread before [`Server::run`] returns.
+//!
+//! There is also a socket-free transport: [`serve_stdin`] runs the same
+//! protocol over any `Read`/`Write` pair, for scripting and tests.
+//!
+//! [`search_wave`]: ResidentEngine::search_wave
+//! [`Request::Shutdown`]: proto::Request::Shutdown
+
+pub mod engine;
+pub mod proto;
+
+pub use engine::ResidentEngine;
+
+use lbe_index::{QueryOptions, ScanMode};
+use lbe_spectra::spectrum::{Peak, Spectrum};
+use proto::{ProtoError, Request, Response};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long a blocked reader/waiter sleeps between checks of the stop
+/// flag. Bounds shutdown latency for idle connections.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How many poll intervals a reader keeps waiting for the *rest* of a
+/// frame after shutdown begins (a client caught mid-frame gets ~2 s of
+/// patience, then the frame counts as truncated).
+const MID_FRAME_PATIENCE: u32 = 40;
+
+/// Server tuning knobs. The defaults suit tests and small deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads per search wave (single-index backend).
+    pub threads: usize,
+    /// Resident-chunk budget for chunked containers (`usize::MAX` = all).
+    pub max_resident_chunks: usize,
+    /// Total queries admitted server-wide before readers block.
+    pub max_inflight: usize,
+    /// Most queries batched into one search wave.
+    pub max_wave: usize,
+    /// Most queries one connection may have outstanding (fairness cap).
+    pub per_conn_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            max_resident_chunks: usize::MAX,
+            max_inflight: 256,
+            max_wave: 64,
+            per_conn_inflight: 64,
+        }
+    }
+}
+
+/// Counters a serve run reports on exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames that decoded into a valid request.
+    pub requests: u64,
+    /// Response frames successfully written.
+    pub responses: u64,
+    /// Frames (or byte streams) rejected as protocol errors.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            connections: self.connections.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+            responses: self.responses.load(Ordering::SeqCst),
+            protocol_errors: self.protocol_errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Per-connection fairness gate: a counted semaphore capping outstanding
+/// queries, with a condvar so releases wake blocked readers.
+struct ConnGate {
+    count: Mutex<usize>,
+    released: Condvar,
+}
+
+impl ConnGate {
+    fn new() -> Self {
+        ConnGate {
+            count: Mutex::new(0),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Takes one slot, waiting while `cap` are outstanding. Returns
+    /// `false` (without taking a slot) if the server stops first.
+    fn acquire(&self, cap: usize, stop: &AtomicBool) -> bool {
+        let mut n = self.count.lock().expect("conn gate poisoned");
+        while *n >= cap {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self
+                .released
+                .wait_timeout(n, POLL_INTERVAL)
+                .expect("conn gate poisoned");
+            n = guard;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut n = self.count.lock().expect("conn gate poisoned");
+        *n = n.saturating_sub(1);
+        self.released.notify_all();
+    }
+
+    /// Waits (bounded) until no queries are outstanding — the drain step
+    /// before acknowledging a shutdown request.
+    fn wait_idle(&self, max_polls: u32) {
+        let mut n = self.count.lock().expect("conn gate poisoned");
+        let mut polls = 0;
+        while *n > 0 && polls < max_polls {
+            let (guard, _) = self
+                .released
+                .wait_timeout(n, POLL_INTERVAL)
+                .expect("conn gate poisoned");
+            n = guard;
+            polls += 1;
+        }
+    }
+}
+
+/// A query admitted into the dispatch queue.
+struct Job {
+    spectrum: Spectrum,
+    opts: QueryOptions,
+    req_id: u64,
+    reply: Sender<Reply>,
+    gate: Arc<ConnGate>,
+}
+
+/// `(release_gate_slot, response)` — dispatcher replies release the slot
+/// their job held; reader-direct replies (pong, errors) never held one.
+type Reply = (bool, Response);
+
+/// Remotely stops a running [`Server`]: sets the stop flag and nudges the
+/// acceptor awake with a throwaway connection.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: no new queries are admitted, in-flight
+    /// queries drain and are answered, then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound TCP server around a [`ResidentEngine`]. Construct with
+/// [`Server::bind`], then call [`Server::run`] (which blocks until
+/// shutdown and returns the run's [`ServeStats`]).
+pub struct Server {
+    engine: Arc<ResidentEngine>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over an
+    /// already-opened engine. Binding after the engine opens means a bad
+    /// index path can never produce a half-started server: the listener
+    /// does not exist until the index fully validated.
+    pub fn bind(engine: ResidentEngine, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            engine: Arc::new(engine),
+            listener,
+            addr,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves the actual port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept → dispatch → reply loops until shutdown, then
+    /// drains and joins every thread. Returns the run's counters.
+    pub fn run(self) -> io::Result<ServeStats> {
+        let Server {
+            engine,
+            listener,
+            addr,
+            cfg,
+            stop,
+        } = self;
+        let stats = Arc::new(StatsInner::default());
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.max_inflight.max(1));
+
+        let dispatcher = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || dispatch_loop(&engine, &job_rx, cfg))
+        };
+
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        for incoming in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            stats.connections.fetch_add(1, Ordering::SeqCst);
+            let engine = Arc::clone(&engine);
+            let job_tx = job_tx.clone();
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            conns.push(thread::spawn(move || {
+                handle_connection(stream, &engine, &job_tx, &stop, addr, cfg, &stats);
+            }));
+        }
+        drop(listener);
+        drop(job_tx);
+        for h in conns {
+            let _ = h.join();
+        }
+        let _ = dispatcher.join();
+        Ok(stats.snapshot())
+    }
+}
+
+/// Dispatcher: pulls admitted jobs, opportunistically batches up to
+/// `max_wave` of them, searches the wave, and queues one reply per job.
+/// Exits when every job sender (acceptor + connections) is gone.
+fn dispatch_loop(engine: &ResidentEngine, job_rx: &Receiver<Job>, cfg: ServeConfig) {
+    while let Ok(first) = job_rx.recv() {
+        let mut wave: Vec<(Spectrum, QueryOptions)> = Vec::new();
+        let mut meta: Vec<(u64, Sender<Reply>, Arc<ConnGate>)> = Vec::new();
+        let push = |j: Job, wave: &mut Vec<_>, meta: &mut Vec<_>| {
+            wave.push((j.spectrum, j.opts));
+            meta.push((j.req_id, j.reply, j.gate));
+        };
+        push(first, &mut wave, &mut meta);
+        while wave.len() < cfg.max_wave.max(1) {
+            match job_rx.try_recv() {
+                Ok(j) => push(j, &mut wave, &mut meta),
+                Err(_) => break,
+            }
+        }
+        let results = engine.search_wave(&wave, cfg.threads.max(1));
+        for ((req_id, reply, _gate), result) in meta.into_iter().zip(results) {
+            let response = match result {
+                Ok(r) => Response::Result {
+                    req_id,
+                    psms: r
+                        .psms
+                        .iter()
+                        .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
+                        .collect(),
+                },
+                Err(e) => Response::Error {
+                    req_id,
+                    code: proto::CODE_SEARCH_FAILED,
+                    message: e.to_string(),
+                },
+            };
+            // A dead connection dropped its receiver; its gate no longer
+            // has waiters, so dropping the reply is safe and must not
+            // disturb other connections.
+            let _ = reply.send((true, response));
+        }
+    }
+}
+
+/// Reads one frame, returning to check the stop flag every
+/// [`POLL_INTERVAL`] while idle. `Ok(None)` = clean end (EOF at a frame
+/// boundary, or shutdown while no frame was in progress).
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut patience = MID_FRAME_PATIENCE;
+    let mut read_exact_interruptible =
+        |buf: &mut [u8], stream: &mut TcpStream, started: &mut bool| -> Result<bool, ProtoError> {
+            let mut got = 0;
+            while got < buf.len() {
+                match stream.read(&mut buf[got..]) {
+                    Ok(0) => {
+                        return if got == 0 && !*started {
+                            Ok(false) // clean EOF at a frame boundary
+                        } else {
+                            Err(ProtoError::Truncated)
+                        };
+                    }
+                    Ok(n) => {
+                        got += n;
+                        *started = true;
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        if stop.load(Ordering::SeqCst) {
+                            if !*started {
+                                return Ok(false); // idle at shutdown: clean end
+                            }
+                            patience = patience.saturating_sub(1);
+                            if patience == 0 {
+                                return Err(ProtoError::Truncated);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ProtoError::Io(e)),
+                }
+            }
+            Ok(true)
+        };
+
+    let mut started = false;
+    let mut hdr = [0u8; 4];
+    if !read_exact_interruptible(&mut hdr, stream, &mut started)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(hdr);
+    if len == 0 {
+        return Err(ProtoError::Malformed("zero-length frame"));
+    }
+    if len > proto::MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized { declared: len });
+    }
+    let len = len as usize;
+    // Preallocation capped exactly like the blocking reader: a forged
+    // length buys at most PREALLOC_CAP up front.
+    let mut payload = Vec::with_capacity(len.min(proto::PREALLOC_CAP));
+    let mut chunk = [0u8; 8192];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(chunk.len());
+        if !read_exact_interruptible(&mut chunk[..want], stream, &mut started)? {
+            return Err(ProtoError::Truncated);
+        }
+        payload.extend_from_slice(&chunk[..want]);
+    }
+    Ok(Some(payload))
+}
+
+/// One connection: a reader loop on this thread plus a writer thread, so
+/// responses stream back while the reader keeps admitting queries.
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Arc<ResidentEngine>,
+    job_tx: &SyncSender<Job>,
+    stop: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    stats: &Arc<StatsInner>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let gate = Arc::new(ConnGate::new());
+
+    let writer = {
+        let gate = Arc::clone(&gate);
+        let stats = Arc::clone(stats);
+        thread::spawn(move || {
+            let mut sink = BufWriter::new(writer_stream);
+            let mut broken = false;
+            // Keep draining after a write error: gate slots must still be
+            // released so the dispatcher and reader are never wedged by
+            // one dead client.
+            while let Ok((release, response)) = reply_rx.recv() {
+                if release {
+                    gate.release();
+                }
+                if !broken {
+                    let wrote = proto::write_frame(&mut sink, &response.encode())
+                        .and_then(|()| sink.flush());
+                    match wrote {
+                        Ok(()) => {
+                            stats.responses.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => broken = true,
+                    }
+                }
+            }
+        })
+    };
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame_interruptible(&mut stream, stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) => {
+                stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = reply_tx.send((
+                    false,
+                    Response::Error {
+                        req_id: 0,
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                ));
+                break; // framing is lost; close this connection only
+            }
+        };
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = reply_tx.send((
+                    false,
+                    Response::Error {
+                        req_id: 0,
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                ));
+                break;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::SeqCst);
+        match request {
+            Request::Ping { req_id } => {
+                let _ = reply_tx.send((
+                    false,
+                    Response::Pong {
+                        req_id,
+                        protocol_version: proto::PROTOCOL_VERSION,
+                        num_chunks: engine.num_chunks() as u32,
+                    },
+                ));
+            }
+            Request::Shutdown { req_id } => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(addr); // wake the acceptor
+                                                  // Drain this connection's in-flight queries so Bye is
+                                                  // the final frame the client sees.
+                gate.wait_idle(MID_FRAME_PATIENCE * 30);
+                let _ = reply_tx.send((false, Response::Bye { req_id }));
+                break;
+            }
+            Request::Query {
+                req_id,
+                full_scan,
+                tolerance,
+                top_k,
+                scan,
+                precursor_mz,
+                charge,
+                peaks,
+            } => {
+                if let Some(t) = tolerance {
+                    if t.is_nan() || t <= 0.0 {
+                        let _ = reply_tx.send((
+                            false,
+                            Response::Error {
+                                req_id,
+                                code: proto::CODE_BAD_REQUEST,
+                                message: format!("precursor tolerance must be positive (got {t})"),
+                            },
+                        ));
+                        continue;
+                    }
+                }
+                if !gate.acquire(cfg.per_conn_inflight.max(1), stop) {
+                    let _ = reply_tx.send((
+                        false,
+                        Response::Error {
+                            req_id,
+                            code: proto::CODE_SHUTTING_DOWN,
+                            message: "server is shutting down".into(),
+                        },
+                    ));
+                    break;
+                }
+                let raw = Spectrum::new(
+                    scan,
+                    precursor_mz,
+                    charge,
+                    peaks
+                        .iter()
+                        .map(|&(mz, intensity)| Peak { mz, intensity })
+                        .collect(),
+                );
+                let job = Job {
+                    spectrum: engine.preprocess(&raw),
+                    opts: QueryOptions {
+                        scan_mode: if full_scan {
+                            ScanMode::FullScan
+                        } else {
+                            ScanMode::Auto
+                        },
+                        top_k: top_k.map(|k| k as usize),
+                        precursor_tolerance: tolerance,
+                    },
+                    req_id,
+                    reply: reply_tx.clone(),
+                    gate: Arc::clone(&gate),
+                };
+                if job_tx.send(job).is_err() {
+                    gate.release();
+                    let _ = reply_tx.send((
+                        false,
+                        Response::Error {
+                            req_id,
+                            code: proto::CODE_SHUTTING_DOWN,
+                            message: "server is shutting down".into(),
+                        },
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Runs the serve protocol sequentially over an arbitrary byte stream —
+/// the stdin/stdout transport (`lbe serve --stdin`), also handy in tests
+/// with in-memory readers.
+///
+/// Requests are answered strictly in order; EOF at a frame boundary (or a
+/// [`Request::Shutdown`]) ends the session cleanly. A protocol error is
+/// answered with an error frame and ends the session (framing is lost).
+///
+/// [`Request::Shutdown`]: proto::Request::Shutdown
+pub fn serve_stdin<R: Read, W: Write>(
+    engine: &ResidentEngine,
+    input: &mut R,
+    output: &mut W,
+) -> io::Result<ServeStats> {
+    let mut stats = ServeStats {
+        connections: 1,
+        ..Default::default()
+    };
+    let mut sink = BufWriter::new(output);
+    let respond = |sink: &mut BufWriter<&mut W>,
+                   stats: &mut ServeStats,
+                   response: &Response|
+     -> io::Result<()> {
+        proto::write_frame(sink, &response.encode())?;
+        sink.flush()?;
+        stats.responses += 1;
+        Ok(())
+    };
+    loop {
+        let frame = match proto::read_frame(input) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(ProtoError::Io(e)) => return Err(e),
+            Err(e) => {
+                stats.protocol_errors += 1;
+                respond(
+                    &mut sink,
+                    &mut stats,
+                    &Response::Error {
+                        req_id: 0,
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?;
+                break;
+            }
+        };
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                stats.protocol_errors += 1;
+                respond(
+                    &mut sink,
+                    &mut stats,
+                    &Response::Error {
+                        req_id: 0,
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?;
+                break;
+            }
+        };
+        stats.requests += 1;
+        match request {
+            Request::Ping { req_id } => {
+                respond(
+                    &mut sink,
+                    &mut stats,
+                    &Response::Pong {
+                        req_id,
+                        protocol_version: proto::PROTOCOL_VERSION,
+                        num_chunks: engine.num_chunks() as u32,
+                    },
+                )?;
+            }
+            Request::Shutdown { req_id } => {
+                respond(&mut sink, &mut stats, &Response::Bye { req_id })?;
+                break;
+            }
+            Request::Query {
+                req_id,
+                full_scan,
+                tolerance,
+                top_k,
+                scan,
+                precursor_mz,
+                charge,
+                peaks,
+            } => {
+                if let Some(t) = tolerance {
+                    if t.is_nan() || t <= 0.0 {
+                        respond(
+                            &mut sink,
+                            &mut stats,
+                            &Response::Error {
+                                req_id,
+                                code: proto::CODE_BAD_REQUEST,
+                                message: format!("precursor tolerance must be positive (got {t})"),
+                            },
+                        )?;
+                        continue;
+                    }
+                }
+                let raw = Spectrum::new(
+                    scan,
+                    precursor_mz,
+                    charge,
+                    peaks
+                        .iter()
+                        .map(|&(mz, intensity)| Peak { mz, intensity })
+                        .collect(),
+                );
+                let opts = QueryOptions {
+                    scan_mode: if full_scan {
+                        ScanMode::FullScan
+                    } else {
+                        ScanMode::Auto
+                    },
+                    top_k: top_k.map(|k| k as usize),
+                    precursor_tolerance: tolerance,
+                };
+                let response = match engine.search_one(&engine.preprocess(&raw), &opts) {
+                    Ok(r) => Response::Result {
+                        req_id,
+                        psms: r
+                            .psms
+                            .iter()
+                            .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
+                            .collect(),
+                    },
+                    Err(e) => Response::Error {
+                        req_id,
+                        code: proto::CODE_SEARCH_FAILED,
+                        message: e.to_string(),
+                    },
+                };
+                respond(&mut sink, &mut stats, &response)?;
+            }
+        }
+    }
+    Ok(stats)
+}

@@ -1,0 +1,677 @@
+//! The serve wire protocol: length-prefixed frames over any byte stream.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! (`1..=`[`MAX_FRAME_LEN`]) followed by that many payload bytes. The first
+//! payload byte is the message kind; the rest is a fixed little-endian
+//! field layout per kind (documented on [`Request`] and [`Response`]).
+//!
+//! Decoding arbitrary bytes must be *safe*: every malformed input returns a
+//! clean [`ProtoError`] — never a panic, never an allocation driven by a
+//! forged length field. The frame reader preallocates at most
+//! [`PREALLOC_CAP`] bytes regardless of the declared length (the same
+//! defence `read_index` uses against forged section lengths), and the
+//! `Query` decoder validates the peak count against the actual payload
+//! length *before* allocating the peak vector.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version reported in [`Response::Pong`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Largest accepted frame payload (16 MiB — a query spectrum is ~1.2 KiB
+/// after server-side preprocessing caps peaks at 100, so this is generous).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Upper bound on what a declared frame length may *preallocate*; the
+/// buffer still grows to the real payload size as bytes actually arrive.
+pub const PREALLOC_CAP: usize = 64 * 1024;
+
+/// Error code: frame or payload failed structural validation.
+pub const CODE_MALFORMED: u16 = 1;
+/// Error code: the message kind byte is not one this server understands.
+pub const CODE_UNSUPPORTED: u16 = 2;
+/// Error code: declared frame length exceeds [`MAX_FRAME_LEN`].
+pub const CODE_OVERSIZED: u16 = 3;
+/// Error code: the frame parsed but a field value is unusable (e.g. a NaN
+/// or non-positive precursor tolerance).
+pub const CODE_BAD_REQUEST: u16 = 4;
+/// Error code: the search itself failed (e.g. chunk fault I/O error).
+pub const CODE_SEARCH_FAILED: u16 = 5;
+/// Error code: the server is shutting down and no longer accepts queries.
+pub const CODE_SHUTTING_DOWN: u16 = 6;
+
+/// A decoded protocol-level failure. Every variant is a *clean* error: the
+/// decoder never panics and never allocates more than the bytes that
+/// actually arrived (plus [`PREALLOC_CAP`]).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport-level I/O failure.
+    Io(io::Error),
+    /// The stream ended mid-frame (inside the header or the payload).
+    Truncated,
+    /// The frame header declared a payload longer than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// The payload's kind byte is not a known message kind.
+    UnknownKind(u8),
+    /// The payload failed structural validation for its kind.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "protocol I/O error: {e}"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized { declared } => {
+                write!(
+                    f,
+                    "oversized frame: declared {declared} bytes (max {MAX_FRAME_LEN})"
+                )
+            }
+            ProtoError::UnknownKind(k) => write!(f, "unknown message kind 0x{k:02x}"),
+            ProtoError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        // read_to_end/read_exact surface a clean EOF as UnexpectedEof; at
+        // the protocol level that is a truncated frame, not an I/O fault.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e)
+        }
+    }
+}
+
+impl ProtoError {
+    /// The wire error code a server reports for this failure.
+    pub fn code(&self) -> u16 {
+        match self {
+            ProtoError::Io(_) | ProtoError::Truncated => CODE_MALFORMED,
+            ProtoError::Oversized { .. } => CODE_OVERSIZED,
+            ProtoError::UnknownKind(_) => CODE_UNSUPPORTED,
+            ProtoError::Malformed(_) => CODE_MALFORMED,
+        }
+    }
+}
+
+/// Reads one frame, returning its payload. `Ok(None)` means the stream
+/// ended *cleanly* at a frame boundary (EOF before the first header byte).
+///
+/// Preallocation is capped at [`PREALLOC_CAP`] no matter what length the
+/// header declares, so a forged 16 MiB length against a 5-byte stream
+/// costs 64 KiB, not 16 MiB.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut hdr = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut hdr[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::Truncated)
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(hdr);
+    if len == 0 {
+        return Err(ProtoError::Malformed("zero-length frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized { declared: len });
+    }
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let read = r.take(len as u64).read_to_end(&mut payload)?;
+    if read < len {
+        return Err(ProtoError::Truncated);
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame (header + payload). The payload must fit
+/// [`MAX_FRAME_LEN`]; all in-tree encoders stay far below it.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload must be 1..=MAX_FRAME_LEN bytes"
+    );
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// One peak of a query spectrum on the wire: `(m/z, intensity)`.
+pub type WirePeak = (f64, f32);
+
+/// A client-to-server message.
+///
+/// Payload layouts (all integers/floats little-endian; kind byte first):
+///
+/// * `0x01` **Query** — `req_id:u64, flags:u8, [tolerance:f64 if flags&2],
+///   [top_k:u32 if flags&4], scan:u32, precursor_mz:f64, charge:u8,
+///   n_peaks:u32, n_peaks × (mz:f64, intensity:f32)`. Flag bit 0 requests
+///   a full posting scan ([`ScanMode::FullScan`]); bits 1/2 mark the
+///   optional per-request tolerance / top-k overrides as present.
+/// * `0x02` **Ping** — `req_id:u64`.
+/// * `0x03` **Shutdown** — `req_id:u64`.
+///
+/// [`ScanMode::FullScan`]: lbe_index::ScanMode::FullScan
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Search one spectrum; the server replies with [`Response::Result`]
+    /// (or [`Response::Error`]) carrying the same `req_id`.
+    Query {
+        /// Client-chosen correlation id echoed in the response.
+        req_id: u64,
+        /// Force a full posting scan instead of the banded kernel.
+        full_scan: bool,
+        /// Per-request precursor tolerance (Da) overriding the index's
+        /// built-in ΔM; `f64::INFINITY` = open search.
+        tolerance: Option<f64>,
+        /// Per-request cap on returned PSMs overriding the index's top-k.
+        top_k: Option<u32>,
+        /// Scan number (echoed into report rows by clients).
+        scan: u32,
+        /// Precursor m/z as measured.
+        precursor_mz: f64,
+        /// Precursor charge state.
+        charge: u8,
+        /// Raw peak list; the *server* applies the standard preprocessing
+        /// (top-100 by intensity, non-finite filtering) so wire queries
+        /// match file-ingested ones bit-for-bit.
+        peaks: Vec<WirePeak>,
+    },
+    /// Liveness/handshake probe; answered with [`Response::Pong`].
+    Ping {
+        /// Client-chosen correlation id echoed in the response.
+        req_id: u64,
+    },
+    /// Ask the server to stop accepting work and exit once in-flight
+    /// queries drain; answered with [`Response::Bye`].
+    Shutdown {
+        /// Client-chosen correlation id echoed in the response.
+        req_id: u64,
+    },
+}
+
+/// One ranked candidate match on the wire:
+/// `(peptide:u32, modform:u16, shared_peaks:u16, score:f32)`.
+pub type WirePsm = (u32, u16, u16, f32);
+
+/// A server-to-client message.
+///
+/// Payload layouts (little-endian; kind byte first):
+///
+/// * `0x81` **Result** — `req_id:u64, n_psms:u32, n_psms × (peptide:u32,
+///   modform:u16, shared_peaks:u16, score:f32)`.
+/// * `0x82` **Pong** — `req_id:u64, protocol_version:u16, num_chunks:u32`
+///   (`num_chunks = 0` for a single, unchunked index).
+/// * `0x83` **Bye** — `req_id:u64`.
+/// * `0xEE` **Error** — `req_id:u64, code:u16, msg_len:u32, msg` (UTF-8;
+///   `req_id = 0` when the failure predates parsing a request id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked PSMs for one query, already truncated to the effective top-k.
+    Result {
+        /// The request's correlation id.
+        req_id: u64,
+        /// Ranked matches, best first (the searcher's total order).
+        psms: Vec<WirePsm>,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The request's correlation id.
+        req_id: u64,
+        /// Server protocol version ([`PROTOCOL_VERSION`]).
+        protocol_version: u16,
+        /// Chunk count of the served container; 0 = single index.
+        num_chunks: u32,
+    },
+    /// Acknowledgement of [`Request::Shutdown`]; the connection closes
+    /// after this frame.
+    Bye {
+        /// The request's correlation id.
+        req_id: u64,
+    },
+    /// A per-request or per-connection failure (`CODE_*` constants).
+    Error {
+        /// The offending request's id, or 0 if unknown.
+        req_id: u64,
+        /// One of the `CODE_*` constants.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const KIND_QUERY: u8 = 0x01;
+const KIND_PING: u8 = 0x02;
+const KIND_SHUTDOWN: u8 = 0x03;
+const KIND_RESULT: u8 = 0x81;
+const KIND_PONG: u8 = 0x82;
+const KIND_BYE: u8 = 0x83;
+const KIND_ERROR: u8 = 0xEE;
+
+const FLAG_FULL_SCAN: u8 = 1 << 0;
+const FLAG_HAS_TOLERANCE: u8 = 1 << 1;
+const FLAG_HAS_TOP_K: u8 = 1 << 2;
+
+/// Little-endian cursor over a payload; every read is bounds-checked and
+/// returns [`ProtoError::Malformed`] on underrun.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Malformed("field past end of payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+impl Request {
+    /// Encodes this request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Query {
+                req_id,
+                full_scan,
+                tolerance,
+                top_k,
+                scan,
+                precursor_mz,
+                charge,
+                peaks,
+            } => {
+                let mut flags = 0u8;
+                if *full_scan {
+                    flags |= FLAG_FULL_SCAN;
+                }
+                if tolerance.is_some() {
+                    flags |= FLAG_HAS_TOLERANCE;
+                }
+                if top_k.is_some() {
+                    flags |= FLAG_HAS_TOP_K;
+                }
+                let mut b = Vec::with_capacity(31 + peaks.len() * 12);
+                b.push(KIND_QUERY);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b.push(flags);
+                if let Some(t) = tolerance {
+                    b.extend_from_slice(&t.to_le_bytes());
+                }
+                if let Some(k) = top_k {
+                    b.extend_from_slice(&k.to_le_bytes());
+                }
+                b.extend_from_slice(&scan.to_le_bytes());
+                b.extend_from_slice(&precursor_mz.to_le_bytes());
+                b.push(*charge);
+                b.extend_from_slice(&(peaks.len() as u32).to_le_bytes());
+                for (mz, intensity) in peaks {
+                    b.extend_from_slice(&mz.to_le_bytes());
+                    b.extend_from_slice(&intensity.to_le_bytes());
+                }
+                b
+            }
+            Request::Ping { req_id } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(KIND_PING);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b
+            }
+            Request::Shutdown { req_id } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(KIND_SHUTDOWN);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b
+            }
+        }
+    }
+
+    /// Decodes a frame payload into a request. Structural validation only
+    /// (exact lengths, known kinds); never panics, and the peak vector is
+    /// sized from the *actual* payload length, not trusted counts.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur::new(payload);
+        match c.u8()? {
+            KIND_QUERY => {
+                let req_id = c.u64()?;
+                let flags = c.u8()?;
+                if flags & !(FLAG_FULL_SCAN | FLAG_HAS_TOLERANCE | FLAG_HAS_TOP_K) != 0 {
+                    return Err(ProtoError::Malformed("unknown query flag bits"));
+                }
+                let tolerance = if flags & FLAG_HAS_TOLERANCE != 0 {
+                    Some(c.f64()?)
+                } else {
+                    None
+                };
+                let top_k = if flags & FLAG_HAS_TOP_K != 0 {
+                    Some(c.u32()?)
+                } else {
+                    None
+                };
+                let scan = c.u32()?;
+                let precursor_mz = c.f64()?;
+                let charge = c.u8()?;
+                let n_peaks = c.u32()? as usize;
+                // Validate the declared count against the bytes actually
+                // present BEFORE allocating: a forged count cannot reserve
+                // more memory than the (already-bounded) payload holds.
+                if c.remaining() != n_peaks * 12 {
+                    return Err(ProtoError::Malformed(
+                        "peak count disagrees with payload length",
+                    ));
+                }
+                let mut peaks = Vec::with_capacity(n_peaks);
+                for _ in 0..n_peaks {
+                    peaks.push((c.f64()?, c.f32()?));
+                }
+                c.finish()?;
+                Ok(Request::Query {
+                    req_id,
+                    full_scan: flags & FLAG_FULL_SCAN != 0,
+                    tolerance,
+                    top_k,
+                    scan,
+                    precursor_mz,
+                    charge,
+                    peaks,
+                })
+            }
+            KIND_PING => {
+                let req_id = c.u64()?;
+                c.finish()?;
+                Ok(Request::Ping { req_id })
+            }
+            KIND_SHUTDOWN => {
+                let req_id = c.u64()?;
+                c.finish()?;
+                Ok(Request::Shutdown { req_id })
+            }
+            k => Err(ProtoError::UnknownKind(k)),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes this response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Result { req_id, psms } => {
+                let mut b = Vec::with_capacity(13 + psms.len() * 12);
+                b.push(KIND_RESULT);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b.extend_from_slice(&(psms.len() as u32).to_le_bytes());
+                for (peptide, modform, shared, score) in psms {
+                    b.extend_from_slice(&peptide.to_le_bytes());
+                    b.extend_from_slice(&modform.to_le_bytes());
+                    b.extend_from_slice(&shared.to_le_bytes());
+                    b.extend_from_slice(&score.to_le_bytes());
+                }
+                b
+            }
+            Response::Pong {
+                req_id,
+                protocol_version,
+                num_chunks,
+            } => {
+                let mut b = Vec::with_capacity(15);
+                b.push(KIND_PONG);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b.extend_from_slice(&protocol_version.to_le_bytes());
+                b.extend_from_slice(&num_chunks.to_le_bytes());
+                b
+            }
+            Response::Bye { req_id } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(KIND_BYE);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b
+            }
+            Response::Error {
+                req_id,
+                code,
+                message,
+            } => {
+                let msg = message.as_bytes();
+                let mut b = Vec::with_capacity(15 + msg.len());
+                b.push(KIND_ERROR);
+                b.extend_from_slice(&req_id.to_le_bytes());
+                b.extend_from_slice(&code.to_le_bytes());
+                b.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                b.extend_from_slice(msg);
+                b
+            }
+        }
+    }
+
+    /// Decodes a frame payload into a response. Same safety contract as
+    /// [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur::new(payload);
+        match c.u8()? {
+            KIND_RESULT => {
+                let req_id = c.u64()?;
+                let n = c.u32()? as usize;
+                if c.remaining() != n * 12 {
+                    return Err(ProtoError::Malformed(
+                        "psm count disagrees with payload length",
+                    ));
+                }
+                let mut psms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    psms.push((c.u32()?, c.u16()?, c.u16()?, c.f32()?));
+                }
+                c.finish()?;
+                Ok(Response::Result { req_id, psms })
+            }
+            KIND_PONG => {
+                let req_id = c.u64()?;
+                let protocol_version = c.u16()?;
+                let num_chunks = c.u32()?;
+                c.finish()?;
+                Ok(Response::Pong {
+                    req_id,
+                    protocol_version,
+                    num_chunks,
+                })
+            }
+            KIND_BYE => {
+                let req_id = c.u64()?;
+                c.finish()?;
+                Ok(Response::Bye { req_id })
+            }
+            KIND_ERROR => {
+                let req_id = c.u64()?;
+                let code = c.u16()?;
+                let n = c.u32()? as usize;
+                if c.remaining() != n {
+                    return Err(ProtoError::Malformed(
+                        "message length disagrees with payload",
+                    ));
+                }
+                let message = String::from_utf8(c.bytes(n)?.to_vec())
+                    .map_err(|_| ProtoError::Malformed("error message is not UTF-8"))?;
+                c.finish()?;
+                Ok(Response::Error {
+                    req_id,
+                    code,
+                    message,
+                })
+            }
+            k => Err(ProtoError::UnknownKind(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &r.encode()).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Ping { req_id: 7 });
+        roundtrip_req(Request::Shutdown { req_id: u64::MAX });
+        roundtrip_req(Request::Query {
+            req_id: 42,
+            full_scan: true,
+            tolerance: Some(1.25),
+            top_k: Some(3),
+            scan: 9,
+            precursor_mz: 523.77,
+            charge: 2,
+            peaks: vec![(100.0, 1.0), (200.5, 0.25)],
+        });
+        roundtrip_req(Request::Query {
+            req_id: 0,
+            full_scan: false,
+            tolerance: None,
+            top_k: None,
+            scan: 0,
+            precursor_mz: 0.0,
+            charge: 0,
+            peaks: vec![],
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for r in [
+            Response::Result {
+                req_id: 1,
+                psms: vec![(5, 0, 9, 12.5), (6, 2, 4, 3.0)],
+            },
+            Response::Pong {
+                req_id: 2,
+                protocol_version: PROTOCOL_VERSION,
+                num_chunks: 4,
+            },
+            Response::Bye { req_id: 3 },
+            Response::Error {
+                req_id: 4,
+                code: CODE_BAD_REQUEST,
+                message: "tolerance must be positive".into(),
+            },
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &r.encode()).unwrap();
+            let payload = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_clean_errors() {
+        assert!(matches!(
+            read_frame(&mut [1u8, 0].as_slice()),
+            Err(ProtoError::Truncated)
+        ));
+        // Declares 100 bytes, delivers 2.
+        let mut wire = vec![100, 0, 0, 0, 0xAA, 0xBB];
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::Truncated)
+        ));
+        wire.clear();
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_reading() {
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::Oversized { declared }) if declared == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn forged_peak_count_rejected_without_allocation() {
+        // A QUERY declaring u32::MAX peaks in a 31-byte payload.
+        let mut p = Request::Query {
+            req_id: 1,
+            full_scan: false,
+            tolerance: None,
+            top_k: None,
+            scan: 1,
+            precursor_mz: 500.0,
+            charge: 2,
+            peaks: vec![],
+        }
+        .encode();
+        let n = p.len();
+        p[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Request::decode(&p), Err(ProtoError::Malformed(_))));
+    }
+}

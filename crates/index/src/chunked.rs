@@ -40,7 +40,7 @@ use crate::format::{
     section_name, AlignedBuf, FileContainer, ParsedContainer, Section, SectionPlan,
 };
 use crate::io::{self, ReadOptions, MAGIC_CHUNKED, MAGIC_V2};
-use crate::query::{QueryStats, SearchResult, Searcher};
+use crate::query::{QueryOptions, QueryStats, SearchResult, Searcher};
 use crate::slm::SlmIndex;
 use lbe_bio::mods::ModSpec;
 use lbe_bio::peptide::{Peptide, PeptideDb};
@@ -714,10 +714,30 @@ impl ChunkStore {
         query: &Spectrum,
         mode: crate::query::ScanMode,
     ) -> std::io::Result<SearchResult> {
-        let top_k = self.config.top_k;
+        self.search_with_opts(query, &QueryOptions::from_mode(mode))
+    }
+
+    /// [`ChunkStore::search`] under per-request [`QueryOptions`]: a
+    /// tolerance override narrows (or widens) both the chunk selection and
+    /// every per-chunk band; a top-k override bounds the per-chunk heaps
+    /// and the merged result. Default options are bit-identical to
+    /// [`ChunkStore::search`].
+    pub fn search_with_opts(
+        &mut self,
+        query: &Spectrum,
+        opts: &QueryOptions,
+    ) -> std::io::Result<SearchResult> {
+        let tol = opts.effective_tolerance(&self.config);
+        let top_k = opts.effective_top_k(&self.config);
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
-        for ci in self.chunks_for_query(query.precursor_neutral_mass()) {
+        let touched = chunks_overlapping(
+            &self.boundaries,
+            self.directory.len(),
+            query.precursor_neutral_mass(),
+            tol,
+        );
+        for ci in touched {
             self.ensure_resident(ci)?;
             let chunk = self.resident[ci].as_ref().expect("just made resident");
             // Recycle one scratch across chunks and queries: sized once to
@@ -725,7 +745,7 @@ impl ChunkStore {
             // (the same reuse ChunkedIndex::search_batch gets from memoized
             // searchers). Scratch reuse is invisible in results (tested).
             let mut searcher = Searcher::with_scratch(chunk, std::mem::take(&mut self.scratch));
-            let r = searcher.search_with_mode(query, mode);
+            let r = searcher.search_with_opts(query, opts);
             self.scratch = searcher.into_scratch();
             stats.accumulate(&r.stats);
             for mut p in r.psms {
@@ -1075,6 +1095,59 @@ mod tests {
         assert!(ChunkStore::open_path(&p, 1).is_err());
         assert!(ChunkedIndex::open_path(&p).is_err());
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn store_tolerance_override_equals_container_built_closed() {
+        // Per-request ΔM on an open-built container == a container built
+        // closed at that ΔM: same chunk selection, same bands, same PSMs.
+        let open = ChunkedIndex::build(&db(), SlmConfig::default(), ModSpec::none(), 2);
+        let closed = ChunkedIndex::build(
+            &db(),
+            SlmConfig::default().with_precursor_tolerance(1.0),
+            ModSpec::none(),
+            2,
+        );
+        let po = tmpfile("opts_open.lbe");
+        let pc = tmpfile("opts_closed.lbe");
+        open.write_path(&po).unwrap();
+        closed.write_path(&pc).unwrap();
+        let mut so = ChunkStore::open_path(&po, usize::MAX).unwrap();
+        let mut sc = ChunkStore::open_path(&pc, usize::MAX).unwrap();
+        let opts = QueryOptions {
+            precursor_tolerance: Some(1.0),
+            ..Default::default()
+        };
+        for seq in [&b"PEPTIDEK"[..], b"GGGGGK", b"ELVISLIVESK"] {
+            let q = perfect_query(seq);
+            assert_eq!(
+                so.search_with_opts(&q, &opts).unwrap(),
+                sc.search(&q).unwrap(),
+                "{seq:?}"
+            );
+        }
+        // The override also narrows which chunks fault in: a 1 Da window
+        // must not touch all 3 chunks of the open-built container.
+        let mut narrow = ChunkStore::open_path(&po, usize::MAX).unwrap();
+        narrow
+            .search_with_opts(&perfect_query(b"GGGGGK"), &opts)
+            .unwrap();
+        assert!(narrow.stats().faults < 3, "{:?}", narrow.stats());
+        // A top-k override truncates the merged result.
+        let k1 = QueryOptions {
+            top_k: Some(1),
+            ..Default::default()
+        };
+        let r = so
+            .search_with_opts(&perfect_query(b"PEPTIDEK"), &k1)
+            .unwrap();
+        assert_eq!(r.psms.len(), 1);
+        assert_eq!(
+            r.psms[0],
+            so.search(&perfect_query(b"PEPTIDEK")).unwrap().psms[0]
+        );
+        std::fs::remove_file(&po).ok();
+        std::fs::remove_file(&pc).ok();
     }
 
     #[test]

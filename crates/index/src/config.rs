@@ -81,9 +81,18 @@ impl SlmConfig {
     /// interval bounds by one ulp).
     #[inline]
     pub fn precursor_admits(&self, query_mass: f64, candidate_mass: f64) -> bool {
-        self.is_open_search()
-            || (candidate_mass >= query_mass - self.precursor_tolerance
-                && candidate_mass <= query_mass + self.precursor_tolerance)
+        Self::precursor_admits_with(self.precursor_tolerance, query_mass, candidate_mass)
+    }
+
+    /// [`SlmConfig::precursor_admits`] under an explicit ΔM (`tol`) instead
+    /// of the built-in one — the per-request override path. Must stay
+    /// phrased as the same interval-membership expressions (see above) so a
+    /// per-request tolerance admits exactly what an index *built* with that
+    /// tolerance would.
+    #[inline]
+    pub fn precursor_admits_with(tol: f64, query_mass: f64, candidate_mass: f64) -> bool {
+        tol.is_infinite()
+            || (candidate_mass >= query_mass - tol && candidate_mass <= query_mass + tol)
     }
 
     /// A closed-search variant (ΔM = `tol` Da) of this configuration.

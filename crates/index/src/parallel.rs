@@ -22,7 +22,7 @@
 //! sequential path — parallelism must never change what is found (tested,
 //! including a proptest over batch size / thread count / skew).
 
-use crate::query::{QueryStats, ScanMode, SearchResult, Searcher};
+use crate::query::{QueryOptions, QueryStats, ScanMode, SearchResult, Searcher};
 use crate::slm::SlmIndex;
 use lbe_spectra::spectrum::Spectrum;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,10 +62,23 @@ pub fn search_batch_parallel_with_mode(
     num_threads: usize,
     mode: ScanMode,
 ) -> (Vec<SearchResult>, QueryStats) {
+    search_batch_parallel_with_opts(index, queries, num_threads, &QueryOptions::from_mode(mode))
+}
+
+/// [`search_batch_parallel`] under per-request [`QueryOptions`] — the
+/// batch entry point a resident server's query waves use: one options set
+/// per wave, every worker searching under it. Bit-identical to the
+/// sequential [`Searcher::search_batch_with_opts`] for any thread count.
+pub fn search_batch_parallel_with_opts(
+    index: &SlmIndex,
+    queries: &[Spectrum],
+    num_threads: usize,
+    opts: &QueryOptions,
+) -> (Vec<SearchResult>, QueryStats) {
     assert!(num_threads >= 1, "need at least one thread");
     if num_threads == 1 || queries.len() <= 1 {
         let mut s = Searcher::new(index);
-        return s.search_batch_with_mode(queries, mode);
+        return s.search_batch_with_opts(queries, opts);
     }
 
     let workers = num_threads.min(queries.len());
@@ -92,7 +105,7 @@ pub fn search_batch_parallel_with_mode(
                     let lo = b * block;
                     let hi = (lo + block).min(queries.len());
                     let (results, block_stats) =
-                        searcher.search_batch_with_mode(&queries[lo..hi], mode);
+                        searcher.search_batch_with_opts(&queries[lo..hi], opts);
                     stats.accumulate(&block_stats);
                     mine.push((b, results));
                 }

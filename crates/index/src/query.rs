@@ -79,6 +79,48 @@ pub enum ScanMode {
     FullScan,
 }
 
+/// Per-request overrides layered over the index's build-time [`SlmConfig`].
+///
+/// The one-shot CLI bakes ΔM and top-k into the index at build time; a
+/// resident server answering many clients cannot. `QueryOptions` carries
+/// the per-request knobs through every search entry point: `None` fields
+/// fall back to the index configuration, making the default options
+/// numerically indistinguishable from the pre-options API (pinned by the
+/// equivalence tests below).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryOptions {
+    /// Posting-scan path (banded vs full-bin). Findings are mode-invariant.
+    pub scan_mode: ScanMode,
+    /// Override of [`SlmConfig::top_k`] (`None` = the index default).
+    pub top_k: Option<usize>,
+    /// Override of [`SlmConfig::precursor_tolerance`] in Daltons (`None` =
+    /// the index default; `Some(f64::INFINITY)` = open search).
+    pub precursor_tolerance: Option<f64>,
+}
+
+impl QueryOptions {
+    /// Options that differ from the index defaults only in scan mode —
+    /// what every `_with_mode` entry point desugars to.
+    pub fn from_mode(scan_mode: ScanMode) -> Self {
+        QueryOptions {
+            scan_mode,
+            ..Default::default()
+        }
+    }
+
+    /// The ΔM this request searches with.
+    #[inline]
+    pub fn effective_tolerance(&self, cfg: &SlmConfig) -> f64 {
+        self.precursor_tolerance.unwrap_or(cfg.precursor_tolerance)
+    }
+
+    /// The top-k this request keeps.
+    #[inline]
+    pub fn effective_top_k(&self, cfg: &SlmConfig) -> usize {
+        self.top_k.unwrap_or(cfg.top_k)
+    }
+}
+
 /// Work counters for one query — the inputs of the virtual-time cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryStats {
@@ -209,7 +251,18 @@ impl<'a> Searcher<'a> {
     /// in `postings_scanned` vs `postings_skipped_by_band` (and in wall
     /// clock).
     pub fn search_with_mode(&mut self, query: &Spectrum, mode: ScanMode) -> SearchResult {
+        self.search_with_opts(query, &QueryOptions::from_mode(mode))
+    }
+
+    /// Searches one query spectrum under per-request [`QueryOptions`].
+    /// Default options are bit-identical to [`Searcher::search`]; a
+    /// tolerance/top-k override behaves exactly as if the index had been
+    /// built with that configuration (same interval expressions feed the
+    /// band binary search and the admission check).
+    pub fn search_with_opts(&mut self, query: &Spectrum, opts: &QueryOptions) -> SearchResult {
         let cfg = self.index.config();
+        let tol = opts.effective_tolerance(cfg);
+        let top_k = opts.effective_top_k(cfg);
         let mut stats = QueryStats {
             peaks: query.peaks.len() as u64,
             ..Default::default()
@@ -219,12 +272,11 @@ impl<'a> Searcher<'a> {
         let num_entries = self.index.num_spectra() as u32;
         // Filtration first: a closed search over a mass-sorted index
         // restricts every scan to the admitted entry band up front.
-        let banded = mode == ScanMode::Auto && self.index.is_mass_sorted() && !cfg.is_open_search();
+        let banded =
+            opts.scan_mode == ScanMode::Auto && self.index.is_mass_sorted() && !tol.is_infinite();
         let (band_lo, band_hi) = if banded {
-            self.index.entry_range_for_mass_band(
-                query_mass - cfg.precursor_tolerance,
-                query_mass + cfg.precursor_tolerance,
-            )
+            self.index
+                .entry_range_for_mass_band(query_mass - tol, query_mass + tol)
         } else {
             (0, num_entries)
         };
@@ -261,13 +313,13 @@ impl<'a> Searcher<'a> {
             stats.postings_skipped_by_band += skipped;
         }
 
-        let mut topk = TopK::new(cfg.top_k);
+        let mut topk = TopK::new(top_k);
         for &entry in &self.touched {
             let e = (entry - band_lo) as usize;
             let shared = self.counts[e];
             let meta = self.index.entry(entry);
             if shared >= cfg.shared_peak_threshold
-                && cfg.precursor_admits(query_mass, meta.precursor_mass as f64)
+                && SlmConfig::precursor_admits_with(tol, query_mass, meta.precursor_mass as f64)
             {
                 stats.candidates += 1;
                 topk.push(Psm {
@@ -301,11 +353,20 @@ impl<'a> Searcher<'a> {
         queries: &[Spectrum],
         mode: ScanMode,
     ) -> (Vec<SearchResult>, QueryStats) {
+        self.search_batch_with_opts(queries, &QueryOptions::from_mode(mode))
+    }
+
+    /// [`Searcher::search_batch`] under per-request [`QueryOptions`].
+    pub fn search_batch_with_opts(
+        &mut self,
+        queries: &[Spectrum],
+        opts: &QueryOptions,
+    ) -> (Vec<SearchResult>, QueryStats) {
         let mut total = QueryStats::default();
         let results: Vec<SearchResult> = queries
             .iter()
             .map(|q| {
-                let r = self.search_with_mode(q, mode);
+                let r = self.search_with_opts(q, opts);
                 total.accumulate(&r.stats);
                 r
             })
@@ -765,6 +826,91 @@ mod tests {
         assert_eq!(results.len(), 2);
         let sum: u64 = results.iter().map(|r| r.stats.postings_scanned).sum();
         assert_eq!(total.postings_scanned, sum);
+    }
+
+    #[test]
+    fn default_options_are_bit_identical_to_mode_paths() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK", "SAMPLERK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(2.0);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        for seq in [&b"PEPTIDEK"[..], b"ELVISLIVESK", b"SAMPLERK"] {
+            let q = perfect_query(seq);
+            assert_eq!(
+                s.search_with_opts(&q, &QueryOptions::default()),
+                s.search(&q)
+            );
+            assert_eq!(
+                s.search_with_opts(&q, &QueryOptions::from_mode(ScanMode::FullScan)),
+                s.search_with_mode(&q, ScanMode::FullScan)
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_override_equals_index_built_with_that_tolerance() {
+        // A per-request ΔM on an open-built index must admit (and band)
+        // exactly what an index *built* closed at that ΔM does — down to
+        // the work counters, since both feed the same interval expressions
+        // into the band binary search.
+        let d = db(&["GGGGGK", "PEPTIDEK", "PEPTIDEKGGGGGGK", "ELVISLIVESK"]);
+        let open = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        let closed = IndexBuilder::new(
+            SlmConfig::default().with_precursor_tolerance(1.0),
+            ModSpec::none(),
+        )
+        .build(&d);
+        let opts = QueryOptions {
+            precursor_tolerance: Some(1.0),
+            ..Default::default()
+        };
+        let mut so = Searcher::new(&open);
+        let mut sc = Searcher::new(&closed);
+        for seq in [&b"PEPTIDEK"[..], b"GGGGGK", b"ELVISLIVESK"] {
+            let q = perfect_query(seq);
+            assert_eq!(so.search_with_opts(&q, &opts), sc.search(&q), "{seq:?}");
+            // And an explicit open override on the closed index recovers
+            // the open-search behaviour.
+            let reopen = QueryOptions {
+                precursor_tolerance: Some(f64::INFINITY),
+                ..Default::default()
+            };
+            assert_eq!(sc.search_with_opts(&q, &reopen).psms, so.search(&q).psms);
+        }
+    }
+
+    #[test]
+    fn top_k_override_equals_index_built_with_that_top_k() {
+        let seqs: Vec<String> = (0..20)
+            .map(|i| format!("PEPTIDE{}K", "AG".repeat(i % 5 + 1)))
+            .collect();
+        let refs: Vec<&str> = seqs.iter().map(String::as_str).collect();
+        let d = db(&refs);
+        let base = SlmConfig {
+            shared_peak_threshold: 1,
+            ..Default::default()
+        };
+        let idx = IndexBuilder::new(base.clone(), ModSpec::none()).build(&d);
+        let q = perfect_query(b"PEPTIDEAGK");
+        for k in [0usize, 1, 3, 7] {
+            let rebuilt = IndexBuilder::new(
+                SlmConfig {
+                    top_k: k,
+                    ..base.clone()
+                },
+                ModSpec::none(),
+            )
+            .build(&d);
+            let opts = QueryOptions {
+                top_k: Some(k),
+                ..Default::default()
+            };
+            assert_eq!(
+                Searcher::new(&idx).search_with_opts(&q, &opts).psms,
+                Searcher::new(&rebuilt).search(&q).psms,
+                "k = {k}"
+            );
+        }
     }
 
     #[test]

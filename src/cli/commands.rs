@@ -14,10 +14,9 @@ use lbe_core::engine::{run_distributed_search, EngineConfig};
 use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
 use lbe_core::ingest::{load_peptide_db, load_proteome_digested, load_queries, IngestStats};
 use lbe_core::partition::PartitionPolicy;
-use lbe_index::{
-    read_index_path_with, ChunkStore, ChunkedIndex, ReadOptions, ScanMode, SearchResult, Searcher,
-    SlmConfig,
-};
+use lbe_core::serve::proto::{self, Request, Response};
+use lbe_core::serve::{serve_stdin, ResidentEngine, ServeConfig, Server};
+use lbe_index::{ChunkedIndex, Psm, QueryOptions, ScanMode, SlmConfig};
 use lbe_spectra::mgf::write_mgf;
 use lbe_spectra::ms2::write_ms2_path;
 use lbe_spectra::mzml::write_mzml_path;
@@ -38,6 +37,8 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "synth-queries" => synth_queries(args, out),
         "index" => index_cmd(args, out),
         "search" => search(args, out),
+        "serve" => serve(args, out),
+        "query" => query_cmd(args, out),
         "simulate" => simulate(args, out),
         "help" | "" => {
             write!(out, "{}", usage())?;
@@ -83,12 +84,33 @@ COMMANDS:
                   N > 0 caps how many chunks are held in memory (0 = all);
                   --full-scan disables the banded precursor-filtered
                   kernel (identical PSMs, more postings scanned — A/B aid)
+  serve           --index index.lbe [--addr 127.0.0.1:0] [--stdin]
+                  [--threads 4] [--max-resident-chunks 0]
+                  [--max-inflight 256] [--max-wave 64]
+                  [--per-conn-inflight 64]
+                  long-lived query daemon: opens the index once, answers
+                  length-prefixed query frames over TCP (prints a
+                  parseable `listening on HOST:PORT` line) or, with
+                  --stdin, over stdin/stdout for scripting; shuts down
+                  cleanly on a shutdown frame (or stdin EOF)
+  query           --addr HOST:PORT [--queries q.{ms2|mgf|mzML} --out r.tsv]
+                  [--top-k 10] [--csv] [--full-scan] [--tolerance DA]
+                  [--shutdown]
+                  client for `serve`: streams the query file to a running
+                  daemon and writes the same report `search` would
+                  (byte-identical for identical inputs); --tolerance
+                  overrides the index's precursor window per request;
+                  --shutdown asks the daemon to exit (alone or after the
+                  queries)
   simulate        --db peptides.fasta --queries q.{ms2|mgf|mzML}
-                  [--ranks 16] [--policy chunk|cyclic|random]
+                  [--out report.txt] [--ranks 16]
+                  [--policy chunk|cyclic|random]
                   [--mods none|oxidation|paper] [--threads-per-rank 1]
                   [--spill-dir DIR] [--stream-db] [--digest] [--csv]
                   [--full-scan]
                   run the distributed engine, report times and imbalance;
+                  --out writes the report to a file (created only after a
+                  successful run) instead of stdout,
                   --spill-dir stores each rank's index on disk (v2) instead
                   of holding every partition in memory, --stream-db makes
                   each rank stream its peptide partition from the --db file
@@ -329,25 +351,16 @@ fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// Sniffs the 8-byte magic of an index file to pick the open path.
-fn index_file_magic(path: &str) -> Result<[u8; 8], CmdError> {
-    use std::io::Read;
-    let mut f = std::fs::File::open(path)?;
-    let mut magic = [0u8; 8];
-    f.read_exact(&mut magic)?;
-    Ok(magic)
-}
-
 /// Writes the PSM table of one query to the results file.
 fn write_result_rows<W: Write>(
     sink: &mut W,
     scan: u32,
-    result: &SearchResult,
+    psms: &[Psm],
     top_k: usize,
     sep: char,
 ) -> Result<usize, CmdError> {
     let mut rows = 0;
-    for (rank, p) in result.psms.iter().take(top_k).enumerate() {
+    for (rank, p) in psms.iter().take(top_k).enumerate() {
         writeln!(
             sink,
             "{scan}{sep}{}{sep}{}{sep}{}{sep}{}{sep}{:.4}",
@@ -394,67 +407,23 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     let top_k = args.get_parsed("top-k", 10usize)?;
 
     // Open the index BEFORE creating/truncating the results file: a typo'd
-    // --index must not destroy a previous run's output. The CLI always
+    // --index must not destroy a previous run's output. The engine always
     // runs the full validation scan — index files handed to it are
     // untrusted input.
-    let opts = ReadOptions {
-        full_validation: true,
-    };
-    enum Backend {
-        Chunked(Box<ChunkStore>),
-        Single(Box<lbe_index::SlmIndex>),
-    }
-    let mut backend = if &index_file_magic(index_path)? == lbe_index::io::MAGIC_CHUNKED {
-        Backend::Chunked(Box::new(ChunkStore::open_path_with(
-            index_path,
-            max_resident,
-            &opts,
-        )?))
-    } else {
-        Backend::Single(Box::new(read_index_path_with(index_path, &opts)?))
-    };
+    let engine = ResidentEngine::open(index_path, max_resident)?;
 
     let mut sink = std::io::BufWriter::new(std::fs::File::create(output)?);
-    let header = [
-        "scan",
-        "rank",
-        "peptide",
-        "modform",
-        "shared_peaks",
-        "score",
-    ]
-    .join(&sep.to_string());
-    writeln!(sink, "{header}")?;
+    writeln!(sink, "{}", result_header(sep))?;
 
+    let query_opts = QueryOptions::from_mode(mode);
     let mut total_psms = 0usize;
-    let (num_indexed, backend) = match &mut backend {
-        Backend::Chunked(store) => {
-            for q in &queries {
-                let r = store.search_with_mode(q, mode)?;
-                total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
-            }
-            let s = store.stats();
-            (
-                None,
-                format!(
-                    "chunked container ({} chunks, {} faults, {} evictions)",
-                    store.num_chunks(),
-                    s.faults,
-                    s.evictions
-                ),
-            )
-        }
-        Backend::Single(index) => {
-            let mut searcher = Searcher::new(index);
-            for q in &queries {
-                let r = searcher.search_with_mode(q, mode);
-                total_psms += write_result_rows(&mut sink, q.scan, &r, top_k, sep)?;
-            }
-            (Some(index.num_spectra()), "single index".to_string())
-        }
-    };
+    for q in &queries {
+        let r = engine.search_one(q, &query_opts)?;
+        total_psms += write_result_rows(&mut sink, q.scan, &r.psms, top_k, sep)?;
+    }
     sink.flush()?;
-    match num_indexed {
+    let backend = engine.backend_summary();
+    match engine.num_indexed() {
         Some(n) => writeln!(
             out,
             "searched {} spectra against {n} indexed spectra ({backend}), wrote {total_psms} PSMs to {output}",
@@ -469,10 +438,266 @@ fn search<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// The report header row (`search`, `query`, and the goldens share it).
+fn result_header(sep: char) -> String {
+    [
+        "scan",
+        "rank",
+        "peptide",
+        "modform",
+        "shared_peaks",
+        "score",
+    ]
+    .join(&sep.to_string())
+}
+
+fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&[
+        "index",
+        "addr",
+        "stdin",
+        "threads",
+        "max-resident-chunks",
+        "max-inflight",
+        "max-wave",
+        "per-conn-inflight",
+    ])?;
+    let index_path = args.require("index")?;
+    let max_resident = match args.get_parsed("max-resident-chunks", 0usize)? {
+        0 => usize::MAX,
+        n => n,
+    };
+    let cfg = ServeConfig {
+        threads: args.get_parsed("threads", 4usize)?.max(1),
+        max_resident_chunks: max_resident,
+        max_inflight: args.get_parsed("max-inflight", 256usize)?.max(1),
+        max_wave: args.get_parsed("max-wave", 64usize)?.max(1),
+        per_conn_inflight: args.get_parsed("per-conn-inflight", 64usize)?.max(1),
+    };
+    // Open (and fully validate) the index before any transport exists: a
+    // bad --index is an ordinary CLI error, never a half-started server.
+    let engine = ResidentEngine::open(index_path, cfg.max_resident_chunks)?;
+
+    if args.has("stdin") {
+        // Frames go over real stdin/stdout; human chatter must not
+        // contaminate the binary response stream, so it goes to stderr.
+        eprintln!(
+            "serving {index_path} over stdin/stdout (EOF or a shutdown frame ends the session)"
+        );
+        let stats = serve_stdin(
+            &engine,
+            &mut std::io::stdin().lock(),
+            &mut std::io::stdout().lock(),
+        )?;
+        eprintln!(
+            "served {} requests, {} responses ({} protocol errors)",
+            stats.requests, stats.responses, stats.protocol_errors
+        );
+        return Ok(());
+    }
+
+    let addr = match args.get("addr") {
+        Some("") => return Err(Box::new(ArgError("--addr needs host:port".into()))),
+        Some(a) => a,
+        None => "127.0.0.1:0",
+    };
+    let server = Server::bind(engine, addr, cfg)?;
+    // Parseable banner: scripts (and the CI smoke test) scrape the bound
+    // address from this line, so flush it before blocking in run().
+    writeln!(out, "listening on {}", server.local_addr())?;
+    out.flush()?;
+    let stats = server.run()?;
+    writeln!(
+        out,
+        "served {} connections, {} requests, {} responses ({} protocol errors)",
+        stats.connections, stats.requests, stats.responses, stats.protocol_errors
+    )?;
+    Ok(())
+}
+
+/// Reads raw (unpreprocessed) query spectra for the wire: the *server*
+/// preprocesses, so file-fed and socket-fed spectra take the identical
+/// pipeline. Prints the same skipped-MS1 note as [`read_queries`].
+fn read_raw_queries<W: Write>(path: &str, out: &mut W) -> Result<Vec<Spectrum>, CmdError> {
+    let mut reader = lbe_spectra::reader::SpectrumReader::open(path)?;
+    let mut spectra = Vec::new();
+    for s in &mut reader {
+        spectra.push(s?);
+    }
+    if reader.skipped_non_ms2() > 0 {
+        writeln!(
+            out,
+            "note: skipped {} non-MS2 spectra in {path} ({} input)",
+            reader.skipped_non_ms2(),
+            reader.format()
+        )?;
+    }
+    Ok(spectra)
+}
+
+fn query_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&[
+        "addr",
+        "queries",
+        "out",
+        "top-k",
+        "csv",
+        "full-scan",
+        "tolerance",
+        "shutdown",
+    ])?;
+    let addr = args.require("addr")?;
+    let shutdown = args.has("shutdown");
+    let queries_path = match args.get("queries") {
+        Some("") => return Err(Box::new(ArgError("--queries needs a file path".into()))),
+        other => other,
+    };
+    if queries_path.is_none() && !shutdown {
+        return Err(Box::new(ArgError(
+            "query needs --queries (and --out), or --shutdown".into(),
+        )));
+    }
+    let csv = args.has("csv");
+    let sep = if csv { ',' } else { '\t' };
+    let top_k = args.get_parsed("top-k", 10usize)?;
+    let full_scan = args.has("full-scan");
+    let tolerance = match args.get("tolerance") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<f64>()
+                .map_err(|_| ArgError(format!("--tolerance {s:?} is not a number (Daltons)")))?,
+        ),
+    };
+
+    // Read queries and connect BEFORE touching --out: a dead server or a
+    // typo'd queries file must not destroy a previous run's results.
+    let mut sent = Vec::new();
+    let output = if let Some(qp) = queries_path {
+        let output = args.require("out")?;
+        sent = read_raw_queries(qp, out)?;
+        Some(output)
+    } else {
+        None
+    };
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| ArgError(format!("cannot connect to {addr}: {e}")))?;
+    let mut rd = std::io::BufReader::new(stream.try_clone()?);
+
+    let scans: Vec<u32> = sent.iter().map(|s| s.scan).collect();
+    let mut results: Vec<Option<Vec<proto::WirePsm>>> = vec![None; sent.len()];
+    if !sent.is_empty() {
+        // Requests go out on a separate thread while this one drains
+        // responses: the server caps per-connection in-flight queries, so
+        // a one-threaded client pushing a large batch without reading
+        // would deadlock against its own backlog.
+        let send_stream = stream.try_clone()?;
+        let sender = std::thread::spawn(move || -> std::io::Result<()> {
+            let mut w = std::io::BufWriter::new(send_stream);
+            for (i, s) in sent.iter().enumerate() {
+                let request = Request::Query {
+                    req_id: i as u64,
+                    full_scan,
+                    tolerance,
+                    top_k: None, // emitted rows are clamped client-side
+                    scan: s.scan,
+                    precursor_mz: s.precursor_mz,
+                    charge: s.charge,
+                    peaks: s.peaks.iter().map(|p| (p.mz, p.intensity)).collect(),
+                };
+                proto::write_frame(&mut w, &request.encode())?;
+            }
+            w.flush()
+        });
+        let mut received = 0usize;
+        while received < results.len() {
+            let payload = proto::read_frame(&mut rd)?
+                .ok_or_else(|| ArgError("server closed the connection early".into()))?;
+            match Response::decode(&payload)? {
+                Response::Result { req_id, psms } => {
+                    let slot = results
+                        .get_mut(req_id as usize)
+                        .ok_or_else(|| ArgError(format!("unknown request id {req_id}")))?;
+                    if slot.replace(psms).is_some() {
+                        return Err(Box::new(ArgError(format!(
+                            "duplicate response for request id {req_id}"
+                        ))));
+                    }
+                    received += 1;
+                }
+                Response::Error {
+                    req_id,
+                    code,
+                    message,
+                } => {
+                    return Err(Box::new(ArgError(format!(
+                        "server error (code {code}) for request {req_id}: {message}"
+                    ))));
+                }
+                other => {
+                    return Err(Box::new(ArgError(format!(
+                        "unexpected response frame: {other:?}"
+                    ))));
+                }
+            }
+        }
+        sender
+            .join()
+            .map_err(|_| ArgError("request sender thread panicked".into()))??;
+    }
+
+    if shutdown {
+        proto::write_frame(
+            &mut stream,
+            &Request::Shutdown { req_id: u64::MAX }.encode(),
+        )?;
+        let payload = proto::read_frame(&mut rd)?
+            .ok_or_else(|| ArgError("server closed before acknowledging shutdown".into()))?;
+        match Response::decode(&payload)? {
+            Response::Bye { .. } => writeln!(out, "server at {addr} acknowledged shutdown")?,
+            other => {
+                return Err(Box::new(ArgError(format!(
+                    "unexpected shutdown response: {other:?}"
+                ))));
+            }
+        }
+    }
+
+    // Only now — every response in hand — is the results file created, so
+    // a mid-run failure can never leave a truncated report behind.
+    if let Some(output) = output {
+        let mut sink = std::io::BufWriter::new(std::fs::File::create(output)?);
+        writeln!(sink, "{}", result_header(sep))?;
+        let mut total_psms = 0usize;
+        for (scan, psms) in scans.iter().zip(&results) {
+            let psms: Vec<Psm> = psms
+                .as_ref()
+                .expect("all responses received")
+                .iter()
+                .map(|&(peptide, modform, shared_peaks, score)| Psm {
+                    entry: 0,
+                    peptide,
+                    modform,
+                    shared_peaks,
+                    score,
+                })
+                .collect();
+            total_psms += write_result_rows(&mut sink, *scan, &psms, top_k, sep)?;
+        }
+        sink.flush()?;
+        writeln!(
+            out,
+            "queried {} spectra against {addr}, wrote {total_psms} PSMs to {output}",
+            scans.len(),
+        )?;
+    }
+    Ok(())
+}
+
 fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     args.reject_unknown(&[
         "db",
         "queries",
+        "out",
         "ranks",
         "policy",
         "seed",
@@ -488,6 +713,12 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     ])?;
     let db_path = args.require("db")?;
     let queries_path = args.require("queries")?;
+    // Optional report file, validated up front but created only after a
+    // successful run (see the write at the end).
+    let report_path = match args.get("out") {
+        Some("") => return Err(Box::new(ArgError("--out needs a file path".into()))),
+        other => other,
+    };
     let ranks = args.get_parsed("ranks", 16usize)?;
     let policy = parse_policy(args)?;
     if args.has("stream-db") && args.has("digest") {
@@ -551,50 +782,64 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     }
     let report = run_distributed_search(&db, &grouping, &queries, &cfg, ranks);
 
-    if args.has("csv") {
-        // One machine-readable row for the figure harnesses.
-        writeln!(
-            out,
-            "policy,ranks,peptides,indexed_spectra,queries,candidate_psms,\
-             query_time_s,execution_time_s,load_imbalance_pct,wasted_cpu_s"
-        )?;
-        writeln!(
-            out,
-            "{policy},{ranks},{},{},{},{},{:.6},{:.6},{:.3},{:.6}",
-            db.len(),
-            report.index_spectra.iter().sum::<usize>(),
-            queries.len(),
-            report.total_candidates,
-            report.query_time(),
-            report.execution_time(),
-            report.imbalance.load_imbalance_pct(),
-            report.imbalance.wasted_cpu_time(ranks)
-        )?;
-        return Ok(());
+    // With --out the report is buffered and hits the disk only after the
+    // run succeeded — same open-before-truncate discipline as `search`:
+    // a failed run must never destroy a previous report.
+    let mut report_buf = Vec::new();
+    {
+        let sink: &mut dyn Write = if report_path.is_some() {
+            &mut report_buf
+        } else {
+            out
+        };
+        if args.has("csv") {
+            // One machine-readable row for the figure harnesses.
+            writeln!(
+                sink,
+                "policy,ranks,peptides,indexed_spectra,queries,candidate_psms,\
+                 query_time_s,execution_time_s,load_imbalance_pct,wasted_cpu_s"
+            )?;
+            writeln!(
+                sink,
+                "{policy},{ranks},{},{},{},{},{:.6},{:.6},{:.3},{:.6}",
+                db.len(),
+                report.index_spectra.iter().sum::<usize>(),
+                queries.len(),
+                report.total_candidates,
+                report.query_time(),
+                report.execution_time(),
+                report.imbalance.load_imbalance_pct(),
+                report.imbalance.wasted_cpu_time(ranks)
+            )?;
+        } else {
+            writeln!(sink, "policy            : {policy}")?;
+            writeln!(sink, "ranks             : {ranks}")?;
+            writeln!(sink, "peptides          : {}", db.len())?;
+            writeln!(
+                sink,
+                "indexed spectra   : {}",
+                report.index_spectra.iter().sum::<usize>()
+            )?;
+            writeln!(sink, "queries           : {}", queries.len())?;
+            writeln!(sink, "candidate PSMs    : {}", report.total_candidates)?;
+            writeln!(sink, "query time (s)    : {:.4}", report.query_time())?;
+            writeln!(sink, "execution time (s): {:.4}", report.execution_time())?;
+            writeln!(
+                sink,
+                "load imbalance    : {:.1}%",
+                report.imbalance.load_imbalance_pct()
+            )?;
+            writeln!(
+                sink,
+                "wasted CPU time   : {:.4}s",
+                report.imbalance.wasted_cpu_time(ranks)
+            )?;
+        }
     }
-
-    writeln!(out, "policy            : {policy}")?;
-    writeln!(out, "ranks             : {ranks}")?;
-    writeln!(out, "peptides          : {}", db.len())?;
-    writeln!(
-        out,
-        "indexed spectra   : {}",
-        report.index_spectra.iter().sum::<usize>()
-    )?;
-    writeln!(out, "queries           : {}", queries.len())?;
-    writeln!(out, "candidate PSMs    : {}", report.total_candidates)?;
-    writeln!(out, "query time (s)    : {:.4}", report.query_time())?;
-    writeln!(out, "execution time (s): {:.4}", report.execution_time())?;
-    writeln!(
-        out,
-        "load imbalance    : {:.1}%",
-        report.imbalance.load_imbalance_pct()
-    )?;
-    writeln!(
-        out,
-        "wasted CPU time   : {:.4}s",
-        report.imbalance.wasted_cpu_time(ranks)
-    )?;
+    if let Some(path) = report_path {
+        std::fs::write(path, &report_buf)?;
+        writeln!(out, "wrote simulation report to {path}")?;
+    }
     Ok(())
 }
 
@@ -1278,5 +1523,86 @@ mod tests {
         .unwrap();
         assert!(msg.contains("skipped 1 non-MS2 spectra"), "message: {msg}");
         assert!(msg.contains("searched 3 spectra"));
+    }
+
+    #[test]
+    fn query_failure_preserves_existing_out_file() {
+        let p = search_fixture("query_out_preserved");
+        std::fs::write(p("r.tsv"), "precious previous results\n").unwrap();
+        // A typo'd queries file fails before the results file is touched…
+        assert!(run(&format!(
+            "query --addr 127.0.0.1:1 --queries {} --out {}",
+            p("nonexistent.ms2"),
+            p("r.tsv")
+        ))
+        .is_err());
+        assert_eq!(
+            std::fs::read_to_string(p("r.tsv")).unwrap(),
+            "precious previous results\n"
+        );
+        // …and so does a dead server (port 1 is never listening).
+        let err = run(&format!(
+            "query --addr 127.0.0.1:1 --queries {} --out {}",
+            p("q.ms2"),
+            p("r.tsv")
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot connect"), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(p("r.tsv")).unwrap(),
+            "precious previous results\n"
+        );
+    }
+
+    #[test]
+    fn simulate_out_written_on_success_preserved_on_failure() {
+        let p = search_fixture("sim_out_preserved");
+        // Success: the report lands in the file, stdout gets only the
+        // confirmation line (plus ingest notes) — not the report itself.
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 3 --out {}",
+            p("pep.fasta"),
+            p("q.ms2"),
+            p("report.txt")
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote simulation report to"), "{msg}");
+        assert!(!msg.contains("load imbalance"), "report leaked to stdout");
+        let report = std::fs::read_to_string(p("report.txt")).unwrap();
+        assert!(report.contains("load imbalance"));
+        assert!(report.contains("candidate PSMs"));
+        // --csv --out: machine row in the file, confirmation on stdout.
+        let msg = run(&format!(
+            "simulate --db {} --queries {} --ranks 3 --csv --out {}",
+            p("pep.fasta"),
+            p("q.ms2"),
+            p("report.csv")
+        ))
+        .unwrap();
+        assert_eq!(msg.lines().count(), 1, "stdout is one confirmation line");
+        let csv = std::fs::read_to_string(p("report.csv")).unwrap();
+        assert!(csv.starts_with("policy,ranks,peptides,"));
+        assert_eq!(csv.lines().count(), 2);
+        // Failure: a bad queries path must leave the previous report alone.
+        std::fs::write(p("report.txt"), "precious previous report\n").unwrap();
+        assert!(run(&format!(
+            "simulate --db {} --queries {} --ranks 3 --out {}",
+            p("pep.fasta"),
+            p("missing.ms2"),
+            p("report.txt")
+        ))
+        .is_err());
+        assert_eq!(
+            std::fs::read_to_string(p("report.txt")).unwrap(),
+            "precious previous report\n"
+        );
+        // A valueless --out is rejected up front.
+        let err = run(&format!(
+            "simulate --db {} --queries {} --out",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("--out needs a file path"), "{err}");
     }
 }

@@ -1,0 +1,564 @@
+//! `lbe serve` end-to-end: concurrent clients against one daemon must
+//! reproduce the one-shot CLI golden reports byte for byte, responses
+//! must match their request ids under interleaving, and the lifecycle
+//! must be clean — bad indexes never half-start a server, shutdown
+//! drains in-flight queries, and one client's disconnect cannot poison
+//! another's session.
+
+use lbe::cli::args::Args;
+use lbe::cli::commands::dispatch;
+use lbe::core::serve::proto::{self, Request, Response};
+use lbe::core::serve::{serve_stdin, ResidentEngine, ServeConfig, Server, ShutdownHandle};
+use lbe::index::{QueryOptions, ScanMode};
+use lbe::spectra::reader::SpectrumReader;
+use lbe::spectra::spectrum::Spectrum;
+use std::io::{BufReader, Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+fn data(name: &str) -> String {
+    format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join("lbe_serve_daemon").join(name);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cli(cmdline: &str) -> String {
+    let args = Args::parse(cmdline.split_whitespace().map(String::from)).unwrap();
+    let mut out = Vec::new();
+    dispatch(&args, &mut out).unwrap_or_else(|e| panic!("{cmdline}: {e}"));
+    String::from_utf8(out).unwrap()
+}
+
+/// Builds the corpus index once for the whole suite (digest → index over
+/// the checked-in `tests/data/` corpus, exactly like the golden CLI
+/// pipeline).
+fn corpus_index() -> &'static str {
+    static INDEX: OnceLock<String> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let d = tmpdir("fixture");
+        let pep = d.join("pep.fasta").to_string_lossy().to_string();
+        let idx = d.join("corpus.lbe").to_string_lossy().to_string();
+        cli(&format!("digest --in {} --out {pep}", data("corpus.fasta")));
+        cli(&format!("index --db {pep} --out {idx}"));
+        idx
+    })
+}
+
+/// Starts an in-process daemon over the corpus index; returns the bound
+/// address, a shutdown handle, and the join handle for `run()`.
+fn start_daemon(
+    cfg: ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    ShutdownHandle,
+    std::thread::JoinHandle<lbe::core::ServeStats>,
+) {
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let server = Server::bind(engine, "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, runner)
+}
+
+/// Encodes one wire query from a raw (unpreprocessed) spectrum.
+fn query_frame(req_id: u64, s: &Spectrum) -> Vec<u8> {
+    let mut wire = Vec::new();
+    proto::write_frame(
+        &mut wire,
+        &Request::Query {
+            req_id,
+            full_scan: false,
+            tolerance: None,
+            top_k: None,
+            scan: s.scan,
+            precursor_mz: s.precursor_mz,
+            charge: s.charge,
+            peaks: s.peaks.iter().map(|p| (p.mz, p.intensity)).collect(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    wire
+}
+
+fn read_response(rd: &mut impl Read) -> Response {
+    let payload = proto::read_frame(rd).unwrap().expect("connection open");
+    Response::decode(&payload).unwrap()
+}
+
+/// Tentpole acceptance: ≥ 4 concurrent CLI clients, covering all three
+/// query formats, each get a report byte-identical to the committed
+/// one-shot CLI goldens from a single running daemon.
+#[test]
+fn concurrent_clients_match_cli_goldens() {
+    let (addr, handle, runner) = start_daemon(ServeConfig::default());
+    let d = tmpdir("concurrent");
+    let clients: Vec<(&str, &str, &str)> = vec![
+        ("a", "corpus.ms2", "expected_search_text.tsv"),
+        ("b", "corpus.mgf", "expected_search_text.tsv"),
+        ("c", "corpus.mzML", "expected_search_mzml.tsv"),
+        ("d", "corpus.ms2", "expected_search_text.tsv"),
+        ("e", "corpus.mgf", "expected_search_text.tsv"),
+    ];
+    let threads: Vec<_> = clients
+        .into_iter()
+        .map(|(tag, queries, expected)| {
+            let out = d.join(format!("{tag}.tsv")).to_string_lossy().to_string();
+            std::thread::spawn(move || {
+                cli(&format!(
+                    "query --addr {addr} --queries {} --out {out}",
+                    data(queries)
+                ));
+                let got = std::fs::read_to_string(&out).unwrap();
+                let want = std::fs::read_to_string(data(expected)).unwrap();
+                assert_eq!(
+                    got, want,
+                    "client {tag} ({queries}) diverged from {expected}"
+                );
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.connections, 5);
+    assert_eq!(stats.requests, 5 * 24);
+    assert_eq!(stats.responses, 5 * 24);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// Interleaving: one connection sends the whole corpus in *reverse* with
+/// shuffled request ids; every response must carry the result belonging
+/// to its id (pinned against the engine's own sequential answers).
+#[test]
+fn responses_match_request_ids_under_interleaving() {
+    let (addr, handle, runner) = start_daemon(ServeConfig::default());
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    // Expected answers, computed sequentially through the same engine API
+    // the daemon uses.
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let opts = QueryOptions::default();
+    let expected: Vec<Vec<(u32, u16, u16, f32)>> = spectra
+        .iter()
+        .map(|s| {
+            engine
+                .search_one(&engine.preprocess(s), &opts)
+                .unwrap()
+                .psms
+                .iter()
+                .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
+                .collect()
+        })
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut rd = BufReader::new(stream.try_clone().unwrap());
+    // Reverse order, ids offset by 9000: id 9000+i still means spectrum i.
+    for (i, s) in spectra.iter().enumerate().rev() {
+        stream.write_all(&query_frame(9000 + i as u64, s)).unwrap();
+    }
+    let mut seen = vec![false; spectra.len()];
+    for _ in 0..spectra.len() {
+        match read_response(&mut rd) {
+            Response::Result { req_id, psms } => {
+                let i = (req_id - 9000) as usize;
+                assert!(!seen[i], "duplicate response for id {req_id}");
+                seen[i] = true;
+                assert_eq!(psms, expected[i], "wrong payload for request id {req_id}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    drop(stream);
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+/// The stdin transport answers the same frames sequentially: ping →
+/// queries (with per-request overrides) → shutdown, over an in-memory
+/// stream, with results identical to the TCP/dispatcher path.
+#[test]
+fn stdin_transport_equivalent_and_honours_overrides() {
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+    let s = &spectra[0];
+
+    let mut input = Vec::new();
+    proto::write_frame(&mut input, &Request::Ping { req_id: 1 }.encode()).unwrap();
+    // Default, full-scan, top-k 2, and tolerance 1.0 Da variants of the
+    // same spectrum, plus a bad tolerance that must error cleanly.
+    let variants: Vec<(u64, bool, Option<f64>, Option<u32>)> = vec![
+        (10, false, None, None),
+        (11, true, None, None),
+        (12, false, None, Some(2)),
+        (13, false, Some(1.0), None),
+        (14, false, Some(-3.0), None),
+    ];
+    for &(req_id, full_scan, tolerance, top_k) in &variants {
+        proto::write_frame(
+            &mut input,
+            &Request::Query {
+                req_id,
+                full_scan,
+                tolerance,
+                top_k,
+                scan: s.scan,
+                precursor_mz: s.precursor_mz,
+                charge: s.charge,
+                peaks: s.peaks.iter().map(|p| (p.mz, p.intensity)).collect(),
+            }
+            .encode(),
+        )
+        .unwrap();
+    }
+    proto::write_frame(&mut input, &Request::Shutdown { req_id: 99 }.encode()).unwrap();
+
+    let mut output = Vec::new();
+    let stats = serve_stdin(&engine, &mut Cursor::new(input), &mut output).unwrap();
+    assert_eq!(stats.requests, 7);
+    assert_eq!(stats.responses, 7);
+    assert_eq!(stats.protocol_errors, 0);
+
+    let mut rd = Cursor::new(output);
+    match read_response(&mut rd) {
+        Response::Pong {
+            req_id,
+            protocol_version,
+            num_chunks,
+        } => {
+            assert_eq!(req_id, 1);
+            assert_eq!(protocol_version, proto::PROTOCOL_VERSION);
+            assert_eq!(num_chunks, engine.num_chunks() as u32);
+        }
+        other => panic!("expected pong, got {other:?}"),
+    }
+    let baseline = engine
+        .search_one(&engine.preprocess(s), &QueryOptions::default())
+        .unwrap()
+        .psms;
+    let expect_psms = |r: Response, want_id: u64| match r {
+        Response::Result { req_id, psms } => {
+            assert_eq!(req_id, want_id);
+            psms
+        }
+        other => panic!("expected result for {want_id}, got {other:?}"),
+    };
+    let default_psms = expect_psms(read_response(&mut rd), 10);
+    assert_eq!(default_psms.len(), baseline.len());
+    // Full scan finds the identical PSMs.
+    assert_eq!(expect_psms(read_response(&mut rd), 11), default_psms);
+    // top-k 2 is a strict truncation of the default ranking.
+    assert_eq!(expect_psms(read_response(&mut rd), 12), default_psms[..2]);
+    // A 1 Da closed window matches the engine under the same override.
+    let narrowed = engine
+        .search_one(
+            &engine.preprocess(s),
+            &QueryOptions {
+                scan_mode: ScanMode::Auto,
+                top_k: None,
+                precursor_tolerance: Some(1.0),
+            },
+        )
+        .unwrap()
+        .psms;
+    let got = expect_psms(read_response(&mut rd), 13);
+    assert_eq!(
+        got,
+        narrowed
+            .iter()
+            .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
+            .collect::<Vec<_>>()
+    );
+    match read_response(&mut rd) {
+        Response::Error { req_id, code, .. } => {
+            assert_eq!(req_id, 14);
+            assert_eq!(code, proto::CODE_BAD_REQUEST);
+        }
+        other => panic!("expected bad-request error, got {other:?}"),
+    }
+    match read_response(&mut rd) {
+        Response::Bye { req_id } => assert_eq!(req_id, 99),
+        other => panic!("expected bye, got {other:?}"),
+    }
+}
+
+/// EOF on the input stream (no shutdown frame) ends a stdin session
+/// cleanly, answering everything that arrived.
+#[test]
+fn stdin_eof_is_clean_shutdown() {
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let mut input = Vec::new();
+    proto::write_frame(&mut input, &Request::Ping { req_id: 5 }.encode()).unwrap();
+    let mut output = Vec::new();
+    let stats = serve_stdin(&engine, &mut Cursor::new(input), &mut output).unwrap();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.responses, 1);
+    assert!(matches!(
+        read_response(&mut Cursor::new(output)),
+        Response::Pong { req_id: 5, .. }
+    ));
+}
+
+/// A malformed frame on the stdin transport is answered with an error
+/// frame, then the session ends (framing is lost).
+#[test]
+fn stdin_malformed_frame_errors_cleanly() {
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let mut input = Vec::new();
+    proto::write_frame(&mut input, &[0x55, 1, 2, 3]).unwrap(); // unknown kind
+    proto::write_frame(&mut input, &Request::Ping { req_id: 6 }.encode()).unwrap();
+    let mut output = Vec::new();
+    let stats = serve_stdin(&engine, &mut Cursor::new(input), &mut output).unwrap();
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.requests, 0, "session ends at the poisoned frame");
+    match read_response(&mut Cursor::new(output)) {
+        Response::Error { code, .. } => assert_eq!(code, proto::CODE_UNSUPPORTED),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+}
+
+/// Lifecycle: a missing, truncated, or corrupt index path is an ordinary
+/// error from `open` — a server can never half-start on one, because
+/// binding happens only after the engine validated.
+#[test]
+fn bad_index_paths_are_clean_errors() {
+    assert!(ResidentEngine::open("/nonexistent/index.lbe", usize::MAX).is_err());
+
+    let d = tmpdir("bad_index");
+    // Garbage magic.
+    let garbage = d.join("garbage.lbe");
+    std::fs::write(&garbage, b"NOTANIDX________").unwrap();
+    assert!(ResidentEngine::open(&garbage, usize::MAX).is_err());
+
+    // A real container truncated in half fails validation.
+    let whole = std::fs::read(corpus_index()).unwrap();
+    let truncated = d.join("truncated.lbe");
+    std::fs::write(&truncated, &whole[..whole.len() / 2]).unwrap();
+    assert!(ResidentEngine::open(&truncated, usize::MAX).is_err());
+
+    // The CLI surfaces the same failure without ever printing a banner.
+    let args = Args::parse(
+        format!("serve --index {}", truncated.display())
+            .split_whitespace()
+            .map(String::from),
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    assert!(dispatch(&args, &mut out).is_err());
+    assert!(out.is_empty(), "no listening banner before the failure");
+}
+
+/// Lifecycle: a shutdown frame arriving behind five pipelined queries is
+/// acknowledged only after every query was answered — Bye is the final
+/// frame on the wire.
+#[test]
+fn graceful_shutdown_drains_inflight_queries() {
+    let (addr, _handle, runner) = start_daemon(ServeConfig::default());
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut rd = BufReader::new(stream.try_clone().unwrap());
+    let mut batch = Vec::new();
+    for (i, s) in spectra.iter().take(5).enumerate() {
+        batch.extend_from_slice(&query_frame(100 + i as u64, s));
+    }
+    proto::write_frame(&mut batch, &Request::Shutdown { req_id: 777 }.encode()).unwrap();
+    stream.write_all(&batch).unwrap();
+
+    let mut result_ids = Vec::new();
+    loop {
+        match read_response(&mut rd) {
+            Response::Result { req_id, .. } => result_ids.push(req_id),
+            Response::Bye { req_id } => {
+                assert_eq!(req_id, 777);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    result_ids.sort_unstable();
+    assert_eq!(result_ids, vec![100, 101, 102, 103, 104]);
+    // And the frame after Bye is a clean EOF: the server sent nothing
+    // more and run() has wound down.
+    assert!(proto::read_frame(&mut rd).unwrap().is_none());
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.responses, 6);
+}
+
+/// Lifecycle: one client disconnecting with queries still in flight must
+/// not poison other connections — a second client's full run still
+/// matches the golden report.
+#[test]
+fn client_disconnect_mid_batch_does_not_poison_others() {
+    let (addr, handle, runner) = start_daemon(ServeConfig::default());
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    // Client A: pipeline queries, then vanish without reading a byte.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for (i, s) in spectra.iter().take(8).enumerate() {
+            stream.write_all(&query_frame(i as u64, s)).unwrap();
+        }
+        // dropped here: mid-batch disconnect
+    }
+
+    // Client B: the full corpus through the real CLI client must still
+    // be byte-identical to the golden.
+    let d = tmpdir("disconnect");
+    let out = d.join("b.tsv").to_string_lossy().to_string();
+    cli(&format!(
+        "query --addr {addr} --queries {} --out {out}",
+        data("corpus.ms2")
+    ));
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        std::fs::read_to_string(data("expected_search_text.tsv")).unwrap()
+    );
+
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// A protocol error on one connection closes that connection (after an
+/// error frame) without touching the server or other clients.
+#[test]
+fn malformed_frame_closes_only_its_connection() {
+    let (addr, handle, runner) = start_daemon(ServeConfig::default());
+
+    let mut bad = TcpStream::connect(addr).unwrap();
+    let mut bad_rd = BufReader::new(bad.try_clone().unwrap());
+    // Oversized declared length: rejected before any payload is read.
+    bad.write_all(&(proto::MAX_FRAME_LEN + 1).to_le_bytes())
+        .unwrap();
+    match read_response(&mut bad_rd) {
+        Response::Error { code, .. } => assert_eq!(code, proto::CODE_OVERSIZED),
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+    // The server hangs up on us afterwards...
+    assert!(proto::read_frame(&mut bad_rd).unwrap().is_none());
+
+    // ...but a healthy client is unaffected.
+    let mut good = TcpStream::connect(addr).unwrap();
+    let mut good_rd = BufReader::new(good.try_clone().unwrap());
+    let mut wire = Vec::new();
+    proto::write_frame(&mut wire, &Request::Ping { req_id: 8 }.encode()).unwrap();
+    good.write_all(&wire).unwrap();
+    assert!(matches!(
+        read_response(&mut good_rd),
+        Response::Pong { req_id: 8, .. }
+    ));
+
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+/// The CLI `serve` command itself: banner, golden equivalence through the
+/// CLI client, `--shutdown`, and the final summary line.
+#[test]
+fn serve_cli_command_roundtrip() {
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf::default();
+    let server_buf = buf.clone();
+    let index = corpus_index().to_string();
+    let server = std::thread::spawn(move || {
+        let args = Args::parse(
+            format!("serve --index {index} --addr 127.0.0.1:0 --threads 2")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let mut out = server_buf;
+        dispatch(&args, &mut out).unwrap();
+    });
+
+    // Scrape the parseable banner for the bound address.
+    let addr = loop {
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            break line.trim_start_matches("listening on ").to_string();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    let d = tmpdir("cli_serve");
+    let out = d.join("r.tsv").to_string_lossy().to_string();
+    let msg = cli(&format!(
+        "query --addr {addr} --queries {} --out {out}",
+        data("corpus.ms2")
+    ));
+    assert!(msg.contains("queried 24 spectra"), "{msg}");
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        std::fs::read_to_string(data("expected_search_text.tsv")).unwrap()
+    );
+    let msg = cli(&format!("query --addr {addr} --shutdown"));
+    assert!(msg.contains("acknowledged shutdown"), "{msg}");
+    server.join().unwrap();
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert!(text.contains("served 2 connections"), "{text}");
+}
+
+/// `query --csv` and `--top-k` produce byte-identical reports to the
+/// one-shot `search` under the same flags, over the same daemon.
+#[test]
+fn query_flags_match_one_shot_search() {
+    let (addr, handle, runner) = start_daemon(ServeConfig::default());
+    let d = tmpdir("flags");
+    let p = |n: &str| d.join(n).to_string_lossy().to_string();
+    for flags in ["--csv", "--top-k 3", "--top-k 1 --csv", "--full-scan"] {
+        cli(&format!(
+            "search --index {} --queries {} --out {} {flags}",
+            corpus_index(),
+            data("corpus.ms2"),
+            p("one_shot.tsv")
+        ));
+        cli(&format!(
+            "query --addr {addr} --queries {} --out {} {flags}",
+            data("corpus.ms2"),
+            p("served.tsv")
+        ));
+        assert_eq!(
+            std::fs::read_to_string(p("served.tsv")).unwrap(),
+            std::fs::read_to_string(p("one_shot.tsv")).unwrap(),
+            "flags {flags:?} diverged"
+        );
+    }
+    handle.shutdown();
+    runner.join().unwrap();
+}

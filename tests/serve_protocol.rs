@@ -1,0 +1,240 @@
+//! Serve wire-protocol properties: round-trip framing for every request
+//! and response variant, plus malformed-input fuzzing — truncated frames,
+//! oversized declared lengths, forged counts, and plain garbage must all
+//! come back as clean [`ProtoError`]s, never a panic and never an
+//! allocation driven by an attacker-controlled length field (mirroring
+//! the on-disk corruption proptests and the `read_index` preallocation
+//! cap).
+
+use lbe::core::serve::proto::{
+    read_frame, write_frame, ProtoError, Request, Response, CODE_BAD_REQUEST, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// Frames a payload and reads it back through the blocking reader.
+fn frame_roundtrip(payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, payload).unwrap();
+    read_frame(&mut wire.as_slice())
+        .expect("well-formed frame")
+        .expect("not EOF")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Query requests survive encode → frame → unframe → decode for
+    /// arbitrary field values, including both optional overrides in every
+    /// presence combination.
+    #[test]
+    fn query_request_roundtrips(
+        req_id in any::<u64>(),
+        full_scan in any::<bool>(),
+        tol in (any::<bool>(), 0.0001f64..1000.0),
+        top_k in (any::<bool>(), 0u32..1000),
+        scan in any::<u32>(),
+        precursor_mz in 0.0f64..5000.0,
+        charge in 0u8..7,
+        peaks in prop::collection::vec((0.0f64..5000.0, 0.0f32..1e6), 0..130),
+    ) {
+        let request = Request::Query {
+            req_id,
+            full_scan,
+            tolerance: tol.0.then_some(tol.1),
+            top_k: top_k.0.then_some(top_k.1),
+            scan,
+            precursor_mz,
+            charge,
+            peaks,
+        };
+        let payload = frame_roundtrip(&request.encode());
+        prop_assert_eq!(Request::decode(&payload).unwrap(), request);
+    }
+
+    /// Ping and Shutdown round-trip for arbitrary request ids.
+    #[test]
+    fn control_requests_roundtrip(req_id in any::<u64>(), shutdown in any::<bool>()) {
+        let request = if shutdown {
+            Request::Shutdown { req_id }
+        } else {
+            Request::Ping { req_id }
+        };
+        let payload = frame_roundtrip(&request.encode());
+        prop_assert_eq!(Request::decode(&payload).unwrap(), request);
+    }
+
+    /// Result responses round-trip for arbitrary PSM tables.
+    #[test]
+    fn result_response_roundtrips(
+        req_id in any::<u64>(),
+        psms in prop::collection::vec(
+            (any::<u32>(), any::<u16>(), any::<u16>(), 0.0f32..1e6), 0..40),
+    ) {
+        let response = Response::Result { req_id, psms };
+        let payload = frame_roundtrip(&response.encode());
+        prop_assert_eq!(Response::decode(&payload).unwrap(), response);
+    }
+
+    /// Pong, Bye, and Error responses round-trip, including non-ASCII
+    /// error messages.
+    #[test]
+    fn control_responses_roundtrip(
+        req_id in any::<u64>(),
+        which in 0u8..3,
+        num_chunks in any::<u32>(),
+        code in any::<u16>(),
+        msg in "[a-zA-Z0-9 çé→]{0,60}",
+    ) {
+        let response = match which {
+            0 => Response::Pong { req_id, protocol_version: PROTOCOL_VERSION, num_chunks },
+            1 => Response::Bye { req_id },
+            _ => Response::Error { req_id, code, message: msg },
+        };
+        let payload = frame_roundtrip(&response.encode());
+        prop_assert_eq!(Response::decode(&payload).unwrap(), response);
+    }
+
+    /// Arbitrary byte soup through the frame reader: every outcome is a
+    /// clean EOF, a decoded frame, or a typed error — never a panic. When
+    /// a frame does come back, decoding it as a request and as a response
+    /// must also be panic-free.
+    #[test]
+    fn garbage_byte_streams_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut cursor = bytes.as_slice();
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert!(bytes.is_empty() || bytes.len() < 4),
+            Ok(Some(payload)) => {
+                let _ = Request::decode(&payload);
+                let _ = Response::decode(&payload);
+            }
+            Err(ProtoError::Io(_)) => prop_assert!(false, "in-memory read cannot I/O-fail"),
+            Err(_) => {} // Truncated / Oversized / Malformed: all clean
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated (or
+    /// a clean EOF for the empty prefix) — no prefix ever yields a frame.
+    #[test]
+    fn truncated_frames_are_clean_errors(req_id in any::<u64>(), cut in 0usize..100) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping { req_id }.encode()).unwrap();
+        let cut = cut.min(wire.len() - 1);
+        match read_frame(&mut &wire[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Err(ProtoError::Truncated) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "prefix of {} bytes gave {:?}", cut, other.is_ok()),
+        }
+    }
+
+    /// A forged header declaring up to `u32::MAX` bytes against a short
+    /// stream fails cleanly — and the reader's preallocation cap means it
+    /// cannot be made to reserve the declared amount (the PR 2
+    /// `read_index` defence, applied to the socket).
+    #[test]
+    fn forged_declared_lengths_never_allocate_unbounded(
+        declared in 1u32..=u32::MAX,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut wire = declared.to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        match read_frame(&mut wire.as_slice()) {
+            Err(ProtoError::Oversized { declared: d }) => {
+                prop_assert!(declared > MAX_FRAME_LEN);
+                prop_assert_eq!(d, declared);
+            }
+            Err(ProtoError::Truncated) => {
+                prop_assert!(declared <= MAX_FRAME_LEN);
+                prop_assert!((declared as usize) > body.len());
+            }
+            Ok(Some(payload)) => prop_assert_eq!(payload.len(), declared as usize),
+            other => prop_assert!(false, "unexpected outcome (ok={})", other.is_ok()),
+        }
+    }
+
+    /// Flipping any single byte of a valid query frame payload never
+    /// panics the decoder: it either still decodes (the flip hit a value
+    /// byte) or fails with a typed error (the flip hit structure).
+    #[test]
+    fn bit_flipped_payloads_never_panic(
+        pos in 0usize..1000,
+        flip in 1u8..=255,
+        n_peaks in 0usize..8,
+    ) {
+        let peaks = (0..n_peaks).map(|i| (100.0 + i as f64, 1.0f32)).collect();
+        let mut payload = Request::Query {
+            req_id: 7,
+            full_scan: false,
+            tolerance: Some(2.5),
+            top_k: Some(5),
+            scan: 3,
+            precursor_mz: 500.25,
+            charge: 2,
+            peaks,
+        }
+        .encode();
+        let pos = pos % payload.len();
+        payload[pos] ^= flip;
+        let _ = Request::decode(&payload); // must simply not panic
+    }
+}
+
+/// A zero-length frame is structurally invalid (every payload starts with
+/// a kind byte).
+#[test]
+fn zero_length_frame_rejected() {
+    let wire = 0u32.to_le_bytes();
+    assert!(matches!(
+        read_frame(&mut wire.as_slice()),
+        Err(ProtoError::Malformed(_))
+    ));
+}
+
+/// A query frame whose peak count disagrees with its actual payload size
+/// is rejected before any peak allocation happens.
+#[test]
+fn forged_peak_count_is_malformed() {
+    let mut payload = Request::Query {
+        req_id: 1,
+        full_scan: false,
+        tolerance: None,
+        top_k: None,
+        scan: 1,
+        precursor_mz: 400.0,
+        charge: 2,
+        peaks: vec![(100.0, 1.0)],
+    }
+    .encode();
+    // The peak-count field sits 12 bytes (one peak) before the end.
+    let count_at = payload.len() - 12 - 4;
+    payload[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Request::decode(&payload),
+        Err(ProtoError::Malformed(_))
+    ));
+}
+
+/// Unknown kind bytes are a distinct, clean error carrying the kind.
+#[test]
+fn unknown_kinds_reported() {
+    for kind in [0x00u8, 0x42, 0x7F, 0xFF] {
+        let payload = [kind, 1, 2, 3];
+        assert!(
+            matches!(Request::decode(&payload), Err(ProtoError::UnknownKind(k)) if k == kind),
+            "kind {kind:#x}"
+        );
+        assert!(
+            matches!(Response::decode(&payload), Err(ProtoError::UnknownKind(k)) if k == kind),
+            "kind {kind:#x}"
+        );
+    }
+}
+
+/// The error-code constants are part of the wire contract; pin the ones
+/// clients branch on.
+#[test]
+fn error_codes_are_stable() {
+    assert_eq!(CODE_BAD_REQUEST, 4);
+    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(MAX_FRAME_LEN, 16 * 1024 * 1024);
+}
