@@ -2,16 +2,24 @@
 //!
 //! All collectives use a star topology through the root (rank 0 unless
 //! stated): O(p) messages, which is what a small cluster of workstations —
-//! the paper's setting — actually does for small payloads. Virtual-time
-//! semantics fall out of the message timestamps: a barrier releases every
-//! rank at `max(arrival times) + transfer`, so clocks converge exactly the
-//! way wall clocks do on a real cluster.
+//! the paper's setting — actually does for small payloads. On the sim
+//! backend, virtual-time semantics fall out of the message timestamps: a
+//! barrier releases every rank at `max(arrival times) + transfer`, so clocks
+//! converge exactly the way wall clocks do on a real cluster. The same code
+//! runs unchanged over the TCP backend, where real time does the same job.
 //!
 //! Collectives must be called by **all ranks in the same order** (standard
 //! SPMD contract). Tags in `0xFFFF_FF00..=0xFFFF_FFFF` are reserved for
-//! collective traffic; user code should stay below that range.
+//! collective and transport-internal traffic; user code should stay below
+//! that range.
+//!
+//! Each collective comes in two flavours: a `try_*` form returning
+//! [`CommError`] with rank/tag context (what engine code uses, so a dead
+//! peer or timeout is reportable), and a panicking convenience wrapper
+//! keeping the original MPI-like names.
 
-use crate::comm::{Communicator, Tag};
+use crate::comm::{CommError, Communicator, Tag};
+use crate::wire::Wire;
 
 /// Reserved tag range base for collectives.
 pub const COLLECTIVE_TAG_BASE: Tag = 0xFFFF_FF00;
@@ -25,17 +33,17 @@ const TAG_SCATTER: Tag = COLLECTIVE_TAG_BASE + 5;
 impl Communicator {
     /// Synchronizes all ranks. On return, every rank's virtual clock is at
     /// the same value (the latest arrival plus the release transfer).
-    pub fn barrier(&mut self) {
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
         if self.is_master() {
             for src in 1..p {
-                self.recv::<()>(src, TAG_BARRIER_UP);
+                self.try_recv::<()>(src, TAG_BARRIER_UP)?;
             }
             for dest in 1..p {
-                self.send(dest, TAG_BARRIER_DOWN, (), 0);
+                self.try_send(dest, TAG_BARRIER_DOWN, (), 0)?;
             }
             // Align the root with the released ranks: they exit at
             // release + transfer, so the barrier leaves *all* clocks equal —
@@ -43,20 +51,26 @@ impl Communicator {
             let release_arrival = self.now() + self.cost_model().transfer_time(0);
             self.sync_clock_to(release_arrival);
         } else {
-            self.send(0, TAG_BARRIER_UP, (), 0);
-            self.recv::<()>(0, TAG_BARRIER_DOWN);
+            self.try_send(0, TAG_BARRIER_UP, (), 0)?;
+            self.try_recv::<()>(0, TAG_BARRIER_DOWN)?;
         }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`Communicator::try_barrier`].
+    pub fn barrier(&mut self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Gathers one `T` per rank at `root`. Returns `Some(values)` (indexed
     /// by rank) on the root, `None` elsewhere. `sim_bytes` models each
     /// contribution's wire size.
-    pub fn gather<T: Send + 'static>(
+    pub fn try_gather<T: Wire + Send + 'static>(
         &mut self,
         root: usize,
         value: T,
         sim_bytes: usize,
-    ) -> Option<Vec<T>> {
+    ) -> Result<Option<Vec<T>>, CommError> {
         assert!(root < self.size(), "gather root out of range");
         if self.rank() == root {
             let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -66,48 +80,78 @@ impl Communicator {
             #[allow(clippy::needless_range_loop)]
             for src in 0..self.size() {
                 if src != root {
-                    slots[src] = Some(self.recv::<T>(src, TAG_GATHER));
+                    slots[src] = Some(self.try_recv::<T>(src, TAG_GATHER)?);
                 }
             }
-            Some(slots.into_iter().map(|s| s.expect("gather slot")).collect())
+            Ok(Some(
+                slots.into_iter().map(|s| s.expect("gather slot")).collect(),
+            ))
         } else {
-            self.send(root, TAG_GATHER, value, sim_bytes);
-            None
+            self.try_send(root, TAG_GATHER, value, sim_bytes)?;
+            Ok(None)
         }
+    }
+
+    /// Panicking wrapper around [`Communicator::try_gather`].
+    pub fn gather<T: Wire + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        sim_bytes: usize,
+    ) -> Option<Vec<T>> {
+        self.try_gather(root, value, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Broadcasts the root's value to all ranks. The root passes
     /// `Some(value)`, others `None`; every rank returns the value.
-    pub fn broadcast<T: Clone + Send + 'static>(
+    pub fn try_broadcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         root: usize,
         value: Option<T>,
         sim_bytes: usize,
-    ) -> T {
+    ) -> Result<T, CommError> {
         assert!(root < self.size(), "broadcast root out of range");
         if self.rank() == root {
             let v = value.expect("broadcast root must supply a value");
             for dest in 0..self.size() {
                 if dest != root {
-                    self.send(dest, TAG_BCAST, v.clone(), sim_bytes);
+                    self.try_send(dest, TAG_BCAST, v.clone(), sim_bytes)?;
                 }
             }
-            v
+            Ok(v)
         } else {
             assert!(
                 value.is_none(),
                 "non-root ranks must pass None to broadcast"
             );
-            self.recv::<T>(root, TAG_BCAST)
+            self.try_recv::<T>(root, TAG_BCAST)
         }
+    }
+
+    /// Panicking wrapper around [`Communicator::try_broadcast`].
+    pub fn broadcast<T: Wire + Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        sim_bytes: usize,
+    ) -> T {
+        self.try_broadcast(root, value, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Reduces one `T` per rank with `op` at `root` (returns `Some` there,
     /// `None` elsewhere). `op` must be associative; the fold is performed in
     /// rank order so non-commutative effects are at least deterministic.
-    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F, sim_bytes: usize) -> Option<T>
+    pub fn try_reduce<T, F>(
+        &mut self,
+        root: usize,
+        value: T,
+        op: F,
+        sim_bytes: usize,
+    ) -> Result<Option<T>, CommError>
     where
-        T: Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(T, T) -> T,
     {
         assert!(root < self.size(), "reduce root out of range");
@@ -117,43 +161,82 @@ impl Communicator {
             #[allow(clippy::needless_range_loop)]
             for src in 0..self.size() {
                 if src != root {
-                    slots[src] = Some(self.recv::<T>(src, TAG_REDUCE));
+                    slots[src] = Some(self.try_recv::<T>(src, TAG_REDUCE)?);
                 }
             }
-            slots
+            Ok(slots
                 .into_iter()
                 .map(|s| s.expect("reduce slot"))
-                .reduce(op)
+                .reduce(op))
         } else {
-            self.send(root, TAG_REDUCE, value, sim_bytes);
-            None
+            self.try_send(root, TAG_REDUCE, value, sim_bytes)?;
+            Ok(None)
         }
     }
 
-    /// Reduce + broadcast: every rank gets the reduced value.
-    pub fn all_reduce<T, F>(&mut self, value: T, op: F, sim_bytes: usize) -> T
+    /// Panicking wrapper around [`Communicator::try_reduce`].
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F, sim_bytes: usize) -> Option<T>
     where
-        T: Clone + Send + 'static,
+        T: Wire + Send + 'static,
         F: Fn(T, T) -> T,
     {
-        let reduced = self.reduce(0, value, op, sim_bytes);
-        self.broadcast(0, reduced, sim_bytes)
+        self.try_reduce(root, value, op, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reduce + broadcast: every rank gets the reduced value.
+    pub fn try_all_reduce<T, F>(
+        &mut self,
+        value: T,
+        op: F,
+        sim_bytes: usize,
+    ) -> Result<T, CommError>
+    where
+        T: Wire + Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.try_reduce(0, value, op, sim_bytes)?;
+        self.try_broadcast(0, reduced, sim_bytes)
+    }
+
+    /// Panicking wrapper around [`Communicator::try_all_reduce`].
+    pub fn all_reduce<T, F>(&mut self, value: T, op: F, sim_bytes: usize) -> T
+    where
+        T: Wire + Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.try_all_reduce(value, op, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Gather + broadcast: every rank gets the full rank-indexed vector.
-    pub fn all_gather<T: Clone + Send + 'static>(&mut self, value: T, sim_bytes: usize) -> Vec<T> {
+    pub fn try_all_gather<T: Wire + Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        sim_bytes: usize,
+    ) -> Result<Vec<T>, CommError> {
         let p = self.size();
-        let gathered = self.gather(0, value, sim_bytes);
-        self.broadcast(0, gathered, sim_bytes * p)
+        let gathered = self.try_gather(0, value, sim_bytes)?;
+        self.try_broadcast(0, gathered, sim_bytes * p)
+    }
+
+    /// Panicking wrapper around [`Communicator::try_all_gather`].
+    pub fn all_gather<T: Wire + Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        sim_bytes: usize,
+    ) -> Vec<T> {
+        self.try_all_gather(value, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Scatters one `T` to each rank from the root's rank-indexed vector.
-    pub fn scatter<T: Send + 'static>(
+    pub fn try_scatter<T: Wire + Send + 'static>(
         &mut self,
         root: usize,
         values: Option<Vec<T>>,
         sim_bytes: usize,
-    ) -> T {
+    ) -> Result<T, CommError> {
         assert!(root < self.size(), "scatter root out of range");
         if self.rank() == root {
             let values = values.expect("scatter root must supply values");
@@ -167,14 +250,25 @@ impl Communicator {
                 if dest == root {
                     own = Some(v);
                 } else {
-                    self.send(dest, TAG_SCATTER, v, sim_bytes);
+                    self.try_send(dest, TAG_SCATTER, v, sim_bytes)?;
                 }
             }
-            own.expect("root's own scatter slot")
+            Ok(own.expect("root's own scatter slot"))
         } else {
             assert!(values.is_none(), "non-root ranks must pass None to scatter");
-            self.recv::<T>(root, TAG_SCATTER)
+            self.try_recv::<T>(root, TAG_SCATTER)
         }
+    }
+
+    /// Panicking wrapper around [`Communicator::try_scatter`].
+    pub fn scatter<T: Wire + Send + 'static>(
+        &mut self,
+        root: usize,
+        values: Option<Vec<T>>,
+        sim_bytes: usize,
+    ) -> T {
+        self.try_scatter(root, values, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience: `all_reduce` over `f64` (8 modelled bytes).

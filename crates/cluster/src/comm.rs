@@ -2,25 +2,32 @@
 //!
 //! Semantics mirror MPI's matched send/receive: a receive names its source
 //! rank and tag; messages from other `(src, tag)` pairs are buffered until a
-//! matching receive posts. Payloads are typed end-to-end (`Box<dyn Any>`
-//! under the hood — a mismatched receive type is a programming error and
-//! panics with a clear message, the moral equivalent of an MPI datatype
-//! mismatch aborting the job).
+//! matching receive posts. Payloads are typed end-to-end. On the sim backend
+//! values move as `Box<dyn Any>` pointer handoffs and a mismatched receive
+//! type panics (the moral equivalent of an MPI datatype mismatch aborting
+//! the job); on wire backends values are encoded with [`crate::wire`] and a
+//! mismatch surfaces as a typed [`CommError::Codec`].
+//!
+//! The communicator itself is a thin handle over a [`Transport`]: all
+//! policy that engine code sees — typed messaging, timeouts with rank/tag
+//! context, virtual-vs-wall time — lives here, so SPMD programs run
+//! unchanged on either backend.
 
 use crate::clock::{CommCostModel, VirtualClock};
-use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
-use std::any::Any;
+use crate::transport::{Frame, Payload, Transport};
+use crate::wire::{self, Wire, WireError};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Message tag, as in MPI.
 pub type Tag = u32;
 
-/// Errors surfaced by the communicator.
+/// Errors surfaced by the communicator, always carrying enough rank/tag
+/// context to locate the failing exchange in an SPMD program.
 #[derive(Debug)]
 pub enum CommError {
     /// A blocking receive waited longer than the configured wall-clock
-    /// timeout — almost always a deadlock in the SPMD program.
+    /// timeout — a deadlock, or a dead/stalled peer.
     Timeout {
         /// Receiving rank.
         rank: usize,
@@ -29,10 +36,45 @@ pub enum CommError {
         /// Tag the receive was waiting on.
         tag: Tag,
     },
-    /// The peer rank's thread exited while we waited (it panicked).
+    /// The peer went away: its thread exited (sim) or its socket closed
+    /// (wire backends).
     Disconnected {
+        /// Rank observing the failure.
+        rank: usize,
+        /// The peer that disappeared.
+        peer: usize,
+        /// Tag of the exchange in progress, when one was.
+        tag: Option<Tag>,
+    },
+    /// A socket-level failure on a wire backend.
+    Io {
+        /// Rank observing the failure.
+        rank: usize,
+        /// Peer on the other end of the socket.
+        peer: usize,
+        /// Tag of the exchange in progress, when one was.
+        tag: Option<Tag>,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Received bytes failed to decode as the requested type.
+    Codec {
         /// Receiving rank.
         rank: usize,
+        /// Source rank of the bad message.
+        src: usize,
+        /// Tag of the bad message.
+        tag: Tag,
+        /// The decode failure.
+        err: WireError,
+    },
+    /// Cluster startup failed before any exchange (bind, handshake,
+    /// rendezvous).
+    Setup {
+        /// Rank observing the failure.
+        rank: usize,
+        /// What went wrong.
+        detail: String,
     },
 }
 
@@ -43,59 +85,85 @@ impl fmt::Display for CommError {
                 f,
                 "rank {rank}: receive from rank {src} tag {tag} timed out (deadlock?)"
             ),
-            CommError::Disconnected { rank } => {
-                write!(f, "rank {rank}: peer channel disconnected (peer panicked?)")
+            CommError::Disconnected { rank, peer, tag } => match tag {
+                Some(tag) => write!(
+                    f,
+                    "rank {rank}: peer rank {peer} disconnected during exchange tag {tag} (peer died?)"
+                ),
+                None => write!(f, "rank {rank}: peer rank {peer} disconnected (peer died?)"),
+            },
+            CommError::Io {
+                rank,
+                peer,
+                tag,
+                source,
+            } => match tag {
+                Some(tag) => write!(
+                    f,
+                    "rank {rank}: I/O error with rank {peer} during exchange tag {tag}: {source}"
+                ),
+                None => write!(f, "rank {rank}: I/O error with rank {peer}: {source}"),
+            },
+            CommError::Codec {
+                rank,
+                src,
+                tag,
+                err,
+            } => write!(
+                f,
+                "rank {rank}: bad message from rank {src} tag {tag}: {err}"
+            ),
+            CommError::Setup { rank, detail } => {
+                write!(f, "rank {rank}: cluster setup failed: {detail}")
             }
         }
     }
 }
 
-impl std::error::Error for CommError {}
-
-/// A message in flight.
-pub(crate) struct Envelope {
-    pub src: usize,
-    pub tag: Tag,
-    /// Sender's virtual time at the moment of send.
-    pub sent_at: f64,
-    /// Modelled wire size in bytes (drives the cost model; the real Rust
-    /// value moves by pointer).
-    pub sim_bytes: usize,
-    pub payload: Box<dyn Any + Send>,
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Io { source, .. } => Some(source),
+            CommError::Codec { err, .. } => Some(err),
+            _ => None,
+        }
+    }
 }
 
-/// One rank's endpoint: its identity, mailbox, and virtual clock.
+/// How a communicator experiences time: the sim backend drives a virtual
+/// clock through the cost model; wire backends just read the wall clock.
+enum TimeBase {
+    Virtual(VirtualClock),
+    Wall(Instant),
+}
+
+/// One rank's endpoint: its identity, transport, and clock.
 ///
 /// Not `Clone` — exactly one communicator exists per rank, as in MPI.
 pub struct Communicator {
-    rank: usize,
-    size: usize,
-    senders: Vec<Sender<Envelope>>,
-    receiver: Receiver<Envelope>,
-    /// Messages that arrived but did not match the receive being serviced.
-    pending: Vec<Envelope>,
-    clock: VirtualClock,
+    transport: Box<dyn Transport>,
+    time: TimeBase,
     cost: CommCostModel,
-    /// Wall-clock guard against deadlocks in tests/benches.
+    /// Wall-clock guard against deadlocks.
     recv_timeout: Duration,
 }
 
 impl Communicator {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        senders: Vec<Sender<Envelope>>,
-        receiver: Receiver<Envelope>,
+    /// Wraps a transport endpoint. Virtual transports get a virtual clock
+    /// driven by `cost`; wire transports measure wall time and ignore it.
+    pub fn over(
+        transport: Box<dyn Transport>,
         cost: CommCostModel,
         recv_timeout: Duration,
     ) -> Self {
+        let time = if transport.is_virtual() {
+            TimeBase::Virtual(VirtualClock::new())
+        } else {
+            TimeBase::Wall(Instant::now())
+        };
         Communicator {
-            rank,
-            size,
-            senders,
-            receiver,
-            pending: Vec::new(),
-            clock: VirtualClock::new(),
+            transport,
+            time,
             cost,
             recv_timeout,
         }
@@ -104,133 +172,170 @@ impl Communicator {
     /// This rank's id, `0 ≤ rank < size`. Rank 0 is the master by convention.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks in the cluster.
     #[inline]
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// `true` on rank 0.
     #[inline]
     pub fn is_master(&self) -> bool {
-        self.rank == 0
+        self.rank() == 0
     }
 
-    /// Current virtual time of this rank.
+    /// `true` when time is modelled (sim backend) rather than measured.
+    #[inline]
+    pub fn is_virtual(&self) -> bool {
+        self.transport.is_virtual()
+    }
+
+    /// Current time of this rank: virtual seconds on the sim backend,
+    /// wall-clock seconds since construction on wire backends.
     #[inline]
     pub fn now(&self) -> f64 {
-        self.clock.now()
+        match &self.time {
+            TimeBase::Virtual(clock) => clock.now(),
+            TimeBase::Wall(start) => start.elapsed().as_secs_f64(),
+        }
     }
 
-    /// The communication cost model in effect.
+    /// The communication cost model in effect (meaningful on the sim
+    /// backend; wire backends pay real costs).
     #[inline]
     pub fn cost_model(&self) -> CommCostModel {
         self.cost
     }
 
     /// Advances this rank's virtual clock by `seconds` of modelled compute.
+    /// No-op under wall time, where compute advances the clock by itself.
     #[inline]
     pub fn compute(&mut self, seconds: f64) {
-        self.clock.advance(seconds);
+        if let TimeBase::Virtual(clock) = &mut self.time {
+            clock.advance(seconds);
+        }
     }
 
     /// Moves this rank's clock forward to `t` if later (never backwards).
-    /// Used by collectives to model synchronization points.
+    /// Used by collectives to model synchronization points; no-op under
+    /// wall time.
     #[inline]
     pub fn sync_clock_to(&mut self, t: f64) {
-        self.clock.sync_to(t);
+        if let TimeBase::Virtual(clock) = &mut self.time {
+            clock.sync_to(t);
+        }
     }
 
     /// Sends `value` to `dest` with `tag`. `sim_bytes` is the modelled wire
-    /// size used by the cost model. Sends are non-blocking (buffered), as
-    /// with an MPI eager send.
+    /// size used by the cost model (the real encoded size applies on wire
+    /// backends). Sends are non-blocking (buffered), as with an MPI eager
+    /// send. Self-sends are legal.
     ///
-    /// Self-sends are legal (delivered through the same mailbox).
-    pub fn send<T: Send + 'static>(&mut self, dest: usize, tag: Tag, value: T, sim_bytes: usize) {
-        assert!(dest < self.size, "send to nonexistent rank {dest}");
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            sent_at: self.clock.now(),
-            sim_bytes,
-            payload: Box::new(value),
+    /// Panics on transport failure; use [`Communicator::try_send`] to handle
+    /// failures.
+    pub fn send<T: Wire + Send + 'static>(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        value: T,
+        sim_bytes: usize,
+    ) {
+        self.try_send(dest, tag, value, sim_bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Communicator::send`] but surfaces transport failures as a
+    /// typed [`CommError`].
+    pub fn try_send<T: Wire + Send + 'static>(
+        &mut self,
+        dest: usize,
+        tag: Tag,
+        value: T,
+        sim_bytes: usize,
+    ) -> Result<(), CommError> {
+        assert!(dest < self.size(), "send to nonexistent rank {dest}");
+        let frame = if self.transport.is_virtual() {
+            Frame {
+                payload: Payload::Value(Box::new(value)),
+                sent_at: self.now(),
+                sim_bytes,
+            }
+        } else {
+            Frame {
+                payload: Payload::Bytes(wire::encode_msg(&value)),
+                sent_at: 0.0,
+                sim_bytes,
+            }
         };
-        self.senders[dest]
-            .send(env)
-            .expect("rank mailbox closed: cluster is shutting down");
+        self.transport.send(dest, tag, frame)
     }
 
     /// Blocking receive of a `T` from rank `src` with tag `tag`.
     ///
-    /// Advances the virtual clock to the message's modelled arrival time.
-    /// Panics on type mismatch, wall-clock timeout, or disconnected peers —
-    /// all unrecoverable SPMD programming errors.
-    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+    /// On the sim backend, advances the virtual clock to the message's
+    /// modelled arrival time; panics on type mismatch, timeout, or
+    /// disconnected peers — unrecoverable SPMD programming errors. Use
+    /// [`Communicator::try_recv`] where failure should be handled.
+    pub fn recv<T: Wire + Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Communicator::recv`] but surfaces timeout/disconnect as an error.
-    pub fn try_recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Result<T, CommError> {
-        // Check the pending buffer first (messages that arrived out of order).
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            let env = self.pending.remove(pos);
-            return Ok(self.open(env));
-        }
-        let deadline = std::time::Instant::now() + self.recv_timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.receiver.recv_timeout(remaining) {
-                Ok(env) => {
-                    if env.src == src && env.tag == tag {
-                        return Ok(self.open(env));
-                    }
-                    self.pending.push(env);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout {
-                        rank: self.rank,
-                        src,
-                        tag,
-                    })
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { rank: self.rank })
-                }
-            }
-        }
+    /// Like [`Communicator::recv`] but surfaces timeout, disconnect, I/O,
+    /// and decode failures as a typed [`CommError`] with rank/tag context.
+    pub fn try_recv<T: Wire + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+    ) -> Result<T, CommError> {
+        assert!(src < self.size(), "receive from nonexistent rank {src}");
+        let frame = self.transport.recv(src, tag, self.recv_timeout)?;
+        self.open(src, tag, frame)
     }
 
-    /// Unwraps an envelope: advances the clock to the arrival time and
-    /// downcasts the payload.
-    fn open<T: Send + 'static>(&mut self, env: Envelope) -> T {
-        let arrival = env.sent_at + self.cost.transfer_time(env.sim_bytes);
-        self.clock.sync_to(arrival);
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {}: type mismatch receiving from rank {} tag {} (expected {})",
-                self.rank,
-                env.src,
-                env.tag,
-                std::any::type_name::<T>()
-            )
-        })
+    /// Unwraps a frame: advances the clock to the modelled arrival time
+    /// (sim) and recovers the typed value.
+    fn open<T: Wire + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        frame: Frame,
+    ) -> Result<T, CommError> {
+        match frame.payload {
+            Payload::Value(boxed) => {
+                let arrival = frame.sent_at + self.cost.transfer_time(frame.sim_bytes);
+                self.sync_clock_to(arrival);
+                Ok(*boxed.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: type mismatch receiving from rank {} tag {} (expected {})",
+                        self.rank(),
+                        src,
+                        tag,
+                        std::any::type_name::<T>()
+                    )
+                }))
+            }
+            Payload::Bytes(bytes) => {
+                wire::decode_msg::<T>(&bytes).map_err(|err| CommError::Codec {
+                    rank: self.rank(),
+                    src,
+                    tag,
+                    err,
+                })
+            }
+        }
     }
 }
 
 impl fmt::Debug for Communicator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Communicator")
-            .field("rank", &self.rank)
-            .field("size", &self.size)
-            .field("now", &self.clock.now())
-            .field("pending", &self.pending.len())
+            .field("rank", &self.rank())
+            .field("size", &self.size())
+            .field("virtual", &self.is_virtual())
+            .field("now", &self.now())
             .finish()
     }
 }
@@ -328,7 +433,14 @@ mod tests {
         let cfg = ClusterConfig::new(1).with_recv_timeout(Duration::from_millis(50));
         let out = Cluster::new(cfg).run(|comm| {
             // Nothing was sent; try_recv should time out.
-            comm.try_recv::<u32>(0, 9).is_err()
+            match comm.try_recv::<u32>(0, 9) {
+                Err(CommError::Timeout {
+                    rank: 0,
+                    src: 0,
+                    tag: 9,
+                }) => true,
+                other => panic!("expected Timeout, got {other:?}"),
+            }
         });
         assert!(out.results[0]);
     }

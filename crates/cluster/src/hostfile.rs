@@ -1,0 +1,338 @@
+//! Hostfile parsing and validation for the TCP backend.
+//!
+//! A hostfile names one endpoint per rank, one per line:
+//!
+//! ```text
+//! # rank  host:port
+//! 0 127.0.0.1:7100
+//! 1 127.0.0.1:7101
+//! 2 node-b.local:7100
+//! ```
+//!
+//! The leading rank number is optional; without it, ranks are assigned in
+//! line order. Mixing the two styles in one file is rejected. Blank lines
+//! and `#` comments are ignored.
+//!
+//! Validation is deliberately strict and happens **before any socket is
+//! opened** (the serve daemon's bind-after-validate discipline applied to
+//! cluster startup): duplicate ranks, gaps or out-of-range ranks,
+//! unresolvable addresses, and rank-count mismatches against the CLI all
+//! fail with a specific error naming the offending line.
+
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::Path;
+
+/// A validated hostfile: one resolved address per rank, indexed by rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hostfile {
+    addrs: Vec<SocketAddr>,
+}
+
+/// Errors produced while loading or validating a hostfile. Line numbers are
+/// 1-based.
+#[derive(Debug)]
+pub enum HostfileError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file contains no host entries.
+    Empty,
+    /// A line is structurally invalid (wrong field count, bad rank number,
+    /// mixed implicit/explicit rank styles).
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// An address failed to parse or resolve.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+        /// The offending address text.
+        addr: String,
+        /// Resolution failure detail.
+        detail: String,
+    },
+    /// The same rank appears on two lines.
+    DuplicateRank {
+        /// The duplicated rank.
+        rank: usize,
+        /// 1-based line number of the second occurrence.
+        line: usize,
+    },
+    /// With explicit ranks, every rank in `0..n` must appear exactly once.
+    MissingRank {
+        /// The first absent rank.
+        rank: usize,
+    },
+    /// An explicit rank is `≥` the number of entries.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// 1-based line number.
+        line: usize,
+        /// Number of entries in the file.
+        entries: usize,
+    },
+    /// The file's rank count disagrees with what the caller requires
+    /// (e.g. `--ranks` on the CLI).
+    CountMismatch {
+        /// Rank count the caller requires.
+        expected: usize,
+        /// Rank count found in the file.
+        found: usize,
+    },
+}
+
+impl fmt::Display for HostfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostfileError::Io(e) => write!(f, "cannot read hostfile: {e}"),
+            HostfileError::Empty => write!(f, "hostfile has no host entries"),
+            HostfileError::BadLine { line, detail } => {
+                write!(f, "hostfile line {line}: {detail}")
+            }
+            HostfileError::BadAddress { line, addr, detail } => {
+                write!(f, "hostfile line {line}: bad address '{addr}': {detail}")
+            }
+            HostfileError::DuplicateRank { rank, line } => {
+                write!(f, "hostfile line {line}: duplicate rank {rank}")
+            }
+            HostfileError::MissingRank { rank } => {
+                write!(f, "hostfile is missing rank {rank} (ranks must cover 0..n)")
+            }
+            HostfileError::RankOutOfRange { rank, line, entries } => write!(
+                f,
+                "hostfile line {line}: rank {rank} out of range for {entries} entries (ranks must cover 0..n)"
+            ),
+            HostfileError::CountMismatch { expected, found } => write!(
+                f,
+                "hostfile has {found} ranks but {expected} were requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostfileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Hostfile {
+    /// Parses and validates hostfile text.
+    pub fn parse(text: &str) -> Result<Hostfile, HostfileError> {
+        // (line number, explicit rank if any, address text)
+        let mut entries: Vec<(usize, Option<usize>, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                [addr] => entries.push((line_no, None, addr.to_string())),
+                [rank, addr] => {
+                    let rank: usize = rank.parse().map_err(|_| HostfileError::BadLine {
+                        line: line_no,
+                        detail: format!("'{}' is not a rank number", fields[0]),
+                    })?;
+                    entries.push((line_no, Some(rank), addr.to_string()));
+                }
+                _ => {
+                    return Err(HostfileError::BadLine {
+                        line: line_no,
+                        detail: format!(
+                            "expected 'host:port' or 'rank host:port', got {} fields",
+                            fields.len()
+                        ),
+                    })
+                }
+            }
+        }
+        if entries.is_empty() {
+            return Err(HostfileError::Empty);
+        }
+        let explicit = entries.iter().filter(|(_, r, _)| r.is_some()).count();
+        if explicit != 0 && explicit != entries.len() {
+            let (line, _, _) = entries
+                .iter()
+                .find(|(_, r, _)| r.is_none())
+                .expect("mixed styles imply an implicit line");
+            return Err(HostfileError::BadLine {
+                line: *line,
+                detail: "mixes explicit-rank and implicit-rank lines".to_string(),
+            });
+        }
+
+        let n = entries.len();
+        let mut slots: Vec<Option<(usize, SocketAddr)>> = vec![None; n];
+        for (order, (line, explicit_rank, addr_text)) in entries.into_iter().enumerate() {
+            let rank = explicit_rank.unwrap_or(order);
+            if rank >= n {
+                return Err(HostfileError::RankOutOfRange {
+                    rank,
+                    line,
+                    entries: n,
+                });
+            }
+            if slots[rank].is_some() {
+                return Err(HostfileError::DuplicateRank { rank, line });
+            }
+            let addr = addr_text
+                .to_socket_addrs()
+                .map_err(|e| HostfileError::BadAddress {
+                    line,
+                    addr: addr_text.clone(),
+                    detail: e.to_string(),
+                })?
+                .next()
+                .ok_or_else(|| HostfileError::BadAddress {
+                    line,
+                    addr: addr_text.clone(),
+                    detail: "resolved to no addresses".to_string(),
+                })?;
+            slots[rank] = Some((line, addr));
+        }
+        // With explicit ranks, out-of-range + duplicate checks above already
+        // guarantee full coverage; keep the direct check for clarity.
+        if let Some(rank) = slots.iter().position(Option::is_none) {
+            return Err(HostfileError::MissingRank { rank });
+        }
+        Ok(Hostfile {
+            addrs: slots
+                .into_iter()
+                .map(|s| s.expect("slot filled").1)
+                .collect(),
+        })
+    }
+
+    /// Loads and validates a hostfile from disk.
+    pub fn load(path: &Path) -> Result<Hostfile, HostfileError> {
+        let text = std::fs::read_to_string(path).map_err(HostfileError::Io)?;
+        Hostfile::parse(&text)
+    }
+
+    /// Builds a hostfile directly from addresses (rank = index). Used by the
+    /// local launcher and tests.
+    pub fn from_addrs(addrs: Vec<SocketAddr>) -> Hostfile {
+        assert!(!addrs.is_empty(), "a cluster needs at least one rank");
+        Hostfile { addrs }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The endpoint of `rank`.
+    pub fn addr(&self, rank: usize) -> SocketAddr {
+        self.addrs[rank]
+    }
+
+    /// Fails unless the file names exactly `expected` ranks.
+    pub fn expect_ranks(&self, expected: usize) -> Result<(), HostfileError> {
+        if self.addrs.len() != expected {
+            return Err(HostfileError::CountMismatch {
+                expected,
+                found: self.addrs.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_explicit_ranks_in_any_order() {
+        let hf = Hostfile::parse("# cluster\n1 127.0.0.1:7101\n0 127.0.0.1:7100\n").unwrap();
+        assert_eq!(hf.ranks(), 2);
+        assert_eq!(hf.addr(0).port(), 7100);
+        assert_eq!(hf.addr(1).port(), 7101);
+    }
+
+    #[test]
+    fn parses_implicit_ranks_in_line_order() {
+        let hf = Hostfile::parse("127.0.0.1:9000\n127.0.0.1:9001 # worker\n").unwrap();
+        assert_eq!(hf.ranks(), 2);
+        assert_eq!(hf.addr(1).port(), 9001);
+    }
+
+    #[test]
+    fn duplicate_rank_rejected() {
+        let err = Hostfile::parse("0 127.0.0.1:1\n0 127.0.0.1:2\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HostfileError::DuplicateRank { rank: 0, line: 2 }
+        ));
+    }
+
+    #[test]
+    fn rank_gap_rejected() {
+        let err = Hostfile::parse("0 127.0.0.1:1\n2 127.0.0.1:2\n").unwrap_err();
+        assert!(matches!(err, HostfileError::RankOutOfRange { rank: 2, .. }));
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let err = Hostfile::parse("0 not-an-address\n").unwrap_err();
+        assert!(matches!(err, HostfileError::BadAddress { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_port_rejected() {
+        let err = Hostfile::parse("127.0.0.1\n").unwrap_err();
+        assert!(matches!(err, HostfileError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn mixed_styles_rejected() {
+        let err = Hostfile::parse("0 127.0.0.1:1\n127.0.0.1:2\n").unwrap_err();
+        assert!(matches!(err, HostfileError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(
+            Hostfile::parse("# nothing here\n\n"),
+            Err(HostfileError::Empty)
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let hf = Hostfile::parse("127.0.0.1:1\n127.0.0.1:2\n").unwrap();
+        assert!(hf.expect_ranks(2).is_ok());
+        assert!(matches!(
+            hf.expect_ranks(4),
+            Err(HostfileError::CountMismatch {
+                expected: 4,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_rank_number_rejected() {
+        let err = Hostfile::parse("zero 127.0.0.1:1\n").unwrap_err();
+        assert!(matches!(err, HostfileError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        let err = Hostfile::parse("0 127.0.0.1:1 extra\n").unwrap_err();
+        assert!(matches!(err, HostfileError::BadLine { line: 1, .. }));
+    }
+}

@@ -22,6 +22,13 @@
 //! most CI) lacks; nothing in the paper's results depends on real network
 //! hardware.
 //!
+//! Since PR 7 the communicator is a thin handle over a pluggable
+//! [`Transport`]: the threaded simulator above remains the default backend,
+//! and [`TcpTransport`] runs the same SPMD programs across real OS
+//! processes over length-prefixed TCP frames (rank discovery via
+//! [`Hostfile`], [`wire`]-encoded typed messages, rendezvous at rank 0).
+//! Engine code never names a backend — it sees only [`Communicator`].
+//!
 //! ```
 //! use lbe_cluster::{Cluster, ClusterConfig};
 //!
@@ -42,10 +49,18 @@
 pub mod clock;
 pub mod collectives;
 pub mod comm;
+pub mod hostfile;
 pub mod sim;
+pub mod tcp;
 pub mod threaded;
+pub mod transport;
+pub mod wire;
 
 pub use clock::{CommCostModel, VirtualClock};
 pub use comm::{CommError, Communicator, Tag};
+pub use hostfile::{Hostfile, HostfileError};
 pub use sim::{rank_times_from_work, ImbalanceSummary};
+pub use tcp::{TcpConfig, TcpTransport};
 pub use threaded::{Cluster, ClusterConfig, RunOutcome};
+pub use transport::{Frame, Payload, SimTransport, Transport};
+pub use wire::{Wire, WireError};

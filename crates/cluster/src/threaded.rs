@@ -1,8 +1,8 @@
 //! Cluster construction and SPMD execution.
 
 use crate::clock::CommCostModel;
-use crate::comm::{Communicator, Envelope};
-use crossbeam_channel::unbounded;
+use crate::comm::Communicator;
+use crate::transport::SimTransport;
 use std::time::Duration;
 
 /// Cluster configuration.
@@ -86,25 +86,12 @@ impl Cluster {
         R: Send,
     {
         let p = self.config.ranks;
-        // Build the full mailbox mesh up front: senders[dest] delivers to dest.
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..p).map(|_| unbounded::<Envelope>()).unzip();
-
-        let mut comms: Vec<Communicator> = receivers
+        // Build the full mailbox mesh up front, then wrap each endpoint in a
+        // communicator carrying the virtual clock and cost model.
+        let mut comms: Vec<Communicator> = SimTransport::mesh(p)
             .into_iter()
-            .enumerate()
-            .map(|(rank, rx)| {
-                Communicator::new(
-                    rank,
-                    p,
-                    senders.clone(),
-                    rx,
-                    self.config.cost,
-                    self.config.recv_timeout,
-                )
-            })
+            .map(|t| Communicator::over(Box::new(t), self.config.cost, self.config.recv_timeout))
             .collect();
-        drop(senders);
 
         let f = &f;
         let mut slots: Vec<Option<(R, f64)>> = (0..p).map(|_| None).collect();

@@ -22,7 +22,7 @@ use crate::partition::{partition_groups, Partition, PartitionPolicy};
 use lbe_bio::mods::ModSpec;
 use lbe_bio::peptide::{Peptide, PeptideDb};
 use lbe_cluster::sim::ImbalanceSummary;
-use lbe_cluster::{Cluster, ClusterConfig, Communicator};
+use lbe_cluster::{Cluster, ClusterConfig, CommError, Communicator};
 use lbe_index::footprint::MemoryFootprint;
 use lbe_index::query::{Psm, QueryStats, Searcher};
 use lbe_index::{IndexBuilder, SlmConfig};
@@ -238,14 +238,71 @@ pub struct GlobalPsm {
 
 /// What one rank reports to the master (and to the caller).
 #[derive(Debug, Clone, PartialEq)]
-struct RankReturn {
-    peptides: usize,
-    spectra: usize,
-    ions: usize,
-    build_time: f64,
-    query_time: f64,
-    stats: QueryStats,
-    footprint: MemoryFootprint,
+pub(crate) struct RankReturn {
+    pub(crate) peptides: usize,
+    pub(crate) spectra: usize,
+    pub(crate) ions: usize,
+    pub(crate) build_time: f64,
+    pub(crate) query_time: f64,
+    pub(crate) stats: QueryStats,
+    pub(crate) footprint: MemoryFootprint,
+}
+
+/// `RankReturn` flattened into `Wire`-implementing tuples so real backends
+/// can gather it at rank 0. (The `Wire` trait lives in `lbe-cluster`, which
+/// cannot name index types — hence tuples at the boundary instead of trait
+/// impls on foreign structs.)
+pub(crate) type RankReturnWire = (
+    (usize, usize, usize),        // peptides, spectra, ions
+    (f64, f64),                   // build_time, query_time
+    (u64, u64, u64, u64, u64),    // QueryStats fields
+    (usize, usize, usize, usize), // MemoryFootprint fields
+);
+
+impl RankReturn {
+    pub(crate) fn to_wire(&self) -> RankReturnWire {
+        (
+            (self.peptides, self.spectra, self.ions),
+            (self.build_time, self.query_time),
+            (
+                self.stats.peaks,
+                self.stats.bins_touched,
+                self.stats.postings_scanned,
+                self.stats.postings_skipped_by_band,
+                self.stats.candidates,
+            ),
+            (
+                self.footprint.entries,
+                self.footprint.bin_offsets,
+                self.footprint.postings,
+                self.footprint.mapping_table,
+            ),
+        )
+    }
+
+    pub(crate) fn from_wire(w: RankReturnWire) -> RankReturn {
+        let ((peptides, spectra, ions), (build_time, query_time), s, f) = w;
+        RankReturn {
+            peptides,
+            spectra,
+            ions,
+            build_time,
+            query_time,
+            stats: QueryStats {
+                peaks: s.0,
+                bins_touched: s.1,
+                postings_scanned: s.2,
+                postings_skipped_by_band: s.3,
+                candidates: s.4,
+            },
+            footprint: MemoryFootprint {
+                entries: f.0,
+                bin_offsets: f.1,
+                postings: f.2,
+                mapping_table: f.3,
+            },
+        }
+    }
 }
 
 /// Full report of one distributed run.
@@ -316,21 +373,15 @@ pub fn run_distributed_search(
     cfg: &EngineConfig,
     ranks: usize,
 ) -> DistributedSearchReport {
-    if let Some(speeds) = &cfg.rank_speeds {
-        assert_eq!(speeds.len(), ranks, "rank_speeds must cover every rank");
-    }
-    assert!(cfg.threads_per_rank >= 1, "threads_per_rank must be >= 1");
-    let partition = match (&cfg.rank_speeds, cfg.weight_partition_by_speed) {
-        (Some(speeds), true) => crate::partition::partition_weighted_cyclic(grouping, speeds),
-        _ => partition_groups(grouping, ranks, cfg.policy),
-    };
+    let partition = make_partition(grouping, cfg, ranks);
     let mapping = MappingTable::from_partition(&partition);
-    let serial_seconds = cfg.serial.per_spectrum_io_s * queries.len() as f64
-        + cfg.serial.per_peptide_grouping_s * db.len() as f64;
+    let serial_seconds = serial_seconds(db, queries, cfg);
 
     let cluster = Cluster::new(ClusterConfig::new(ranks));
-    let outcome = cluster
-        .run(|comm| rank_program(comm, db, &partition, &mapping, queries, cfg, serial_seconds));
+    let outcome = cluster.run(|comm| {
+        rank_program(comm, db, &partition, &mapping, queries, cfg, serial_seconds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    });
 
     assemble_report(
         outcome,
@@ -342,8 +393,44 @@ pub fn run_distributed_search(
     )
 }
 
+/// The data distribution every rank (and the report assembly) agrees on.
+/// Deterministic in `(grouping, cfg, ranks)`, so multi-process backends can
+/// compute it independently per rank and still agree bit-for-bit.
+pub(crate) fn make_partition(grouping: &Grouping, cfg: &EngineConfig, ranks: usize) -> Partition {
+    if let Some(speeds) = &cfg.rank_speeds {
+        assert_eq!(speeds.len(), ranks, "rank_speeds must cover every rank");
+    }
+    assert!(cfg.threads_per_rank >= 1, "threads_per_rank must be >= 1");
+    match (&cfg.rank_speeds, cfg.weight_partition_by_speed) {
+        (Some(speeds), true) => crate::partition::partition_weighted_cyclic(grouping, speeds),
+        _ => partition_groups(grouping, ranks, cfg.policy),
+    }
+}
+
+/// Modelled serial preprocessing seconds (query I/O + grouping), charged to
+/// every rank's clock.
+pub(crate) fn serial_seconds(db: &PeptideDb, queries: &[Spectrum], cfg: &EngineConfig) -> f64 {
+    cfg.serial.per_spectrum_io_s * queries.len() as f64
+        + cfg.serial.per_peptide_grouping_s * db.len() as f64
+}
+
+/// One PSM on the cluster wire: `(local peptide id, modform, shared_peaks,
+/// score)`. Entry ids are index-internal and never travel.
+pub(crate) type PsmWire = (u32, u16, u16, f32);
+
+fn psm_to_wire(p: &Psm) -> PsmWire {
+    (p.peptide, p.modform, p.shared_peaks, p.score)
+}
+
 /// The SPMD body executed by each rank.
-fn rank_program(
+///
+/// Backend-agnostic: the same program runs on the threaded simulator (via
+/// [`run_distributed_search`]) and on real TCP clusters (via
+/// [`crate::dist`]). Communication failures — a dead peer, a timeout, a
+/// mis-typed exchange — surface as [`CommError`] with rank/tag context
+/// instead of panicking inside the cluster runtime.
+#[allow(clippy::type_complexity)] // (rank counters, rank-0-only merged PSMs)
+pub(crate) fn rank_program(
     comm: &mut Communicator,
     db: &PeptideDb,
     partition: &Partition,
@@ -351,7 +438,7 @@ fn rank_program(
     queries: &[Spectrum],
     cfg: &EngineConfig,
     serial_seconds: f64,
-) -> (RankReturn, Option<Vec<Vec<GlobalPsm>>>) {
+) -> Result<(RankReturn, Option<Vec<Vec<GlobalPsm>>>), CommError> {
     let me = comm.rank();
     let speed = cfg.speed_of(me);
 
@@ -365,16 +452,7 @@ fn rank_program(
     //    the on-disk FASTA that keeps only this rank's records — no second
     //    in-memory copy of peptides that belong to other ranks.
     comm.compute(cfg.cost.per_peptide_extract_s * db.len() as f64 / speed);
-    let local_db: PeptideDb = match &cfg.stream_db_from {
-        None => partition
-            .rank(me)
-            .iter()
-            .map(|&gid| db.get(gid).clone())
-            .collect::<Vec<Peptide>>()
-            .into_iter()
-            .collect(),
-        Some(path) => stream_partition_db(path, partition.rank(me), me),
-    };
+    let local_db = extract_local_db(db, partition, me, cfg);
 
     // 3. Build the partial SLM index (and the mapping table on the master —
     //    its cost is one pass over N ids, folded into extraction above).
@@ -419,7 +497,7 @@ fn rank_program(
     }
 
     // 4. Construction/query separation point.
-    comm.barrier();
+    comm.try_barrier()?;
 
     // 5. Search every query against the partial index. With
     //    `threads_per_rank > 1` (hybrid mode, the paper's §VIII hybrid
@@ -452,8 +530,11 @@ fn rank_program(
 
     // 6. Return virtual indices to the master; O(1) mapping + merge there.
     let psm_count: usize = local_psms.iter().map(Vec::len).sum();
-    let wire: Vec<Vec<Psm>> = local_psms;
-    let gathered = comm.gather(0, wire, psm_count * std::mem::size_of::<Psm>());
+    let wire: Vec<Vec<PsmWire>> = local_psms
+        .iter()
+        .map(|q| q.iter().map(psm_to_wire).collect())
+        .collect();
+    let gathered = comm.try_gather(0, wire, psm_count * std::mem::size_of::<Psm>())?;
 
     let merged = gathered.map(|per_rank| {
         let total_psms: usize = per_rank.iter().flat_map(|r| r.iter().map(Vec::len)).sum();
@@ -461,7 +542,7 @@ fn rank_program(
         merge_results(per_rank, mapping, cfg.slm.top_k, queries.len())
     });
 
-    (
+    Ok((
         RankReturn {
             peptides: local_db.len(),
             spectra: index.num_spectra(),
@@ -472,7 +553,29 @@ fn rank_program(
             footprint,
         },
         merged,
-    )
+    ))
+}
+
+/// Materializes rank `me`'s peptide partition: cloned out of the shared
+/// in-memory database, or streamed from disk when `stream_db_from` is set.
+/// Partition order is preserved either way, so local ids (and the mapping
+/// table built from them) are identical across extraction paths.
+pub(crate) fn extract_local_db(
+    db: &PeptideDb,
+    partition: &Partition,
+    me: usize,
+    cfg: &EngineConfig,
+) -> PeptideDb {
+    match &cfg.stream_db_from {
+        None => partition
+            .rank(me)
+            .iter()
+            .map(|&gid| db.get(gid).clone())
+            .collect::<Vec<Peptide>>()
+            .into_iter()
+            .collect(),
+        Some(path) => stream_partition_db(path, partition.rank(me), me),
+    }
 }
 
 /// Streams one rank's peptide partition out of a peptide-per-record FASTA
@@ -533,7 +636,7 @@ fn stream_partition_db(path: &std::path::Path, rank_gids: &[u32], me: usize) -> 
 /// Master-side merge: translate local ids to global, combine ranks, keep
 /// top-k per query.
 fn merge_results(
-    per_rank: Vec<Vec<Vec<Psm>>>,
+    per_rank: Vec<Vec<Vec<PsmWire>>>,
     mapping: &MappingTable,
     top_k: usize,
     num_queries: usize,
@@ -546,12 +649,12 @@ fn merge_results(
             "rank {rank} returned wrong query count"
         );
         for (qi, psms) in rank_results.into_iter().enumerate() {
-            for p in psms {
+            for (peptide, modform, shared_peaks, score) in psms {
                 merged[qi].push(GlobalPsm {
-                    peptide: mapping.global_of(rank, p.peptide),
-                    modform: p.modform,
-                    shared_peaks: p.shared_peaks,
-                    score: p.score,
+                    peptide: mapping.global_of(rank, peptide),
+                    modform,
+                    shared_peaks,
+                    score,
                     rank: rank as u16,
                 });
             }
@@ -581,7 +684,38 @@ fn assemble_report(
     serial_seconds: f64,
     num_queries: usize,
 ) -> DistributedSearchReport {
+    let mut psms: Vec<Vec<GlobalPsm>> = vec![Vec::new(); num_queries];
+    let mut rank_returns = Vec::with_capacity(outcome.results.len());
+    for (rr, merged) in outcome.results {
+        rank_returns.push(rr);
+        if let Some(m) = merged {
+            psms = m;
+        }
+    }
+    report_from_parts(
+        partition,
+        mapping,
+        cfg,
+        serial_seconds,
+        rank_returns,
+        outcome.times,
+        psms,
+    )
+}
+
+/// Assembles the report from rank-indexed pieces, however they were
+/// collected — thread joins (sim) or wire gathers (real backends).
+pub(crate) fn report_from_parts(
+    partition: &Partition,
+    mapping: &MappingTable,
+    cfg: &EngineConfig,
+    serial_seconds: f64,
+    rank_returns: Vec<RankReturn>,
+    total_times: Vec<f64>,
+    psms: Vec<Vec<GlobalPsm>>,
+) -> DistributedSearchReport {
     let ranks = partition.num_ranks();
+    assert_eq!(rank_returns.len(), ranks, "one RankReturn per rank");
     let mut partition_sizes = Vec::with_capacity(ranks);
     let mut index_spectra = Vec::with_capacity(ranks);
     let mut index_ions = Vec::with_capacity(ranks);
@@ -590,9 +724,8 @@ fn assemble_report(
     let mut rank_query_times = Vec::with_capacity(ranks);
     let mut per_rank_stats = Vec::with_capacity(ranks);
     let mut total_candidates = 0u64;
-    let mut psms: Vec<Vec<GlobalPsm>> = vec![Vec::new(); num_queries];
 
-    for (rr, merged) in outcome.results {
+    for rr in rank_returns {
         partition_sizes.push(rr.peptides);
         index_spectra.push(rr.spectra);
         index_ions.push(rr.ions);
@@ -601,9 +734,6 @@ fn assemble_report(
         rank_query_times.push(rr.query_time);
         total_candidates += rr.stats.candidates;
         per_rank_stats.push(rr.stats);
-        if let Some(m) = merged {
-            psms = m;
-        }
     }
 
     let imbalance = ImbalanceSummary::from_times(&rank_query_times);
@@ -617,7 +747,7 @@ fn assemble_report(
         mapping_table_bytes: mapping.heap_bytes(),
         build_times,
         rank_query_times,
-        total_times: outcome.times,
+        total_times,
         serial_seconds,
         imbalance,
         total_candidates,

@@ -13,6 +13,9 @@
 //!   table (§III-D, Fig. 4);
 //! * [`engine`] — the distributed build + query orchestration on top of
 //!   `lbe-cluster` (§III-E);
+//! * [`dist`] — the same SPMD programs as rank-callable entry points for
+//!   externally-created communicators (real TCP clusters of OS processes),
+//!   plus the distributed index build shipping v2 container shards;
 //! * [`ingest`] — streaming ingest of real data files (FASTA proteomes and
 //!   MGF/MS2/mzML query sets) into the engine's in-memory inputs;
 //! * [`metrics`] — Load Imbalance, wasted CPU time, speedup and efficiency
@@ -34,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod dist;
 pub mod distance;
 pub mod engine;
 pub mod fdr;
@@ -46,6 +50,7 @@ pub mod pipeline;
 pub mod serve;
 pub mod spectral_grouping;
 
+pub use dist::{cluster_build_rank, cluster_search_rank, write_shards, ShardBlob};
 pub use distance::{edit_distance, edit_distance_bounded};
 pub use engine::{
     DistributedSearchReport, EngineConfig, GlobalPsm, SearchCostModel, SerialCostModel,

@@ -10,12 +10,16 @@ use lbe_bio::fasta::{write_fasta_path, Protein};
 use lbe_bio::mods::ModSpec;
 use lbe_bio::peptide::PeptideDb;
 use lbe_bio::synthetic::{SyntheticProteome, SyntheticProteomeParams};
+use lbe_cluster::{
+    Cluster, ClusterConfig, CommCostModel, Communicator, Hostfile, TcpConfig, TcpTransport,
+};
 use lbe_core::engine::{run_distributed_search, EngineConfig};
 use lbe_core::grouping::{group_peptides, GroupingCriterion, GroupingParams};
 use lbe_core::ingest::{load_peptide_db, load_proteome_digested, load_queries, IngestStats};
 use lbe_core::partition::PartitionPolicy;
 use lbe_core::serve::proto::{self, Request, Response};
 use lbe_core::serve::{serve_stdin, ResidentEngine, ServeConfig, Server};
+use lbe_core::{cluster_build_rank, cluster_search_rank, write_shards};
 use lbe_index::{ChunkedIndex, Psm, QueryOptions, ScanMode, SlmConfig};
 use lbe_spectra::mgf::write_mgf;
 use lbe_spectra::ms2::write_ms2_path;
@@ -40,6 +44,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "serve" => serve(args, out),
         "query" => query_cmd(args, out),
         "simulate" => simulate(args, out),
+        "cluster" => cluster_cmd(args, out),
         "help" | "" => {
             write!(out, "{}", usage())?;
             Ok(())
@@ -117,6 +122,31 @@ COMMANDS:
                   (no per-rank copy of the whole database), --digest accepts
                   a raw proteome FASTA, --csv emits the report as one
                   machine-readable CSV row
+  cluster         build|search --db peptides.fasta [--digest]
+                  [--mods none|oxidation|paper] [--policy chunk|cyclic|random]
+                  [--seed 7] [--gsize 20] [--threads-per-rank 1]
+                  backend (exactly one):
+                    --sim [--ranks 4]          in-process threaded simulator
+                    --hostfile H --rank R      this process is rank R of a
+                                               real TCP cluster (one line
+                                               per rank: `host:port` or
+                                               `rank host:port`; --ranks
+                                               cross-checks the file)
+                    --launch [--ranks 4]       spawn N local rank processes
+                                               over loopback TCP (testing)
+                  cluster search: --queries q.{ms2|mgf|mzML} --out results.tsv
+                    [--top-k 10] [--csv] [--full-scan] [--bench-out b.json]
+                    [--timeout-s 60]
+                    distributed batch search; rank 0 writes the same report
+                    `search` would, --bench-out records measured per-rank
+                    times and load imbalance as JSON (wall-clock on TCP,
+                    virtual seconds under --sim)
+                  cluster build: --out DIR [--timeout-s 60]
+                    distributed index build; every rank builds its
+                    LBE-scattered partition locally and ships it to rank 0
+                    as a v2 container shard; rank 0 writes
+                    DIR/shard-NNNN.slm2 + DIR/manifest.tsv (byte-identical
+                    across backends)
   help            this text
 "
     .to_string()
@@ -840,6 +870,406 @@ fn simulate<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         std::fs::write(path, &report_buf)?;
         writeln!(out, "wrote simulation report to {path}")?;
     }
+    Ok(())
+}
+
+/// Which transport a `cluster` invocation runs on.
+enum ClusterBackend {
+    /// In-process threaded simulator (virtual time).
+    Sim { ranks: usize },
+    /// This process is one rank of a real TCP cluster.
+    Tcp { hostfile: Hostfile, rank: usize },
+    /// Parent process: spawn N local rank processes over loopback TCP.
+    Launch { ranks: usize },
+}
+
+/// Resolves the backend flags (`--sim` / `--hostfile`+`--rank` / `--launch`)
+/// — exactly one must be given. Hostfile problems (bad addresses, duplicate
+/// ranks, `--ranks` mismatch) become ordinary CLI errors here, before any
+/// socket is opened or input file read.
+fn cluster_backend(args: &Args) -> Result<ClusterBackend, CmdError> {
+    let picked = [args.has("sim"), args.has("hostfile"), args.has("launch")]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+    if picked != 1 {
+        return Err(Box::new(ArgError(
+            "cluster needs exactly one backend: --sim, --hostfile H --rank R, \
+             or --launch"
+                .into(),
+        )));
+    }
+    if args.has("sim") || args.has("launch") {
+        if args.has("rank") {
+            return Err(Box::new(ArgError(
+                "--rank only makes sense with --hostfile".into(),
+            )));
+        }
+        let ranks = args.get_parsed("ranks", 4usize)?;
+        if ranks == 0 {
+            return Err(Box::new(ArgError("--ranks must be at least 1".into())));
+        }
+        return Ok(if args.has("sim") {
+            ClusterBackend::Sim { ranks }
+        } else {
+            ClusterBackend::Launch { ranks }
+        });
+    }
+    let path = args.require("hostfile")?;
+    let hostfile = Hostfile::load(std::path::Path::new(path))
+        .map_err(|e| ArgError(format!("--hostfile {path}: {e}")))?;
+    if args.has("ranks") {
+        let expected = args.get_parsed("ranks", 0usize)?;
+        hostfile
+            .expect_ranks(expected)
+            .map_err(|e| ArgError(format!("--hostfile {path}: {e}")))?;
+    }
+    let rank_s = args
+        .require("rank")
+        .map_err(|_| ArgError("--hostfile needs --rank R (this process's rank)".into()))?;
+    let rank: usize = rank_s
+        .parse()
+        .map_err(|_| ArgError(format!("invalid value for --rank: {rank_s:?}")))?;
+    if rank >= hostfile.ranks() {
+        return Err(Box::new(ArgError(format!(
+            "--rank {rank} out of range: hostfile names {} ranks",
+            hostfile.ranks()
+        ))));
+    }
+    Ok(ClusterBackend::Tcp { hostfile, rank })
+}
+
+fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    let sub = args.positional.first().map(String::as_str).unwrap_or("");
+    if !matches!(sub, "build" | "search") || args.positional.len() != 1 {
+        return Err(Box::new(ArgError(
+            "cluster needs a mode: `lbe cluster build ...` or \
+             `lbe cluster search ...` (run `lbe help`)"
+                .into(),
+        )));
+    }
+    args.reject_unknown(&[
+        "db",
+        "digest",
+        "mods",
+        "policy",
+        "seed",
+        "gsize",
+        "threads-per-rank",
+        "sim",
+        "hostfile",
+        "rank",
+        "ranks",
+        "launch",
+        "timeout-s",
+        "queries",
+        "out",
+        "top-k",
+        "csv",
+        "full-scan",
+        "bench-out",
+    ])?;
+    let backend = cluster_backend(args)?;
+
+    // The launcher never loads any data itself — it only spawns the rank
+    // processes (which re-parse this command line with --hostfile/--rank)
+    // and waits for them.
+    if let ClusterBackend::Launch { ranks } = backend {
+        return launch_local_cluster(args, sub, ranks, out);
+    }
+
+    let db_path = args.require("db")?;
+    args.require("out")?; // validated before any expensive work
+    let timeout_s = args.get_parsed("timeout-s", 60.0f64)?;
+    if !(timeout_s > 0.0 && timeout_s.is_finite()) {
+        return Err(Box::new(ArgError(
+            "--timeout-s must be a positive number of seconds".into(),
+        )));
+    }
+    let timeout = std::time::Duration::from_secs_f64(timeout_s);
+
+    let db = read_db(args, db_path, out)?;
+    let grouping = group_peptides(
+        &db,
+        &GroupingParams {
+            criterion: GroupingCriterion::normalized_default(),
+            gsize: args.get_parsed("gsize", 20usize)?,
+        },
+    );
+    let mut cfg = EngineConfig::with_policy(parse_policy(args)?);
+    cfg.modspec = parse_mods(args)?;
+    cfg.threads_per_rank = args.get_parsed("threads-per-rank", 1usize)?;
+    if args.has("full-scan") {
+        cfg.scan_mode = ScanMode::FullScan;
+    }
+
+    match (sub, backend) {
+        ("search", ClusterBackend::Sim { ranks }) => {
+            let (queries, _stats) = read_queries(args.require("queries")?, out)?;
+            let outcome = Cluster::new(ClusterConfig::new(ranks)).run(|comm| {
+                cluster_search_rank(comm, &db, &grouping, &queries, &cfg)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            });
+            let report = outcome
+                .results
+                .into_iter()
+                .next()
+                .flatten()
+                .expect("rank 0 returns the report");
+            write_cluster_search_outputs(args, "sim", "virtual", &queries, db.len(), &report, out)
+        }
+        ("search", ClusterBackend::Tcp { hostfile, rank }) => {
+            let (queries, _stats) = read_queries(args.require("queries")?, out)?;
+            let mut comm = tcp_communicator(&hostfile, rank, timeout)?;
+            match cluster_search_rank(&mut comm, &db, &grouping, &queries, &cfg)? {
+                Some(report) => write_cluster_search_outputs(
+                    args,
+                    "tcp",
+                    "wall",
+                    &queries,
+                    db.len(),
+                    &report,
+                    out,
+                ),
+                None => {
+                    writeln!(out, "rank {rank}/{}: search complete", comm.size())?;
+                    Ok(())
+                }
+            }
+        }
+        ("build", ClusterBackend::Sim { ranks }) => {
+            let outcome = Cluster::new(ClusterConfig::new(ranks)).run(|comm| {
+                cluster_build_rank(comm, &db, &grouping, &cfg).unwrap_or_else(|e| panic!("{e}"))
+            });
+            let shards = outcome
+                .results
+                .into_iter()
+                .next()
+                .flatten()
+                .expect("rank 0 returns the shards");
+            write_cluster_build_outputs(args, "sim", ranks, &shards, out)
+        }
+        ("build", ClusterBackend::Tcp { hostfile, rank }) => {
+            let mut comm = tcp_communicator(&hostfile, rank, timeout)?;
+            let size = comm.size();
+            match cluster_build_rank(&mut comm, &db, &grouping, &cfg)? {
+                Some(shards) => write_cluster_build_outputs(args, "tcp", size, &shards, out),
+                None => {
+                    writeln!(out, "rank {rank}/{size}: shard shipped")?;
+                    Ok(())
+                }
+            }
+        }
+        _ => unreachable!("launch handled above"),
+    }
+}
+
+/// Connects this process into the TCP mesh and wraps it in a wall-clock
+/// [`Communicator`].
+fn tcp_communicator(
+    hostfile: &Hostfile,
+    rank: usize,
+    timeout: std::time::Duration,
+) -> Result<Communicator, CmdError> {
+    let tcfg = TcpConfig {
+        connect_timeout: timeout,
+        ..TcpConfig::default()
+    };
+    let transport = TcpTransport::connect(hostfile, rank, &tcfg)?;
+    Ok(Communicator::over(
+        Box::new(transport),
+        CommCostModel::default(),
+        timeout,
+    ))
+}
+
+/// Rank 0's `cluster search` output: the same TSV/CSV report `search`
+/// writes (so reports diff cleanly against the single-process goldens),
+/// plus the optional `--bench-out` JSON of measured per-rank times.
+fn write_cluster_search_outputs<W: Write>(
+    args: &Args,
+    backend: &str,
+    time_base: &str,
+    queries: &[Spectrum],
+    peptides: usize,
+    report: &lbe_core::DistributedSearchReport,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let output = args.require("out")?;
+    let sep = if args.has("csv") { ',' } else { '\t' };
+    let top_k = args.get_parsed("top-k", 10usize)?;
+    let mut sink = std::io::BufWriter::new(std::fs::File::create(output)?);
+    writeln!(sink, "{}", result_header(sep))?;
+    let mut total_psms = 0usize;
+    for (q, merged) in queries.iter().zip(&report.psms) {
+        let rows: Vec<Psm> = merged
+            .iter()
+            .map(|g| Psm {
+                entry: 0,
+                peptide: g.peptide,
+                modform: g.modform,
+                shared_peaks: g.shared_peaks,
+                score: g.score,
+            })
+            .collect();
+        total_psms += write_result_rows(&mut sink, q.scan, &rows, top_k, sep)?;
+    }
+    sink.flush()?;
+    writeln!(
+        out,
+        "cluster search ({backend}, {} ranks): {} queries, wrote {total_psms} PSMs to {output}",
+        report.ranks,
+        queries.len(),
+    )?;
+    if let Some(bench) = args.get("bench-out") {
+        if bench.is_empty() {
+            return Err(Box::new(ArgError("--bench-out needs a file path".into())));
+        }
+        write_bench_json(bench, backend, time_base, peptides, queries.len(), report)?;
+        writeln!(out, "wrote cluster bench to {bench}")?;
+    }
+    Ok(())
+}
+
+/// Serializes the measured (or simulated) per-rank timing profile as JSON —
+/// the paper-figure quantities (per-rank query times, makespans, load
+/// imbalance) on whichever clock the backend runs.
+fn write_bench_json(
+    path: &str,
+    backend: &str,
+    time_base: &str,
+    peptides: usize,
+    queries: usize,
+    report: &lbe_core::DistributedSearchReport,
+) -> Result<(), CmdError> {
+    fn floats(v: &[f64]) -> String {
+        v.iter()
+            .map(|x| format!("{x:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+    let json = format!(
+        "{{\n  \"backend\": \"{backend}\",\n  \"time_base\": \"{time_base}\",\n  \
+         \"ranks\": {},\n  \"policy\": \"{}\",\n  \"peptides\": {peptides},\n  \
+         \"queries\": {queries},\n  \"candidate_psms\": {},\n  \
+         \"rank_query_seconds\": [{}],\n  \"rank_total_seconds\": [{}],\n  \
+         \"query_makespan_seconds\": {:.6},\n  \"execution_makespan_seconds\": {:.6},\n  \
+         \"load_imbalance_pct\": {:.3}\n}}\n",
+        report.ranks,
+        report.policy,
+        report.total_candidates,
+        floats(&report.rank_query_times),
+        floats(&report.total_times),
+        report.query_time(),
+        report.execution_time(),
+        report.imbalance.load_imbalance_pct(),
+    );
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Rank 0's `cluster build` output: the shard files plus manifest.
+fn write_cluster_build_outputs<W: Write>(
+    args: &Args,
+    backend: &str,
+    ranks: usize,
+    shards: &[lbe_core::ShardBlob],
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let dir = std::path::PathBuf::from(args.require("out")?);
+    write_shards(&dir, shards)?;
+    let spectra: usize = shards.iter().map(|s| s.spectra).sum();
+    let ions: usize = shards.iter().map(|s| s.ions).sum();
+    let bytes: usize = shards.iter().map(|s| s.blob.len()).sum();
+    writeln!(
+        out,
+        "cluster build ({backend}, {ranks} ranks): {} shards, {spectra} spectra, \
+         {ions} ions, {bytes} bytes -> {}",
+        shards.len(),
+        dir.display(),
+    )?;
+    Ok(())
+}
+
+/// `--launch`: spawn `ranks` local copies of this binary, one per rank,
+/// talking over loopback TCP — the multi-process test/benchmark driver.
+/// Each child re-runs this exact command line with `--launch` swapped for
+/// `--hostfile`/`--rank`; rank 0's stdout is passed through, other ranks
+/// are silenced (stderr stays visible for errors everywhere).
+fn launch_local_cluster<W: Write>(
+    args: &Args,
+    sub: &str,
+    ranks: usize,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use std::process::{Command, Stdio};
+
+    // Pick N free loopback ports by binding ephemeral listeners, then
+    // release them just before the children bind. (A tiny bind race in
+    // exchange for a hostfile the children can open themselves.)
+    let mut addrs = Vec::with_capacity(ranks);
+    {
+        let listeners: Vec<std::net::TcpListener> = (0..ranks)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        for l in &listeners {
+            addrs.push(l.local_addr()?);
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("lbe-cluster-launch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let hostfile_path = dir.join("hostfile");
+    let text: String = addrs
+        .iter()
+        .enumerate()
+        .map(|(r, a)| format!("{r} {a}\n"))
+        .collect();
+    std::fs::write(&hostfile_path, text)?;
+
+    let exe = std::env::current_exe()?;
+    let mut base: Vec<String> = vec!["cluster".into(), sub.into()];
+    for key in args.option_keys() {
+        if key == "launch" {
+            continue;
+        }
+        base.push(format!("--{key}"));
+        match args.get(key) {
+            Some("") | None => {}
+            Some(v) => base.push(v.to_string()),
+        }
+    }
+
+    let mut children = Vec::with_capacity(ranks);
+    for r in 0..ranks {
+        let mut cmd = Command::new(&exe);
+        cmd.args(&base)
+            .arg("--hostfile")
+            .arg(&hostfile_path)
+            .arg("--rank")
+            .arg(r.to_string())
+            .stdout(if r == 0 {
+                Stdio::inherit()
+            } else {
+                Stdio::null()
+            })
+            .stderr(Stdio::inherit());
+        children.push((r, cmd.spawn()?));
+    }
+    let mut failed = Vec::new();
+    for (r, mut child) in children {
+        let status = child.wait()?;
+        if !status.success() {
+            failed.push(format!("rank {r} exited with {status}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    if !failed.is_empty() {
+        return Err(Box::new(ArgError(format!(
+            "cluster launch failed: {}",
+            failed.join("; ")
+        ))));
+    }
+    writeln!(out, "launched {ranks} local ranks; all exited cleanly")?;
     Ok(())
 }
 
