@@ -1,10 +1,22 @@
 //! Criterion: banded (precursor-filtered) vs full-scan query kernel.
 //!
-//! The PR-5 acceptance bench: on a synthetic paper-profile partition, a
-//! closed search through the banded kernel must scan a small fraction of
-//! the postings the full-bin kernel touches (≥ 5× fewer at 1 Da; orders of
-//! magnitude at ppm-level windows) and win wall clock. Both paths return
-//! identical PSMs (asserted here on every workload before timing anything).
+//! The PR-5 acceptance bench, extended for the round-2 kernel: on a
+//! synthetic paper-profile partition, a closed search through the banded
+//! kernel must scan a small fraction of the postings the full-bin kernel
+//! touches (≥ 5× fewer at 1 Da; orders of magnitude at ppm-level windows)
+//! and win wall clock; an open ±500 Da search must additionally show the
+//! fragment-level band dismissing whole bins in O(1); and `ScanMode::Auto`
+//! must never lose to an explicit full scan — at ΔM = ∞ (same code path)
+//! and at a finite-but-enormous ΔM (the coverage heuristic routes to the
+//! full-scan path). Both modes return identical PSMs (asserted here on
+//! every workload before timing anything).
+//!
+//! Timing is **interleaved min-of-rounds**: each round runs both modes
+//! back to back and the per-mode minimum over rounds is reported. On a
+//! noisy shared box the minimum estimates the undisturbed cost of each
+//! path far more stably than independent medians — and the `open_inf`
+//! no-regression assertion depends on comparing the two paths under the
+//! same conditions.
 //!
 //! Besides the criterion timings, a run of this bench records the measured
 //! counters and wall clocks in `BENCH_query.json` at the workspace root —
@@ -24,9 +36,13 @@ const SWEEP: &[(&str, f64)] = &[
     ("closed_10ppm", 0.01),
     // The acceptance point: a wide-but-closed 1 Da window.
     ("closed_1da", 1.0),
-    // Open-mod search à la MSFragger: ±500 Da still bands usefully.
+    // Open-mod search à la MSFragger: ±500 Da still bands usefully (and
+    // exercises the fragment-level band's whole-bin prune/accept).
     ("open_500da", 500.0),
-    // Fully open (ΔM = ∞): Auto falls back to the full-bin path.
+    // Band covers every entry: the Auto coverage heuristic must route to
+    // the full-scan path instead of paying admission overhead.
+    ("open_10kda_heuristic", 10_000.0),
+    // Fully open (ΔM = ∞): Auto takes the full-bin path outright.
     ("open_inf", f64::INFINITY),
 ];
 
@@ -35,18 +51,23 @@ fn batch_stats(index: &SlmIndex, queries: &[Spectrum], mode: ScanMode) -> QueryS
     s.search_batch_with_mode(queries, mode).1
 }
 
-/// Median-of-`reps` wall clock of one whole-batch search, in seconds.
-fn time_batch(index: &SlmIndex, queries: &[Spectrum], mode: ScanMode, reps: usize) -> f64 {
+/// Interleaved min-of-rounds wall clock of one whole-batch search in each
+/// mode, in seconds: `(auto, full_scan)`. One untimed warm-up round heats
+/// the page cache and branch predictors for both paths.
+fn time_batch_pair(index: &SlmIndex, queries: &[Spectrum], rounds: usize) -> (f64, f64) {
     let mut s = Searcher::new(index);
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            black_box(s.search_batch_with_mode(black_box(queries), mode));
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    black_box(s.search_batch_with_mode(black_box(queries), ScanMode::Auto));
+    black_box(s.search_batch_with_mode(black_box(queries), ScanMode::FullScan));
+    let (mut t_auto, mut t_full) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(s.search_batch_with_mode(black_box(queries), ScanMode::Auto));
+        t_auto = t_auto.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        black_box(s.search_batch_with_mode(black_box(queries), ScanMode::FullScan));
+        t_full = t_full.min(t0.elapsed().as_secs_f64());
+    }
+    (t_auto, t_full)
 }
 
 fn bench_query_kernel(c: &mut Criterion) {
@@ -97,13 +118,38 @@ fn bench_query_kernel(c: &mut Criterion) {
 
         let banded = batch_stats(&index, queries, ScanMode::Auto);
         let full = batch_stats(&index, queries, ScanMode::FullScan);
-        let t_banded = time_batch(&index, queries, ScanMode::Auto, 5);
-        let t_full = time_batch(&index, queries, ScanMode::FullScan, 5);
+        if label == "open_10kda_heuristic" {
+            // The band admits every entry at this ΔM, so the coverage
+            // heuristic must have routed every query onto the full-scan
+            // path: no admission bookkeeping at all.
+            assert_eq!(
+                banded.postings_skipped_by_band, 0,
+                "heuristic failed to take the full-scan path"
+            );
+            assert_eq!(banded.bins_pruned_by_band, 0);
+            assert_eq!(banded.postings_scanned, full.postings_scanned);
+        }
+        let (t_banded, t_full) = time_batch_pair(&index, queries, 9);
+        if !tol.is_finite() || label == "open_10kda_heuristic" {
+            // Satellite guarantee: Auto must never lose to an explicit
+            // full scan — at ΔM = ∞ it *is* the full-scan path, and at
+            // full band coverage the heuristic routes onto it, so any
+            // deficit is pure noise. Allow 2% of that (this build box is a
+            // shared-host VM whose minima still wobble ~1%); the old
+            // regression this assertion pins against was 0.91.
+            let ratio = t_full / t_banded;
+            assert!(
+                ratio >= 0.98,
+                "{label}: Auto slower than full scan ({ratio:.3}x)"
+            );
+        }
         let reduction = full.postings_scanned as f64 / banded.postings_scanned.max(1) as f64;
+        let pruned_fraction = banded.bins_pruned_by_band as f64 / banded.bins_touched.max(1) as f64;
         println!(
-            "  {label:>12}: banded {:>12} scanned (+{} skipped) {:>8.2} ms | full {:>12} scanned {:>8.2} ms | {:.1}x fewer, {:.2}x faster",
+            "  {label:>20}: banded {:>12} scanned (+{} skipped, {} bins pruned) {:>8.2} ms | full {:>12} scanned {:>8.2} ms | {:.1}x fewer, {:.2}x faster",
             banded.postings_scanned,
             banded.postings_skipped_by_band,
+            banded.bins_pruned_by_band,
             t_banded * 1e3,
             full.postings_scanned,
             t_full * 1e3,
@@ -113,7 +159,8 @@ fn bench_query_kernel(c: &mut Criterion) {
         let _ = writeln!(
             json,
             "    {{\"label\": \"{label}\", \"precursor_tolerance_da\": {}, \
-             \"banded\": {{\"postings_scanned\": {}, \"postings_skipped_by_band\": {}, \"batch_seconds\": {:.6}}}, \
+             \"banded\": {{\"postings_scanned\": {}, \"postings_skipped_by_band\": {}, \
+             \"bins_pruned_by_band\": {}, \"bins_pruned_fraction\": {:.4}, \"batch_seconds\": {:.6}}}, \
              \"full_scan\": {{\"postings_scanned\": {}, \"batch_seconds\": {:.6}}}, \
              \"scan_reduction_x\": {:.2}, \"wall_clock_speedup_x\": {:.2}}}{}",
             if tol.is_infinite() {
@@ -123,6 +170,8 @@ fn bench_query_kernel(c: &mut Criterion) {
             },
             banded.postings_scanned,
             banded.postings_skipped_by_band,
+            banded.bins_pruned_by_band,
+            pruned_fraction,
             t_banded,
             full.postings_scanned,
             t_full,
@@ -146,7 +195,34 @@ fn bench_query_kernel(c: &mut Criterion) {
             })
         });
     }
-    let _ = writeln!(json, "  ]\n}}");
+    let _ = writeln!(json, "  ],");
+
+    // Fragment-level band telemetry at the paper-relevant open-mod point:
+    // how much of the ±500 Da window's bin traffic the O(1) endpoint test
+    // dismisses outright. (The wall clock of this configuration is the
+    // `open_500da` row above; this block isolates the prune counters.)
+    {
+        let cfg = SlmConfig {
+            precursor_tolerance: 500.0,
+            ..SlmConfig::default()
+        };
+        let index = IndexBuilder::new(cfg, ModSpec::paper_default()).build(&w.db);
+        let banded = batch_stats(&index, queries, ScanMode::Auto);
+        let fraction = banded.bins_pruned_by_band as f64 / banded.bins_touched.max(1) as f64;
+        println!(
+            "  open_500da fragment band: {} / {} window bins pruned in O(1) ({:.1}%)",
+            banded.bins_pruned_by_band,
+            banded.bins_touched,
+            fraction * 1e2
+        );
+        let _ = writeln!(
+            json,
+            "  \"open_500da_fragband\": {{\"bins_touched\": {}, \"bins_pruned_by_band\": {}, \
+             \"bins_pruned_fraction\": {:.4}}}",
+            banded.bins_touched, banded.bins_pruned_by_band, fraction
+        );
+    }
+    let _ = writeln!(json, "}}");
     group.finish();
 
     // Record the measured numbers for README / regression eyeballing. The

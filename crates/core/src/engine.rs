@@ -46,6 +46,10 @@ pub struct SearchCostModel {
     pub per_posting_skip_s: f64,
     /// Per ion-bin lookup.
     pub per_bin_s: f64,
+    /// Per bin the fragment-level band dismissed with its O(1) endpoint
+    /// test — cheaper than a real bin visit (`per_bin_s`): two posting
+    /// loads and two compares, no binary search, no posting scan.
+    pub per_bin_pruned_s: f64,
     /// Per candidate PSM that passes filtration — this is the full
     /// spectrum-to-spectrum comparison the index exists to minimize
     /// ("computationally expensive", §I), so it dominates the per-query
@@ -66,6 +70,7 @@ impl Default for SearchCostModel {
             per_posting_s: 1.5e-9,
             per_posting_skip_s: 1.5e-11,
             per_bin_s: 2.0e-9,
+            per_bin_pruned_s: 5.0e-10,
             per_candidate_s: 1.0e-6,
             per_query_s: 20e-6,
             per_ion_build_s: 12e-9,
@@ -77,8 +82,14 @@ impl Default for SearchCostModel {
 impl SearchCostModel {
     /// Virtual seconds of one query's search work.
     pub fn query_seconds(&self, stats: &QueryStats) -> f64 {
+        // Bins the fragment-level band pruned cost `per_bin_pruned_s` each
+        // instead of a full bin visit (`bins_pruned_by_band` is a subset of
+        // `bins_touched`; the saturating_sub guards against degenerate
+        // hand-assembled stats).
+        let full_bins = stats.bins_touched.saturating_sub(stats.bins_pruned_by_band);
         self.per_query_s
-            + stats.bins_touched as f64 * self.per_bin_s
+            + full_bins as f64 * self.per_bin_s
+            + stats.bins_pruned_by_band as f64 * self.per_bin_pruned_s
             + stats.postings_scanned as f64 * self.per_posting_s
             + stats.postings_skipped_by_band as f64 * self.per_posting_skip_s
             + stats.candidates as f64 * self.per_candidate_s
@@ -110,8 +121,9 @@ impl SearchCostModel {
         // candidates per query per million spectra), so the scoring term
         // scales the same way.
         self.per_candidate_s *= factor;
-        // per_bin_s is NOT scaled: bins touched per query depend only on
-        // peak count × tolerance window, not on index size.
+        // per_bin_s / per_bin_pruned_s are NOT scaled: bins touched per
+        // query depend only on peak count × tolerance window, not on index
+        // size.
         self
     }
 }
@@ -253,10 +265,10 @@ pub(crate) struct RankReturn {
 /// cannot name index types — hence tuples at the boundary instead of trait
 /// impls on foreign structs.)
 pub(crate) type RankReturnWire = (
-    (usize, usize, usize),        // peptides, spectra, ions
-    (f64, f64),                   // build_time, query_time
-    (u64, u64, u64, u64, u64),    // QueryStats fields
-    (usize, usize, usize, usize), // MemoryFootprint fields
+    (usize, usize, usize),          // peptides, spectra, ions
+    (f64, f64),                     // build_time, query_time
+    (u64, u64, u64, u64, u64, u64), // QueryStats fields
+    (usize, usize, usize, usize),   // MemoryFootprint fields
 );
 
 impl RankReturn {
@@ -269,6 +281,7 @@ impl RankReturn {
                 self.stats.bins_touched,
                 self.stats.postings_scanned,
                 self.stats.postings_skipped_by_band,
+                self.stats.bins_pruned_by_band,
                 self.stats.candidates,
             ),
             (
@@ -293,7 +306,8 @@ impl RankReturn {
                 bins_touched: s.1,
                 postings_scanned: s.2,
                 postings_skipped_by_band: s.3,
-                candidates: s.4,
+                bins_pruned_by_band: s.4,
+                candidates: s.5,
             },
             footprint: MemoryFootprint {
                 entries: f.0,

@@ -211,7 +211,11 @@ impl ChunkedIndex {
     }
 
     /// The search body: chunk selection, per-chunk shared-peak search with
-    /// memoized scratch, id translation, merge.
+    /// memoized scratch, merge. Searchers are *mapped* — they emit global
+    /// peptide ids directly, so score ties already truncate in global
+    /// `(peptide, modform)` order inside each chunk's top-k, and the merge
+    /// here ranks exactly what a monolithic index over the same peptides
+    /// would.
     fn search_with<'a>(
         &'a self,
         searchers: &mut [Option<Searcher<'a>>],
@@ -226,13 +230,11 @@ impl ChunkedIndex {
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
         for ci in self.chunks_for_query(query.precursor_neutral_mass(), tol) {
-            let s = searchers[ci].get_or_insert_with(|| Searcher::new(&self.chunks[ci]));
+            let s = searchers[ci]
+                .get_or_insert_with(|| Searcher::mapped(&self.chunks[ci], &self.global_ids[ci]));
             let r = s.search(query);
             stats.accumulate(&r.stats);
-            for mut p in r.psms {
-                p.peptide = self.global_ids[ci][p.peptide as usize];
-                psms.push(p);
-            }
+            psms.extend(r.psms);
         }
         finalize_psms(&mut psms, top_k);
         SearchResult { psms, stats }
@@ -744,14 +746,17 @@ impl ChunkStore {
             // the largest needed band instead of zero-allocated per visit
             // (the same reuse ChunkedIndex::search_batch gets from memoized
             // searchers). Scratch reuse is invisible in results (tested).
-            let mut searcher = Searcher::with_scratch(chunk, std::mem::take(&mut self.scratch));
+            // Mapped: PSMs carry global peptide ids before the per-chunk
+            // top-k truncates, so tie order matches a monolithic search.
+            let mut searcher = Searcher::with_scratch_mapped(
+                chunk,
+                std::mem::take(&mut self.scratch),
+                &self.global_ids[ci],
+            );
             let r = searcher.search_with_opts(query, opts);
             self.scratch = searcher.into_scratch();
             stats.accumulate(&r.stats);
-            for mut p in r.psms {
-                p.peptide = self.global_ids[ci][p.peptide as usize];
-                psms.push(p);
-            }
+            psms.extend(r.psms);
         }
         finalize_psms(&mut psms, top_k);
         Ok(SearchResult { psms, stats })

@@ -50,6 +50,7 @@ pub mod io;
 pub mod parallel;
 pub mod precursor;
 pub mod query;
+pub(crate) mod scan;
 pub mod seqtag;
 pub mod slm;
 

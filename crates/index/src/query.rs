@@ -14,16 +14,42 @@
 //! both paths have identical semantics (proptested against
 //! [`brute_force_shared_peaks`]).
 //!
-//! The per-entry counters live in a scratch arena reset per query by
-//! walking only the touched entries — the standard trick that keeps
-//! per-query cost proportional to postings scanned, not index size. In
-//! banded mode the scratch is indexed *band-relative* (`entry − band_lo`),
-//! so a closed search's counter footprint is the admitted band, not the
-//! whole index. Top-k selection is a bounded heap (O(candidates · log k)),
-//! not a full sort.
+//! The scan itself is **two-phase SoA** (see [`crate::scan`]): phase one
+//! walks the query's bin windows and *resolves* each bin to its admitted
+//! posting run — for an open-mod envelope `[ΔM_lo, ΔM_hi]` most bins are
+//! decided by the O(1) **fragment-bin-level band** ([`crate::slm`]'s
+//! endpoint prune/accept; [`QueryStats::bins_pruned_by_band`] counts the
+//! prunes) without any binary search — recording `(start, end, weight)`
+//! run descriptors in structure-of-arrays scratch. Phase two streams the
+//! descriptors through the lane-chunked counter accumulation, prefetching
+//! run *r + 1* while run *r* scatters. Splitting resolution from
+//! accumulation keeps the inner loop branch-light and data-parallel.
+//!
+//! [`ScanMode::Auto`] is a *cost decision*, not just a capability check:
+//! when the band's entry coverage (estimated for free from the two
+//! entry-table binary searches) reaches [`AUTO_FULL_SCAN_COVERAGE`], the
+//! per-bin admission bookkeeping cannot pay for itself and the kernel
+//! takes the full-scan path — results are identical (the candidate loop
+//! applies the same precursor admission), only the work accounting and
+//! wall clock differ. This is what keeps ΔM = ∞-adjacent searches from
+//! regressing below plain full scan.
+//!
+//! The per-entry counters live in a scratch arena indexed *band-relative*
+//! (`entry − band_lo`), so a closed search's counter footprint is the
+//! admitted band, not the whole index. The candidate pass (which also
+//! resets the scratch for the next query) is a **sequential sweep** of the
+//! band's counters in zero-skippable chunks rather than a walk of a
+//! first-touch list: tracking first touches inside the scatter would put a
+//! data-dependent branch on every posting (mispredicted on a large
+//! fraction of lanes), while the sweep costs one predictable pass over
+//! O(band) contiguous memory — the all-zero chunk test vectorizes, and
+//! candidate order becomes ascending entry id, which [`rank_cmp`]'s total
+//! order makes invisible in every ranked output. Top-k selection is a
+//! bounded heap (O(candidates · log k)), not a full sort.
 
 use crate::config::SlmConfig;
-use crate::slm::SlmIndex;
+use crate::scan;
+use crate::slm::{admitted_run, SlmIndex};
 use lbe_spectra::spectrum::Spectrum;
 use lbe_spectra::theo::TheoSpectrum;
 use std::cmp::Ordering;
@@ -69,14 +95,43 @@ pub fn rank_key_cmp(a: (f32, u32, u16), b: (f32, u32, u16)) -> Ordering {
 /// Which posting path [`Searcher::search_with_mode`] takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScanMode {
-    /// Banded scan when the index is mass-sorted and the search is closed
-    /// (finite ΔM); full-bin scan otherwise. The default everywhere.
+    /// Cost-based choice: banded scan when the index is mass-sorted, ΔM is
+    /// finite, *and* the band's entry coverage stays below
+    /// [`AUTO_FULL_SCAN_COVERAGE`] (estimated per query from the two
+    /// entry-table binary searches); full-bin scan otherwise — a
+    /// near-total band would make per-bin admission pure overhead. The
+    /// default everywhere. Findings are identical either way.
     #[default]
     Auto,
     /// Always scan whole bins (the pre-banding kernel). Results are
     /// identical to `Auto`; kept for A/B benchmarking and as the reference
     /// path in equivalence tests.
     FullScan,
+}
+
+/// Band-coverage threshold at which [`ScanMode::Auto`] abandons the banded
+/// path for the plain full scan.
+///
+/// The banded kernel pays an O(1) endpoint test (sometimes two binary
+/// searches) per bin; its payoff is the postings it never loads. When the
+/// admitted entry band covers (nearly) the whole index — ΔM = ∞ desugars
+/// to exactly 1.0, and very wide open-mod envelopes approach it — there is
+/// nothing left to skip, so the admission bookkeeping is a pure tax (the
+/// 0.91× ΔM = ∞ regression this heuristic exists to eliminate). Below the
+/// threshold even a thin skipped sliver wins, because skipped postings
+/// cost ~100× less than scanned ones.
+pub const AUTO_FULL_SCAN_COVERAGE: f64 = 0.95;
+
+/// Fraction of the entry table a band of `band_width` entries covers —
+/// the [`ScanMode::Auto`] cost signal. An empty index reports full
+/// coverage (there is nothing a band could skip).
+#[inline]
+pub(crate) fn band_coverage(band_width: u32, num_entries: u32) -> f64 {
+    if num_entries == 0 {
+        1.0
+    } else {
+        band_width as f64 / num_entries as f64
+    }
 }
 
 /// Per-request overrides layered over the index's build-time [`SlmConfig`].
@@ -134,6 +189,11 @@ pub struct QueryStats {
     /// scanning them* — the work the banded kernel avoids relative to a
     /// full-bin scan. Zero on the full-scan path.
     pub postings_skipped_by_band: u64,
+    /// Non-empty bins the fragment-level band dismissed with the O(1)
+    /// endpoint test — no binary search, no posting load (their postings
+    /// are included in `postings_skipped_by_band`). A subset of
+    /// `bins_touched`; zero on the full-scan path.
+    pub bins_pruned_by_band: u64,
     /// Candidate PSMs passing the shared-peak + precursor filters (cPSMs).
     pub candidates: u64,
 }
@@ -145,6 +205,7 @@ impl QueryStats {
         self.bins_touched += other.bins_touched;
         self.postings_scanned += other.postings_scanned;
         self.postings_skipped_by_band += other.postings_skipped_by_band;
+        self.bins_pruned_by_band += other.bins_pruned_by_band;
         self.candidates += other.candidates;
     }
 }
@@ -168,15 +229,21 @@ pub struct SearchResult {
 /// the invariant when recycling.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
-    counts: Vec<u16>,
-    intensity: Vec<f32>,
-    touched: Vec<u32>,
+    slots: Vec<scan::Slot>,
+    /// SoA run table filled in phase one of each search and drained in
+    /// phase two (`run_start[i]..run_end[i]` indexes the flat posting
+    /// array; `run_weight[i]` is the contributing peak's intensity).
+    /// Always left empty between searches — only the capacity is recycled,
+    /// so these are not part of the cleanliness invariant.
+    run_start: Vec<usize>,
+    run_end: Vec<usize>,
+    run_weight: Vec<f32>,
 }
 
 impl SearchScratch {
     /// `true` if every counter slot is zero — the recycling invariant.
     fn is_clean(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0) && self.intensity.iter().all(|&i| i == 0.0)
+        self.slots.iter().all(scan::Slot::is_clear)
     }
 }
 
@@ -184,15 +251,25 @@ impl SearchScratch {
 /// thread (it is `Send` but deliberately not shared).
 pub struct Searcher<'a> {
     index: &'a SlmIndex,
-    /// Per-entry shared-peak counters (scratch, reset via `touched`,
-    /// indexed band-relative: slot `entry − band_lo`). Sized lazily per
-    /// query to the admitted band (closed search) or the whole index (open
-    /// search / full scan) — grow-only.
-    counts: Vec<u16>,
-    /// Per-entry matched-intensity sums (scratch, band-relative).
-    intensity: Vec<f32>,
-    /// Entries touched by the current query (absolute ids).
-    touched: Vec<u32>,
+    /// When set, PSM peptide ids are translated through this local→global
+    /// map *at construction* — before top-k selection — so the
+    /// `(peptide, modform)` tie-break of [`rank_cmp`] operates on global
+    /// ids. Chunked searches pass each chunk's mapping here; without it a
+    /// per-chunk top-k could truncate on local-id tie order and diverge
+    /// from a single-index (or distributed) search over the same data.
+    global_ids: Option<&'a [u32]>,
+    /// Per-entry scratch slots — shared-peak counter and matched-intensity
+    /// sum packed per entry ([`scan::Slot`], one cache line touch per
+    /// scatter), reset by the candidate sweep, indexed band-relative
+    /// (slot `entry − band_lo`). Sized lazily per query to the admitted
+    /// band (closed search) or the whole index (open search / full scan) —
+    /// grow-only.
+    slots: Vec<scan::Slot>,
+    /// Phase-one run table (SoA): admitted posting runs as ranges into the
+    /// index's flat posting array, plus the per-run intensity weight.
+    run_start: Vec<usize>,
+    run_end: Vec<usize>,
+    run_weight: Vec<f32>,
 }
 
 impl<'a> Searcher<'a> {
@@ -200,6 +277,17 @@ impl<'a> Searcher<'a> {
     /// sized to the admitted band (closed search) or the index (open).
     pub fn new(index: &'a SlmIndex) -> Self {
         Self::with_scratch(index, SearchScratch::default())
+    }
+
+    /// Creates a searcher whose PSMs carry *global* peptide ids: every
+    /// emitted peptide id is `global_ids[local_id]`. The translation
+    /// happens before top-k selection, so score ties truncate in global
+    /// `(peptide, modform)` order — the property chunked search needs to
+    /// agree byte-for-byte with a monolithic index over the same peptides.
+    pub fn mapped(index: &'a SlmIndex, global_ids: &'a [u32]) -> Self {
+        let mut s = Self::new(index);
+        s.global_ids = Some(global_ids);
+        s
     }
 
     /// Creates a searcher around recycled scratch. Surviving counter slots
@@ -215,24 +303,38 @@ impl<'a> Searcher<'a> {
             "recycled SearchScratch has non-zero counters: the previous \
              searcher did not reset the entries it touched"
         );
-        scratch.touched.clear();
-        if scratch.touched.capacity() == 0 {
-            scratch.touched.reserve(1024);
-        }
+        scratch.run_start.clear();
+        scratch.run_end.clear();
+        scratch.run_weight.clear();
         Searcher {
             index,
-            counts: scratch.counts,
-            intensity: scratch.intensity,
-            touched: scratch.touched,
+            global_ids: None,
+            slots: scratch.slots,
+            run_start: scratch.run_start,
+            run_end: scratch.run_end,
+            run_weight: scratch.run_weight,
         }
+    }
+
+    /// [`Searcher::with_scratch`] combined with [`Searcher::mapped`]:
+    /// recycled scratch plus local→global peptide-id translation.
+    pub fn with_scratch_mapped(
+        index: &'a SlmIndex,
+        scratch: SearchScratch,
+        global_ids: &'a [u32],
+    ) -> Self {
+        let mut s = Self::with_scratch(index, scratch);
+        s.global_ids = Some(global_ids);
+        s
     }
 
     /// Releases the scratch for reuse by a later searcher.
     pub fn into_scratch(self) -> SearchScratch {
         SearchScratch {
-            counts: self.counts,
-            intensity: self.intensity,
-            touched: self.touched,
+            slots: self.slots,
+            run_start: self.run_start,
+            run_end: self.run_end,
+            run_weight: self.run_weight,
         }
     }
 
@@ -268,73 +370,151 @@ impl<'a> Searcher<'a> {
             ..Default::default()
         };
 
+        let index = self.index;
         let query_mass = query.precursor_neutral_mass();
-        let num_entries = self.index.num_spectra() as u32;
+        let num_entries = index.num_spectra() as u32;
         // Filtration first: a closed search over a mass-sorted index
-        // restricts every scan to the admitted entry band up front.
-        let banded =
-            opts.scan_mode == ScanMode::Auto && self.index.is_mass_sorted() && !tol.is_infinite();
-        let (band_lo, band_hi) = if banded {
-            self.index
-                .entry_range_for_mass_band(query_mass - tol, query_mass + tol)
+        // restricts every scan to the admitted entry band up front — unless
+        // the band covers (nearly) everything, in which case Auto's cost
+        // heuristic drops to the full-scan path (same findings, none of the
+        // per-bin admission overhead).
+        let want_banded =
+            opts.scan_mode == ScanMode::Auto && index.is_mass_sorted() && !tol.is_infinite();
+        let (banded, band_lo, band_hi) = if want_banded {
+            let (lo, hi) = index.entry_range_for_mass_band(query_mass - tol, query_mass + tol);
+            if band_coverage(hi - lo, num_entries) >= AUTO_FULL_SCAN_COVERAGE {
+                (false, 0, num_entries)
+            } else {
+                (true, lo, hi)
+            }
         } else {
-            (0, num_entries)
+            (false, 0, num_entries)
         };
         let width = (band_hi - band_lo) as usize;
-        if self.counts.len() < width {
+        if self.slots.len() < width {
             // Grow-only; new slots are zero, surviving slots are zero by
             // the scratch invariant.
-            self.counts.resize(width, 0);
-            self.intensity.resize(width, 0.0);
+            self.slots.resize(width, scan::Slot::default());
         }
 
+        // Phase one: resolve every bin in every peak's tolerance window to
+        // its admitted posting run. Most bins either carry no postings or
+        // are decided by the O(1) fragment-level band (endpoint prune /
+        // whole-bin accept); only band-cut bins pay binary searches. Runs
+        // land in SoA scratch as (start, end, weight) descriptors.
+        let bin_offsets = index.bin_offsets();
+        let postings = index.postings();
+        debug_assert!(self.run_start.is_empty());
         for peak in &query.peaks {
-            let counts = &mut self.counts;
-            let intensity = &mut self.intensity;
-            let touched = &mut self.touched;
-            let mut scanned = 0u64;
-            let visit = |entry: u32| {
-                scanned += 1;
-                let e = (entry - band_lo) as usize;
-                if counts[e] == 0 {
-                    touched.push(entry);
+            let Some((blo, bhi)) = index.bins_for_mz(peak.mz) else {
+                continue;
+            };
+            stats.bins_touched += (bhi - blo + 1) as u64;
+            for bin in blo..=bhi {
+                let o0 = bin_offsets[bin as usize] as usize;
+                let o1 = bin_offsets[bin as usize + 1] as usize;
+                if bin < bhi {
+                    // The window's next bin is contiguous in the posting
+                    // array; its endpoint loads are the admission loop's
+                    // cold misses, so hint them while this bin resolves.
+                    let n1 = bin_offsets[bin as usize + 2] as usize;
+                    scan::prefetch_endpoints(&postings[o1..n1]);
                 }
-                counts[e] = counts[e].saturating_add(1);
-                intensity[e] += peak.intensity;
-            };
-            let (bins, skipped) = if banded {
-                self.index
-                    .for_postings_near_in_entry_band(peak.mz, band_lo, band_hi, visit)
-            } else {
-                (self.index.for_postings_near(peak.mz, visit), 0)
-            };
-            stats.bins_touched += bins as u64;
-            stats.postings_scanned += scanned;
-            stats.postings_skipped_by_band += skipped;
+                if o0 == o1 {
+                    continue;
+                }
+                let (start, end) = if banded {
+                    let (s, e, by_endpoints) = admitted_run(&postings[o0..o1], band_lo, band_hi);
+                    stats.postings_skipped_by_band += ((o1 - o0) - (e - s)) as u64;
+                    if s == e {
+                        if by_endpoints {
+                            stats.bins_pruned_by_band += 1;
+                        }
+                        continue;
+                    }
+                    (o0 + s, o0 + e)
+                } else {
+                    (o0, o1)
+                };
+                stats.postings_scanned += (end - start) as u64;
+                self.run_start.push(start);
+                self.run_end.push(end);
+                self.run_weight.push(peak.intensity);
+            }
         }
 
-        let mut topk = TopK::new(top_k);
-        for &entry in &self.touched {
-            let e = (entry - band_lo) as usize;
-            let shared = self.counts[e];
-            let meta = self.index.entry(entry);
-            if shared >= cfg.shared_peak_threshold
-                && SlmConfig::precursor_admits_with(tol, query_mass, meta.precursor_mass as f64)
-            {
-                stats.candidates += 1;
-                topk.push(Psm {
-                    entry,
-                    peptide: meta.peptide,
-                    modform: meta.modform,
-                    shared_peaks: shared,
-                    score: score(shared, self.intensity[e]),
-                });
+        // Phase two: stream the run table through the lane-chunked counter
+        // accumulation, prefetching the next run's postings while the
+        // current one scatters (runs are scattered across the posting
+        // array; without the hint every run switch starts cold).
+        let num_runs = self.run_start.len();
+        for r in 0..num_runs {
+            if r + 1 < num_runs {
+                scan::prefetch_postings(&postings[self.run_start[r + 1]..self.run_end[r + 1]]);
             }
-            // Reset scratch as we go.
-            self.counts[e] = 0;
-            self.intensity[e] = 0.0;
+            scan::accumulate_run(
+                &postings[self.run_start[r]..self.run_end[r]],
+                self.run_weight[r],
+                band_lo,
+                &mut self.slots[..width],
+            );
         }
-        self.touched.clear();
+        self.run_start.clear();
+        self.run_end.clear();
+        self.run_weight.clear();
+
+        // Candidate pass: sweep the band's slots sequentially in
+        // zero-skippable chunks (the all-clear test over a slot chunk
+        // vectorizes), resetting each hit slot as it is inspected. Hit
+        // slots are discovered in ascending entry-id order; `rank_cmp` is a
+        // total order, so candidate order cannot affect the ranked output.
+        let mut topk = TopK::new(top_k);
+        const SWEEP_CHUNK: usize = 32;
+        let mut e = 0usize;
+        while e < width {
+            let chunk_end = (e + SWEEP_CHUNK).min(width);
+            if self.slots[e..chunk_end].iter().all(scan::Slot::is_clear) {
+                e = chunk_end;
+                continue;
+            }
+            for off in e..chunk_end {
+                let shared = self.slots[off].count;
+                if shared == 0 {
+                    continue;
+                }
+                // Reset scratch as we go (intensity is only ever written
+                // alongside the count, so zero-count slots are already
+                // clean).
+                let matched = self.slots[off].intensity;
+                self.slots[off] = scan::Slot::default();
+                // Threshold first: most hit slots are sub-threshold
+                // fragment collisions, and rejecting them here skips the
+                // random entry-metadata load entirely — the sweep's
+                // dominant cost at open-mod band widths.
+                if shared < cfg.shared_peak_threshold {
+                    continue;
+                }
+                let entry = band_lo + off as u32;
+                let meta = index.entry(entry);
+                if SlmConfig::precursor_admits_with(tol, query_mass, meta.precursor_mass as f64) {
+                    stats.candidates += 1;
+                    topk.push(Psm {
+                        entry,
+                        // Global-id translation (when mapped) happens *here*,
+                        // before the top-k push, so score ties truncate in
+                        // global (peptide, modform) order.
+                        peptide: match self.global_ids {
+                            Some(map) => map[meta.peptide as usize],
+                            None => meta.peptide,
+                        },
+                        modform: meta.modform,
+                        shared_peaks: shared,
+                        score: score(shared, matched),
+                    });
+                }
+            }
+            e = chunk_end;
+        }
 
         SearchResult {
             psms: topk.into_sorted(),
@@ -562,6 +742,114 @@ mod tests {
             full.stats.postings_scanned
         );
         assert_eq!(full.stats.postings_skipped_by_band, 0);
+        assert_eq!(full.stats.bins_pruned_by_band, 0);
+        // Every touched bin here holds the *shared* b-ion postings of both
+        // peptides, so the band cuts bins rather than pruning them whole.
+        assert_eq!(banded.stats.bins_pruned_by_band, 0);
+    }
+
+    #[test]
+    fn fragment_level_band_prunes_whole_bins() {
+        let d = db(&["PEPTIDEK", "PEPTIDEKGGGGGGK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(1.0);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        // Peaks from the heavier peptide, precursor mass of the lighter:
+        // the band admits only entry 0 (PEPTIDEK), so every bin holding
+        // the heavier peptide's *unique* fragments contains out-of-band
+        // postings exclusively and is dismissed by the O(1) endpoint test
+        // — no binary search, no posting load.
+        let theo = TheoSpectrum::from_sequence(
+            b"PEPTIDEKGGGGGGK",
+            &ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        let m_light = lbe_bio::aa::peptide_neutral_mass(b"PEPTIDEK").unwrap();
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 100.0))
+            .collect();
+        let q = Spectrum::new(0, lbe_bio::aa::precursor_mz(m_light, 2), 2, peaks);
+        let mut s = Searcher::new(&idx);
+        let banded = s.search(&q);
+        let full = s.search_with_mode(&q, ScanMode::FullScan);
+        assert_eq!(banded.psms, full.psms);
+        assert!(banded.stats.bins_pruned_by_band > 0);
+        assert!(banded.stats.bins_pruned_by_band <= banded.stats.bins_touched);
+        // Pruned bins' postings are still accounted as skipped, and the
+        // bins themselves still count as touched — the identities the
+        // cost model and equivalence proptests rest on.
+        assert_eq!(banded.stats.bins_touched, full.stats.bins_touched);
+        assert_eq!(
+            banded.stats.postings_scanned + banded.stats.postings_skipped_by_band,
+            full.stats.postings_scanned
+        );
+    }
+
+    #[test]
+    fn band_coverage_signal() {
+        assert_eq!(band_coverage(0, 10), 0.0);
+        assert_eq!(band_coverage(5, 10), 0.5);
+        assert_eq!(band_coverage(10, 10), 1.0);
+        // Empty index: nothing a band could skip — treated as full
+        // coverage so Auto takes the trivial full-scan path.
+        assert_eq!(band_coverage(0, 0), 1.0);
+        assert!(band_coverage(19, 20) >= AUTO_FULL_SCAN_COVERAGE);
+        assert!(band_coverage(18, 20) < AUTO_FULL_SCAN_COVERAGE);
+    }
+
+    #[test]
+    fn auto_falls_back_to_full_scan_when_band_covers_everything() {
+        // A finite but enormous ΔM admits every entry: the heuristic must
+        // route Auto onto the full-scan path (no admission bookkeeping),
+        // with findings identical to an explicit full scan.
+        let d = db(&["GGGGGK", "PEPTIDEK", "ELVISLIVESK"]);
+        let cfg = SlmConfig::default().with_precursor_tolerance(1e6);
+        let idx = IndexBuilder::new(cfg, ModSpec::none()).build(&d);
+        let mut s = Searcher::new(&idx);
+        let q = perfect_query(b"PEPTIDEK");
+        let auto = s.search(&q);
+        let full = s.search_with_mode(&q, ScanMode::FullScan);
+        assert_eq!(auto, full, "heuristic full-scan is bit-identical");
+        assert_eq!(auto.stats.postings_skipped_by_band, 0);
+        assert_eq!(auto.stats.bins_pruned_by_band, 0);
+        assert_eq!(auto.stats.postings_scanned, full.stats.postings_scanned);
+
+        // A narrow ΔM on the same index stays banded (the heuristic is a
+        // per-query decision, not a per-index one).
+        let narrow = QueryOptions {
+            precursor_tolerance: Some(1.0),
+            ..Default::default()
+        };
+        let r = s.search_with_opts(&q, &narrow);
+        assert!(r.stats.postings_skipped_by_band > 0);
+    }
+
+    #[test]
+    fn mapped_searcher_translates_peptide_ids_before_ranking() {
+        let d = db(&["ELVISLIVESK", "PEPTIDEK", "SAMPLERK"]);
+        let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
+        // An arbitrary injective local→global map (what a chunk of a
+        // larger database would carry).
+        let map: Vec<u32> = vec![107, 9, 42];
+        let q = perfect_query(b"PEPTIDEK");
+        let local = Searcher::new(&idx).search(&q);
+        let global = Searcher::mapped(&idx, &map).search(&q);
+        assert_eq!(local.stats, global.stats);
+        assert_eq!(local.psms.len(), global.psms.len());
+        for (l, g) in local.psms.iter().zip(&global.psms) {
+            assert_eq!(g.peptide, map[l.peptide as usize]);
+            assert_eq!(
+                (l.entry, l.modform, l.shared_peaks),
+                (g.entry, g.modform, g.shared_peaks)
+            );
+            assert_eq!(l.score, g.score);
+        }
+        // Scratch recycling carries the mapping path too.
+        let via_scratch =
+            Searcher::with_scratch_mapped(&idx, SearchScratch::default(), &map).search(&q);
+        assert_eq!(via_scratch, global);
     }
 
     #[test]
@@ -669,9 +957,12 @@ mod tests {
         let d = db(&["PEPTIDEK"]);
         let idx = IndexBuilder::new(SlmConfig::default(), ModSpec::none()).build(&d);
         let poisoned = SearchScratch {
-            counts: vec![0, 3, 0],
-            intensity: vec![0.0; 3],
-            touched: Vec::new(),
+            slots: vec![
+                scan::Slot::default(),
+                scan::Slot::new(3, 0.0),
+                scan::Slot::default(),
+            ],
+            ..Default::default()
         };
         let _ = Searcher::with_scratch(&idx, poisoned);
     }

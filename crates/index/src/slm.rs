@@ -19,6 +19,40 @@ use crate::config::SlmConfig;
 use crate::format::AlignedBuf;
 use std::sync::Arc;
 
+/// The admitted sub-run `[start, end)` of one bin's posting list for the
+/// entry-id band `[entry_lo, entry_hi)` — the **fragment-bin-level band**.
+///
+/// Posting lists ascend by entry id, and entry ids ascend by precursor
+/// mass, so before paying two binary searches the band is tested against
+/// the bin's *endpoints* in O(1):
+///
+/// * `last < entry_lo` or `first >= entry_hi` — the whole bin lies outside
+///   the precursor envelope `[ΔM_lo, ΔM_hi]` and is **pruned**;
+/// * `first >= entry_lo && last < entry_hi` — the whole bin lies inside and
+///   is **accepted** unsearched (the common case for wide-open bands,
+///   where PR 5's per-bin binary searches were pure overhead);
+/// * otherwise the band cuts the bin and the two `partition_point`s
+///   resolve the exact run.
+///
+/// Returns `(start, end, by_endpoints)`; `by_endpoints` is `true` when the
+/// O(1) test decided (callers use it to count pruned bins). An empty bin
+/// reports `(0, 0, true)`.
+#[inline]
+pub(crate) fn admitted_run(postings: &[u32], entry_lo: u32, entry_hi: u32) -> (usize, usize, bool) {
+    let (Some(&first), Some(&last)) = (postings.first(), postings.last()) else {
+        return (0, 0, true);
+    };
+    if last < entry_lo || first >= entry_hi {
+        return (0, 0, true);
+    }
+    if first >= entry_lo && last < entry_hi {
+        return (0, postings.len(), true);
+    }
+    let start = postings.partition_point(|&e| e < entry_lo);
+    let end = postings.partition_point(|&e| e < entry_hi);
+    (start, end, false)
+}
+
 /// One indexed theoretical spectrum: a (peptide, modform) pair.
 ///
 /// `#[repr(C)]`, 12 bytes, no padding — this exact layout (little-endian)
@@ -307,17 +341,26 @@ impl SlmIndex {
         &self.postings()[lo..hi]
     }
 
+    /// The inclusive bin window `[lo, hi]` covering the fragment-tolerance
+    /// neighborhood of `mz`, or `None` when `mz` falls outside the indexed
+    /// range.
+    #[inline]
+    pub(crate) fn bins_for_mz(&self, mz: f64) -> Option<(u32, u32)> {
+        let center = self.config.bin_of(mz)?;
+        let tol = self.config.tolerance_bins();
+        let lo = center.saturating_sub(tol);
+        let hi = (center + tol).min(self.config.num_bins() as u32 - 1);
+        Some((lo, hi))
+    }
+
     /// All postings within the fragment-tolerance window of `mz`.
     /// Returns `(bins_touched, iterator)` work via a callback to avoid
     /// allocation on the hot path.
     #[inline]
     pub fn for_postings_near<F: FnMut(u32)>(&self, mz: f64, mut f: F) -> u32 {
-        let Some(center) = self.config.bin_of(mz) else {
+        let Some((lo, hi)) = self.bins_for_mz(mz) else {
             return 0;
         };
-        let tol = self.config.tolerance_bins();
-        let lo = center.saturating_sub(tol);
-        let hi = (center + tol).min(self.config.num_bins() as u32 - 1);
         for bin in lo..=hi {
             for &entry in self.bin_postings(bin) {
                 f(entry);
@@ -342,11 +385,11 @@ impl SlmIndex {
 
     /// Like [`SlmIndex::for_postings_near`], but restricted to postings
     /// whose entry id lies in `[entry_lo, entry_hi)` — the precursor-band
-    /// fast path. Because entry ids ascend by precursor mass and every
-    /// bin's posting list is ascending by entry id, each bin's admitted
-    /// run is found with two binary searches; out-of-band postings are
-    /// counted but never touched. Returns `(bins_touched,
-    /// postings_skipped)`; the callback itself sees only in-band postings.
+    /// fast path. Each bin's admitted run is resolved by [`admitted_run`]:
+    /// O(1) endpoint prune/accept first, two binary searches only when the
+    /// band cuts the bin. Out-of-band postings are counted but never
+    /// touched. Returns `(bins_touched, postings_skipped)`; the callback
+    /// itself sees only in-band postings.
     #[inline]
     pub fn for_postings_near_in_entry_band<F: FnMut(u32)>(
         &self,
@@ -355,17 +398,13 @@ impl SlmIndex {
         entry_hi: u32,
         mut f: F,
     ) -> (u32, u64) {
-        let Some(center) = self.config.bin_of(mz) else {
+        let Some((lo, hi)) = self.bins_for_mz(mz) else {
             return (0, 0);
         };
-        let tol = self.config.tolerance_bins();
-        let lo = center.saturating_sub(tol);
-        let hi = (center + tol).min(self.config.num_bins() as u32 - 1);
         let mut skipped = 0u64;
         for bin in lo..=hi {
             let postings = self.bin_postings(bin);
-            let start = postings.partition_point(|&e| e < entry_lo);
-            let end = postings.partition_point(|&e| e < entry_hi);
+            let (start, end, _) = admitted_run(postings, entry_lo, entry_hi);
             for &entry in &postings[start..end] {
                 f(entry);
             }
@@ -573,6 +612,36 @@ mod tests {
         // A band between the two masses admits nothing.
         let (lo, hi) = idx.entry_range_for_mass_band(m + 10.0, m + 11.0);
         assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn admitted_run_endpoint_prune_accept_and_cut() {
+        // Empty bin: resolved by endpoints, empty run.
+        assert_eq!(admitted_run(&[], 0, 10), (0, 0, true));
+        let bin = [3u32, 5, 5, 9, 14];
+        // Whole bin below the band / above the band: O(1) prune.
+        assert_eq!(admitted_run(&bin, 20, 30), (0, 0, true));
+        assert_eq!(admitted_run(&bin, 0, 3), (0, 0, true));
+        // Band covers the whole bin (inclusive lo, exclusive hi): accept.
+        assert_eq!(admitted_run(&bin, 3, 15), (0, 5, true));
+        assert_eq!(admitted_run(&bin, 0, 100), (0, 5, true));
+        // Band cuts the bin: exact run via binary search, duplicates kept.
+        assert_eq!(admitted_run(&bin, 4, 10), (1, 4, false));
+        assert_eq!(admitted_run(&bin, 5, 6), (1, 3, false));
+        // hi is exclusive: a band ending exactly at `last` cuts.
+        assert_eq!(admitted_run(&bin, 3, 14), (0, 4, false));
+        // Every resolved run must equal the filter-scan reference.
+        for elo in 0u32..16 {
+            for ehi in elo..17 {
+                let (s, e, _) = admitted_run(&bin, elo, ehi);
+                let want: Vec<u32> = bin
+                    .iter()
+                    .copied()
+                    .filter(|&x| (elo..ehi).contains(&x))
+                    .collect();
+                assert_eq!(&bin[s..e], &want[..], "band [{elo},{ehi})");
+            }
+        }
     }
 
     #[test]
