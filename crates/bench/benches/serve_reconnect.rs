@@ -1,0 +1,156 @@
+//! Criterion: what the generation store's chunk residency buys a
+//! reconnecting client.
+//!
+//! `lbe serve` holds one [`ResidentEngine`] for the life of the daemon, so
+//! every reconnecting client after the first searches against
+//! already-faulted chunks (warm). The alternative — a per-connection
+//! engine, as a CGI-style frontend would do — pays the full index-open
+//! cost on every reconnect: manifest read, validation, and re-faulting
+//! (and decompressing) every chunk blob the queries touch (cold).
+//!
+//! The store under test is a real two-generation directory (init +
+//! append), so the cold path also re-reads `CURRENT` and the LBECHK3
+//! manifest each time, exactly as a short-lived process would. Besides
+//! the criterion groups, an amortized reconnect loop writes the measured
+//! per-connection costs to `BENCH_serve.json` at the workspace root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lbe_bench::build_workload;
+use lbe_bio::peptide::PeptideDb;
+use lbe_core::serve::ResidentEngine;
+use lbe_index::{GenerationStore, QueryOptions, SlmConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Reconnects per measured amortized loop.
+const RECONNECTS: usize = 32;
+
+fn bench_serve_reconnect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_reconnect");
+    group.sample_size(10);
+
+    // A multi-chunk store with a real append history: base peptides in
+    // generation 1, a delta in generation 2 — the shape a long-running
+    // daemon actually serves.
+    let w = build_workload(4_000, lbe_bio::mods::ModSpec::none(), 64, 41);
+    let peptides = w.db.peptides();
+    let split = peptides.len() / 4 * 3;
+    let base = PeptideDb::from_vec(peptides[..split].to_vec());
+    let delta = PeptideDb::from_vec(peptides[split..].to_vec());
+    let chunk_size = peptides.len().div_ceil(8).max(1);
+
+    let dir = std::env::temp_dir().join("lbe_bench_serve_reconnect");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = GenerationStore::init(
+        &dir,
+        &base,
+        SlmConfig::default(),
+        w.modspec.clone(),
+        chunk_size,
+    )
+    .expect("init generation store");
+    store.append(&delta).expect("append delta generation");
+    let stats = store.stats().expect("store stats");
+    println!(
+        "  (store: {} peptides, {} chunk(s), {} stored of {} logical bytes)",
+        stats.num_peptides,
+        stats.records.len(),
+        stats.stored_bytes,
+        stats.logical_bytes
+    );
+
+    let jobs: Vec<_> = w
+        .queries
+        .iter()
+        .map(|q| (q.clone(), QueryOptions::default()))
+        .collect();
+    let run_wave = |engine: &ResidentEngine| {
+        let mut psms = 0usize;
+        for r in engine.search_wave(&jobs, 1) {
+            psms += r.expect("search").psms.len();
+        }
+        psms
+    };
+
+    // Cold: a fresh engine per "connection" — open + fault-on-demand every
+    // time, as a process-per-request frontend would.
+    group.bench_function("cold_open_per_connection", |b| {
+        b.iter(|| {
+            let engine = ResidentEngine::open(&dir, usize::MAX).expect("open");
+            black_box(run_wave(&engine))
+        })
+    });
+
+    // Warm: the daemon's shape — one persistent engine; each reconnect
+    // only re-checks `CURRENT` (refresh) before searching.
+    let engine = ResidentEngine::open(&dir, usize::MAX).expect("open");
+    run_wave(&engine); // fault everything once, as the first client does
+    group.bench_function("warm_persistent_engine", |b| {
+        b.iter(|| {
+            engine.refresh().expect("refresh");
+            black_box(run_wave(&engine))
+        })
+    });
+
+    group.finish();
+
+    // Amortized reconnect loop for the checked-in JSON: total / RECONNECTS
+    // per mode, so the numbers include every per-connection constant.
+    let t = Instant::now();
+    let mut psms_cold = 0usize;
+    for _ in 0..RECONNECTS {
+        let engine = ResidentEngine::open(&dir, usize::MAX).expect("open");
+        psms_cold += run_wave(&engine);
+    }
+    let cold_us = t.elapsed().as_secs_f64() * 1e6 / RECONNECTS as f64;
+
+    let engine = ResidentEngine::open(&dir, usize::MAX).expect("open");
+    run_wave(&engine);
+    let t = Instant::now();
+    let mut psms_warm = 0usize;
+    for _ in 0..RECONNECTS {
+        engine.refresh().expect("refresh");
+        psms_warm += run_wave(&engine);
+    }
+    let warm_us = t.elapsed().as_secs_f64() * 1e6 / RECONNECTS as f64;
+    assert_eq!(psms_cold, psms_warm, "both modes must find identical PSMs");
+
+    println!(
+        "  amortized per reconnect over {RECONNECTS}: cold {cold_us:.0} us, warm {warm_us:.0} us \
+         ({:.1}x)",
+        cold_us / warm_us
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"peptides\": {}, \"chunks\": {}, \"queries\": {}, \
+         \"reconnects\": {RECONNECTS}, \"stored_bytes\": {}, \"logical_bytes\": {}}},",
+        stats.num_peptides,
+        stats.records.len(),
+        jobs.len(),
+        stats.stored_bytes,
+        stats.logical_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold_open_per_connection_us\": {cold_us:.1},\n  \
+         \"warm_persistent_engine_us\": {warm_us:.1},\n  \
+         \"cold_over_warm\": {:.3}",
+        cold_us / warm_us
+    );
+    let _ = writeln!(json, "}}");
+
+    // Record the measured numbers for README / regression eyeballing. The
+    // path is the workspace root (this file lives in crates/bench).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("note: could not write {out}: {e}");
+    } else {
+        println!("  wrote {out}");
+    }
+}
+
+criterion_group!(benches, bench_serve_reconnect);
+criterion_main!(benches);

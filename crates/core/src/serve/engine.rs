@@ -45,9 +45,11 @@ pub struct ResidentEngine {
 }
 
 impl ResidentEngine {
-    /// Opens the index at `path`, sniffing the 8-byte magic to pick the
-    /// chunked or single-file reader. `max_resident` caps how many chunks
-    /// of a chunked container stay in memory (`usize::MAX` = all).
+    /// Opens the index at `path`: a directory is a generation store (see
+    /// `lbe_index::lifecycle`); a file is sniffed by its 8-byte magic to
+    /// pick the chunked or single-file reader. `max_resident` caps how
+    /// many chunks of a chunked backend stay in memory (`usize::MAX` =
+    /// all).
     ///
     /// Files handed to a server are untrusted input, so the full
     /// validation scan always runs; any failure is returned *before* a
@@ -55,11 +57,18 @@ impl ResidentEngine {
     /// server.
     pub fn open(path: impl AsRef<Path>, max_resident: usize) -> io::Result<Self> {
         let path = path.as_ref();
-        let mut magic = [0u8; 8];
-        std::fs::File::open(path)?.read_exact(&mut magic)?;
         let opts = ReadOptions {
             full_validation: true,
         };
+        if path.is_dir() {
+            let store = ChunkStore::open_generation_dir_with(path, max_resident, &opts)?;
+            return Ok(ResidentEngine {
+                backend: Backend::Chunked(Mutex::new(Box::new(store))),
+                preprocess: PreprocessParams::default(),
+            });
+        }
+        let mut magic = [0u8; 8];
+        std::fs::File::open(path)?.read_exact(&mut magic)?;
         let backend = if &magic == MAGIC_CHUNKED {
             Backend::Chunked(Mutex::new(Box::new(ChunkStore::open_path_with(
                 path,
@@ -150,6 +159,21 @@ impl ResidentEngine {
                     .map(|r| r.expect("every job grouped exactly once"))
                     .collect()
             }
+        }
+    }
+
+    /// For a generation-store backend: picks up the latest generation if
+    /// `CURRENT` has moved, keeping resident chunks whose content hashes
+    /// survive — connections stay open and only changed chunks re-fault.
+    /// Returns `true` when a newer generation was adopted; `Ok(false)` for
+    /// file-backed backends.
+    pub fn refresh(&self) -> io::Result<bool> {
+        match &self.backend {
+            Backend::Chunked(store) => store
+                .lock()
+                .expect("chunk store lock poisoned")
+                .refresh_generation(),
+            Backend::Single { .. } => Ok(false),
         }
     }
 

@@ -311,6 +311,12 @@ fn dispatch_loop(engine: &ResidentEngine, job_rx: &Receiver<Job>, cfg: ServeConf
                 Err(_) => break,
             }
         }
+        // A generation-store backend reopens the latest generation between
+        // waves (one small CURRENT read when nothing changed) — connections
+        // never drop, and only chunks whose content hashes moved re-fault.
+        // A transient error (e.g. a concurrent gc) leaves the wave on the
+        // already-loaded generation; the next wave retries.
+        let _ = engine.refresh();
         let results = engine.search_wave(&wave, cfg.threads.max(1));
         for ((req_id, reply, _gate), result) in meta.into_iter().zip(results) {
             let response = match result {

@@ -36,17 +36,19 @@
 
 use crate::builder::IndexBuilder;
 use crate::config::SlmConfig;
+use crate::footprint::StorageFootprint;
 use crate::format::{
-    section_name, AlignedBuf, FileContainer, ParsedContainer, Section, SectionPlan,
+    content_hash64, section_name, AlignedBuf, FileContainer, ParsedContainer, Section, SectionPlan,
 };
 use crate::io::{self, ReadOptions, MAGIC_CHUNKED, MAGIC_V2};
+use crate::lifecycle::BlobRef;
 use crate::query::{QueryOptions, QueryStats, SearchResult, Searcher};
 use crate::slm::SlmIndex;
 use lbe_bio::mods::ModSpec;
 use lbe_bio::peptide::{Peptide, PeptideDb};
 use lbe_spectra::spectrum::Spectrum;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const SEC_CONFIG: [u8; 8] = section_name("config");
@@ -83,6 +85,24 @@ fn chunks_overlapping(boundaries: &[f64], num_chunks: usize, mass: f64, tol: f64
             // — use closed overlap to be conservative at boundaries.
             boundaries[i] <= hi && lo <= boundaries[i + 1]
         })
+        .collect()
+}
+
+/// [`chunks_overlapping`] generalized to per-chunk `(lo, hi)` intervals —
+/// the same closed-overlap inequality, but chunks need not tile a boundary
+/// ladder: a generation store's delta chunks may overlap each other and
+/// the base generation arbitrarily.
+fn intervals_overlapping(intervals: &[(f64, f64)], mass: f64, tol: f64) -> Vec<usize> {
+    if tol.is_infinite() {
+        return (0..intervals.len()).collect();
+    }
+    let lo = mass - tol;
+    let hi = mass + tol;
+    intervals
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(a, b))| a <= hi && lo <= b)
+        .map(|(i, _)| i)
         .collect()
 }
 
@@ -164,6 +184,11 @@ impl ChunkedIndex {
     /// The `num_chunks + 1` mass boundaries (first = 0, last = +∞).
     pub fn boundaries(&self) -> &[f64] {
         &self.boundaries
+    }
+
+    /// Per chunk: local peptide id → input db peptide id.
+    pub(crate) fn global_ids(&self) -> &[Vec<u32>] {
+        &self.global_ids
     }
 
     /// Total indexed spectra across chunks.
@@ -400,7 +425,7 @@ impl ChunkedIndex {
 /// over the section table — a linear `find` per chunk would make opening a
 /// container near the 100k-chunk limit quadratic. Rejects malformed,
 /// duplicate, or non-contiguous chunk names.
-fn chunk_directory(sections: &[Section]) -> std::io::Result<Vec<Section>> {
+pub(crate) fn chunk_directory(sections: &[Section]) -> std::io::Result<Vec<Section>> {
     let mut dir: Vec<Option<Section>> = Vec::new();
     let mut count = 0usize;
     for s in sections {
@@ -538,22 +563,53 @@ pub struct ResidencyStats {
     pub evictions: u64,
 }
 
+/// Where a [`ChunkStore`]'s chunk blobs live on disk.
+#[derive(Debug)]
+enum ChunkSource {
+    /// A single immutable `LBECHK2` container file: blobs are sections.
+    Container {
+        container: FileContainer,
+        /// Per-chunk blob descriptors, in chunk order.
+        directory: Vec<Section>,
+    },
+    /// An `LBECHK3` generation-store directory (see [`crate::lifecycle`]):
+    /// blobs are content-addressed files, possibly compressed.
+    Generation {
+        dir: PathBuf,
+        /// Manifest file name this store was loaded from — compared against
+        /// `CURRENT` by [`ChunkStore::refresh_generation`].
+        current: String,
+        /// Per-chunk blob references, in chunk order.
+        blobs: Vec<BlobRef>,
+    },
+}
+
 /// A disk-backed chunked index with **lazy chunk residency**: at most
 /// `max_resident` chunks are held in memory; [`ChunkStore::search`] faults
-/// the chunks a query needs from the container on demand and evicts the
+/// the chunks a query needs from disk on demand and evicts the
 /// least-recently-used resident chunk when over budget — the paper's
 /// "stored on disks when not in use" made real.
+///
+/// Backed either by one immutable `LBECHK2` container
+/// ([`ChunkStore::open_path`]) or by a generational `LBECHK3` store
+/// directory ([`ChunkStore::open_generation_dir`]), whose chunks live as
+/// content-addressed — and usually compressed — blob files; a compressed
+/// blob is decompressed on fault, so the resident budget bounds
+/// *uncompressed* working-set bytes while the disk holds the compressed
+/// form.
 ///
 /// Search results are bit-identical to the fully-resident
 /// [`ChunkedIndex`] for any budget (tested down to `max_resident = 1`).
 #[derive(Debug)]
 pub struct ChunkStore {
-    container: FileContainer,
+    source: ChunkSource,
     config: SlmConfig,
+    /// `LBECHK2` boundary ladder; empty for a generation store (whose
+    /// chunks carry explicit `intervals` instead).
     boundaries: Vec<f64>,
+    /// Per-chunk closed mass-coverage intervals driving chunk selection.
+    intervals: Vec<(f64, f64)>,
     global_ids: Vec<Vec<u32>>,
-    /// Per-chunk blob descriptors, in chunk order.
-    directory: Vec<Section>,
     resident: Vec<Option<SlmIndex>>,
     /// Last-access tick per chunk (0 = never).
     last_used: Vec<u64>,
@@ -599,12 +655,16 @@ impl ChunkStore {
             directory.len(),
         )?;
         let n = directory.len();
+        let intervals = meta.boundaries.windows(2).map(|w| (w[0], w[1])).collect();
         Ok(ChunkStore {
-            container,
+            source: ChunkSource::Container {
+                container,
+                directory,
+            },
             config: meta.config,
             boundaries: meta.boundaries,
+            intervals,
             global_ids: meta.global_ids,
-            directory,
             resident: (0..n).map(|_| None).collect(),
             last_used: vec![0; n],
             tick: 0,
@@ -615,14 +675,128 @@ impl ChunkStore {
         })
     }
 
-    /// Number of chunks in the container.
+    /// Opens a generation-store directory (see [`crate::lifecycle`])
+    /// lazily: only the `CURRENT` manifest is read here; chunk blobs are
+    /// faulted in — decompressing and hash-verifying each — on demand.
+    pub fn open_generation_dir(
+        dir: impl AsRef<Path>,
+        max_resident: usize,
+    ) -> std::io::Result<Self> {
+        Self::open_generation_dir_with(dir, max_resident, &ReadOptions::default())
+    }
+
+    /// [`ChunkStore::open_generation_dir`] with explicit [`ReadOptions`]
+    /// applied to every faulted chunk.
+    pub fn open_generation_dir_with(
+        dir: impl AsRef<Path>,
+        max_resident: usize,
+        opts: &ReadOptions,
+    ) -> std::io::Result<Self> {
+        assert!(max_resident >= 1, "resident budget must be at least 1");
+        let dir = dir.as_ref();
+        let (current, manifest) = crate::lifecycle::load_current(dir)?;
+        let (config, blobs, intervals, global_ids) = manifest.into_store_parts();
+        let n = blobs.len();
+        Ok(ChunkStore {
+            source: ChunkSource::Generation {
+                dir: dir.to_path_buf(),
+                current,
+                blobs,
+            },
+            config,
+            boundaries: Vec::new(),
+            intervals,
+            global_ids,
+            resident: (0..n).map(|_| None).collect(),
+            last_used: vec![0; n],
+            tick: 0,
+            max_resident,
+            read_opts: *opts,
+            stats: ResidencyStats::default(),
+            scratch: crate::query::SearchScratch::default(),
+        })
+    }
+
+    /// For a generation store: if `CURRENT` has moved since this store
+    /// loaded its manifest, reload it **without dropping state** — resident
+    /// chunks whose content hashes survive into the new generation carry
+    /// over (matched by hash, re-checked against their new id tables), so
+    /// only chunks whose hashes changed re-fault. Returns `true` if a newer
+    /// generation was picked up. Always `Ok(false)` for a plain container.
+    ///
+    /// Cumulative [`ResidencyStats`] persist across refreshes; carried-over
+    /// chunks count as neither faults nor hits.
+    pub fn refresh_generation(&mut self) -> std::io::Result<bool> {
+        let dir = match &self.source {
+            ChunkSource::Generation { dir, current, .. } => {
+                if crate::lifecycle::read_current_name(dir)? == *current {
+                    return Ok(false);
+                }
+                dir.clone()
+            }
+            ChunkSource::Container { .. } => return Ok(false),
+        };
+        let (current, manifest) = crate::lifecycle::load_current(&dir)?;
+        let (config, blobs, intervals, global_ids) = manifest.into_store_parts();
+
+        // Park the old residents by content hash, then reseat the ones the
+        // new generation still references: a resident chunk is a pure
+        // function of its blob bytes (the id mapping is applied at search
+        // time), so an unchanged hash means an unchanged chunk.
+        let mut parked: std::collections::HashMap<u64, SlmIndex> = std::collections::HashMap::new();
+        if let ChunkSource::Generation {
+            blobs: old_blobs, ..
+        } = &self.source
+        {
+            for (i, slot) in self.resident.iter_mut().enumerate() {
+                if let Some(chunk) = slot.take() {
+                    parked.insert(old_blobs[i].hash, chunk);
+                }
+            }
+        }
+        let n = blobs.len();
+        let mut resident: Vec<Option<SlmIndex>> = (0..n).map(|_| None).collect();
+        let mut last_used = vec![0u64; n];
+        for (i, b) in blobs.iter().enumerate() {
+            if let Some(chunk) = parked.remove(&b.hash) {
+                if check_gid_cover(&chunk, &global_ids[i]).is_ok() {
+                    self.tick += 1;
+                    resident[i] = Some(chunk);
+                    last_used[i] = self.tick;
+                }
+            }
+        }
+        self.source = ChunkSource::Generation {
+            dir,
+            current,
+            blobs,
+        };
+        self.config = config;
+        self.intervals = intervals;
+        self.global_ids = global_ids;
+        self.resident = resident;
+        self.last_used = last_used;
+        Ok(true)
+    }
+
+    /// Number of chunks in the store.
     pub fn num_chunks(&self) -> usize {
-        self.directory.len()
+        self.intervals.len()
     }
 
     /// Number of chunks currently resident in memory.
     pub fn num_resident(&self) -> usize {
         self.resident.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Indices of the currently resident chunks, ascending.
+    pub fn resident_chunks(&self) -> Vec<usize> {
+        self.resident
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// The resident-chunk budget.
@@ -640,7 +814,9 @@ impl ChunkStore {
         &self.config
     }
 
-    /// The `num_chunks + 1` mass boundaries.
+    /// The `num_chunks + 1` mass boundaries of an `LBECHK2` container;
+    /// empty for a generation store, whose chunks carry per-chunk
+    /// intervals instead of a shared ladder.
     pub fn boundaries(&self) -> &[f64] {
         &self.boundaries
     }
@@ -655,14 +831,31 @@ impl ChunkStore {
             .sum()
     }
 
+    /// On-disk vs in-memory accounting: logical (uncompressed) chunk
+    /// bytes, stored (possibly compressed) bytes, and the resident set.
+    pub fn storage_footprint(&self) -> StorageFootprint {
+        let (logical_bytes, stored_bytes) = match &self.source {
+            ChunkSource::Container { directory, .. } => {
+                let total: u64 = directory.iter().map(|s| s.len).sum();
+                (total, total)
+            }
+            ChunkSource::Generation { blobs, .. } => (
+                blobs.iter().map(|b| b.raw_len).sum(),
+                blobs.iter().map(|b| b.stored_len).sum(),
+            ),
+        };
+        StorageFootprint {
+            logical_bytes,
+            stored_bytes,
+            resident_bytes: self.resident_heap_bytes(),
+            num_chunks: self.num_chunks(),
+            num_resident: self.num_resident(),
+        }
+    }
+
     /// Chunks a query of this precursor mass must visit (ascending).
     pub fn chunks_for_query(&self, query_mass: f64) -> Vec<usize> {
-        chunks_overlapping(
-            &self.boundaries,
-            self.directory.len(),
-            query_mass,
-            self.config.precursor_tolerance,
-        )
+        intervals_overlapping(&self.intervals, query_mass, self.config.precursor_tolerance)
     }
 
     /// Makes chunk `ci` resident, faulting it from disk (and evicting the
@@ -686,14 +879,35 @@ impl ChunkStore {
             self.resident[lru] = None;
             self.stats.evictions += 1;
         }
-        // The blob's inner container self-verifies (table checksum +
-        // per-section CRCs), so the outer section CRC is not re-checked.
-        let blob = self
-            .container
-            .read_section_desc_unverified(&self.directory[ci])?;
-        let arena = Arc::new(blob);
+        let opts = self.read_opts;
+        let arena = match &mut self.source {
+            // The blob's inner container self-verifies (table checksum +
+            // per-section CRCs), so the outer section CRC is not re-checked.
+            ChunkSource::Container {
+                container,
+                directory,
+            } => Arc::new(container.read_section_desc_unverified(&directory[ci])?),
+            // A generation blob is covered end to end by its content hash
+            // (computed over the *uncompressed* bytes, padding included),
+            // so a corrupt or swapped blob file fails here — and the
+            // compressed frame additionally self-verifies during
+            // decompression.
+            ChunkSource::Generation { dir, blobs, .. } => {
+                let b = blobs[ci];
+                let bytes = std::fs::read(crate::lifecycle::blob_path(dir, b.hash))?;
+                let raw = if crate::compress::is_compressed_blob(&bytes) {
+                    crate::compress::decompress_container(&bytes, MAGIC_V2)?
+                } else {
+                    AlignedBuf::from_slice(&bytes)
+                };
+                if raw.len() as u64 != b.raw_len || content_hash64(raw.as_slice()) != b.hash {
+                    return Err(bad("chunk blob does not match its manifest content hash"));
+                }
+                Arc::new(raw)
+            }
+        };
         let inner = ParsedContainer::parse(arena.as_slice(), 0, None, MAGIC_V2)?;
-        let chunk = io::read_v2_parsed(arena, &inner, &self.read_opts)?;
+        let chunk = io::read_v2_parsed(arena, &inner, &opts)?;
         check_gid_cover(&chunk, &self.global_ids[ci])?;
         self.resident[ci] = Some(chunk);
         self.last_used[ci] = self.tick;
@@ -733,12 +947,7 @@ impl ChunkStore {
         let top_k = opts.effective_top_k(&self.config);
         let mut psms = Vec::new();
         let mut stats = QueryStats::default();
-        let touched = chunks_overlapping(
-            &self.boundaries,
-            self.directory.len(),
-            query.precursor_neutral_mass(),
-            tol,
-        );
+        let touched = intervals_overlapping(&self.intervals, query.precursor_neutral_mass(), tol);
         for ci in touched {
             self.ensure_resident(ci)?;
             let chunk = self.resident[ci].as_ref().expect("just made resident");

@@ -69,6 +69,37 @@ impl MemoryFootprint {
     }
 }
 
+/// On-disk vs in-memory accounting for a [`crate::ChunkStore`]: how many
+/// logical (uncompressed) bytes the store indexes, how many bytes that
+/// costs on disk under the generation store's compressed blobs, and how
+/// much of it is currently resident. `stored == logical` for an
+/// uncompressed `LBECHK2` container; compression widens the gap — the
+/// resident budget then covers a larger *logical* working set per disk
+/// byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageFootprint {
+    /// Uncompressed bytes across all chunk blobs.
+    pub logical_bytes: u64,
+    /// Bytes the blobs occupy on disk (compressed where that is smaller).
+    pub stored_bytes: u64,
+    /// Heap bytes of the currently resident (always uncompressed) chunks.
+    pub resident_bytes: usize,
+    /// Total chunks in the store.
+    pub num_chunks: usize,
+    /// Chunks currently resident.
+    pub num_resident: usize,
+}
+
+impl StorageFootprint {
+    /// stored / logical — < 1.0 when compression is winning.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 1.0;
+        }
+        self.stored_bytes as f64 / self.logical_bytes as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

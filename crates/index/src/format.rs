@@ -154,6 +154,29 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// Domain-separation salt for the second [`content_hash64`] CRC pass.
+const CONTENT_HASH_SALT: [u8; 8] = *b"LBEHASH1";
+
+/// 64-bit content address of a payload, built from the existing CRC-32
+/// machinery: the plain CRC in the high word and a salted CRC (same
+/// polynomial, domain-separated by a fixed prefix) in the low word, with
+/// the length folded in so payloads that collide on both checksums still
+/// separate when their sizes differ.
+///
+/// This is a *content address*, not a cryptographic digest: it names chunk
+/// blobs in a generation store so identical chunks are shared across
+/// generations, and every blob read re-verifies the full hash after
+/// decompression, so a collision could only alias two chunks that already
+/// agree on 64 checksum bits and their length.
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    let plain = crc32(bytes) as u64;
+    let mut salted = Crc32::new();
+    salted.update(&CONTENT_HASH_SALT);
+    salted.update(bytes);
+    let h = (plain << 32) | salted.finish() as u64;
+    h ^ (bytes.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// A [`Write`] sink that counts bytes and checksums them without storing
 /// anything — used to plan a section (length + CRC) before emitting it, so
 /// writers never materialize a second copy of large payloads.

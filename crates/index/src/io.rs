@@ -66,6 +66,10 @@ pub const MAGIC_V1: &[u8; 8] = b"LBESLM1\0";
 pub const MAGIC_V2: &[u8; 8] = b"LBESLM2\0";
 /// Magic of the v2 *chunked* container (see [`crate::chunked`]).
 pub const MAGIC_CHUNKED: &[u8; 8] = b"LBECHK2\0";
+/// Magic of the v3 generation *manifest* container (see
+/// [`crate::lifecycle`]): a directory-backed index whose chunks live as
+/// content-addressed blob files beside the manifest.
+pub const MAGIC_MANIFEST: &[u8; 8] = b"LBECHK3\0";
 
 pub(crate) const SEC_CONFIG: [u8; 8] = section_name("config");
 pub(crate) const SEC_ENTRIES: [u8; 8] = section_name("entries");

@@ -43,10 +43,12 @@
 
 pub mod builder;
 pub mod chunked;
+pub mod compress;
 pub mod config;
 pub mod footprint;
 pub mod format;
 pub mod io;
+pub mod lifecycle;
 pub mod parallel;
 pub mod precursor;
 pub mod query;
@@ -57,11 +59,12 @@ pub mod slm;
 pub use builder::{BuildStats, IndexBuilder};
 pub use chunked::{ChunkStore, ChunkedIndex, ResidencyStats};
 pub use config::SlmConfig;
-pub use footprint::MemoryFootprint;
+pub use footprint::{MemoryFootprint, StorageFootprint};
 pub use io::{
     read_index, read_index_bytes, read_index_path, read_index_path_with, read_index_with,
     write_index, write_index_path, write_index_v1, ReadOptions, FLAG_MASS_SORTED,
 };
+pub use lifecycle::{GenerationStore, ManifestRecord};
 pub use parallel::{
     search_batch_chunked, search_batch_parallel, search_batch_parallel_with_mode,
     search_batch_parallel_with_opts,

@@ -14,7 +14,7 @@
 //! both paths have identical semantics (proptested against
 //! [`brute_force_shared_peaks`]).
 //!
-//! The scan itself is **two-phase SoA** (see [`crate::scan`]): phase one
+//! The scan itself is **two-phase SoA** (see `crate::scan`): phase one
 //! walks the query's bin windows and *resolves* each bin to its admitted
 //! posting run — for an open-mod envelope `[ΔM_lo, ΔM_hi]` most bins are
 //! decided by the O(1) **fragment-bin-level band** ([`crate::slm`]'s

@@ -385,7 +385,7 @@ impl SlmIndex {
 
     /// Like [`SlmIndex::for_postings_near`], but restricted to postings
     /// whose entry id lies in `[entry_lo, entry_hi)` — the precursor-band
-    /// fast path. Each bin's admitted run is resolved by [`admitted_run`]:
+    /// fast path. Each bin's admitted run is resolved by `admitted_run`:
     /// O(1) endpoint prune/accept first, two binary searches only when the
     /// band cuts the bin. Out-of-band postings are counted but never
     /// touched. Returns `(bins_touched, postings_skipped)`; the callback

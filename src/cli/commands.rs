@@ -20,7 +20,8 @@ use lbe_core::partition::PartitionPolicy;
 use lbe_core::serve::proto::{self, Request, Response};
 use lbe_core::serve::{serve_stdin, ResidentEngine, ServeConfig, Server};
 use lbe_core::{cluster_build_rank, cluster_search_rank, write_shards};
-use lbe_index::{ChunkedIndex, Psm, QueryOptions, ScanMode, SlmConfig};
+use lbe_index::lifecycle::chunked_container_stats;
+use lbe_index::{ChunkedIndex, GenerationStore, Psm, QueryOptions, ScanMode, SlmConfig};
 use lbe_spectra::mgf::write_mgf;
 use lbe_spectra::ms2::write_ms2_path;
 use lbe_spectra::mzml::write_mzml_path;
@@ -79,6 +80,29 @@ COMMANDS:
                   build a mass-chunked SLM fragment-ion index and write a
                   v2 (LBECHK2) container; --digest accepts a raw proteome
                   FASTA and streams it through tryptic digestion first
+  index init      --db peptides.fasta --out DIR [--digest]
+                  [--mods none|oxidation|paper] [--chunk-size 50000]
+                  create a generation store: a directory of
+                  content-addressed (and, when smaller, compressed) chunk
+                  blobs under an LBECHK3 manifest; `search` and `serve`
+                  accept the directory anywhere they accept an index file
+  index append    --index DIR --db delta.fasta [--digest]
+                  digest only the new peptides (duplicates vs the stored
+                  set are skipped) into append-only delta chunks; config,
+                  modspec and chunk size come from the store's manifest
+  index compact   --index DIR
+                  merge base + delta chunks into one fresh mass-sorted
+                  generation; search output is byte-identical to a
+                  from-scratch rebuild, and unchanged blobs are reused by
+                  content hash
+  index gc        --index DIR
+                  drop tombstoned records, delete unreferenced chunk
+                  blobs and superseded manifests
+  index stats     --index DIR|index.lbe
+                  per-chunk inventory (content hash, generation,
+                  live/tombstone, compression, raw vs stored bytes, mass
+                  range) plus store totals; works on generation store
+                  directories and plain LBECHK2 files
   search          --index index.lbe --queries q.{ms2|mgf|mzML} --out results.tsv
                   [--top-k 10] [--max-resident-chunks 0] [--csv] [--full-scan]
                   search an index (chunked v2 container, or a single-index
@@ -359,6 +383,28 @@ fn synth_queries<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
 }
 
 fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    let sub = args.positional.first().map(String::as_str);
+    if sub.is_some() && args.positional.len() != 1 {
+        return Err(Box::new(ArgError(
+            "usage: lbe index [init|append|compact|gc|stats] --option value ...".into(),
+        )));
+    }
+    match sub {
+        None => index_build(args, out),
+        Some("init") => index_init(args, out),
+        Some("append") => index_append(args, out),
+        Some("compact") => index_compact(args, out),
+        Some("gc") => index_gc(args, out),
+        Some("stats") => index_stats(args, out),
+        Some(other) => Err(Box::new(ArgError(format!(
+            "unknown index subcommand {other:?} (init|append|compact|gc|stats, \
+             or no subcommand for a single-file LBECHK2 build)"
+        )))),
+    }
+}
+
+/// The legacy single-file build: `lbe index --db ... --out index.lbe`.
+fn index_build<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     args.reject_unknown(&["db", "out", "mods", "chunk-size", "digest"])?;
     let db_path = args.require("db")?;
     let output = args.require("out")?;
@@ -377,6 +423,116 @@ fn index_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         index.num_spectra(),
         index.num_chunks(),
         index.heap_bytes() as f64 / 1e6
+    )?;
+    Ok(())
+}
+
+/// `lbe index init`: creates a generation-store directory (LBECHK3).
+fn index_init<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["db", "out", "mods", "chunk-size", "digest"])?;
+    let db_path = args.require("db")?;
+    let output = args.require("out")?;
+    let chunk_size = args.get_parsed("chunk-size", 50_000usize)?;
+    let db = read_db(args, db_path, out)?;
+    let modspec = parse_mods(args)?;
+    let (store, o) = GenerationStore::init(output, &db, SlmConfig::default(), modspec, chunk_size)?;
+    let stats = store.stats()?;
+    writeln!(
+        out,
+        "initialized generation store {output}: {} peptides in {} chunk(s) \
+         (generation {}, {} stored of {} logical bytes)",
+        o.total_peptides, o.new_chunks, o.generation, stats.stored_bytes, stats.logical_bytes
+    )?;
+    Ok(())
+}
+
+/// `lbe index append`: digests only the new peptides into delta chunks.
+fn index_append<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["index", "db", "digest"])?;
+    let index_dir = args.require("index")?;
+    let db_path = args.require("db")?;
+    let store = GenerationStore::open(index_dir)?;
+    let delta = read_db(args, db_path, out)?;
+    let o = store.append(&delta)?;
+    writeln!(
+        out,
+        "appended {} new peptides ({} duplicates skipped) as {} delta chunk(s) \
+         in generation {}; store now holds {} peptides",
+        o.peptides_added, o.duplicates_skipped, o.new_chunks, o.generation, o.total_peptides
+    )?;
+    Ok(())
+}
+
+/// `lbe index compact`: rewrites the store as one fresh generation,
+/// byte-identical in search output to a from-scratch rebuild.
+fn index_compact<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["index"])?;
+    let index_dir = args.require("index")?;
+    let store = GenerationStore::open(index_dir)?;
+    let o = store.compact()?;
+    writeln!(
+        out,
+        "compacted {} chunk(s) into {} (generation {}, {} blob(s) reused by content hash)",
+        o.chunks_before, o.chunks_after, o.generation, o.blobs_reused
+    )?;
+    Ok(())
+}
+
+/// `lbe index gc`: deletes unreferenced blobs and superseded manifests.
+fn index_gc<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["index"])?;
+    let index_dir = args.require("index")?;
+    let store = GenerationStore::open(index_dir)?;
+    let o = store.gc()?;
+    writeln!(
+        out,
+        "gc: deleted {} blob(s) ({} bytes) and {} old manifest(s), dropped {} tombstone(s)",
+        o.blobs_deleted, o.bytes_reclaimed, o.manifests_deleted, o.tombstones_dropped
+    )?;
+    Ok(())
+}
+
+/// `lbe index stats`: per-chunk inventory of a generation store directory
+/// or a plain single-file LBECHK2 container.
+fn index_stats<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
+    args.reject_unknown(&["index"])?;
+    let index_path = args.require("index")?;
+    let stats = if std::path::Path::new(index_path).is_dir() {
+        GenerationStore::open(index_path)?.stats()?
+    } else {
+        chunked_container_stats(index_path)?
+    };
+    writeln!(
+        out,
+        "{:>5}  {:<16}  {:>3}  {:<4}  {:<4}  {:>12}  {:>12}  mass range",
+        "chunk", "hash", "gen", "live", "comp", "raw", "stored"
+    )?;
+    for (i, r) in stats.records.iter().enumerate() {
+        writeln!(
+            out,
+            "{i:>5}  {:016x}  {:>3}  {:<4}  {:<4}  {:>12}  {:>12}  [{}, {}]",
+            r.hash,
+            r.generation,
+            if r.tombstone { "tomb" } else { "live" },
+            if r.compressed { "yes" } else { "no" },
+            r.raw_len,
+            r.stored_len,
+            r.lo_mass,
+            r.hi_mass
+        )?;
+    }
+    let live = stats.records.iter().filter(|r| !r.tombstone).count();
+    writeln!(
+        out,
+        "{} peptides in {} live chunk(s) (+{} tombstone(s)); \
+         {} bytes stored of {} logical (ratio {:.3}); next generation {}",
+        stats.num_peptides,
+        live,
+        stats.records.len() - live,
+        stats.stored_bytes,
+        stats.logical_bytes,
+        stats.stored_bytes as f64 / stats.logical_bytes.max(1) as f64,
+        stats.next_generation
     )?;
     Ok(())
 }
@@ -1373,6 +1529,108 @@ mod tests {
         .unwrap();
         assert!(msg.contains("load imbalance"));
         assert!(msg.contains("candidate PSMs"));
+    }
+
+    #[test]
+    fn index_lifecycle_pipeline() {
+        let d = tmpdir("lifecycle");
+        let p = |n: &str| d.join(n).to_string_lossy().to_string();
+        let _ = std::fs::remove_dir_all(d.join("store"));
+
+        run(&format!(
+            "synth-proteome --out {} --proteins 30 --seed 11",
+            p("prot.fasta")
+        ))
+        .unwrap();
+        run(&format!(
+            "digest --in {} --out {}",
+            p("prot.fasta"),
+            p("pep.fasta")
+        ))
+        .unwrap();
+
+        // Split the peptide FASTA into halves on a record (2-line)
+        // boundary; the delta re-includes the first record so the append
+        // path has a duplicate to skip.
+        let all = std::fs::read_to_string(p("pep.fasta")).unwrap();
+        let lines: Vec<&str> = all.lines().collect();
+        let half = lines.len() / 4 * 2;
+        assert!(half >= 2 && half < lines.len());
+        std::fs::write(p("base.fasta"), lines[..half].join("\n") + "\n").unwrap();
+        let delta = [&lines[..2], &lines[half..]].concat().join("\n") + "\n";
+        std::fs::write(p("delta.fasta"), delta).unwrap();
+
+        let msg = run(&format!(
+            "index init --db {} --out {} --chunk-size 64",
+            p("base.fasta"),
+            p("store")
+        ))
+        .unwrap();
+        assert!(msg.contains("initialized generation store"));
+
+        let msg = run(&format!(
+            "index append --index {} --db {}",
+            p("store"),
+            p("delta.fasta")
+        ))
+        .unwrap();
+        assert!(msg.contains("appended"));
+        assert!(msg.contains("1 duplicates skipped"));
+
+        let msg = run(&format!("index compact --index {}", p("store"))).unwrap();
+        assert!(msg.contains("compacted"));
+        let msg = run(&format!("index gc --index {}", p("store"))).unwrap();
+        assert!(msg.contains("gc: deleted"));
+
+        let msg = run(&format!("index stats --index {}", p("store"))).unwrap();
+        assert!(msg.contains("stored"));
+        assert!(msg.contains("live"));
+        assert!(!msg.contains("tomb "));
+
+        // The compacted store must search identically to a from-scratch
+        // single-file index over the same peptide set.
+        run(&format!(
+            "index --db {} --out {}",
+            p("pep.fasta"),
+            p("full.lbe")
+        ))
+        .unwrap();
+        run(&format!(
+            "synth-queries --db {} --out {} --n 10 --seed 5",
+            p("pep.fasta"),
+            p("q.ms2")
+        ))
+        .unwrap();
+        run(&format!(
+            "search --index {} --queries {} --out {} --top-k 5",
+            p("store"),
+            p("q.ms2"),
+            p("gen.tsv")
+        ))
+        .unwrap();
+        run(&format!(
+            "search --index {} --queries {} --out {} --top-k 5",
+            p("full.lbe"),
+            p("q.ms2"),
+            p("full.tsv")
+        ))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(p("gen.tsv")).unwrap(),
+            std::fs::read(p("full.tsv")).unwrap()
+        );
+
+        // `stats` also inventories a plain LBECHK2 file.
+        let msg = run(&format!("index stats --index {}", p("full.lbe"))).unwrap();
+        assert!(msg.contains("stored"));
+
+        assert!(run(&format!("index bogus --index {}", p("store"))).is_err());
+        assert!(run(&format!(
+            "index init --db {} --out {}",
+            p("base.fasta"),
+            p("store")
+        ))
+        .is_err());
     }
 
     #[test]

@@ -562,3 +562,88 @@ fn query_flags_match_one_shot_search() {
     handle.shutdown();
     runner.join().unwrap();
 }
+
+/// A daemon serving a generation store picks up appended generations
+/// between waves: the same connection that searched the base index finds
+/// the appended peptide after `append`, with no reconnect.
+#[test]
+fn serve_reopens_latest_generation_without_dropping_connections() {
+    use lbe::bio::mods::ModSpec;
+    use lbe::bio::peptide::{Peptide, PeptideDb};
+    use lbe::index::{GenerationStore, SlmConfig};
+    use lbe::spectra::spectrum::Peak;
+    use lbe::spectra::theo::{TheoParams, TheoSpectrum};
+
+    fn perfect_query(seq: &[u8]) -> Spectrum {
+        let theo = TheoSpectrum::from_sequence(
+            seq,
+            &lbe::bio::mods::ModForm::unmodified(),
+            &ModSpec::none(),
+            &TheoParams::default(),
+        );
+        let peaks = theo
+            .fragment_mzs
+            .iter()
+            .map(|&m| Peak::new(m, 100.0))
+            .collect();
+        Spectrum::new(
+            7,
+            lbe::bio::aa::precursor_mz(theo.precursor_mass, 2),
+            2,
+            peaks,
+        )
+    }
+    fn pep_db(seqs: &[&str]) -> PeptideDb {
+        PeptideDb::from_vec(
+            seqs.iter()
+                .map(|s| Peptide::new(s.as_bytes(), 0, 0).unwrap())
+                .collect(),
+        )
+    }
+
+    let dir = tmpdir("gen_reopen").join("store");
+    std::fs::remove_dir_all(&dir).ok();
+    let (writer, _) = GenerationStore::init(
+        &dir,
+        &pep_db(&["GGGGGK", "AAAGGK", "PEPTIDEK", "ELVISLIVESK"]),
+        SlmConfig::default(),
+        ModSpec::none(),
+        2,
+    )
+    .unwrap();
+
+    let engine = ResidentEngine::open(&dir, usize::MAX).unwrap();
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().unwrap());
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let top_peptide = |conn: &mut TcpStream, seq: &[u8], req_id: u64| -> u32 {
+        conn.write_all(&query_frame(req_id, &perfect_query(seq)))
+            .unwrap();
+        match read_response(&mut BufReader::new(conn.try_clone().unwrap())) {
+            Response::Result { req_id: rid, psms } => {
+                assert_eq!(rid, req_id);
+                assert!(!psms.is_empty(), "no PSMs for {:?}", seq);
+                psms[0].0
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    };
+
+    // Base generation answers on this connection…
+    assert_eq!(top_peptide(&mut conn, b"PEPTIDEK", 1), 2);
+    // …a writer appends a new generation behind the daemon's back…
+    let out = writer.append(&pep_db(&["WWWWWWK", "SAMPLERK"])).unwrap();
+    assert_eq!(out.peptides_added, 2);
+    // …and the SAME connection finds the appended peptide: the dispatcher
+    // refreshed to the new generation between waves.
+    assert_eq!(top_peptide(&mut conn, b"WWWWWWK", 2), 4);
+    // The base generation still answers too (its chunks carried over).
+    assert_eq!(top_peptide(&mut conn, b"GGGGGK", 3), 0);
+
+    drop(conn);
+    handle.shutdown();
+    runner.join().unwrap();
+}
