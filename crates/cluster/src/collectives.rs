@@ -17,9 +17,22 @@
 //! [`CommError`] with rank/tag context (what engine code uses, so a dead
 //! peer or timeout is reportable), and a panicking convenience wrapper
 //! keeping the original MPI-like names.
+//!
+//! ## Fault tolerance
+//!
+//! The `try_*` cores are built from [`Communicator::try_send`] /
+//! [`Communicator::try_recv`], so a communicator configured with
+//! [`crate::RetryPolicy`] (via [`Communicator::with_retry`]) transparently
+//! retries transient failures *inside* every collective — a delayed frame
+//! that missed one receive window is picked up by the next bounded
+//! attempt. On top of that, the `*_lenient` master-side variants below
+//! tolerate dead contributors outright: instead of failing the whole
+//! collective, they record which ranks failed and keep going, which is
+//! what supervised distributed search uses to survive a killed worker.
 
 use crate::comm::{CommError, Communicator, Tag};
 use crate::wire::Wire;
+use std::collections::BTreeSet;
 
 /// Reserved tag range base for collectives.
 pub const COLLECTIVE_TAG_BASE: Tag = 0xFFFF_FF00;
@@ -269,6 +282,66 @@ impl Communicator {
     ) -> T {
         self.try_scatter(root, values, sim_bytes)
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Master-side half of a barrier that tolerates dead workers. Pairs
+    /// with plain [`Communicator::try_barrier`] on the workers: collects
+    /// READY from every rank not already in `dead`, marking ranks whose
+    /// exchange fails (after the communicator's retry policy is exhausted)
+    /// instead of failing, then releases the survivors.
+    ///
+    /// Must be called on rank 0. Newly failed ranks are added to `dead`.
+    pub fn try_barrier_lenient(&mut self, dead: &mut BTreeSet<usize>) -> Result<(), CommError> {
+        assert!(self.is_master(), "lenient barrier is master-side only");
+        let p = self.size();
+        for src in 1..p {
+            if dead.contains(&src) {
+                continue;
+            }
+            if self.try_recv::<()>(src, TAG_BARRIER_UP).is_err() {
+                dead.insert(src);
+            }
+        }
+        for dest in 1..p {
+            if dead.contains(&dest) {
+                continue;
+            }
+            if self.try_send(dest, TAG_BARRIER_DOWN, (), 0).is_err() {
+                dead.insert(dest);
+            }
+        }
+        let release_arrival = self.now() + self.cost_model().transfer_time(0);
+        self.sync_clock_to(release_arrival);
+        Ok(())
+    }
+
+    /// Master-side half of a gather to rank 0 that tolerates dead workers.
+    /// Pairs with plain [`Communicator::try_gather`]`(0, ..)` on the
+    /// workers. Returns one slot per rank: `Some(value)` for ranks that
+    /// contributed (slot 0 is `value`, the master's own), `None` for ranks
+    /// in `dead` or whose exchange failed — those are added to `dead`.
+    pub fn try_gather_lenient<T: Wire + Send + 'static>(
+        &mut self,
+        value: T,
+        dead: &mut BTreeSet<usize>,
+    ) -> Result<Vec<Option<T>>, CommError> {
+        assert!(self.is_master(), "lenient gather is master-side only");
+        let p = self.size();
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        slots[0] = Some(value);
+        #[allow(clippy::needless_range_loop)]
+        for src in 1..p {
+            if dead.contains(&src) {
+                continue;
+            }
+            match self.try_recv::<T>(src, TAG_GATHER) {
+                Ok(v) => slots[src] = Some(v),
+                Err(_) => {
+                    dead.insert(src);
+                }
+            }
+        }
+        Ok(slots)
     }
 
     /// Convenience: `all_reduce` over `f64` (8 modelled bytes).

@@ -14,8 +14,10 @@
 //! unchanged on either backend.
 
 use crate::clock::{CommCostModel, VirtualClock};
+use crate::retry::RetryPolicy;
 use crate::transport::{Frame, Payload, Transport};
 use crate::wire::{self, Wire, WireError};
+use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -76,6 +78,23 @@ pub enum CommError {
         /// What went wrong.
         detail: String,
     },
+}
+
+impl CommError {
+    /// Transient-vs-fatal classification, the contract every retry site
+    /// ([`Communicator`] point-to-point ops, the `try_*` collective cores
+    /// built on them, and [`crate::TcpTransport`] socket healing) follows:
+    ///
+    /// | Variant        | Class     | Rationale                                          |
+    /// |----------------|-----------|----------------------------------------------------|
+    /// | `Timeout`      | transient | peer may be slow/stalled; waiting again can succeed |
+    /// | `Io`           | transient | socket hiccup; a reconnect can heal it             |
+    /// | `Disconnected` | fatal     | surfaced only after reconnect attempts exhausted   |
+    /// | `Codec`        | fatal     | the bytes are wrong; retrying re-reads the same bytes |
+    /// | `Setup`        | fatal     | the cluster never formed; retrying is a new launch |
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CommError::Timeout { .. } | CommError::Io { .. })
+    }
 }
 
 impl fmt::Display for CommError {
@@ -146,6 +165,10 @@ pub struct Communicator {
     cost: CommCostModel,
     /// Wall-clock guard against deadlocks.
     recv_timeout: Duration,
+    /// Retry policy for transient point-to-point failures (default: none).
+    retry: RetryPolicy,
+    /// Jitter stream for retry backoff.
+    retry_rng: ChaCha8Rng,
 }
 
 impl Communicator {
@@ -161,12 +184,32 @@ impl Communicator {
         } else {
             TimeBase::Wall(Instant::now())
         };
+        let retry = RetryPolicy::none();
+        let retry_rng = retry.jitter_rng();
         Communicator {
             transport,
             time,
             cost,
             recv_timeout,
+            retry,
+            retry_rng,
         }
+    }
+
+    /// Opts this communicator into retrying **transient** failures (see
+    /// [`CommError::is_transient`]) of point-to-point operations — and with
+    /// them every `try_*` collective, which are built from those primitives.
+    /// The default is [`RetryPolicy::none`]: fail fast, exactly the
+    /// pre-retry semantics.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry_rng = retry.jitter_rng();
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in effect for point-to-point operations.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// This rank's id, `0 ≤ rank < size`. Rank 0 is the master by convention.
@@ -257,18 +300,26 @@ impl Communicator {
         sim_bytes: usize,
     ) -> Result<(), CommError> {
         assert!(dest < self.size(), "send to nonexistent rank {dest}");
-        let frame = if self.transport.is_virtual() {
-            Frame {
-                payload: Payload::Value(Box::new(value)),
-                sent_at: self.now(),
-                sim_bytes,
-            }
-        } else {
-            Frame {
-                payload: Payload::Bytes(wire::encode_msg(&value)),
-                sent_at: 0.0,
-                sim_bytes,
-            }
+        if !self.transport.is_virtual() {
+            // Wire frames are re-encodable, so a transient send failure can
+            // be retried with a fresh frame.
+            let bytes = wire::encode_msg(&value);
+            return self.with_transient_retry(|t| {
+                t.send(
+                    dest,
+                    tag,
+                    Frame {
+                        payload: Payload::Bytes(bytes.clone()),
+                        sent_at: 0.0,
+                        sim_bytes,
+                    },
+                )
+            });
+        }
+        let frame = Frame {
+            payload: Payload::Value(Box::new(value)),
+            sent_at: self.now(),
+            sim_bytes,
         };
         self.transport.send(dest, tag, frame)
     }
@@ -291,8 +342,38 @@ impl Communicator {
         tag: Tag,
     ) -> Result<T, CommError> {
         assert!(src < self.size(), "receive from nonexistent rank {src}");
-        let frame = self.transport.recv(src, tag, self.recv_timeout)?;
+        let timeout = self.recv_timeout;
+        let frame = self.with_transient_retry(|t| t.recv(src, tag, timeout))?;
         self.open(src, tag, frame)
+    }
+
+    /// Runs `op` against the transport, retrying transient failures under
+    /// the communicator's [`RetryPolicy`]. With the default
+    /// [`RetryPolicy::none`] this is exactly one attempt.
+    fn with_transient_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut dyn Transport) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op(self.transport.as_mut()) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    let out_of_budget = attempt >= self.retry.max_attempts
+                        || started.elapsed() >= self.retry.deadline;
+                    if !e.is_transient() || out_of_budget {
+                        return Err(e);
+                    }
+                    let pause = self
+                        .retry
+                        .backoff(attempt, &mut self.retry_rng)
+                        .min(self.retry.deadline.saturating_sub(started.elapsed()));
+                    std::thread::sleep(pause);
+                }
+            }
+        }
     }
 
     /// Unwraps a frame: advances the clock to the modelled arrival time

@@ -29,6 +29,17 @@
 //! [`Hostfile`], [`wire`]-encoded typed messages, rendezvous at rank 0).
 //! Engine code never names a backend — it sees only [`Communicator`].
 //!
+//! ## Fault tolerance
+//!
+//! PR 10 adds a robustness layer. [`CommError::is_transient`] classifies
+//! every error as transient (worth retrying: timeouts, raw I/O hiccups) or
+//! fatal (peer truly gone, codec/setup bugs) — see its docs for the full
+//! table. A [`RetryPolicy`] drives bounded, seeded-jitter retries inside
+//! [`Communicator`] and reconnect-with-epoch healing inside
+//! [`TcpTransport`]. [`FaultyTransport`] wraps any backend with a
+//! deterministic [`FaultPlan`] (drop / delay / duplicate / corrupt /
+//! kill-at-Nth-op) so the whole stack can be chaos-tested reproducibly.
+//!
 //! ```
 //! use lbe_cluster::{Cluster, ClusterConfig};
 //!
@@ -49,7 +60,9 @@
 pub mod clock;
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod hostfile;
+pub mod retry;
 pub mod sim;
 pub mod tcp;
 pub mod threaded;
@@ -58,7 +71,11 @@ pub mod wire;
 
 pub use clock::{CommCostModel, VirtualClock};
 pub use comm::{CommError, Communicator, Tag};
+pub use fault::{
+    FaultAction, FaultPlan, FaultPlanError, FaultRule, FaultyTransport, FAULT_DEATH_EXIT_CODE,
+};
 pub use hostfile::{Hostfile, HostfileError};
+pub use retry::RetryPolicy;
 pub use sim::{rank_times_from_work, ImbalanceSummary};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use threaded::{Cluster, ClusterConfig, RunOutcome};

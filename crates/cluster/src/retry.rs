@@ -1,0 +1,156 @@
+//! Bounded retry with exponential backoff and jitter.
+//!
+//! One policy type serves both retry sites: [`crate::Communicator`]
+//! re-attempts transient point-to-point failures (and with them every
+//! `try_*` collective core, which are built from those primitives), and
+//! [`crate::TcpTransport`] uses it to bound reconnect-with-epoch healing of
+//! a dead socket. The policy is deterministic given its seed: jitter comes
+//! from a seeded ChaCha8 stream, never from wall-clock entropy, so chaos
+//! tests replay bit-identically.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Bounded-retry policy: at most `max_attempts` tries, exponential backoff
+/// between them, everything under one per-operation `deadline`.
+///
+/// An operation is retried only when its error is transient (see
+/// [`crate::CommError::is_transient`]); fatal errors surface immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff pause.
+    pub max_backoff: Duration,
+    /// Fraction of each pause randomized: a pause `b` becomes
+    /// `b * (1 - jitter/2 + jitter * u)` for uniform `u ∈ [0, 1)`.
+    pub jitter: f64,
+    /// Hard wall-clock budget for the operation across all attempts.
+    pub deadline: Duration,
+    /// Seed for the jitter stream (deterministic replay).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            deadline: Duration::MAX,
+            seed: 0,
+        }
+    }
+
+    /// A modest default for healing transient faults: 4 attempts, 25 ms
+    /// doubling backoff capped at 400 ms, half-width jitter, 2 s budget.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            jitter: 0.5,
+            deadline: Duration::from_secs(2),
+            seed: 0xfa17_0b5e,
+        }
+    }
+
+    /// `true` when the policy can retry at all.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1 && self.deadline > Duration::ZERO
+    }
+
+    /// Replaces the jitter seed (chaos tests derive it from their own seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The pause before retry number `attempt` (1-based: the pause after
+    /// the first failure is `backoff(1, ..)`), jittered from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut ChaCha8Rng) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 || base.is_zero() {
+            return base;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let scale = (1.0 - self.jitter / 2.0) + self.jitter * u;
+        Duration::from_secs_f64(base.as_secs_f64() * scale.max(0.0))
+    }
+
+    /// A fresh jitter stream for this policy's seed.
+    pub fn jitter_rng(&self) -> ChaCha8Rng {
+        use rand::SeedableRng;
+        ChaCha8Rng::seed_from_u64(self.seed)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The default is **no retries**, preserving fail-fast semantics for
+    /// callers that never opt in.
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled() {
+        assert!(!RetryPolicy::none().enabled());
+        assert!(RetryPolicy::standard().enabled());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let mut rng = p.jitter_rng();
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(25));
+        assert_eq!(p.backoff(2, &mut rng), Duration::from_millis(50));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(100));
+        assert_eq!(p.backoff(10, &mut rng), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_replays() {
+        let p = RetryPolicy::standard().with_seed(7);
+        let mut a = p.jitter_rng();
+        let mut b = p.jitter_rng();
+        for attempt in 1..=6 {
+            let x = p.backoff(attempt, &mut a);
+            let y = p.backoff(attempt, &mut b);
+            assert_eq!(x, y, "same seed must replay the same pauses");
+            let base = p
+                .base_backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(p.max_backoff)
+                .as_secs_f64();
+            let s = x.as_secs_f64();
+            assert!(s >= base * 0.74 && s <= base * 1.26, "jitter out of band");
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy::standard();
+        let mut rng = p.jitter_rng();
+        assert_eq!(p.backoff(u32::MAX, &mut rng).min(p.max_backoff), {
+            let mut r2 = p.jitter_rng();
+            p.backoff(u32::MAX, &mut r2).min(p.max_backoff)
+        });
+    }
+}

@@ -86,7 +86,40 @@ pub fn cluster_search_rank(
         rank_returns,
         total_times,
         psms,
+        None,
     )))
+}
+
+/// Like [`cluster_search_rank`], but rank 0 *supervises*: a worker that
+/// dies mid-run (or stays unreachable after the communicator's retry
+/// policy is exhausted) is detected through typed
+/// [`CommError::Disconnected`] / [`CommError::Timeout`] failures, its
+/// query share is re-executed deterministically on the master, and the
+/// run completes with results **byte-identical** to a failure-free run.
+/// What happened is recorded in
+/// [`DistributedSearchReport::recovery`](crate::engine::RecoveryReport):
+/// ranks lost, queries re-executed, and recovery wall time.
+///
+/// Workers behave exactly as in [`cluster_search_rank`] — supervision is
+/// entirely master-side, so the wire pattern (and with it sim/TCP
+/// equivalence) is unchanged. A supervised run with no failures returns
+/// `recovery = Some(report)` with an empty `ranks_lost`.
+pub fn cluster_search_rank_supervised(
+    comm: &mut Communicator,
+    db: &PeptideDb,
+    grouping: &Grouping,
+    queries: &[Spectrum],
+    cfg: &EngineConfig,
+) -> Result<Option<DistributedSearchReport>, CommError> {
+    if !comm.is_master() {
+        return cluster_search_rank(comm, db, grouping, queries, cfg);
+    }
+    let ranks = comm.size();
+    let partition = engine::make_partition(grouping, cfg, ranks);
+    let mapping = MappingTable::from_partition(&partition);
+    let serial_seconds = engine::serial_seconds(db, queries, cfg);
+    engine::supervised_master_program(comm, db, &partition, &mapping, queries, cfg, serial_seconds)
+        .map(Some)
 }
 
 /// Runs one rank of the distributed index build: extracts this rank's

@@ -319,6 +319,20 @@ impl RankReturn {
     }
 }
 
+/// What supervised search did about failed ranks. `ranks_lost` empty means
+/// the run was supervised but nothing died.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Ranks whose workers died (or became unreachable after the retry
+    /// policy was exhausted) during the run, ascending.
+    pub ranks_lost: Vec<usize>,
+    /// Queries the master re-executed on behalf of lost ranks
+    /// (`ranks_lost.len() × num_queries`).
+    pub queries_reexecuted: usize,
+    /// Wall-clock seconds rank 0 spent re-executing lost shares.
+    pub recovery_seconds: f64,
+}
+
 /// Full report of one distributed run.
 #[derive(Debug, Clone)]
 pub struct DistributedSearchReport {
@@ -352,6 +366,11 @@ pub struct DistributedSearchReport {
     pub per_rank_stats: Vec<QueryStats>,
     /// Master-merged top-k PSMs per query, global peptide ids.
     pub psms: Vec<Vec<GlobalPsm>>,
+    /// `Some` when the run was supervised (rank-failure recovery armed);
+    /// `None` for unsupervised runs. Supervision never changes `psms`: lost
+    /// shares are re-executed deterministically, so the merged results are
+    /// byte-identical to a failure-free run.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl DistributedSearchReport {
@@ -690,6 +709,185 @@ fn merge_results(
     merged
 }
 
+/// Re-executes rank `rank`'s entire share (extract → build → search) on the
+/// calling process. Used by supervised search to recover a dead worker's
+/// results: every output here depends only on `(db, partition, rank,
+/// queries, cfg)`, so the recovered PSMs are byte-identical to what the
+/// lost rank would have sent. Times are wall-clock (the re-execution really
+/// happens); the spill path is skipped — the recovered index is transient.
+pub(crate) fn execute_rank_share(
+    db: &PeptideDb,
+    partition: &Partition,
+    rank: usize,
+    queries: &[Spectrum],
+    cfg: &EngineConfig,
+) -> (RankReturn, Vec<Vec<PsmWire>>) {
+    let t0 = std::time::Instant::now();
+    let local_db = extract_local_db(db, partition, rank, cfg);
+    let mut builder = IndexBuilder::new(cfg.slm.clone(), cfg.modspec.clone());
+    let index = builder.build_parallel(&local_db, cfg.threads_per_rank);
+    let build_time = t0.elapsed().as_secs_f64();
+    let footprint = MemoryFootprint::of_index(&index);
+
+    let t_q = std::time::Instant::now();
+    let threads = cfg.threads_per_rank;
+    let (results, totals) = if threads > 1 {
+        lbe_index::search_batch_parallel_with_mode(&index, queries, threads, cfg.scan_mode)
+    } else {
+        Searcher::new(&index).search_batch_with_mode(queries, cfg.scan_mode)
+    };
+    let query_time = t_q.elapsed().as_secs_f64();
+
+    let wire: Vec<Vec<PsmWire>> = results
+        .iter()
+        .map(|r| r.psms.iter().map(psm_to_wire).collect())
+        .collect();
+    (
+        RankReturn {
+            peptides: local_db.len(),
+            spectra: index.num_spectra(),
+            ions: index.num_ions(),
+            build_time,
+            query_time,
+            stats: totals,
+            footprint,
+        },
+        wire,
+    )
+}
+
+/// Rank 0's side of a *supervised* distributed search: the same program as
+/// [`rank_program`], but every collective the master participates in is the
+/// lenient variant, so a worker that dies (or stays unreachable after the
+/// communicator's retry policy is exhausted) fails *its slot*, not the run.
+/// Lost shares are re-executed locally via [`execute_rank_share`] — which
+/// is deterministic — so the merged PSMs are byte-identical to a
+/// failure-free run, and the report records what happened in
+/// [`DistributedSearchReport::recovery`].
+///
+/// Workers keep running plain [`rank_program`] (via
+/// [`crate::dist::cluster_search_rank`]); the wire pattern is unchanged.
+pub(crate) fn supervised_master_program(
+    comm: &mut Communicator,
+    db: &PeptideDb,
+    partition: &Partition,
+    mapping: &MappingTable,
+    queries: &[Spectrum],
+    cfg: &EngineConfig,
+    serial_seconds: f64,
+) -> Result<DistributedSearchReport, CommError> {
+    use std::collections::BTreeSet;
+    assert!(comm.is_master(), "supervision runs on rank 0 only");
+    let me = comm.rank();
+    let speed = cfg.speed_of(me);
+    let ranks = comm.size();
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+
+    // Steps 1–3 are identical to `rank_program` (see its comments).
+    comm.compute(serial_seconds / speed);
+    comm.compute(cfg.cost.per_peptide_extract_s * db.len() as f64 / speed);
+    let local_db = extract_local_db(db, partition, me, cfg);
+
+    let t_build0 = comm.now();
+    let mut builder = IndexBuilder::new(cfg.slm.clone(), cfg.modspec.clone());
+    let index = builder.build_parallel(&local_db, cfg.threads_per_rank);
+    comm.compute(cfg.cost.build_seconds(index.num_ions()) / speed);
+    let build_time = comm.now() - t_build0;
+    let footprint = MemoryFootprint::of_index(&index).with_mapping_table(mapping.len());
+
+    // 4. Separation barrier — lenient: a rank that never checks in is
+    //    marked dead and the survivors are released.
+    comm.try_barrier_lenient(&mut dead)?;
+
+    // 5. Local search (same as `rank_program`).
+    let t_q0 = comm.now();
+    let threads = cfg.threads_per_rank;
+    let (results, totals) = if threads > 1 {
+        lbe_index::search_batch_parallel_with_mode(&index, queries, threads, cfg.scan_mode)
+    } else {
+        Searcher::new(&index).search_batch_with_mode(queries, cfg.scan_mode)
+    };
+    let mut thread_times = vec![0.0f64; threads];
+    for r in &results {
+        let slot = thread_times
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+            .expect("threads >= 1");
+        *slot += cfg.cost.query_seconds(&r.stats) / speed;
+    }
+    let local_psms: Vec<Vec<Psm>> = results.into_iter().map(|r| r.psms).collect();
+    comm.compute(thread_times.iter().copied().fold(0.0, f64::max));
+    let query_time = comm.now() - t_q0;
+
+    let rr = RankReturn {
+        peptides: local_db.len(),
+        spectra: index.num_spectra(),
+        ions: index.num_ions(),
+        build_time,
+        query_time,
+        stats: totals,
+        footprint,
+    };
+
+    // 6. Lenient gathers, mirroring the worker-side sequence in
+    //    `rank_program` + `cluster_search_rank`: PSMs, counters, clocks.
+    let wire: Vec<Vec<PsmWire>> = local_psms
+        .iter()
+        .map(|q| q.iter().map(psm_to_wire).collect())
+        .collect();
+    let mut psm_slots = comm.try_gather_lenient(wire, &mut dead)?;
+    let rr_slots = comm.try_gather_lenient(rr.to_wire(), &mut dead)?;
+    let now = comm.now();
+    let time_slots = comm.try_gather_lenient(now, &mut dead)?;
+
+    // 7. Recovery: re-execute every dead rank's share locally. A rank that
+    //    died *between* gathers gets fully re-executed too — the recovered
+    //    PSMs are identical to whatever partial data it managed to send.
+    let t_rec = std::time::Instant::now();
+    let ranks_lost: Vec<usize> = dead.iter().copied().collect();
+    let mut rank_returns: Vec<RankReturn> = Vec::with_capacity(ranks);
+    let mut total_times: Vec<f64> = Vec::with_capacity(ranks);
+    for r in 0..ranks {
+        if dead.contains(&r) {
+            let (rr_r, wire_r) = execute_rank_share(db, partition, r, queries, cfg);
+            psm_slots[r] = Some(wire_r);
+            rank_returns.push(rr_r);
+            total_times.push(now);
+        } else {
+            rank_returns.push(RankReturn::from_wire(
+                rr_slots[r].expect("live rank contributed counters"),
+            ));
+            total_times.push(time_slots[r].expect("live rank contributed its clock"));
+        }
+    }
+    let queries_reexecuted = ranks_lost.len() * queries.len();
+    let recovery_seconds = t_rec.elapsed().as_secs_f64();
+
+    // 8. Merge exactly as `rank_program` does on the master.
+    let per_rank: Vec<Vec<Vec<PsmWire>>> = psm_slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by gather or recovery"))
+        .collect();
+    let total_psms: usize = per_rank.iter().flat_map(|r| r.iter().map(Vec::len)).sum();
+    comm.compute(cfg.serial.per_psm_merge_s * total_psms as f64 / speed);
+    let psms = merge_results(per_rank, mapping, cfg.slm.top_k, queries.len());
+
+    Ok(report_from_parts(
+        partition,
+        mapping,
+        cfg,
+        serial_seconds,
+        rank_returns,
+        total_times,
+        psms,
+        Some(RecoveryReport {
+            ranks_lost,
+            queries_reexecuted,
+            recovery_seconds,
+        }),
+    ))
+}
+
 fn assemble_report(
     outcome: lbe_cluster::RunOutcome<(RankReturn, Option<Vec<Vec<GlobalPsm>>>)>,
     partition: &Partition,
@@ -714,11 +912,14 @@ fn assemble_report(
         rank_returns,
         outcome.times,
         psms,
+        None,
     )
 }
 
 /// Assembles the report from rank-indexed pieces, however they were
-/// collected — thread joins (sim) or wire gathers (real backends).
+/// collected — thread joins (sim), wire gathers (real backends), or a mix
+/// of gathers and master-side re-execution (supervised runs).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn report_from_parts(
     partition: &Partition,
     mapping: &MappingTable,
@@ -727,6 +928,7 @@ pub(crate) fn report_from_parts(
     rank_returns: Vec<RankReturn>,
     total_times: Vec<f64>,
     psms: Vec<Vec<GlobalPsm>>,
+    recovery: Option<RecoveryReport>,
 ) -> DistributedSearchReport {
     let ranks = partition.num_ranks();
     assert_eq!(rank_returns.len(), ranks, "one RankReturn per rank");
@@ -767,6 +969,7 @@ pub(crate) fn report_from_parts(
         total_candidates,
         per_rank_stats,
         psms,
+        recovery,
     }
 }
 

@@ -50,10 +50,14 @@ pub mod pipeline;
 pub mod serve;
 pub mod spectral_grouping;
 
-pub use dist::{cluster_build_rank, cluster_search_rank, write_shards, ShardBlob};
+pub use dist::{
+    cluster_build_rank, cluster_search_rank, cluster_search_rank_supervised, write_shards,
+    ShardBlob,
+};
 pub use distance::{edit_distance, edit_distance_bounded};
 pub use engine::{
-    DistributedSearchReport, EngineConfig, GlobalPsm, SearchCostModel, SerialCostModel,
+    DistributedSearchReport, EngineConfig, GlobalPsm, RecoveryReport, SearchCostModel,
+    SerialCostModel,
 };
 pub use fdr::{accepted_at, compute_q_values, QValued, ScoredId};
 pub use grouping::{

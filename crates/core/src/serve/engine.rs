@@ -162,6 +162,63 @@ impl ResidentEngine {
         }
     }
 
+    /// Like [`ResidentEngine::search_wave`], but bounded by a wall-clock
+    /// `deadline`: jobs the engine did not *start* before the deadline are
+    /// returned as `None` (degraded — the caller reports them as partial
+    /// results) instead of stalling the wave indefinitely. `deadline:
+    /// None` behaves exactly like `search_wave`.
+    ///
+    /// Granularity is per job (chunked backend) or per options-group batch
+    /// (single backend): a search already dispatched runs to completion —
+    /// the deadline bounds *queueing*, it does not abort compute mid-query.
+    /// Jobs that do run produce results bit-identical to `search_one`.
+    pub fn search_wave_deadline(
+        &self,
+        jobs: &[(Spectrum, QueryOptions)],
+        num_threads: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Vec<Option<io::Result<SearchResult>>> {
+        let Some(deadline) = deadline else {
+            return self
+                .search_wave(jobs, num_threads)
+                .into_iter()
+                .map(Some)
+                .collect();
+        };
+        let expired = || std::time::Instant::now() >= deadline;
+        match &self.backend {
+            Backend::Chunked(store) => {
+                let mut guard = store.lock().expect("chunk store lock poisoned");
+                jobs.iter()
+                    .map(|(q, opts)| (!expired()).then(|| guard.search_with_opts(q, opts)))
+                    .collect()
+            }
+            Backend::Single { index, .. } => {
+                let mut groups: Vec<(QueryOptions, Vec<usize>)> = Vec::new();
+                for (i, (_, opts)) in jobs.iter().enumerate() {
+                    match groups.iter_mut().find(|(o, _)| o == opts) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((*opts, vec![i])),
+                    }
+                }
+                let mut out: Vec<Option<io::Result<SearchResult>>> =
+                    (0..jobs.len()).map(|_| None).collect();
+                for (opts, idxs) in groups {
+                    if expired() {
+                        continue; // whole group degraded
+                    }
+                    let batch: Vec<Spectrum> = idxs.iter().map(|&i| jobs[i].0.clone()).collect();
+                    let (results, _stats) =
+                        search_batch_parallel_with_opts(index, &batch, num_threads, &opts);
+                    for (&i, r) in idxs.iter().zip(results) {
+                        out[i] = Some(Ok(r));
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// For a generation-store backend: picks up the latest generation if
     /// `CURRENT` has moved, keeping resident chunks whose content hashes
     /// survive — connections stay open and only changed chunks re-fault.

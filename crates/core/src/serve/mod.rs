@@ -69,6 +69,15 @@ pub struct ServeConfig {
     pub max_wave: usize,
     /// Most queries one connection may have outstanding (fairness cap).
     pub per_conn_inflight: usize,
+    /// Degraded-mode wall-clock budget per search wave: queries not
+    /// *started* by the deadline are answered immediately with a partial
+    /// result flagged [`proto::RESULT_FLAG_DEGRADED`] instead of stalling
+    /// the wave. `None` (the default) never degrades.
+    pub wave_deadline: Option<Duration>,
+    /// Reap connections idle (no frame started) this long: the server
+    /// sends a clean [`proto::Response::Bye`] and closes. `None` (the
+    /// default) keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +88,8 @@ impl Default for ServeConfig {
             max_inflight: 256,
             max_wave: 64,
             per_conn_inflight: 64,
+            wave_deadline: None,
+            idle_timeout: None,
         }
     }
 }
@@ -94,6 +105,9 @@ pub struct ServeStats {
     pub responses: u64,
     /// Frames (or byte streams) rejected as protocol errors.
     pub protocol_errors: u64,
+    /// Queries answered with a degraded (partial) result because their
+    /// wave's deadline expired before they were searched.
+    pub degraded: u64,
 }
 
 #[derive(Default)]
@@ -102,6 +116,7 @@ struct StatsInner {
     requests: AtomicU64,
     responses: AtomicU64,
     protocol_errors: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl StatsInner {
@@ -111,6 +126,7 @@ impl StatsInner {
             requests: self.requests.load(Ordering::SeqCst),
             responses: self.responses.load(Ordering::SeqCst),
             protocol_errors: self.protocol_errors.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
         }
     }
 }
@@ -262,7 +278,8 @@ impl Server {
 
         let dispatcher = {
             let engine = Arc::clone(&engine);
-            thread::spawn(move || dispatch_loop(&engine, &job_rx, cfg))
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || dispatch_loop(&engine, &job_rx, cfg, &stats))
         };
 
         let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
@@ -296,7 +313,12 @@ impl Server {
 /// Dispatcher: pulls admitted jobs, opportunistically batches up to
 /// `max_wave` of them, searches the wave, and queues one reply per job.
 /// Exits when every job sender (acceptor + connections) is gone.
-fn dispatch_loop(engine: &ResidentEngine, job_rx: &Receiver<Job>, cfg: ServeConfig) {
+fn dispatch_loop(
+    engine: &ResidentEngine,
+    job_rx: &Receiver<Job>,
+    cfg: ServeConfig,
+    stats: &StatsInner,
+) {
     while let Ok(first) = job_rx.recv() {
         let mut wave: Vec<(Spectrum, QueryOptions)> = Vec::new();
         let mut meta: Vec<(u64, Sender<Reply>, Arc<ConnGate>)> = Vec::new();
@@ -317,22 +339,35 @@ fn dispatch_loop(engine: &ResidentEngine, job_rx: &Receiver<Job>, cfg: ServeConf
         // A transient error (e.g. a concurrent gc) leaves the wave on the
         // already-loaded generation; the next wave retries.
         let _ = engine.refresh();
-        let results = engine.search_wave(&wave, cfg.threads.max(1));
+        let deadline = cfg.wave_deadline.map(|d| std::time::Instant::now() + d);
+        let results = engine.search_wave_deadline(&wave, cfg.threads.max(1), deadline);
         for ((req_id, reply, _gate), result) in meta.into_iter().zip(results) {
             let response = match result {
-                Ok(r) => Response::Result {
+                Some(Ok(r)) => Response::Result {
                     req_id,
                     psms: r
                         .psms
                         .iter()
                         .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
                         .collect(),
+                    flags: 0,
                 },
-                Err(e) => Response::Error {
+                Some(Err(e)) => Response::Error {
                     req_id,
                     code: proto::CODE_SEARCH_FAILED,
                     message: e.to_string(),
                 },
+                // Deadline expired before this query was searched: answer
+                // *now* with a flagged partial result instead of making
+                // every client in the wave wait out the stall.
+                None => {
+                    stats.degraded.fetch_add(1, Ordering::SeqCst);
+                    Response::Result {
+                        req_id,
+                        psms: Vec::new(),
+                        flags: proto::RESULT_FLAG_DEGRADED,
+                    }
+                }
             };
             // A dead connection dropped its receiver; its gate no longer
             // has waiters, so dropping the reply is safe and must not
@@ -342,22 +377,50 @@ fn dispatch_loop(engine: &ResidentEngine, job_rx: &Receiver<Job>, cfg: ServeConf
     }
 }
 
+/// Outcome of one interruptible frame read (see
+/// [`read_frame_interruptible`]).
+enum ReadOutcome {
+    /// A complete frame payload arrived.
+    Frame(Vec<u8>),
+    /// Clean end: EOF at a frame boundary, or shutdown while idle.
+    Closed,
+    /// No frame *started* within the server's idle timeout — the caller
+    /// reaps the connection with a clean `Bye`.
+    IdleExpired,
+}
+
+/// What one interruptible exact-read step produced.
+enum Step {
+    /// The buffer is full.
+    Got,
+    /// Clean EOF at a frame boundary (or shutdown while idle).
+    CleanEof,
+    /// Idle timeout expired before the first byte of a frame.
+    Idle,
+}
+
 /// Reads one frame, returning to check the stop flag every
-/// [`POLL_INTERVAL`] while idle. `Ok(None)` = clean end (EOF at a frame
-/// boundary, or shutdown while no frame was in progress).
+/// [`POLL_INTERVAL`] while idle. With an `idle_timeout`, a connection
+/// that does not *start* a frame within it yields
+/// [`ReadOutcome::IdleExpired`]; mid-frame bytes reset nothing — the
+/// timeout only ever fires between frames.
 fn read_frame_interruptible(
     stream: &mut TcpStream,
     stop: &AtomicBool,
-) -> Result<Option<Vec<u8>>, ProtoError> {
+    idle_timeout: Option<Duration>,
+) -> Result<ReadOutcome, ProtoError> {
     let mut patience = MID_FRAME_PATIENCE;
+    // Idle budget in polls; the read timeout below ticks one poll each.
+    let mut idle_polls =
+        idle_timeout.map(|t| (t.as_millis() / POLL_INTERVAL.as_millis()).max(1) as u64);
     let mut read_exact_interruptible =
-        |buf: &mut [u8], stream: &mut TcpStream, started: &mut bool| -> Result<bool, ProtoError> {
+        |buf: &mut [u8], stream: &mut TcpStream, started: &mut bool| -> Result<Step, ProtoError> {
             let mut got = 0;
             while got < buf.len() {
                 match stream.read(&mut buf[got..]) {
                     Ok(0) => {
                         return if got == 0 && !*started {
-                            Ok(false) // clean EOF at a frame boundary
+                            Ok(Step::CleanEof) // clean EOF at a frame boundary
                         } else {
                             Err(ProtoError::Truncated)
                         };
@@ -372,11 +435,18 @@ fn read_frame_interruptible(
                     {
                         if stop.load(Ordering::SeqCst) {
                             if !*started {
-                                return Ok(false); // idle at shutdown: clean end
+                                return Ok(Step::CleanEof); // idle at shutdown
                             }
                             patience = patience.saturating_sub(1);
                             if patience == 0 {
                                 return Err(ProtoError::Truncated);
+                            }
+                        } else if !*started {
+                            if let Some(left) = idle_polls.as_mut() {
+                                *left = left.saturating_sub(1);
+                                if *left == 0 {
+                                    return Ok(Step::Idle);
+                                }
                             }
                         }
                     }
@@ -384,13 +454,15 @@ fn read_frame_interruptible(
                     Err(e) => return Err(ProtoError::Io(e)),
                 }
             }
-            Ok(true)
+            Ok(Step::Got)
         };
 
     let mut started = false;
     let mut hdr = [0u8; 4];
-    if !read_exact_interruptible(&mut hdr, stream, &mut started)? {
-        return Ok(None);
+    match read_exact_interruptible(&mut hdr, stream, &mut started)? {
+        Step::Got => {}
+        Step::CleanEof => return Ok(ReadOutcome::Closed),
+        Step::Idle => return Ok(ReadOutcome::IdleExpired),
     }
     let len = u32::from_le_bytes(hdr);
     if len == 0 {
@@ -406,12 +478,15 @@ fn read_frame_interruptible(
     let mut chunk = [0u8; 8192];
     while payload.len() < len {
         let want = (len - payload.len()).min(chunk.len());
-        if !read_exact_interruptible(&mut chunk[..want], stream, &mut started)? {
-            return Err(ProtoError::Truncated);
+        match read_exact_interruptible(&mut chunk[..want], stream, &mut started)? {
+            Step::Got => {}
+            // `started` is true by now, so these arms are unreachable in
+            // practice; treat either as a truncated frame defensively.
+            Step::CleanEof | Step::Idle => return Err(ProtoError::Truncated),
         }
         payload.extend_from_slice(&chunk[..want]);
     }
-    Ok(Some(payload))
+    Ok(ReadOutcome::Frame(payload))
 }
 
 /// One connection: a reader loop on this thread plus a writer thread, so
@@ -464,9 +539,14 @@ fn handle_connection(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let frame = match read_frame_interruptible(&mut stream, stop) {
-            Ok(Some(f)) => f,
-            Ok(None) => break,
+        let frame = match read_frame_interruptible(&mut stream, stop, cfg.idle_timeout) {
+            Ok(ReadOutcome::Frame(f)) => f,
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::IdleExpired) => {
+                // Reap: tell the client why with a clean Bye, then close.
+                let _ = reply_tx.send((false, Response::Bye { req_id: 0 }));
+                break;
+            }
             Err(e) => {
                 stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
                 let _ = reply_tx.send((
@@ -723,6 +803,7 @@ pub fn serve_stdin<R: Read, W: Write>(
                             .iter()
                             .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
                             .collect(),
+                        flags: 0,
                     },
                     Err(e) => Response::Error {
                         req_id,

@@ -211,12 +211,23 @@ pub enum Request {
 /// `(peptide:u32, modform:u16, shared_peaks:u16, score:f32)`.
 pub type WirePsm = (u32, u16, u16, f32);
 
+/// Result flag bit: the server's wave deadline expired before this query
+/// was searched — the PSM list is **partial** (in practice empty), not a
+/// statement that nothing matched.
+pub const RESULT_FLAG_DEGRADED: u8 = 1 << 0;
+
 /// A server-to-client message.
 ///
 /// Payload layouts (little-endian; kind byte first):
 ///
 /// * `0x81` **Result** — `req_id:u64, n_psms:u32, n_psms × (peptide:u32,
-///   modform:u16, shared_peaks:u16, score:f32)`.
+///   modform:u16, shared_peaks:u16, score:f32)`. Emitted whenever
+///   `flags == 0`, so servers that never degrade are byte-identical to
+///   protocol version 1 peers.
+/// * `0x84` **FlaggedResult** — `req_id:u64, flags:u8, n_psms:u32, n_psms ×
+///   (peptide:u32, modform:u16, shared_peaks:u16, score:f32)`. Emitted only
+///   when `flags != 0` (today: [`RESULT_FLAG_DEGRADED`]); unknown flag bits
+///   are a decode error.
 /// * `0x82` **Pong** — `req_id:u64, protocol_version:u16, num_chunks:u32`
 ///   (`num_chunks = 0` for a single, unchunked index).
 /// * `0x83` **Bye** — `req_id:u64`.
@@ -230,6 +241,9 @@ pub enum Response {
         req_id: u64,
         /// Ranked matches, best first (the searcher's total order).
         psms: Vec<WirePsm>,
+        /// Result qualifiers ([`RESULT_FLAG_DEGRADED`]); `0` = a complete,
+        /// ordinary result, encoded exactly as protocol version 1 did.
+        flags: u8,
     },
     /// Answer to [`Request::Ping`].
     Pong {
@@ -263,7 +277,10 @@ const KIND_SHUTDOWN: u8 = 0x03;
 const KIND_RESULT: u8 = 0x81;
 const KIND_PONG: u8 = 0x82;
 const KIND_BYE: u8 = 0x83;
+const KIND_RESULT_FLAGGED: u8 = 0x84;
 const KIND_ERROR: u8 = 0xEE;
+
+const KNOWN_RESULT_FLAGS: u8 = RESULT_FLAG_DEGRADED;
 
 const FLAG_FULL_SCAN: u8 = 1 << 0;
 const FLAG_HAS_TOLERANCE: u8 = 1 << 1;
@@ -457,10 +474,20 @@ impl Response {
     /// Encodes this response into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Response::Result { req_id, psms } => {
-                let mut b = Vec::with_capacity(13 + psms.len() * 12);
-                b.push(KIND_RESULT);
-                b.extend_from_slice(&req_id.to_le_bytes());
+            Response::Result {
+                req_id,
+                psms,
+                flags,
+            } => {
+                let mut b = Vec::with_capacity(14 + psms.len() * 12);
+                if *flags == 0 {
+                    b.push(KIND_RESULT);
+                    b.extend_from_slice(&req_id.to_le_bytes());
+                } else {
+                    b.push(KIND_RESULT_FLAGGED);
+                    b.extend_from_slice(&req_id.to_le_bytes());
+                    b.push(*flags);
+                }
                 b.extend_from_slice(&(psms.len() as u32).to_le_bytes());
                 for (peptide, modform, shared, score) in psms {
                     b.extend_from_slice(&peptide.to_le_bytes());
@@ -510,8 +537,17 @@ impl Response {
     pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
         let mut c = Cur::new(payload);
         match c.u8()? {
-            KIND_RESULT => {
+            kind @ (KIND_RESULT | KIND_RESULT_FLAGGED) => {
                 let req_id = c.u64()?;
+                let flags = if kind == KIND_RESULT_FLAGGED {
+                    let f = c.u8()?;
+                    if f & !KNOWN_RESULT_FLAGS != 0 {
+                        return Err(ProtoError::Malformed("unknown result flag bits"));
+                    }
+                    f
+                } else {
+                    0
+                };
                 let n = c.u32()? as usize;
                 if c.remaining() != n * 12 {
                     return Err(ProtoError::Malformed(
@@ -523,7 +559,11 @@ impl Response {
                     psms.push((c.u32()?, c.u16()?, c.u16()?, c.f32()?));
                 }
                 c.finish()?;
-                Ok(Response::Result { req_id, psms })
+                Ok(Response::Result {
+                    req_id,
+                    psms,
+                    flags,
+                })
             }
             KIND_PONG => {
                 let req_id = c.u64()?;
@@ -607,6 +647,12 @@ mod tests {
             Response::Result {
                 req_id: 1,
                 psms: vec![(5, 0, 9, 12.5), (6, 2, 4, 3.0)],
+                flags: 0,
+            },
+            Response::Result {
+                req_id: 9,
+                psms: vec![],
+                flags: RESULT_FLAG_DEGRADED,
             },
             Response::Pong {
                 req_id: 2,
@@ -653,6 +699,49 @@ mod tests {
         assert!(matches!(
             read_frame(&mut wire.as_slice()),
             Err(ProtoError::Oversized { declared }) if declared == MAX_FRAME_LEN + 1
+        ));
+    }
+
+    #[test]
+    fn unflagged_result_is_byte_identical_to_v1_layout() {
+        // Protocol version 1 peers must see the exact 0x81 bytes they
+        // always did when no flag is set.
+        let r = Response::Result {
+            req_id: 0x0102_0304_0506_0708,
+            psms: vec![(7, 1, 3, 2.5)],
+            flags: 0,
+        };
+        let b = r.encode();
+        assert_eq!(b[0], 0x81);
+        assert_eq!(b.len(), 1 + 8 + 4 + 12);
+        assert_eq!(&b[1..9], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(&b[9..13], &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn degraded_result_uses_flagged_kind_and_roundtrips() {
+        let r = Response::Result {
+            req_id: 11,
+            psms: vec![],
+            flags: RESULT_FLAG_DEGRADED,
+        };
+        let b = r.encode();
+        assert_eq!(b[0], 0x84);
+        assert_eq!(Response::decode(&b).unwrap(), r);
+    }
+
+    #[test]
+    fn unknown_result_flag_bits_rejected() {
+        let mut b = Response::Result {
+            req_id: 1,
+            psms: vec![],
+            flags: RESULT_FLAG_DEGRADED,
+        }
+        .encode();
+        b[9] |= 0x80; // flags byte sits right after the req_id
+        assert!(matches!(
+            Response::decode(&b),
+            Err(ProtoError::Malformed(_))
         ));
     }
 

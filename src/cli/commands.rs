@@ -19,7 +19,9 @@ use lbe_core::ingest::{load_peptide_db, load_proteome_digested, load_queries, In
 use lbe_core::partition::PartitionPolicy;
 use lbe_core::serve::proto::{self, Request, Response};
 use lbe_core::serve::{serve_stdin, ResidentEngine, ServeConfig, Server};
-use lbe_core::{cluster_build_rank, cluster_search_rank, write_shards};
+use lbe_core::{
+    cluster_build_rank, cluster_search_rank, cluster_search_rank_supervised, write_shards,
+};
 use lbe_index::lifecycle::chunked_container_stats;
 use lbe_index::{ChunkedIndex, GenerationStore, Psm, QueryOptions, ScanMode, SlmConfig};
 use lbe_spectra::mgf::write_mgf;
@@ -116,12 +118,18 @@ COMMANDS:
   serve           --index index.lbe [--addr 127.0.0.1:0] [--stdin]
                   [--threads 4] [--max-resident-chunks 0]
                   [--max-inflight 256] [--max-wave 64]
-                  [--per-conn-inflight 64]
+                  [--per-conn-inflight 64] [--wave-deadline-ms 0]
+                  [--idle-timeout-s 0]
                   long-lived query daemon: opens the index once, answers
                   length-prefixed query frames over TCP (prints a
                   parseable `listening on HOST:PORT` line) or, with
                   --stdin, over stdin/stdout for scripting; shuts down
-                  cleanly on a shutdown frame (or stdin EOF)
+                  cleanly on a shutdown frame (or stdin EOF);
+                  --wave-deadline-ms N > 0 enables degraded mode: queries
+                  not started within N ms of their wave are answered
+                  immediately with a flagged partial result;
+                  --idle-timeout-s N > 0 reaps connections idle that long
+                  with a clean Bye frame
   query           --addr HOST:PORT [--queries q.{ms2|mgf|mzML} --out r.tsv]
                   [--top-k 10] [--csv] [--full-scan] [--tolerance DA]
                   [--shutdown]
@@ -130,7 +138,8 @@ COMMANDS:
                   (byte-identical for identical inputs); --tolerance
                   overrides the index's precursor window per request;
                   --shutdown asks the daemon to exit (alone or after the
-                  queries)
+                  queries); degraded (partial) results from a server in
+                  degraded mode are counted and warned about
   simulate        --db peptides.fasta --queries q.{ms2|mgf|mzML}
                   [--out report.txt] [--ranks 16]
                   [--policy chunk|cyclic|random]
@@ -160,11 +169,18 @@ COMMANDS:
                                                over loopback TCP (testing)
                   cluster search: --queries q.{ms2|mgf|mzML} --out results.tsv
                     [--top-k 10] [--csv] [--full-scan] [--bench-out b.json]
-                    [--timeout-s 60]
+                    [--timeout-s 60] [--supervise] [--fault-plan SPEC]
                     distributed batch search; rank 0 writes the same report
                     `search` would, --bench-out records measured per-rank
                     times and load imbalance as JSON (wall-clock on TCP,
-                    virtual seconds under --sim)
+                    virtual seconds under --sim); --supervise arms
+                    rank-failure recovery: a worker that dies mid-run is
+                    detected, its query share is re-executed on rank 0, and
+                    results stay byte-identical to a failure-free run (a
+                    `recovery:` line reports ranks lost); --fault-plan
+                    injects deterministic faults for testing (e.g.
+                    'rank=2;die=3' kills rank 2 at its 3rd transport op;
+                    see the lbe-cluster fault docs; real transports only)
                   cluster build: --out DIR [--timeout-s 60]
                     distributed index build; every rank builds its
                     LBE-scattered partition locally and ships it to rank 0
@@ -647,6 +663,8 @@ fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "max-inflight",
         "max-wave",
         "per-conn-inflight",
+        "wave-deadline-ms",
+        "idle-timeout-s",
     ])?;
     let index_path = args.require("index")?;
     let max_resident = match args.get_parsed("max-resident-chunks", 0usize)? {
@@ -659,6 +677,14 @@ fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         max_inflight: args.get_parsed("max-inflight", 256usize)?.max(1),
         max_wave: args.get_parsed("max-wave", 64usize)?.max(1),
         per_conn_inflight: args.get_parsed("per-conn-inflight", 64usize)?.max(1),
+        wave_deadline: match args.get_parsed("wave-deadline-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        idle_timeout: match args.get_parsed("idle-timeout-s", 0u64)? {
+            0 => None,
+            s => Some(std::time::Duration::from_secs(s)),
+        },
     };
     // Open (and fully validate) the index before any transport exists: a
     // bad --index is an ordinary CLI error, never a half-started server.
@@ -676,8 +702,8 @@ fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
             &mut std::io::stdout().lock(),
         )?;
         eprintln!(
-            "served {} requests, {} responses ({} protocol errors)",
-            stats.requests, stats.responses, stats.protocol_errors
+            "served {} requests, {} responses ({} protocol errors, {} degraded)",
+            stats.requests, stats.responses, stats.protocol_errors, stats.degraded
         );
         return Ok(());
     }
@@ -695,8 +721,8 @@ fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
     let stats = server.run()?;
     writeln!(
         out,
-        "served {} connections, {} requests, {} responses ({} protocol errors)",
-        stats.connections, stats.requests, stats.responses, stats.protocol_errors
+        "served {} connections, {} requests, {} responses ({} protocol errors, {} degraded)",
+        stats.connections, stats.requests, stats.responses, stats.protocol_errors, stats.degraded
     )?;
     Ok(())
 }
@@ -771,6 +797,7 @@ fn query_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
 
     let scans: Vec<u32> = sent.iter().map(|s| s.scan).collect();
     let mut results: Vec<Option<Vec<proto::WirePsm>>> = vec![None; sent.len()];
+    let mut degraded = 0usize;
     if !sent.is_empty() {
         // Requests go out on a separate thread while this one drains
         // responses: the server caps per-connection in-flight queries, so
@@ -799,7 +826,14 @@ fn query_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
             let payload = proto::read_frame(&mut rd)?
                 .ok_or_else(|| ArgError("server closed the connection early".into()))?;
             match Response::decode(&payload)? {
-                Response::Result { req_id, psms } => {
+                Response::Result {
+                    req_id,
+                    psms,
+                    flags,
+                } => {
+                    if flags & proto::RESULT_FLAG_DEGRADED != 0 {
+                        degraded += 1;
+                    }
                     let slot = results
                         .get_mut(req_id as usize)
                         .ok_or_else(|| ArgError(format!("unknown request id {req_id}")))?;
@@ -875,6 +909,14 @@ fn query_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
             "queried {} spectra against {addr}, wrote {total_psms} PSMs to {output}",
             scans.len(),
         )?;
+        if degraded > 0 {
+            writeln!(
+                out,
+                "warning: {degraded} of {} results are DEGRADED (partial — the \
+                 server's wave deadline expired before they were searched)",
+                scans.len(),
+            )?;
+        }
     }
     Ok(())
 }
@@ -1124,8 +1166,32 @@ fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         "csv",
         "full-scan",
         "bench-out",
+        "supervise",
+        "fault-plan",
     ])?;
     let backend = cluster_backend(args)?;
+    let supervise = args.has("supervise");
+    if supervise && sub != "search" {
+        return Err(Box::new(ArgError(
+            "--supervise applies to `cluster search` only".into(),
+        )));
+    }
+    let fault_plan = match args.get("fault-plan") {
+        None => None,
+        Some(spec) => {
+            if matches!(backend, ClusterBackend::Sim { .. }) {
+                return Err(Box::new(ArgError(
+                    "--fault-plan needs a real transport (--hostfile or --launch); \
+                     the in-process simulator shares one address space with rank 0"
+                        .into(),
+                )));
+            }
+            Some(
+                lbe_cluster::FaultPlan::parse(spec)
+                    .map_err(|e| ArgError(format!("--fault-plan: {e}")))?,
+            )
+        }
+    };
 
     // The launcher never loads any data itself — it only spawns the rank
     // processes (which re-parse this command line with --hostfile/--rank)
@@ -1163,8 +1229,13 @@ fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         ("search", ClusterBackend::Sim { ranks }) => {
             let (queries, _stats) = read_queries(args.require("queries")?, out)?;
             let outcome = Cluster::new(ClusterConfig::new(ranks)).run(|comm| {
-                cluster_search_rank(comm, &db, &grouping, &queries, &cfg)
-                    .unwrap_or_else(|e| panic!("{e}"))
+                if supervise {
+                    cluster_search_rank_supervised(comm, &db, &grouping, &queries, &cfg)
+                        .unwrap_or_else(|e| panic!("{e}"))
+                } else {
+                    cluster_search_rank(comm, &db, &grouping, &queries, &cfg)
+                        .unwrap_or_else(|e| panic!("{e}"))
+                }
             });
             let report = outcome
                 .results
@@ -1176,8 +1247,14 @@ fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
         }
         ("search", ClusterBackend::Tcp { hostfile, rank }) => {
             let (queries, _stats) = read_queries(args.require("queries")?, out)?;
-            let mut comm = tcp_communicator(&hostfile, rank, timeout)?;
-            match cluster_search_rank(&mut comm, &db, &grouping, &queries, &cfg)? {
+            let mut comm =
+                tcp_communicator(&hostfile, rank, timeout, supervise, fault_plan.as_ref())?;
+            let report = if supervise {
+                cluster_search_rank_supervised(&mut comm, &db, &grouping, &queries, &cfg)?
+            } else {
+                cluster_search_rank(&mut comm, &db, &grouping, &queries, &cfg)?
+            };
+            match report {
                 Some(report) => write_cluster_search_outputs(
                     args,
                     "tcp",
@@ -1206,7 +1283,7 @@ fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
             write_cluster_build_outputs(args, "sim", ranks, &shards, out)
         }
         ("build", ClusterBackend::Tcp { hostfile, rank }) => {
-            let mut comm = tcp_communicator(&hostfile, rank, timeout)?;
+            let mut comm = tcp_communicator(&hostfile, rank, timeout, false, fault_plan.as_ref())?;
             let size = comm.size();
             match cluster_build_rank(&mut comm, &db, &grouping, &cfg)? {
                 Some(shards) => write_cluster_build_outputs(args, "tcp", size, &shards, out),
@@ -1221,22 +1298,34 @@ fn cluster_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), CmdError> {
 }
 
 /// Connects this process into the TCP mesh and wraps it in a wall-clock
-/// [`Communicator`].
+/// [`Communicator`]. With a `--fault-plan`, the transport is wrapped in a
+/// [`lbe_cluster::FaultyTransport`] (the plan's own `rank=` filter decides
+/// which rank actually misbehaves); with `--supervise`, transient-failure
+/// retries are switched on.
 fn tcp_communicator(
     hostfile: &Hostfile,
     rank: usize,
     timeout: std::time::Duration,
+    supervise: bool,
+    fault_plan: Option<&lbe_cluster::FaultPlan>,
 ) -> Result<Communicator, CmdError> {
     let tcfg = TcpConfig {
         connect_timeout: timeout,
         ..TcpConfig::default()
     };
     let transport = TcpTransport::connect(hostfile, rank, &tcfg)?;
-    Ok(Communicator::over(
-        Box::new(transport),
-        CommCostModel::default(),
-        timeout,
-    ))
+    let transport: Box<dyn lbe_cluster::Transport> = match fault_plan {
+        Some(plan) => Box::new(lbe_cluster::FaultyTransport::wrap(
+            Box::new(transport),
+            plan.for_rank(rank),
+        )),
+        None => Box::new(transport),
+    };
+    let mut comm = Communicator::over(transport, CommCostModel::default(), timeout);
+    if supervise {
+        comm = comm.with_retry(lbe_cluster::RetryPolicy::standard());
+    }
+    Ok(comm)
 }
 
 /// Rank 0's `cluster search` output: the same TSV/CSV report `search`
@@ -1277,6 +1366,16 @@ fn write_cluster_search_outputs<W: Write>(
         report.ranks,
         queries.len(),
     )?;
+    if let Some(rec) = &report.recovery {
+        writeln!(
+            out,
+            "recovery: ranks_lost={} {:?}, queries_reexecuted={}, recovery_seconds={:.3}",
+            rec.ranks_lost.len(),
+            rec.ranks_lost,
+            rec.queries_reexecuted,
+            rec.recovery_seconds,
+        )?;
+    }
     if let Some(bench) = args.get("bench-out") {
         if bench.is_empty() {
             return Err(Box::new(ArgError("--bench-out needs a file path".into())));
@@ -1411,11 +1510,20 @@ fn launch_local_cluster<W: Write>(
             .stderr(Stdio::inherit());
         children.push((r, cmd.spawn()?));
     }
+    // Under --supervise, a worker (never rank 0) dying is an *expected*
+    // outcome the master recovers from — fault-injection kills exit with
+    // FAULT_DEATH_EXIT_CODE, and any other worker failure is survivable.
+    let supervising = args.has("supervise");
     let mut failed = Vec::new();
+    let mut lost = Vec::new();
     for (r, mut child) in children {
         let status = child.wait()?;
         if !status.success() {
-            failed.push(format!("rank {r} exited with {status}"));
+            if supervising && r != 0 {
+                lost.push(format!("rank {r} ({status})"));
+            } else {
+                failed.push(format!("rank {r} exited with {status}"));
+            }
         }
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -1425,7 +1533,15 @@ fn launch_local_cluster<W: Write>(
             failed.join("; ")
         ))));
     }
-    writeln!(out, "launched {ranks} local ranks; all exited cleanly")?;
+    if lost.is_empty() {
+        writeln!(out, "launched {ranks} local ranks; all exited cleanly")?;
+    } else {
+        writeln!(
+            out,
+            "launched {ranks} local ranks; rank 0 recovered from lost worker(s): {}",
+            lost.join(", ")
+        )?;
+    }
     Ok(())
 }
 

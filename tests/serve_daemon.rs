@@ -171,7 +171,7 @@ fn responses_match_request_ids_under_interleaving() {
     let mut seen = vec![false; spectra.len()];
     for _ in 0..spectra.len() {
         match read_response(&mut rd) {
-            Response::Result { req_id, psms } => {
+            Response::Result { req_id, psms, .. } => {
                 let i = (req_id - 9000) as usize;
                 assert!(!seen[i], "duplicate response for id {req_id}");
                 seen[i] = true;
@@ -252,7 +252,7 @@ fn stdin_transport_equivalent_and_honours_overrides() {
         .unwrap()
         .psms;
     let expect_psms = |r: Response, want_id: u64| match r {
-        Response::Result { req_id, psms } => {
+        Response::Result { req_id, psms, .. } => {
             assert_eq!(req_id, want_id);
             psms
         }
@@ -623,7 +623,9 @@ fn serve_reopens_latest_generation_without_dropping_connections() {
         conn.write_all(&query_frame(req_id, &perfect_query(seq)))
             .unwrap();
         match read_response(&mut BufReader::new(conn.try_clone().unwrap())) {
-            Response::Result { req_id: rid, psms } => {
+            Response::Result {
+                req_id: rid, psms, ..
+            } => {
                 assert_eq!(rid, req_id);
                 assert!(!psms.is_empty(), "no PSMs for {:?}", seq);
                 psms[0].0
@@ -646,4 +648,151 @@ fn serve_reopens_latest_generation_without_dropping_connections() {
     drop(conn);
     handle.shutdown();
     runner.join().unwrap();
+}
+
+/// Degraded mode: a zero wave deadline means no query is ever *started*
+/// in time, so every response is an empty, DEGRADED-flagged partial
+/// result (wire kind 0x84), counted in the server stats — and the
+/// connection stays healthy throughout.
+#[test]
+fn zero_wave_deadline_degrades_every_query() {
+    let cfg = ServeConfig {
+        wave_deadline: Some(std::time::Duration::ZERO),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, runner) = start_daemon(cfg);
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut rd = BufReader::new(stream.try_clone().unwrap());
+    for (i, s) in spectra.iter().enumerate() {
+        stream.write_all(&query_frame(500 + i as u64, s)).unwrap();
+    }
+    let mut seen = vec![false; spectra.len()];
+    for _ in 0..spectra.len() {
+        match read_response(&mut rd) {
+            Response::Result {
+                req_id,
+                psms,
+                flags,
+            } => {
+                let i = (req_id - 500) as usize;
+                assert!(!seen[i], "duplicate response for id {req_id}");
+                seen[i] = true;
+                assert_eq!(
+                    flags & proto::RESULT_FLAG_DEGRADED,
+                    proto::RESULT_FLAG_DEGRADED,
+                    "id {req_id} must be flagged degraded"
+                );
+                assert!(psms.is_empty(), "degraded results carry no PSMs");
+            }
+            other => panic!("expected degraded result, got {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    drop(stream);
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.degraded, spectra.len() as u64);
+    assert_eq!(stats.responses, spectra.len() as u64);
+}
+
+/// A generous wave deadline never trips: results are byte-identical to
+/// the no-deadline server's (legacy 0x81 frames — flags stay zero on the
+/// wire) and the degraded counter stays at zero.
+#[test]
+fn generous_wave_deadline_never_degrades() {
+    let cfg = ServeConfig {
+        wave_deadline: Some(std::time::Duration::from_secs(300)),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, runner) = start_daemon(cfg);
+    let engine = ResidentEngine::open(corpus_index(), usize::MAX).unwrap();
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut rd = BufReader::new(stream.try_clone().unwrap());
+    for (i, s) in spectra.iter().take(4).enumerate() {
+        stream.write_all(&query_frame(600 + i as u64, s)).unwrap();
+        match read_response(&mut rd) {
+            Response::Result {
+                req_id,
+                psms,
+                flags,
+            } => {
+                assert_eq!(req_id, 600 + i as u64);
+                assert_eq!(flags, 0);
+                let want = engine
+                    .search_one(&engine.preprocess(s), &QueryOptions::default())
+                    .unwrap()
+                    .psms;
+                let want: Vec<_> = want
+                    .iter()
+                    .map(|p| (p.peptide, p.modform, p.shared_peaks, p.score))
+                    .collect();
+                assert_eq!(psms, want, "id {req_id} differs from direct search");
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    drop(stream);
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.degraded, 0);
+}
+
+/// Idle reap: a connection that goes quiet past the idle timeout gets a
+/// clean `Bye` and an orderly close — while an *active* connection on the
+/// same server keeps working, and the reap is not a protocol error.
+#[test]
+fn idle_connections_are_reaped_with_a_clean_bye() {
+    let cfg = ServeConfig {
+        idle_timeout: Some(std::time::Duration::from_millis(300)),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, runner) = start_daemon(cfg);
+    let spectra: Vec<Spectrum> = SpectrumReader::open(data("corpus.ms2"))
+        .unwrap()
+        .map(|s| s.unwrap())
+        .collect();
+
+    // The idle victim: one query, then silence.
+    let mut idle = TcpStream::connect(addr).unwrap();
+    let mut idle_rd = BufReader::new(idle.try_clone().unwrap());
+    idle.write_all(&query_frame(900, &spectra[0])).unwrap();
+    match read_response(&mut idle_rd) {
+        Response::Result { req_id: 900, .. } => {}
+        other => panic!("expected result, got {other:?}"),
+    }
+    // The server reaps us after ~300 ms of quiet: a Bye, then EOF.
+    match read_response(&mut idle_rd) {
+        Response::Bye { req_id } => assert_eq!(req_id, 0, "unsolicited Bye uses id 0"),
+        other => panic!("expected reap Bye, got {other:?}"),
+    }
+    assert!(proto::read_frame(&mut idle_rd).unwrap().is_none());
+
+    // A fresh connection still gets answers after the reap.
+    let mut live = TcpStream::connect(addr).unwrap();
+    let mut live_rd = BufReader::new(live.try_clone().unwrap());
+    live.write_all(&query_frame(901, &spectra[1])).unwrap();
+    match read_response(&mut live_rd) {
+        Response::Result { req_id: 901, .. } => {}
+        other => panic!("expected result, got {other:?}"),
+    }
+    drop(live);
+    drop(idle);
+    handle.shutdown();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.requests, 2);
+    // Two query results plus the reap Bye, which goes out as an ordinary
+    // response frame.
+    assert_eq!(stats.responses, 3);
 }

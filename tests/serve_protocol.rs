@@ -71,7 +71,7 @@ proptest! {
         psms in prop::collection::vec(
             (any::<u32>(), any::<u16>(), any::<u16>(), 0.0f32..1e6), 0..40),
     ) {
-        let response = Response::Result { req_id, psms };
+        let response = Response::Result { req_id, psms, flags: 0 };
         let payload = frame_roundtrip(&response.encode());
         prop_assert_eq!(Response::decode(&payload).unwrap(), response);
     }
